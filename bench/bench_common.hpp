@@ -1,0 +1,51 @@
+// Shared plumbing for the figure-reproduction binaries.
+//
+// Every bench prints (a) a header identifying the experiment and the
+// parameters used, (b) a human-readable aligned table whose rows mirror the
+// series of the paper's figure, and (c) optionally the same data as CSV
+// (--csv) for plotting. --quick shrinks problem sizes for smoke runs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "support/format.hpp"
+
+namespace rio::bench {
+
+struct Options {
+  bool csv = false;
+  bool quick = false;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) o.csv = true;
+      if (std::strcmp(argv[i], "--quick") == 0) o.quick = true;
+      if (std::strcmp(argv[i], "--help") == 0 ||
+          std::strcmp(argv[i], "-h") == 0) {
+        std::cout << "options: --csv (machine-readable) --quick (small sizes)\n";
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+};
+
+inline void header(const std::string& id, const std::string& what) {
+  std::cout << "==========================================================\n"
+            << id << ": " << what << "\n"
+            << "==========================================================\n";
+}
+
+inline void emit(const support::Table& table, const Options& opt) {
+  if (opt.csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  std::cout << std::endl;
+}
+
+}  // namespace rio::bench

@@ -1,0 +1,163 @@
+// Micro-benchmarks (google-benchmark) of the primitives whose costs the
+// paper's argument rests on:
+//
+//   * RIO's declare path (the cost of SKIPPING a task: one or two private
+//     writes per access — Section 3.4);
+//   * RIO's get/terminate path (the cost of executing an owned task);
+//   * the centralized runtime's per-task dispatch cost (queue round trip);
+//   * end-to-end per-task overhead of both runtimes on empty tasks;
+//   * dependency-graph and pruned-plan construction throughput.
+//
+// These measured numbers are also how one calibrates sim::*Params for this
+// host (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "coor/coor.hpp"
+#include "rio/rio.hpp"
+#include "stf/stf.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rio;
+
+namespace {
+
+// --------------------------------------------------------- protocol ops ----
+
+void BM_DeclareRead(benchmark::State& state) {
+  rt::LocalDataState local;
+  for (auto _ : state) {
+    rt::declare_read(local);
+    benchmark::DoNotOptimize(local);
+  }
+}
+BENCHMARK(BM_DeclareRead);
+
+void BM_DeclareWrite(benchmark::State& state) {
+  rt::LocalDataState local;
+  stf::TaskId id = 0;
+  for (auto _ : state) {
+    rt::declare_write(local, id++);
+    benchmark::DoNotOptimize(local);
+  }
+}
+BENCHMARK(BM_DeclareWrite);
+
+void BM_GetReadUncontended(benchmark::State& state) {
+  rt::SharedDataState shared;
+  rt::LocalDataState local;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rt::get_read(shared, local, support::WaitPolicy::kSpin));
+  }
+}
+BENCHMARK(BM_GetReadUncontended);
+
+void BM_TerminateReadPlusWrite(benchmark::State& state) {
+  rt::SharedDataState shared;
+  rt::LocalDataState local;
+  stf::TaskId id = 0;
+  for (auto _ : state) {
+    rt::terminate_read(shared, local, support::WaitPolicy::kSpinYield);
+    rt::terminate_write(shared, local, id++, support::WaitPolicy::kSpinYield);
+  }
+}
+BENCHMARK(BM_TerminateReadPlusWrite);
+
+// ------------------------------------------------------- queue round trip --
+
+void BM_ReadyQueuePushPop(benchmark::State& state) {
+  coor::ReadyQueue q;
+  for (auto _ : state) {
+    q.push(1);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+}
+BENCHMARK(BM_ReadyQueuePushPop);
+
+// ----------------------------------------------- end-to-end per-task cost --
+
+void BM_RioPerTaskOverhead(benchmark::State& state) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  workloads::IndependentSpec spec;
+  spec.num_tasks = 4096;
+  spec.task_cost = 0;
+  spec.body = workloads::BodyKind::kNone;
+  auto wl = workloads::make_independent(spec);
+  rt::Runtime runtime(
+      rt::Config{.num_workers = workers, .collect_stats = false});
+  const auto mapping = rt::mapping::round_robin(workers);
+  for (auto _ : state) runtime.run(wl.flow, mapping);
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RioPerTaskOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_RioPrunedPerTaskOverhead(benchmark::State& state) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  workloads::IndependentSpec spec;
+  spec.num_tasks = 4096;
+  spec.task_cost = 0;
+  spec.body = workloads::BodyKind::kNone;
+  auto wl = workloads::make_independent(spec);
+  rt::PrunedPlan plan(wl.flow, rt::mapping::round_robin(workers), workers);
+  rt::PrunedRuntime runtime(
+      rt::Config{.num_workers = workers, .collect_stats = false});
+  for (auto _ : state) runtime.run(wl.flow, plan);
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RioPrunedPerTaskOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_CoorPerTaskOverhead(benchmark::State& state) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  workloads::IndependentSpec spec;
+  spec.num_tasks = 4096;
+  spec.task_cost = 0;
+  spec.body = workloads::BodyKind::kNone;
+  auto wl = workloads::make_independent(spec);
+  coor::Runtime runtime(
+      coor::Config{.num_workers = workers, .collect_stats = false});
+  for (auto _ : state) runtime.run(wl.flow);
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_CoorPerTaskOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+// ------------------------------------------------------- analysis builds ---
+
+void BM_DependencyGraphBuild(benchmark::State& state) {
+  workloads::RandomDepsSpec spec;
+  spec.num_tasks = static_cast<std::uint64_t>(state.range(0));
+  spec.body = workloads::BodyKind::kNone;
+  auto wl = workloads::make_random_deps(spec);
+  for (auto _ : state) {
+    stf::DependencyGraph g(wl.flow);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DependencyGraphBuild)->Arg(1024)->Arg(16384);
+
+void BM_PrunedPlanBuild(benchmark::State& state) {
+  workloads::RandomDepsSpec spec;
+  spec.num_tasks = static_cast<std::uint64_t>(state.range(0));
+  spec.body = workloads::BodyKind::kNone;
+  auto wl = workloads::make_random_deps(spec);
+  const auto mapping = rt::mapping::round_robin(8);
+  for (auto _ : state) {
+    rt::PrunedPlan plan(wl.flow, mapping, 8);
+    benchmark::DoNotOptimize(plan.total_tasks());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PrunedPlanBuild)->Arg(1024)->Arg(16384);
+
+// --------------------------------------------------- counter calibration ---
+
+void BM_CounterKernel(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) workloads::counter_kernel(n);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CounterKernel)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Verifying an application's mapping with the model checker.
+//
+// Before committing to a static mapping (the extra information RIO's
+// enriched STF model requires), a developer can exhaustively check small
+// instances of their task graph: data-race freedom, deadlock freedom,
+// termination, and that the in-order execution refines the STF semantics.
+// This example does so for a small Cholesky factorization under three
+// candidate mappings and prints the checker's verdicts and state counts.
+#include <iostream>
+#include <vector>
+
+#include "modelcheck/spec.hpp"
+#include "workloads/cholesky.hpp"
+
+using namespace rio;
+
+int main() {
+  workloads::CholeskyDagSpec spec;
+  spec.tiles = 4;
+  spec.body = workloads::BodyKind::kNone;
+  spec.num_workers = 2;
+  auto wl = workloads::make_cholesky_dag(spec);
+  std::cout << "Cholesky " << spec.tiles << "x" << spec.tiles << " tiles: "
+            << wl.flow.num_tasks() << " tasks\n\n";
+
+  // The space of STF-legal executions (the envelope any runtime must stay
+  // inside) — checked once.
+  const auto stf_result = mc::check_stf(wl.flow, 2);
+  std::cout << "STF envelope:   " << stf_result.distinct_states
+            << " distinct states, "
+            << (stf_result.ok() ? "all properties hold" : stf_result.violation)
+            << "\n\n";
+
+  struct Candidate {
+    const char* name;
+    rt::Mapping mapping;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"round-robin", rt::mapping::round_robin(2)});
+  candidates.push_back({"block", rt::mapping::block(wl.flow.num_tasks(), 2)});
+  candidates.push_back({"owner-computes", wl.mapping(2)});
+
+  for (const auto& c : candidates) {
+    const auto r = mc::check_run_in_order(wl.flow, 2, c.mapping);
+    std::cout << "mapping '" << c.name << "':\n"
+              << "  distinct states: " << r.distinct_states
+              << " (generated " << r.generated_states << ")\n"
+              << "  race-free: " << (r.race_free ? "yes" : "NO")
+              << ", deadlock-free: " << (r.deadlock_free ? "yes" : "NO")
+              << ", terminates: " << (r.termination_reached ? "yes" : "NO")
+              << ", refines STF: " << (r.refines_stf ? "yes" : "NO") << "\n";
+    if (!r.ok()) {
+      std::cerr << "  VIOLATION: " << r.violation << "\n";
+      return 1;
+    }
+  }
+  std::cout << "\nall candidate mappings are safe for in-order execution — "
+               "pick by performance (see bench/abl_ablations)\n";
+  return 0;
+}

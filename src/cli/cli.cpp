@@ -1,0 +1,400 @@
+#include "cli/cli.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "coor/coor.hpp"
+#include "metrics/efficiency.hpp"
+#include "rio/rio.hpp"
+#include "sim/sim.hpp"
+#include "support/clock.hpp"
+#include "support/format.hpp"
+#include "stf/stf.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rio::cli {
+namespace {
+
+bool to_u64(const std::string& s, std::uint64_t& out) {
+  const char* b = s.data();
+  const char* e = b + s.size();
+  const auto r = std::from_chars(b, e, out);
+  return r.ec == std::errc{} && r.ptr == e;
+}
+
+bool to_u32(const std::string& s, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (!to_u64(s, v) || v > 0xFFFFFFFFull) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+workloads::BodyKind body_for_engine(const std::string& engine) {
+  return engine.rfind("sim-", 0) == 0 || engine == "seq"
+             ? (engine == "seq" ? workloads::BodyKind::kCounter
+                                : workloads::BodyKind::kNone)
+             : workloads::BodyKind::kCounter;
+}
+
+/// Builds the selected workload; returns false + error on unknown names.
+bool build_workload(const Options& o, workloads::Workload& out,
+                    std::string& error) {
+  const workloads::BodyKind body = body_for_engine(o.engine);
+  if (o.workload == "independent") {
+    workloads::IndependentSpec s;
+    s.num_tasks = o.tasks;
+    s.task_cost = o.task_size;
+    s.body = body;
+    s.num_workers = o.workers;
+    out = workloads::make_independent(s);
+  } else if (o.workload == "random") {
+    workloads::RandomDepsSpec s;
+    s.num_tasks = o.tasks;
+    s.task_cost = o.task_size;
+    s.body = body;
+    s.seed = o.seed;
+    s.num_workers = o.workers;
+    out = workloads::make_random_deps(s);
+  } else if (o.workload == "gemm") {
+    workloads::GemmDagSpec s;
+    s.tiles = o.tiles;
+    s.task_cost = o.task_size;
+    s.body = body;
+    s.num_workers = o.workers;
+    out = workloads::make_gemm_dag(s);
+  } else if (o.workload == "lu") {
+    workloads::LuDagSpec s;
+    s.row_tiles = o.tiles;
+    s.col_tiles = o.tiles;
+    s.task_cost = o.task_size;
+    s.body = body;
+    s.num_workers = o.workers;
+    out = workloads::make_lu_dag(s);
+  } else if (o.workload == "cholesky") {
+    workloads::CholeskyDagSpec s;
+    s.tiles = o.tiles;
+    s.task_cost = o.task_size;
+    s.body = body;
+    s.num_workers = o.workers;
+    out = workloads::make_cholesky_dag(s);
+  } else if (o.workload == "stencil") {
+    workloads::StencilSpec s;
+    s.chunks = o.width;
+    s.steps = o.steps;
+    s.task_cost = o.task_size;
+    s.body = body;
+    s.num_workers = o.workers;
+    out = workloads::make_stencil_dag(s);
+  } else if (o.workload.rfind("taskbench:", 0) == 0) {
+    const std::string name = o.workload.substr(10);
+    workloads::TaskBenchSpec s;
+    bool found = false;
+    for (auto p : workloads::kAllTaskBenchPatterns)
+      if (name == workloads::to_string(p)) {
+        s.pattern = p;
+        found = true;
+      }
+    if (!found) {
+      error = "unknown taskbench pattern '" + name + "'";
+      return false;
+    }
+    s.width = o.width;
+    s.steps = o.steps;
+    s.task_cost = o.task_size;
+    s.body = body;
+    s.num_workers = o.workers;
+    out = workloads::make_taskbench(s);
+  } else {
+    error = "unknown workload '" + o.workload + "'";
+    return false;
+  }
+  return true;
+}
+
+bool pick_mapping(const Options& o, const workloads::Workload& wl,
+                  rt::Mapping& out, std::string& error) {
+  if (o.mapping == "rr") {
+    out = rt::mapping::round_robin(o.workers);
+  } else if (o.mapping == "block") {
+    out = rt::mapping::block(wl.flow.num_tasks(), o.workers);
+  } else if (o.mapping == "owner") {
+    out = wl.mapping(o.workers);
+  } else {
+    error = "unknown mapping '" + o.mapping + "' (rr|block|owner)";
+    return false;
+  }
+  return true;
+}
+
+bool pick_policy(const Options& o, support::WaitPolicy& out,
+                 std::string& error) {
+  if (o.policy == "spin") out = support::WaitPolicy::kSpin;
+  else if (o.policy == "yield") out = support::WaitPolicy::kSpinYield;
+  else if (o.policy == "block") out = support::WaitPolicy::kBlock;
+  else {
+    error = "unknown policy '" + o.policy + "' (spin|yield|block)";
+    return false;
+  }
+  return true;
+}
+
+bool pick_scheduler(const Options& o, coor::SchedulerKind& out,
+                    std::string& error) {
+  if (o.scheduler == "fifo") out = coor::SchedulerKind::kFifo;
+  else if (o.scheduler == "lifo") out = coor::SchedulerKind::kLifo;
+  else if (o.scheduler == "locality") out = coor::SchedulerKind::kLocality;
+  else if (o.scheduler == "priority") out = coor::SchedulerKind::kPriority;
+  else {
+    error = "unknown scheduler '" + o.scheduler + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string usage() {
+  return R"(rioflow — run STF workloads on the RIO execution models
+
+usage: rioflow [options]
+  --workload W    independent | random | gemm | lu | cholesky | stencil |
+                  taskbench:<trivial|no_comm|stencil_1d|stencil_1d_periodic|
+                             fft|tree|all_to_all|spread>        [independent]
+  --engine E      seq | rio | rio-pruned | coor | sim-rio | sim-coor  [rio]
+  --workers N     worker threads / virtual cores                [2]
+  --tasks N       synthetic workloads: task count               [4096]
+  --tiles N       tiled workloads: grid dimension               [8]
+  --width N       taskbench/stencil width                       [24]
+  --steps N       taskbench/stencil steps                       [32]
+  --task-size N   counter iterations / virtual instructions     [1000]
+  --mapping M     rr | block | owner                            [owner]
+  --policy P      spin | yield | block (RIO wait policy)        [yield]
+  --scheduler S   fifo | lifo | locality | priority (coor)      [fifo]
+  --repeat N      repetitions (best time reported)              [1]
+  --seed N        workload seed                                 [42]
+  --summary       print flow structure summary
+  --decompose     print e_p/e_r efficiency decomposition
+  --dot FILE      write the dependency DAG as Graphviz DOT
+  --trace FILE    write a Chrome trace (real engines only)
+  --csv           machine-readable outputs
+  --help
+)";
+}
+
+bool parse(int argc, const char* const* argv, Options& o,
+           std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        error = std::string(name) + " needs a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      o.help = true;
+      return true;
+    } else if (arg == "--summary") {
+      o.summary = true;
+    } else if (arg == "--decompose") {
+      o.decompose = true;
+    } else if (arg == "--csv") {
+      o.csv = true;
+    } else if (arg == "--workload") {
+      const char* v = need_value("--workload");
+      if (!v) return false;
+      o.workload = v;
+    } else if (arg == "--engine") {
+      const char* v = need_value("--engine");
+      if (!v) return false;
+      o.engine = v;
+    } else if (arg == "--mapping") {
+      const char* v = need_value("--mapping");
+      if (!v) return false;
+      o.mapping = v;
+    } else if (arg == "--policy") {
+      const char* v = need_value("--policy");
+      if (!v) return false;
+      o.policy = v;
+    } else if (arg == "--scheduler") {
+      const char* v = need_value("--scheduler");
+      if (!v) return false;
+      o.scheduler = v;
+    } else if (arg == "--dot") {
+      const char* v = need_value("--dot");
+      if (!v) return false;
+      o.dot_path = v;
+    } else if (arg == "--trace") {
+      const char* v = need_value("--trace");
+      if (!v) return false;
+      o.trace_path = v;
+    } else if (arg == "--workers" || arg == "--tasks" || arg == "--tiles" ||
+               arg == "--width" || arg == "--steps" || arg == "--task-size" ||
+               arg == "--repeat" || arg == "--seed") {
+      const char* v = need_value(arg.c_str());
+      if (!v) return false;
+      const std::string value = v;
+      bool ok = true;
+      if (arg == "--workers") ok = to_u32(value, o.workers);
+      else if (arg == "--tasks") ok = to_u64(value, o.tasks);
+      else if (arg == "--tiles") ok = to_u32(value, o.tiles);
+      else if (arg == "--width") ok = to_u32(value, o.width);
+      else if (arg == "--steps") ok = to_u32(value, o.steps);
+      else if (arg == "--task-size") ok = to_u64(value, o.task_size);
+      else if (arg == "--seed") ok = to_u64(value, o.seed);
+      else {
+        std::uint32_t r = 0;
+        ok = to_u32(value, r);
+        o.repeat = static_cast<int>(r);
+      }
+      if (!ok) {
+        error = "bad numeric value for " + arg + ": '" + value + "'";
+        return false;
+      }
+    } else {
+      error = "unknown option '" + arg + "'";
+      return false;
+    }
+  }
+  if (o.workers == 0) {
+    error = "--workers must be >= 1";
+    return false;
+  }
+  if (o.repeat < 1) {
+    error = "--repeat must be >= 1";
+    return false;
+  }
+  return true;
+}
+
+int run(const Options& o, std::ostream& out, std::ostream& err) {
+  if (o.help) {
+    out << usage();
+    return 0;
+  }
+  std::string error;
+  workloads::Workload wl;
+  if (!build_workload(o, wl, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+
+  stf::DependencyGraph graph(wl.flow);
+  if (o.summary) {
+    out << "-- flow: " << wl.name << " --\n";
+    stf::print_summary(stf::summarize_flow(wl.flow, graph), out);
+  }
+  if (!o.dot_path.empty()) {
+    std::ofstream f(o.dot_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.dot_path << "\n";
+      return 2;
+    }
+    stf::export_dot(wl.flow, graph, f, wl.owners);
+    out << "wrote " << o.dot_path << "\n";
+  }
+
+  rt::Mapping mapping;
+  support::WaitPolicy policy{};
+  coor::SchedulerKind scheduler{};
+  if (!pick_mapping(o, wl, mapping, error) ||
+      !pick_policy(o, policy, error) ||
+      !pick_scheduler(o, scheduler, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+
+  const bool want_trace = !o.trace_path.empty();
+  double best_s = 1e300;
+  support::RunStats stats;
+  std::uint64_t sim_makespan = 0;
+  stf::Trace trace;
+
+  for (int rep = 0; rep < o.repeat; ++rep) {
+    support::Stopwatch sw;
+    if (o.engine == "seq") {
+      stats = stf::SequentialExecutor{}.run(wl.flow);
+    } else if (o.engine == "rio") {
+      rt::Runtime engine(rt::Config{.num_workers = o.workers,
+                                    .wait_policy = policy,
+                                    .collect_trace = want_trace});
+      stats = engine.run(wl.flow, mapping);
+      if (want_trace) trace = engine.trace();
+    } else if (o.engine == "rio-pruned") {
+      rt::PrunedPlan plan(wl.flow, mapping, o.workers);
+      rt::PrunedRuntime engine(
+          rt::Config{.num_workers = o.workers, .wait_policy = policy});
+      stats = engine.run(wl.flow, plan);
+    } else if (o.engine == "coor") {
+      if (scheduler == coor::SchedulerKind::kPriority) {
+        const auto levels = graph.bottom_levels(wl.flow);
+        for (stf::TaskId t = 0; t < wl.flow.num_tasks(); ++t)
+          wl.flow.set_priority(t, static_cast<std::int32_t>(levels[t]));
+      }
+      coor::Runtime engine(coor::Config{.num_workers = o.workers,
+                                        .scheduler = scheduler,
+                                        .collect_trace = want_trace});
+      stats = engine.run(wl.flow);
+      if (want_trace) trace = engine.trace();
+    } else if (o.engine == "sim-rio") {
+      sim::DecentralizedParams dp;
+      dp.workers = o.workers;
+      const auto rep_r = sim::simulate_decentralized(wl.flow, mapping, dp);
+      stats = rep_r.stats;
+      sim_makespan = rep_r.makespan;
+    } else if (o.engine == "sim-coor") {
+      sim::CentralizedParams cp;
+      cp.workers = o.workers;
+      const auto rep_r = sim::simulate_centralized(wl.flow, cp);
+      stats = rep_r.stats;
+      sim_makespan = rep_r.makespan;
+    } else {
+      err << "rioflow: unknown engine '" << o.engine << "'\n";
+      return 1;
+    }
+    best_s = std::min(best_s, sw.elapsed_s());
+  }
+
+  // ---- report -------------------------------------------------------------
+  support::Table table({"engine", "workload", "tasks", "workers", "time"});
+  const bool simulated = o.engine.rfind("sim-", 0) == 0;
+  table.row()
+      .str(o.engine)
+      .str(wl.name)
+      .integer(static_cast<long long>(wl.flow.num_tasks()))
+      .integer(o.workers)
+      .str(simulated
+               ? support::format_duration_ns(static_cast<double>(sim_makespan)) +
+                     " (virtual)"
+               : support::format_duration_ns(best_s * 1e9));
+  if (o.csv)
+    table.print_csv(out);
+  else
+    table.print(out);
+
+  if (o.decompose) {
+    const auto e = metrics::decompose_synthetic(stats.cumulative());
+    out << "e_p = " << e.e_p << ", e_r = " << e.e_r
+        << ", e_p*e_r = " << e.e_p * e.e_r << "\n";
+  }
+  if (want_trace) {
+    if (trace.size() == 0) {
+      err << "rioflow: engine '" << o.engine << "' produced no trace\n";
+      return 2;
+    }
+    std::ofstream f(o.trace_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.trace_path << "\n";
+      return 2;
+    }
+    stf::export_chrome_trace(trace, wl.flow, f);
+    out << "wrote " << o.trace_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace rio::cli

@@ -1,0 +1,59 @@
+// rioflow — command-line driver over the whole library.
+//
+// Lets a user generate any built-in workload, execute it on any engine
+// (sequential / RIO / pruned RIO / centralized OoO / virtual-time
+// simulators), and emit timing, the Section-2.3 efficiency decomposition,
+// Graphviz DOT of the DAG, and Chrome traces — without writing C++.
+// The parsing/dispatch logic lives in this library so the test suite can
+// drive it; tools/rioflow.cpp is a thin main().
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace rio::cli {
+
+struct Options {
+  // Workload selection.
+  std::string workload = "independent";  ///< independent | random | gemm |
+                                         ///< lu | cholesky | stencil |
+                                         ///< taskbench:<pattern>
+  std::uint64_t tasks = 4096;   ///< synthetic workloads: task count
+  std::uint32_t tiles = 8;      ///< tiled workloads: grid dimension
+  std::uint32_t width = 24;     ///< taskbench: points per step
+  std::uint32_t steps = 32;     ///< taskbench/stencil: time steps
+  std::uint64_t task_size = 1000;  ///< counter iterations / virtual cost
+  std::uint64_t seed = 42;
+
+  // Engine selection.
+  std::string engine = "rio";  ///< seq | rio | rio-pruned | coor |
+                               ///< sim-rio | sim-coor
+  std::uint32_t workers = 2;
+  std::string mapping = "owner";    ///< rr | block | owner
+  std::string policy = "yield";     ///< spin | yield | block
+  std::string scheduler = "fifo";   ///< fifo | lifo | locality | priority
+  int repeat = 1;
+
+  // Outputs.
+  bool summary = false;       ///< print flow structure summary
+  bool decompose = false;     ///< print e_p / e_r decomposition
+  std::string dot_path;       ///< write DAG as Graphviz DOT
+  std::string trace_path;     ///< write Chrome trace JSON (real engines)
+  bool csv = false;
+
+  bool help = false;
+};
+
+/// Parses argv. On failure returns false and fills `error`.
+bool parse(int argc, const char* const* argv, Options& out,
+           std::string& error);
+
+/// Usage text.
+std::string usage();
+
+/// Executes per the options; prints results to `out`. Returns process exit
+/// code (0 ok, 1 bad configuration, 2 execution problem).
+int run(const Options& options, std::ostream& out, std::ostream& err);
+
+}  // namespace rio::cli

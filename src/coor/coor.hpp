@@ -1,0 +1,5 @@
+// Umbrella header for the centralized OoO baseline runtime.
+#pragma once
+
+#include "coor/ready_queue.hpp"  // IWYU pragma: export
+#include "coor/runtime.hpp"      // IWYU pragma: export

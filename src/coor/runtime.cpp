@@ -1,0 +1,309 @@
+#include "coor/runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/clock.hpp"
+#include "support/topology.hpp"
+#include "support/align.hpp"
+#include "stf/access_guard.hpp"
+#include "stf/dep_scanner.hpp"
+
+namespace rio::coor {
+namespace {
+
+/// Per-task dependency bookkeeping. One node per task for the whole range —
+/// the linear-space structure the paper contrasts with RIO's O(data)
+/// footprint. Indexed by the task's position WITHIN the range.
+struct TaskNode {
+  // Unresolved predecessor count, +1 discovery guard held by the master
+  // while it registers edges. The task becomes ready when this hits zero.
+  std::atomic<std::int32_t> remaining{1};
+  std::mutex mu;
+  std::vector<std::size_t> successors;  // local indices
+  bool finished = false;
+};
+
+/// Burns approximately `ns` nanoseconds — the artificial master-overhead
+/// knob used to calibrate COOR's dispatch cost against heavier runtimes.
+void burn_ns(std::uint64_t ns) {
+  if (ns == 0) return;
+  const std::uint64_t until = support::monotonic_ns() + ns;
+  while (support::monotonic_ns() < until) support::cpu_pause();
+}
+
+struct Engine {
+  const stf::FlowRange& range;
+  const Config& cfg;
+  std::vector<TaskNode> nodes;
+  std::deque<ReadyQueue> queues;  // 1 (central) or num_workers (locality)
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> seq{0};
+  stf::AccessGuard guard;
+  // First failure wins; after cancellation remaining bodies are skipped
+  // while completion bookkeeping continues, so the run drains cleanly.
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  void record_failure() {
+    std::lock_guard lock(error_mu);
+    if (!first_error) first_error = std::current_exception();
+    cancelled.store(true, std::memory_order_release);
+  }
+  // Per-data exclusivity locks for commuting reductions: the dependency
+  // scanner puts NO edges between members of a reduction run, so the OoO
+  // workers may pick them in any order — but one at a time per object.
+  std::vector<support::AlignedAtomic<std::uint32_t>> reduction_locks;
+
+  Engine(const stf::FlowRange& r, const Config& c)
+      : range(r), cfg(c), nodes(r.size()), reduction_locks(r.num_data()) {
+    const std::size_t nq =
+        c.scheduler == SchedulerKind::kLocality ? c.num_workers : 1;
+    const bool prioritized = c.scheduler == SchedulerKind::kPriority;
+    for (std::size_t q = 0; q < nq; ++q) queues.emplace_back(prioritized);
+    if (cfg.enable_guard) guard.enable(r.num_data());
+  }
+
+  /// Acquires the reduction locks of `task` in ascending data order (no
+  /// deadlock) and returns the locked ids; no-op for reduction-free tasks.
+  void lock_reductions(const stf::Task& task,
+                       std::vector<stf::DataId>& locked) {
+    locked.clear();
+    for (const stf::Access& a : task.accesses)
+      if (is_reduction(a.mode)) locked.push_back(a.data);
+    std::sort(locked.begin(), locked.end());
+    for (stf::DataId d : locked) {
+      auto& word = reduction_locks[d].value;
+      std::uint32_t expected = 0;
+      while (!word.compare_exchange_weak(expected, 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        expected = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void unlock_reductions(const std::vector<stf::DataId>& locked) {
+    for (auto it = locked.rbegin(); it != locked.rend(); ++it)
+      reduction_locks[*it].value.store(0, std::memory_order_release);
+  }
+
+  /// Deterministic home queue of a task in locality mode: follow the first
+  /// data object the task touches, so tasks sharing data land on the same
+  /// worker; round-robin for data-less tasks.
+  [[nodiscard]] std::size_t home_queue(std::size_t li) const {
+    if (queues.size() == 1) return 0;
+    const stf::Task& task = range[li];
+    if (task.accesses.empty()) return li % queues.size();
+    return task.accesses[0].data % queues.size();
+  }
+
+  void dispatch(std::size_t li) {
+    queues[home_queue(li)].push(li, cfg.scheduler == SchedulerKind::kLifo,
+                                range[li].priority);
+  }
+
+  /// Worker-side completion: mark finished, release registered successors.
+  void complete(std::size_t li) {
+    std::vector<std::size_t> succs;
+    {
+      std::lock_guard lock(nodes[li].mu);
+      nodes[li].finished = true;
+      succs.swap(nodes[li].successors);
+    }
+    for (std::size_t s : succs) {
+      if (nodes[s].remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        dispatch(s);
+    }
+    if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        range.size()) {
+      done.store(true, std::memory_order_release);
+      for (auto& q : queues) q.close();
+    }
+  }
+
+  /// Pops the next task for worker w, stealing if configured. Returns
+  /// nullopt when the range is fully executed.
+  std::optional<stf::TaskId> next_task(std::uint32_t w) {
+    if (queues.size() == 1) return queues[0].pop();
+    // Locality mode: own queue first, then (optionally) steal, then block
+    // briefly on the own queue again.
+    for (;;) {
+      if (auto t = queues[w].try_pop()) return t;
+      if (cfg.work_stealing) {
+        for (std::size_t off = 1; off < queues.size(); ++off) {
+          if (auto t = queues[(w + off) % queues.size()].try_steal()) return t;
+        }
+      }
+      if (done.load(std::memory_order_acquire)) {
+        // Drain one last time: a final dispatch may have raced `done`.
+        if (auto t = queues[w].try_pop()) return t;
+        if (cfg.work_stealing) {
+          for (std::size_t off = 1; off < queues.size(); ++off) {
+            if (auto t = queues[(w + off) % queues.size()].try_steal())
+              return t;
+          }
+        }
+        return std::nullopt;
+      }
+      std::this_thread::yield();
+    }
+  }
+};
+
+}  // namespace
+
+Runtime::Runtime(Config cfg) : cfg_(cfg) {
+  RIO_ASSERT_MSG(cfg_.num_workers > 0, "need at least one worker");
+}
+
+support::RunStats Runtime::run(const stf::TaskFlow& flow) {
+  return run(stf::FlowRange(flow));
+}
+
+support::RunStats Runtime::run(const stf::FlowRange& range) {
+  Engine eng(range, cfg_);
+  const std::uint32_t p = cfg_.num_workers;
+  const std::size_t n = range.size();
+
+  support::RunStats stats;
+  stats.workers.resize(p + 1);  // + master
+  std::vector<std::vector<stf::TraceEvent>> traces(p);
+  std::vector<std::uint64_t> worker_wall(p, 0);
+
+  std::barrier start(static_cast<std::ptrdiff_t>(p) + 1);
+
+  // Worker role (pool/thread indices 0..p-1).
+  const std::uint32_t cpus = support::detect_topology().logical_cpus;
+  const auto worker_body = [&](std::uint32_t w) {
+      if (cfg_.pin_workers) support::pin_current_thread(w % cpus);
+      support::WorkerStats& st = stats.workers[w];
+      std::vector<stf::DataId> locked_reductions;
+      start.arrive_and_wait();
+      const std::uint64_t begin = support::monotonic_ns();
+      for (;;) {
+        std::uint64_t idle0 = 0;
+        if (cfg_.collect_stats) idle0 = support::monotonic_ns();
+        auto li = eng.next_task(w);
+        if (cfg_.collect_stats) {
+          st.buckets.idle_ns += support::monotonic_ns() - idle0;
+          ++st.waits;
+        }
+        if (!li) break;
+
+        const stf::Task& task = range[*li];
+        eng.lock_reductions(task, locked_reductions);
+        if (cfg_.enable_guard)
+          for (const stf::Access& a : task.accesses) eng.guard.acquire(a);
+        std::uint64_t t0 = 0, t1 = 0;
+        if (cfg_.collect_stats || cfg_.collect_trace)
+          t0 = support::monotonic_ns();
+        if (task.fn && !eng.cancelled.load(std::memory_order_acquire)) {
+          stf::TaskContext ctx(task, range.registry(), w);
+          try {
+            task.fn(ctx);
+          } catch (...) {
+            eng.record_failure();
+          }
+        }
+        if (cfg_.collect_stats || cfg_.collect_trace) {
+          t1 = support::monotonic_ns();
+          if (cfg_.collect_stats) st.buckets.task_ns += t1 - t0;
+        }
+        if (cfg_.enable_guard)
+          for (const stf::Access& a : task.accesses) eng.guard.release(a);
+        eng.unlock_reductions(locked_reductions);
+        if (cfg_.collect_trace)
+          traces[w].push_back(
+              {task.id, w, t0, t1,
+               eng.seq.fetch_add(1, std::memory_order_relaxed)});
+        eng.complete(*li);
+        if (cfg_.collect_stats) ++st.tasks_executed;
+      }
+      worker_wall[w] = support::monotonic_ns() - begin;
+  };
+
+  // ---- master role (pool/thread index p): unroll + dispatch --------------
+  std::uint64_t master_begin = 0, master_unroll_end = 0;
+  const auto master_body = [&] {
+    if (cfg_.pin_workers) support::pin_current_thread(p % cpus);
+    start.arrive_and_wait();
+    master_begin = support::monotonic_ns();
+    {
+    // Incremental dependency discovery through the shared scanner — the
+    // same rules as DependencyGraph, paid one task at a time (cost model
+    // (1)'s serialized management work). Ids are range-local indices.
+    stf::DependencyScanner scanner(range.num_data());
+    std::vector<stf::TaskId> preds;
+
+    for (std::size_t li = 0; li < n; ++li) {
+      const stf::Task& task = range[li];
+      scanner.next(task, li, preds);
+
+      for (std::size_t prev : preds) {
+        std::lock_guard lock(eng.nodes[prev].mu);
+        if (!eng.nodes[prev].finished) {
+          eng.nodes[prev].successors.push_back(li);
+          eng.nodes[li].remaining.fetch_add(1, std::memory_order_acq_rel);
+        }
+      }
+      burn_ns(cfg_.master_overhead_ns);
+      // Drop the discovery guard; dispatch if all predecessors done.
+      if (eng.nodes[li].remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+          1)
+        eng.dispatch(li);
+    }
+    }
+    if (n == 0) {
+      // Nothing will ever complete: release the workers directly.
+      eng.done.store(true, std::memory_order_release);
+      for (auto& q : eng.queues) q.close();
+    }
+    master_unroll_end = support::monotonic_ns();
+  };
+
+  const std::uint64_t run_begin = support::monotonic_ns();
+  support::run_parallel(pool_, p + 1, [&](std::uint32_t w) {
+    if (w < p)
+      worker_body(w);
+    else
+      master_body();
+  });
+  const std::uint64_t run_end = support::monotonic_ns();
+  stats.wall_ns = run_end - run_begin;
+
+  if (cfg_.collect_stats) {
+    for (std::uint32_t w = 0; w < p; ++w) {
+      auto& b = stats.workers[w].buckets;
+      const std::uint64_t busy = b.task_ns + b.idle_ns;
+      b.runtime_ns = worker_wall[w] > busy ? worker_wall[w] - busy : 0;
+    }
+    // The master executes no tasks: its unrolling time is pure runtime
+    // management, the tail spent waiting for workers is idle.
+    auto& mb = stats.workers[p].buckets;
+    mb.runtime_ns = master_unroll_end - master_begin;
+    mb.idle_ns = run_end > master_unroll_end ? run_end - master_unroll_end : 0;
+  }
+
+  trace_.clear();
+  if (cfg_.collect_trace) {
+    trace_.reserve(n);
+    for (auto& tr : traces)
+      for (const auto& ev : tr) trace_.record(ev);
+  }
+  RIO_ASSERT(eng.completed.load() == n);
+  if (eng.first_error) std::rethrow_exception(eng.first_error);
+  return stats;
+}
+
+}  // namespace rio::coor

@@ -1,0 +1,74 @@
+// COOR — a centralized out-of-order STF runtime (the baseline model).
+//
+// This is the execution model of Figure 1, the one StarPU and its peers use
+// within a shared-memory node: a MASTER thread unrolls the task flow,
+// derives dependencies from access modes, and dispatches tasks whose
+// dependencies are resolved to a pool of WORKER threads. Ready tasks can be
+// executed in any order (out-of-order), which buys scheduling freedom at
+// the price of:
+//
+//   * per-task bookkeeping allocated for the whole flow (space linear in
+//     the number of tasks — Section 3.1);
+//   * a serialization point at the master/queue (cost model (1), the
+//     bottleneck that collapses pipelining efficiency for fine tasks);
+//   * one thread that executes no tasks, capping runtime efficiency at
+//     (p-1)/p (Section 5.2).
+//
+// The implementation is intentionally lean — it under-estimates StarPU's
+// per-task cost, so wherever COOR shows a centralized bottleneck, StarPU's
+// would be at least as severe. An optional artificial per-task master
+// overhead knob lets benches calibrate it against published StarPU costs.
+#pragma once
+
+#include <cstdint>
+
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+#include "support/wait.hpp"
+#include "coor/ready_queue.hpp"
+#include "stf/flow_range.hpp"
+#include "stf/task_flow.hpp"
+#include "stf/trace.hpp"
+
+namespace rio::coor {
+
+struct Config {
+  std::uint32_t num_workers = 2;  ///< task-executing threads (master extra)
+  SchedulerKind scheduler = SchedulerKind::kFifo;
+  bool work_stealing = false;     ///< locality mode: steal from siblings
+  std::uint64_t master_overhead_ns = 0;  ///< artificial per-task master cost
+                                         ///< (0 = just our real cost)
+  bool collect_stats = true;
+  bool collect_trace = false;
+  bool enable_guard = false;
+  bool pin_workers = false;  ///< pin workers (and master) to logical CPUs
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Config cfg);
+
+  /// Runs `flow` to completion. The calling thread becomes the master;
+  /// stats.workers holds num_workers entries followed by one entry for the
+  /// master (whose time is management/idle only, never task time).
+  support::RunStats run(const stf::TaskFlow& flow);
+
+  /// Range variant for hybrid phase execution: all tasks preceding the
+  /// range must already be complete (dependencies are derived within the
+  /// range only).
+  support::RunStats run(const stf::FlowRange& range);
+
+  [[nodiscard]] const stf::Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Uses `pool` (>= num_workers + 1 threads: workers + master) for
+  /// subsequent runs instead of spawning threads per run.
+  void attach_pool(support::ThreadPool* pool) noexcept { pool_ = pool; }
+
+ private:
+  Config cfg_;
+  stf::Trace trace_;
+  support::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace rio::coor

@@ -1,0 +1,4 @@
+// Umbrella header for the hybrid (dynamic + static phases) runtime.
+#pragma once
+
+#include "hybrid/runtime.hpp"  // IWYU pragma: export

@@ -1,0 +1,128 @@
+#include "hybrid/runtime.hpp"
+
+#include <memory>
+
+#include "support/assert.hpp"
+#include "stf/flow_range.hpp"
+
+namespace rio::hybrid {
+
+std::vector<Phase> partition(const stf::TaskFlow& flow,
+                             const PartialMapping& pm,
+                             std::uint32_t num_workers) {
+  RIO_ASSERT(pm && num_workers > 0);
+  const std::size_t n = flow.num_tasks();
+
+  // One shared owner table: static phases index into it by global id.
+  auto owners = std::make_shared<std::vector<stf::WorkerId>>(
+      n, stf::kInvalidWorker);
+  rt::Mapping table("hybrid/partial-owners", [owners](stf::TaskId t) {
+    RIO_DEBUG_ASSERT(t < owners->size() &&
+                     (*owners)[t] != stf::kInvalidWorker);
+    return (*owners)[t];
+  });
+
+  std::vector<Phase> phases;
+  std::size_t i = 0;
+  while (i < n) {
+    const auto owner = pm(i);
+    if (owner.has_value()) {
+      RIO_ASSERT_MSG(*owner < num_workers, "partial mapping out of range");
+      (*owners)[i] = *owner;
+    }
+    const bool is_static = owner.has_value();
+    std::size_t j = i + 1;
+    while (j < n) {
+      const auto next = pm(j);
+      if (next.has_value() != is_static) break;
+      if (next.has_value()) {
+        RIO_ASSERT_MSG(*next < num_workers, "partial mapping out of range");
+        (*owners)[j] = *next;
+      }
+      ++j;
+    }
+    Phase ph;
+    ph.kind = is_static ? Phase::Kind::kStatic : Phase::Kind::kDynamic;
+    ph.first = i;
+    ph.count = j - i;
+    if (is_static) ph.mapping = table;
+    phases.push_back(std::move(ph));
+    i = j;
+  }
+  return phases;
+}
+
+Runtime::Runtime(Config cfg) : cfg_(cfg) {
+  RIO_ASSERT_MSG(cfg_.num_workers > 0, "need at least one worker");
+}
+
+support::RunStats Runtime::run(const stf::TaskFlow& flow,
+                               const std::vector<Phase>& phases) {
+  // Validate the tiling before touching anything.
+  std::size_t expect = 0;
+  for (const Phase& ph : phases) {
+    RIO_ASSERT_MSG(ph.first == expect, "phases must tile the flow in order");
+    expect += ph.count;
+    if (ph.kind == Phase::Kind::kStatic)
+      RIO_ASSERT_MSG(ph.mapping.valid(), "static phase without a mapping");
+  }
+  RIO_ASSERT_MSG(expect == flow.num_tasks(), "phases must cover the flow");
+
+  const std::uint32_t p = cfg_.num_workers;
+  support::RunStats total;
+  // Worker slots 0..p-1 aggregate across phases; slot p is the dynamic
+  // phases' master (idle during static phases by construction).
+  total.workers.resize(p + 1);
+
+  rt::Runtime rio_engine(rt::Config{.num_workers = p,
+                                    .wait_policy = cfg_.wait_policy,
+                                    .collect_stats = cfg_.collect_stats,
+                                    .collect_trace = false,
+                                    .enable_guard = cfg_.enable_guard});
+  coor::Runtime coor_engine(
+      coor::Config{.num_workers = p,
+                   .scheduler = cfg_.dynamic_scheduler,
+                   .work_stealing = cfg_.dynamic_work_stealing,
+                   .collect_stats = cfg_.collect_stats,
+                   .collect_trace = false,
+                   .enable_guard = cfg_.enable_guard});
+  if (cfg_.use_pool) {
+    // One persistent pool for every phase: p workers + 1 master-capable
+    // thread (idle during static phases). Amortizes thread startup across
+    // the potentially many fine-grained phases.
+    if (!pool_) pool_ = std::make_unique<support::ThreadPool>(p + 1);
+    rio_engine.attach_pool(pool_.get());
+    coor_engine.attach_pool(pool_.get());
+  }
+
+  for (const Phase& ph : phases) {
+    if (ph.count == 0) continue;
+    const stf::FlowRange range(flow, ph.first, ph.count);
+    support::RunStats phase_stats;
+    if (ph.kind == Phase::Kind::kStatic) {
+      // Phase barrier semantics: everything before `first` completed, so
+      // the in-order protocol may start from fresh per-phase state.
+      phase_stats = rio_engine.run(range, ph.mapping);
+    } else {
+      phase_stats = coor_engine.run(range);
+    }
+    total.wall_ns += phase_stats.wall_ns;
+    for (std::size_t w = 0; w < phase_stats.workers.size(); ++w) {
+      auto& dst = total.workers[w < p ? w : p];
+      const auto& src = phase_stats.workers[w];
+      dst.buckets += src.buckets;
+      dst.tasks_executed += src.tasks_executed;
+      dst.tasks_skipped += src.tasks_skipped;
+      dst.waits += src.waits;
+    }
+  }
+  last_phases_ = phases.size();
+  return total;
+}
+
+support::RunStats Runtime::run(const stf::TaskFlow& flow,
+                               const PartialMapping& pm) {
+  return run(flow, partition(flow, pm, cfg_.num_workers));
+}
+
+}  // namespace rio::hybrid

@@ -1,0 +1,98 @@
+// Hybrid execution — the combination the paper's conclusion calls for.
+//
+// "…we hope that the present study might motivate future work combining
+//  both execution models (and thus requiring only partial mappings) for
+//  enabling efficient and portable implementations of wider classes of
+//  algorithms within the STF programming model."     (RR-9450, Section 6)
+//
+// This module implements that combination in its bulk-synchronous form:
+// the task flow is partitioned into contiguous PHASES, each executed by
+// the engine that suits its granularity —
+//
+//   * DYNAMIC phases run on the centralized out-of-order engine
+//     (src/coor): coarse tasks, no mapping needed, full scheduling
+//     freedom;
+//   * STATIC phases run on the decentralized in-order engine (src/rio):
+//     fine-grained tasks with a programmer-supplied mapping and
+//     near-zero per-task overhead.
+//
+// The programmer supplies only a PARTIAL mapping: tasks with an owner go
+// to static phases, unmapped tasks to dynamic phases; `partition()` cuts
+// the flow at the boundaries. A phase boundary is a barrier, which makes
+// cross-phase dependencies trivially satisfied and lets each engine reason
+// about its slice in isolation (exactly how HPL alternates coarse trailing
+// updates with fine-grained panel pivoting).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+#include "support/wait.hpp"
+#include "coor/runtime.hpp"
+#include "rio/runtime.hpp"
+#include "stf/task_flow.hpp"
+
+namespace rio::hybrid {
+
+/// Partial mapping: nullopt = "let the dynamic scheduler place it",
+/// a WorkerId = "this fine-grained task runs in-order on that worker".
+using PartialMapping =
+    std::function<std::optional<stf::WorkerId>(stf::TaskId)>;
+
+/// One contiguous slice of the flow and the engine that executes it.
+struct Phase {
+  enum class Kind : std::uint8_t { kDynamic, kStatic };
+  Kind kind = Kind::kDynamic;
+  stf::TaskId first = 0;
+  std::size_t count = 0;
+  rt::Mapping mapping;  ///< valid for static phases only
+};
+
+/// Cuts `flow` into maximal runs of mapped / unmapped tasks under `pm`.
+/// The returned phases cover the flow exactly, in order.
+std::vector<Phase> partition(const stf::TaskFlow& flow,
+                             const PartialMapping& pm,
+                             std::uint32_t num_workers);
+
+struct Config {
+  std::uint32_t num_workers = 2;  ///< executing workers in BOTH phase kinds
+                                  ///< (dynamic phases use one extra pooled
+                                  ///< thread as master, as in src/coor)
+  support::WaitPolicy wait_policy = support::WaitPolicy::kSpinYield;
+  coor::SchedulerKind dynamic_scheduler = coor::SchedulerKind::kFifo;
+  bool dynamic_work_stealing = false;
+  bool collect_stats = true;
+  bool enable_guard = false;
+  bool use_pool = true;  ///< persistent num_workers+1 thread pool shared by
+                         ///< all phases (off: spawn threads per phase)
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Config cfg);
+
+  /// Executes pre-partitioned phases. Phases must tile the flow
+  /// contiguously from task 0 to the end.
+  support::RunStats run(const stf::TaskFlow& flow,
+                        const std::vector<Phase>& phases);
+
+  /// Convenience: partition by a partial mapping, then run.
+  support::RunStats run(const stf::TaskFlow& flow, const PartialMapping& pm);
+
+  /// Phase count of the last run (observability for tests/benches).
+  [[nodiscard]] std::size_t last_phase_count() const noexcept {
+    return last_phases_;
+  }
+
+ private:
+  Config cfg_;
+  std::size_t last_phases_ = 0;
+  std::unique_ptr<support::ThreadPool> pool_;  // lazily built when use_pool
+};
+
+}  // namespace rio::hybrid

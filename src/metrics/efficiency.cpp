@@ -1,0 +1,37 @@
+#include "metrics/efficiency.hpp"
+
+namespace rio::metrics {
+namespace {
+
+double ratio_or_one(double num, double den) {
+  return den > 0.0 ? num / den : 1.0;
+}
+
+}  // namespace
+
+Efficiencies decompose(std::uint64_t t_best, std::uint64_t t_seq_g,
+                       const support::TimeBuckets& cum) {
+  Efficiencies e;
+  const auto task = static_cast<double>(cum.task_ns);
+  const auto idle = static_cast<double>(cum.idle_ns);
+  const auto runtime = static_cast<double>(cum.runtime_ns);
+  e.e_g = ratio_or_one(static_cast<double>(t_best),
+                       static_cast<double>(t_seq_g));
+  e.e_l = ratio_or_one(static_cast<double>(t_seq_g), task);
+  e.e_p = ratio_or_one(task, task + idle);
+  e.e_r = ratio_or_one(task + idle, task + idle + runtime);
+  return e;
+}
+
+Efficiencies decompose_synthetic(const support::TimeBuckets& cum) {
+  // e_g = e_l = 1: t_best == t(g) == tau_{p,t} for the counter kernel.
+  return decompose(cum.task_ns, cum.task_ns, cum);
+}
+
+double parallel_efficiency(std::uint64_t t_best, std::uint64_t threads,
+                           std::uint64_t t_p) {
+  const double den = static_cast<double>(threads) * static_cast<double>(t_p);
+  return den > 0.0 ? static_cast<double>(t_best) / den : 1.0;
+}
+
+}  // namespace rio::metrics

@@ -1,0 +1,53 @@
+// Efficiency decomposition — Section 2.3 of the paper.
+//
+// The parallel efficiency e(g) = t / (p * t_p(g)) is decomposed into
+//
+//   e = e_g * e_l * e_p * e_r
+//
+//   e_g = t / t(g)                         granularity efficiency
+//   e_l = t(g) / tau_{p,t}                 locality efficiency
+//   e_p = tau_{p,t} / (tau_{p,t}+tau_{p,i})    pipelining efficiency
+//   e_r = (tau_{p,t}+tau_{p,i}) / tau_p        runtime efficiency
+//
+// where t is the best sequential time, t(g) the sequential time at
+// granularity g, and tau_{p,*} the cumulative task/idle/runtime times of a
+// parallel run (stats.hpp). With the paper's synthetic counter kernel,
+// e_g = e_l = 1 by construction and the decomposition isolates exactly the
+// two runtime-attributable terms (Section 5.1).
+#pragma once
+
+#include <cstdint>
+
+#include "support/stats.hpp"
+
+namespace rio::metrics {
+
+struct Efficiencies {
+  double e_g = 1.0;  ///< granularity
+  double e_l = 1.0;  ///< locality
+  double e_p = 1.0;  ///< pipelining
+  double e_r = 1.0;  ///< runtime
+
+  [[nodiscard]] double product() const noexcept {
+    return e_g * e_l * e_p * e_r;
+  }
+};
+
+/// Full decomposition from measured/simulated quantities.
+///   t_best:   fastest sequential execution (any granularity)
+///   t_seq_g:  sequential execution at the evaluated granularity
+///   cum:      cumulative tau buckets of the parallel run
+/// Degenerate inputs (zero buckets) yield efficiency 1 for the affected
+/// term rather than NaN, so tables stay printable for empty runs.
+Efficiencies decompose(std::uint64_t t_best, std::uint64_t t_seq_g,
+                       const support::TimeBuckets& cum);
+
+/// Convenience: with the counter kernel e_g = e_l = 1 and the sequential
+/// time equals tau_{p,t} (Section 5.1); only e_p and e_r are meaningful.
+Efficiencies decompose_synthetic(const support::TimeBuckets& cum);
+
+/// Direct parallel efficiency e = t_best / (p * t_p).
+double parallel_efficiency(std::uint64_t t_best, std::uint64_t threads,
+                           std::uint64_t t_p);
+
+}  // namespace rio::metrics

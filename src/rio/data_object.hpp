@@ -1,0 +1,132 @@
+// Decentralized data synchronization — Algorithm 2 of the paper.
+//
+// Every shared-memory region managed by the runtime is represented by a
+// *data object* with two halves:
+//
+//   * a SHARED state, written with release semantics by whichever worker
+//     executes an operation on the data:
+//       - last_executed_write:  Task ID of the last write PERFORMED
+//       - nb_reads_since_write: number of reads PERFORMED since that write
+//
+//   * a LOCAL state, private to each worker (plain non-atomic memory),
+//     updated while the worker unrolls the task flow:
+//       - last_registered_write:  Task ID of the last write ENCOUNTERED
+//       - nb_reads_since_write:   reads ENCOUNTERED since that write
+//
+// A reader may proceed once the shared last-executed write catches up with
+// the write it registered locally; a writer additionally waits until the
+// shared read count matches the reads it has seen. The cost for a task NOT
+// mapped on this worker is one or two writes to private memory — the
+// property that makes the decentralized model cheap (Section 3.4).
+//
+// Space: 2 shared words per data object + 2 words per (worker, data) pair,
+// independent of the number of tasks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/align.hpp"
+#include "support/wait.hpp"
+#include "stf/types.hpp"
+
+namespace rio::rt {
+
+/// Sentinel for "no write encountered/performed yet". Shared and local
+/// state both start here, so the very first reader sails through.
+inline constexpr stf::TaskId kNoWrite = stf::kInvalidTask;
+
+/// Shared half of a data object. Each atomic sits on its own cache line:
+/// readers hammer last_executed_write while terminate_read hammers
+/// nb_reads_since_write, and sharing a line would couple them.
+struct SharedDataState {
+  support::AlignedAtomic<stf::TaskId> last_executed_write;
+  support::AlignedAtomic<std::uint64_t> nb_reads_since_write;
+
+  SharedDataState() {
+    last_executed_write.value.store(kNoWrite, std::memory_order_relaxed);
+    nb_reads_since_write.value.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Worker-private half. Plain integers: only ever touched by the owner.
+struct LocalDataState {
+  stf::TaskId last_registered_write = kNoWrite;
+  std::uint64_t nb_reads_since_write = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Algorithm 2 routines. `declare_*` run on workers skipping a task;
+// `get_*` / `terminate_*` run on the executing worker.
+// ---------------------------------------------------------------------------
+
+/// declare_read: a read by some other worker passed by; count it locally.
+inline void declare_read(LocalDataState& local) noexcept {
+  local.nb_reads_since_write += 1;
+}
+
+/// declare_write: a write by some other worker passed by; it becomes the
+/// write all later operations (locally) depend on.
+inline void declare_write(LocalDataState& local, stf::TaskId task_id) noexcept {
+  local.nb_reads_since_write = 0;
+  local.last_registered_write = task_id;
+}
+
+/// get_read: block until every write this worker registered before the
+/// current task has been performed. Returns the number of wait rounds
+/// observed (0 = no stall), which feeds the idle-time statistics.
+inline bool get_read(const SharedDataState& shared, const LocalDataState& local,
+                     support::WaitPolicy policy) noexcept {
+  const bool stalled = shared.last_executed_write.value.load(
+                           std::memory_order_acquire) != local.last_registered_write;
+  if (stalled)
+    support::wait_until_equal(shared.last_executed_write.value,
+                              local.last_registered_write, policy);
+  return stalled;
+}
+
+/// get_write: additionally block until all reads since that write have been
+/// performed (write-after-read ordering).
+inline bool get_write(const SharedDataState& shared,
+                      const LocalDataState& local,
+                      support::WaitPolicy policy) noexcept {
+  bool stalled = false;
+  if (shared.last_executed_write.value.load(std::memory_order_acquire) !=
+      local.last_registered_write) {
+    stalled = true;
+    support::wait_until_equal(shared.last_executed_write.value,
+                              local.last_registered_write, policy);
+  }
+  if (shared.nb_reads_since_write.value.load(std::memory_order_acquire) !=
+      local.nb_reads_since_write) {
+    stalled = true;
+    support::wait_until_equal(shared.nb_reads_since_write.value,
+                              local.nb_reads_since_write, policy);
+  }
+  return stalled;
+}
+
+/// terminate_read: publish that one more read was performed, then register
+/// it locally like any other worker would.
+inline void terminate_read(SharedDataState& shared, LocalDataState& local,
+                           support::WaitPolicy policy) noexcept {
+  shared.nb_reads_since_write.value.fetch_add(1, std::memory_order_acq_rel);
+  if (policy == support::WaitPolicy::kBlock)
+    shared.nb_reads_since_write.value.notify_all();
+  declare_read(local);
+}
+
+/// terminate_write: reset the shared read counter BEFORE publishing the new
+/// write id. A successor passes its first wait only after observing the new
+/// id (acquire), so it can never see the stale pre-reset read count.
+inline void terminate_write(SharedDataState& shared, LocalDataState& local,
+                            stf::TaskId task_id,
+                            support::WaitPolicy policy) noexcept {
+  shared.nb_reads_since_write.value.store(0, std::memory_order_relaxed);
+  support::store_and_notify(shared.last_executed_write.value, task_id, policy);
+  if (policy == support::WaitPolicy::kBlock)
+    shared.nb_reads_since_write.value.notify_all();
+  declare_write(local, task_id);
+}
+
+}  // namespace rio::rt

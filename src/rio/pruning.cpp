@@ -1,0 +1,165 @@
+#include "rio/pruning.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/assert.hpp"
+#include "support/clock.hpp"
+
+namespace rio::rt {
+
+PrunedPlan::PrunedPlan(const stf::TaskFlow& flow, const Mapping& mapping,
+                       std::uint32_t num_workers) {
+  RIO_ASSERT(mapping.valid() && num_workers > 0);
+  per_worker_.resize(num_workers);
+
+  // The same scan state the dependency analyzer uses, but instead of
+  // emitting edges we snapshot the (last_writer, reads_since) pair into the
+  // owner's plan.
+  struct ScanState {
+    stf::TaskId last_writer = kNoWrite;
+    std::uint64_t reads_since_write = 0;
+  };
+  std::vector<ScanState> data(flow.num_data());
+
+  for (const stf::Task& task : flow.tasks()) {
+    const stf::WorkerId owner = mapping(task.id);
+    RIO_ASSERT_MSG(owner < num_workers, "mapping produced out-of-range worker");
+
+    PrunedTask pt;
+    pt.id = task.id;
+    for (const stf::Access& a : task.accesses) {
+      const ScanState& s = data[a.data];
+      PrunedAccess pa;
+      pa.data = a.data;
+      pa.mode = a.mode;
+      pa.expected_writer = s.last_writer;
+      pa.expected_reads = s.reads_since_write;
+      pt.accesses.push_back(pa);
+    }
+    per_worker_[owner].push_back(std::move(pt));
+    ++total_;
+
+    for (const stf::Access& a : task.accesses) {
+      ScanState& s = data[a.data];
+      if (is_write(a.mode)) {
+        s.last_writer = task.id;
+        s.reads_since_write = 0;
+      } else {
+        s.reads_since_write += 1;
+      }
+    }
+  }
+}
+
+PrunedRuntime::PrunedRuntime(Config cfg) : cfg_(cfg) {
+  RIO_ASSERT(cfg_.num_workers > 0);
+}
+
+support::RunStats PrunedRuntime::run(const stf::TaskFlow& flow,
+                                     const PrunedPlan& plan) {
+  RIO_ASSERT_MSG(plan.num_workers() == cfg_.num_workers,
+                 "plan built for a different worker count");
+  const std::uint32_t p = cfg_.num_workers;
+
+  std::vector<SharedDataState> shared(flow.num_data());
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::barrier start(static_cast<std::ptrdiff_t>(p) + 1);
+  std::vector<support::WorkerStats> wstats(p);
+  std::vector<std::uint64_t> worker_wall(p, 0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  for (std::uint32_t w = 0; w < p; ++w) {
+    threads.emplace_back([&, w] {
+      const auto& mine = plan.tasks_for(w);
+      support::WorkerStats& st = wstats[w];
+      const auto policy = cfg_.wait_policy;
+      start.arrive_and_wait();
+      const std::uint64_t begin = support::monotonic_ns();
+      for (const PrunedTask& pt : mine) {
+        // Wait on the precomputed expectations — no local replica needed.
+        bool stalled = false;
+        std::uint64_t wait_begin = 0;
+        if (cfg_.collect_stats) wait_begin = support::monotonic_ns();
+        for (const PrunedAccess& pa : pt.accesses) {
+          const SharedDataState& s = shared[pa.data];
+          if (s.last_executed_write.value.load(std::memory_order_acquire) !=
+              pa.expected_writer) {
+            stalled = true;
+            support::wait_until_equal(s.last_executed_write.value,
+                                      pa.expected_writer, policy);
+          }
+          if (is_write(pa.mode) &&
+              s.nb_reads_since_write.value.load(std::memory_order_acquire) !=
+                  pa.expected_reads) {
+            stalled = true;
+            support::wait_until_equal(s.nb_reads_since_write.value,
+                                      pa.expected_reads, policy);
+          }
+        }
+        if (cfg_.collect_stats && stalled) {
+          st.buckets.idle_ns += support::monotonic_ns() - wait_begin;
+          ++st.waits;
+        }
+
+        const stf::Task& task = flow.task(pt.id);
+        std::uint64_t t0 = 0;
+        if (cfg_.collect_stats) t0 = support::monotonic_ns();
+        if (task.fn && !cancelled.load(std::memory_order_acquire)) {
+          stf::TaskContext tc(task, flow.registry(), w);
+          try {
+            task.fn(tc);
+          } catch (...) {
+            std::lock_guard lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+            cancelled.store(true, std::memory_order_release);
+          }
+        }
+        if (cfg_.collect_stats)
+          st.buckets.task_ns += support::monotonic_ns() - t0;
+
+        for (const PrunedAccess& pa : pt.accesses) {
+          SharedDataState& s = shared[pa.data];
+          if (is_write(pa.mode)) {
+            s.nb_reads_since_write.value.store(0, std::memory_order_relaxed);
+            support::store_and_notify(s.last_executed_write.value, pt.id,
+                                      policy);
+            if (policy == support::WaitPolicy::kBlock)
+              s.nb_reads_since_write.value.notify_all();
+          } else {
+            s.nb_reads_since_write.value.fetch_add(1,
+                                                   std::memory_order_acq_rel);
+            if (policy == support::WaitPolicy::kBlock)
+              s.nb_reads_since_write.value.notify_all();
+          }
+        }
+        if (cfg_.collect_stats) ++st.tasks_executed;
+      }
+      worker_wall[w] = support::monotonic_ns() - begin;
+    });
+  }
+  start.arrive_and_wait();
+  const std::uint64_t t0 = support::monotonic_ns();
+  for (auto& th : threads) th.join();
+
+  support::RunStats stats;
+  stats.wall_ns = support::monotonic_ns() - t0;
+  stats.workers = std::move(wstats);
+  if (cfg_.collect_stats) {
+    for (std::uint32_t w = 0; w < p; ++w) {
+      auto& b = stats.workers[w].buckets;
+      const std::uint64_t busy = b.task_ns + b.idle_ns;
+      b.runtime_ns = worker_wall[w] > busy ? worker_wall[w] - busy : 0;
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return stats;
+}
+
+}  // namespace rio::rt

@@ -1,0 +1,82 @@
+// Task pruning — Section 3.5.
+//
+// The decentralized model's main drawback is that every worker unrolls the
+// whole flow: total unrolling work grows as p * n. Pruning lets each worker
+// visit only the tasks it executes. Because a materialized flow is static,
+// we can go further than the paper's sketch and precompute, for every
+// access of every mapped task, the exact protocol values the worker would
+// have accumulated in its local state had it unrolled everything:
+//
+//   * for a read:  the Task ID of the last write preceding it, and
+//   * for a write: additionally the number of reads since that write.
+//
+// At execution time a pruned worker walks its own task list and waits
+// directly on those expected values — zero declare operations, O(own tasks)
+// unrolling. The precomputation is a single O(n) scan shared by all
+// workers (analogous to the compiler-assisted pruning used in
+// distributed-memory STF runtimes [Agullo et al., TPDS 2017]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/inline_vec.hpp"
+#include "support/stats.hpp"
+#include "rio/mapping.hpp"
+#include "rio/runtime.hpp"
+#include "stf/task_flow.hpp"
+
+namespace rio::rt {
+
+/// One precomputed access of a pruned task: which data, which mode, and
+/// the protocol state to wait for before proceeding.
+struct PrunedAccess {
+  stf::DataId data = stf::kInvalidData;
+  stf::AccessMode mode = stf::AccessMode::kRead;
+  stf::TaskId expected_writer = kNoWrite;  ///< last write before this task
+  std::uint64_t expected_reads = 0;        ///< reads since it (writes only)
+};
+
+/// A worker's slice of the flow after pruning.
+struct PrunedTask {
+  stf::TaskId id = stf::kInvalidTask;
+  support::InlineVec<PrunedAccess, 4> accesses;
+};
+
+/// The full pruned execution plan: per-worker task lists with resolved
+/// dependency expectations. Build once, execute many times.
+class PrunedPlan {
+ public:
+  /// O(num_tasks) scan; evaluates `mapping` once per task.
+  PrunedPlan(const stf::TaskFlow& flow, const Mapping& mapping,
+             std::uint32_t num_workers);
+
+  [[nodiscard]] std::uint32_t num_workers() const noexcept {
+    return static_cast<std::uint32_t>(per_worker_.size());
+  }
+  [[nodiscard]] const std::vector<PrunedTask>& tasks_for(
+      stf::WorkerId w) const {
+    return per_worker_[w];
+  }
+
+  /// Total tasks across workers (== flow.num_tasks()).
+  [[nodiscard]] std::size_t total_tasks() const noexcept { return total_; }
+
+ private:
+  std::vector<std::vector<PrunedTask>> per_worker_;
+  std::size_t total_ = 0;
+};
+
+/// Executes a flow through a pruned plan. Same synchronization protocol as
+/// Runtime::run, but each worker only ever touches its own tasks.
+class PrunedRuntime {
+ public:
+  explicit PrunedRuntime(Config cfg);
+
+  support::RunStats run(const stf::TaskFlow& flow, const PrunedPlan& plan);
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace rio::rt

@@ -1,0 +1,7 @@
+// Umbrella header for the RIO decentralized in-order runtime.
+#pragma once
+
+#include "rio/data_object.hpp"  // IWYU pragma: export
+#include "rio/mapping.hpp"      // IWYU pragma: export
+#include "rio/pruning.hpp"      // IWYU pragma: export
+#include "rio/runtime.hpp"      // IWYU pragma: export

@@ -1,0 +1,288 @@
+#include "rio/runtime.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/assert.hpp"
+#include "support/clock.hpp"
+#include "support/topology.hpp"
+
+namespace rio::rt {
+namespace {
+
+/// Everything one worker needs while unrolling the flow. Lives on the
+/// worker's stack; the vectors are worker-private by construction.
+struct WorkerCtx {
+  stf::WorkerId self = 0;
+  const Mapping* mapping = nullptr;
+  SharedDataState* shared = nullptr;  // array indexed by DataId
+  std::vector<LocalDataState> local;  // worker-private mirror
+  const stf::DataRegistry* registry = nullptr;
+  support::WaitPolicy policy = support::WaitPolicy::kSpinYield;
+
+  // Instrumentation (all optional).
+  bool collect_stats = false;
+  bool collect_trace = false;
+  stf::AccessGuard* guard = nullptr;
+  std::atomic<std::uint64_t>* seq = nullptr;  // global completion counter
+  support::WorkerStats stats;
+  std::vector<stf::TraceEvent> trace;
+
+  // Failure handling: the first thrown exception wins; once `cancelled` is
+  // set, remaining task BODIES are skipped while the synchronization
+  // protocol keeps running, so every worker drains deterministically.
+  std::atomic<bool>* cancelled = nullptr;
+  std::exception_ptr* first_error = nullptr;
+  std::mutex* error_mu = nullptr;
+};
+
+/// Handles one task in flow order: execute it if mapped here, otherwise
+/// register its accesses locally. This is the body of Algorithm 1
+/// generalized to tasks with several accesses.
+void process_task(const stf::Task& task, WorkerCtx& ctx) {
+  const stf::WorkerId executor = (*ctx.mapping)(task.id);
+  if (executor != ctx.self) {
+    // Not ours: one or two private-memory writes per access, no atomics.
+    for (const stf::Access& a : task.accesses) {
+      if (is_write(a.mode))
+        declare_write(ctx.local[a.data], task.id);
+      else
+        declare_read(ctx.local[a.data]);
+    }
+    if (ctx.collect_stats) ++ctx.stats.tasks_skipped;
+    return;
+  }
+
+  // Ours: acquire every access (get_*), run the body, then release
+  // (terminate_*). Acquisition cannot deadlock: a get_* only waits on the
+  // completion of strictly earlier tasks, never on another waiting worker.
+  bool stalled = false;
+  std::uint64_t wait_begin = 0;
+  if (ctx.collect_stats) wait_begin = support::monotonic_ns();
+  for (const stf::Access& a : task.accesses) {
+    if (is_write(a.mode))
+      stalled |= get_write(ctx.shared[a.data], ctx.local[a.data], ctx.policy);
+    else
+      stalled |= get_read(ctx.shared[a.data], ctx.local[a.data], ctx.policy);
+  }
+  if (ctx.collect_stats && stalled) {
+    ctx.stats.buckets.idle_ns += support::monotonic_ns() - wait_begin;
+    ++ctx.stats.waits;
+  }
+
+  if (ctx.guard)
+    for (const stf::Access& a : task.accesses) ctx.guard->acquire(a);
+
+  std::uint64_t t0 = 0;
+  if (ctx.collect_stats || ctx.collect_trace) t0 = support::monotonic_ns();
+  if (task.fn && !ctx.cancelled->load(std::memory_order_acquire)) {
+    stf::TaskContext tc(task, *ctx.registry, ctx.self);
+    try {
+      task.fn(tc);
+    } catch (...) {
+      std::lock_guard lock(*ctx.error_mu);
+      if (!*ctx.first_error) *ctx.first_error = std::current_exception();
+      ctx.cancelled->store(true, std::memory_order_release);
+    }
+  }
+  std::uint64_t t1 = 0;
+  if (ctx.collect_stats || ctx.collect_trace) {
+    t1 = support::monotonic_ns();
+    if (ctx.collect_stats) ctx.stats.buckets.task_ns += t1 - t0;
+  }
+
+  if (ctx.guard)
+    for (const stf::Access& a : task.accesses) ctx.guard->release(a);
+
+  for (const stf::Access& a : task.accesses) {
+    if (is_write(a.mode))
+      terminate_write(ctx.shared[a.data], ctx.local[a.data], task.id,
+                      ctx.policy);
+    else
+      terminate_read(ctx.shared[a.data], ctx.local[a.data], ctx.policy);
+  }
+
+  if (ctx.collect_trace) {
+    ctx.trace.push_back(
+        {task.id, ctx.self, t0, t1,
+         ctx.seq->fetch_add(1, std::memory_order_relaxed)});
+  }
+  if (ctx.collect_stats) ++ctx.stats.tasks_executed;
+}
+
+/// Streaming sink: submits flow straight into process_task, assigning ids
+/// by submission order (identical on every worker for a deterministic
+/// program).
+class ReplaySink final : public stf::SubmitSink {
+ public:
+  explicit ReplaySink(WorkerCtx& ctx) : ctx_(ctx) {}
+
+  void submit(stf::TaskFn fn, stf::AccessList accesses, std::uint64_t cost,
+              std::string name) override {
+    stf::Task t;
+    t.id = next_id_++;
+    t.fn = std::move(fn);
+    t.accesses = std::move(accesses);
+    t.cost = cost;
+    t.name = std::move(name);
+    process_task(t, ctx_);
+  }
+
+ private:
+  WorkerCtx& ctx_;
+  stf::TaskId next_id_ = 0;
+};
+
+}  // namespace
+
+Runtime::Runtime(Config cfg) : cfg_(cfg) {
+  RIO_ASSERT_MSG(cfg_.num_workers > 0, "need at least one worker");
+}
+
+support::RunStats Runtime::run(const stf::TaskFlow& flow,
+                               const Mapping& mapping) {
+  return run(stf::FlowRange(flow), mapping);
+}
+
+support::RunStats Runtime::run(const stf::FlowRange& range,
+                               const Mapping& mapping) {
+  RIO_ASSERT(mapping.valid());
+  const std::uint32_t p = cfg_.num_workers;
+  const std::size_t num_data = range.num_data();
+
+  std::vector<SharedDataState> shared(num_data);
+  stf::AccessGuard guard;
+  if (cfg_.enable_guard) guard.enable(num_data);
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  std::vector<WorkerCtx> ctxs(p);
+  for (std::uint32_t w = 0; w < p; ++w) {
+    WorkerCtx& c = ctxs[w];
+    c.self = w;
+    c.mapping = &mapping;
+    c.shared = shared.data();
+    c.local.resize(num_data);
+    c.registry = &range.registry();
+    c.policy = cfg_.wait_policy;
+    c.collect_stats = cfg_.collect_stats;
+    c.collect_trace = cfg_.collect_trace;
+    c.guard = cfg_.enable_guard ? &guard : nullptr;
+    c.seq = &seq;
+    c.cancelled = &cancelled;
+    c.first_error = &first_error;
+    c.error_mu = &error_mu;
+  }
+
+  // All workers align on a start barrier so their wall times compare; the
+  // makespan clock wraps the whole fork-join (spawn/wake cost included).
+  std::barrier start(static_cast<std::ptrdiff_t>(p));
+  std::vector<std::uint64_t> worker_wall(p, 0);
+
+  const std::uint32_t cpus = support::detect_topology().logical_cpus;
+  const auto body = [&](std::uint32_t w) {
+    if (cfg_.pin_workers) support::pin_current_thread(w % cpus);
+    WorkerCtx& c = ctxs[w];
+    start.arrive_and_wait();
+    const std::uint64_t begin = support::monotonic_ns();
+    for (const stf::Task& task : range) process_task(task, c);
+    worker_wall[w] = support::monotonic_ns() - begin;
+  };
+  const std::uint64_t t0 = support::monotonic_ns();
+  support::run_parallel(pool_, p, body);
+  const std::uint64_t wall = support::monotonic_ns() - t0;
+
+  support::RunStats stats;
+  stats.wall_ns = wall;
+  stats.workers.resize(p);
+  trace_.clear();
+  if (cfg_.collect_trace) trace_.reserve(range.size());
+  for (std::uint32_t w = 0; w < p; ++w) {
+    WorkerCtx& c = ctxs[w];
+    if (cfg_.collect_stats) {
+      // Whatever was neither task body nor dependency stall is runtime
+      // management: unrolling, declare ops, protocol publication.
+      const std::uint64_t busy = c.stats.buckets.task_ns + c.stats.buckets.idle_ns;
+      c.stats.buckets.runtime_ns =
+          worker_wall[w] > busy ? worker_wall[w] - busy : 0;
+    }
+    stats.workers[w] = c.stats;
+    for (const stf::TraceEvent& ev : c.trace) trace_.record(ev);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return stats;
+}
+
+support::RunStats Runtime::run_program(const stf::DataRegistry& registry,
+                                       const stf::ProgramFn& program,
+                                       const Mapping& mapping) {
+  RIO_ASSERT(mapping.valid());
+  const std::uint32_t p = cfg_.num_workers;
+  const std::size_t num_data = registry.size();
+
+  std::vector<SharedDataState> shared(num_data);
+  stf::AccessGuard guard;
+  if (cfg_.enable_guard) guard.enable(num_data);
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  std::vector<WorkerCtx> ctxs(p);
+  for (std::uint32_t w = 0; w < p; ++w) {
+    WorkerCtx& c = ctxs[w];
+    c.self = w;
+    c.mapping = &mapping;
+    c.shared = shared.data();
+    c.local.resize(num_data);
+    c.registry = &registry;
+    c.policy = cfg_.wait_policy;
+    c.collect_stats = cfg_.collect_stats;
+    c.collect_trace = cfg_.collect_trace;
+    c.guard = cfg_.enable_guard ? &guard : nullptr;
+    c.seq = &seq;
+    c.cancelled = &cancelled;
+    c.first_error = &first_error;
+    c.error_mu = &error_mu;
+  }
+
+  std::barrier start(static_cast<std::ptrdiff_t>(p));
+  std::vector<std::uint64_t> worker_wall(p, 0);
+  const std::uint32_t cpus = support::detect_topology().logical_cpus;
+  const auto body = [&](std::uint32_t w) {
+    if (cfg_.pin_workers) support::pin_current_thread(w % cpus);
+    WorkerCtx& c = ctxs[w];
+    ReplaySink sink(c);
+    start.arrive_and_wait();
+    const std::uint64_t begin = support::monotonic_ns();
+    program(sink);  // the worker IS the unroller — nothing is stored
+    worker_wall[w] = support::monotonic_ns() - begin;
+  };
+  const std::uint64_t t0 = support::monotonic_ns();
+  support::run_parallel(pool_, p, body);
+  const std::uint64_t wall = support::monotonic_ns() - t0;
+
+  support::RunStats stats;
+  stats.wall_ns = wall;
+  stats.workers.resize(p);
+  trace_.clear();
+  for (std::uint32_t w = 0; w < p; ++w) {
+    WorkerCtx& c = ctxs[w];
+    if (cfg_.collect_stats) {
+      const std::uint64_t busy = c.stats.buckets.task_ns + c.stats.buckets.idle_ns;
+      c.stats.buckets.runtime_ns =
+          worker_wall[w] > busy ? worker_wall[w] - busy : 0;
+    }
+    stats.workers[w] = c.stats;
+    for (const stf::TraceEvent& ev : c.trace) trace_.record(ev);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return stats;
+}
+
+}  // namespace rio::rt

@@ -1,0 +1,84 @@
+// RIO — the decentralized in-order runtime (Section 3, Algorithm 1).
+//
+// Execution model:
+//   * every worker unrolls the WHOLE task flow (no master thread);
+//   * a deterministic Mapping decides which worker executes each task;
+//   * a worker executes its own tasks strictly in flow order;
+//   * for everybody else's tasks it only updates worker-private dependency
+//     counters (declare_read / declare_write — one or two private writes);
+//   * cross-worker synchronization happens exclusively through the two
+//     shared words of each data object (data_object.hpp).
+//
+// Two front ends are provided:
+//   * run(flow, mapping)          — replays a materialized TaskFlow;
+//   * run_program(reg, prog, map) — every worker executes the user program
+//                                   itself (the paper's true decentralized
+//                                   unrolling; nothing is ever stored).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+#include "support/wait.hpp"
+#include "rio/data_object.hpp"
+#include "rio/mapping.hpp"
+#include "stf/access_guard.hpp"
+#include "stf/flow_range.hpp"
+#include "stf/task_flow.hpp"
+#include "stf/trace.hpp"
+
+namespace rio::rt {
+
+/// Runtime configuration. Defaults favour correctness on any machine
+/// (yielding waits survive oversubscription); benches flip the knobs.
+struct Config {
+  std::uint32_t num_workers = 2;
+  support::WaitPolicy wait_policy = support::WaitPolicy::kSpinYield;
+  bool collect_stats = true;   ///< fill the tau buckets (adds 2 clock reads
+                               ///< per executed task + 1 per stall)
+  bool collect_trace = false;  ///< record a validatable execution trace
+  bool enable_guard = false;   ///< dynamic data-race detection (tests)
+  bool pin_workers = false;    ///< pin worker w to logical CPU w mod #cpus
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Config cfg);
+
+  /// Executes a materialized flow under `mapping`. Blocks until all tasks
+  /// completed on all workers. Thread-safe data access is entirely the
+  /// protocol's job — this call performs no per-task allocation.
+  support::RunStats run(const stf::TaskFlow& flow, const Mapping& mapping);
+
+  /// Range variant: executes a slice of a flow (all tasks before the slice
+  /// must already be complete — the hybrid runtime's phase barrier
+  /// guarantees this). Task ids stay global; the mapping sees them as-is.
+  support::RunStats run(const stf::FlowRange& range, const Mapping& mapping);
+
+  /// Streaming mode: each worker runs `program` itself against a
+  /// pre-registered data registry; tasks are executed or declared on the
+  /// fly and never materialized. The program must be deterministic.
+  support::RunStats run_program(const stf::DataRegistry& registry,
+                                const stf::ProgramFn& program,
+                                const Mapping& mapping);
+
+  /// Trace of the last run (empty unless cfg.collect_trace).
+  [[nodiscard]] const stf::Trace& trace() const noexcept { return trace_; }
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Uses `pool` (>= num_workers threads) for subsequent runs instead of
+  /// spawning threads per run — amortizes thread startup for repeated
+  /// fine-grained runs and for hybrid phase execution. Pass nullptr to
+  /// detach. The pool must outlive the runtime's runs.
+  void attach_pool(support::ThreadPool* pool) noexcept { pool_ = pool; }
+
+ private:
+  Config cfg_;
+  stf::Trace trace_;
+  support::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace rio::rt

@@ -1,0 +1,144 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "sim/simulate.hpp"
+
+namespace rio::sim {
+namespace {
+
+std::uint64_t exec_ticks(std::uint64_t instructions, const TimeScale& scale) {
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(instructions) /
+                   scale.instructions_per_tick));
+}
+
+}  // namespace
+
+Report simulate_decentralized(const stf::TaskFlow& flow,
+                              const rt::Mapping& mapping,
+                              const DecentralizedParams& params,
+                              const TimeScale& scale) {
+  return simulate_decentralized(stf::FlowRange(flow), mapping, params, scale);
+}
+
+Report simulate_decentralized(const stf::FlowRange& range,
+                              const rt::Mapping& mapping,
+                              const DecentralizedParams& params,
+                              const TimeScale& scale) {
+  RIO_ASSERT(params.workers > 0 && mapping.valid());
+  const std::size_t n = range.size();
+  const std::uint32_t p = params.workers;
+  const stf::DependencyGraph graph(range);
+
+  // Worker cursors are expressed as shared_prefix + per-worker offset:
+  // every worker pays the same skip cost for a foreign task, so the skip
+  // contribution is a global prefix sum S and only deviations (own tasks,
+  // stalls) are per-worker. This makes the scan O(n), independent of p.
+  std::uint64_t prefix = 0;                 // S(t): skip cost of tasks < t
+  std::vector<std::int64_t> delta(p, 0);    // cursor_w = S(t) + delta_w
+  std::vector<std::uint64_t> finish(n, 0);
+  std::vector<support::WorkerStats> ws(p);
+  std::vector<std::uint64_t> own_skip(p, 0);  // skip cost of own tasks
+
+  for (stf::TaskId t = 0; t < n; ++t) {
+    const stf::Task& task = range[t];
+    const auto num_acc = static_cast<std::uint64_t>(task.accesses.size());
+    const std::uint64_t skip_cost =
+        params.pruned ? 0
+                      : params.skip_per_task + params.skip_per_access * num_acc;
+    const stf::WorkerId w = mapping(task.id);
+    RIO_ASSERT_MSG(w < p, "mapping out of range for simulated workers");
+
+    const std::uint64_t own_cost =
+        params.own_per_task + params.own_per_access * num_acc;
+    std::uint64_t cost = exec_ticks(task.cost, scale);
+    if (!params.worker_speed.empty()) {
+      RIO_ASSERT(params.worker_speed.size() >= p);
+      cost = static_cast<std::uint64_t>(
+          static_cast<double>(cost) / params.worker_speed[w]);
+    }
+
+    const auto arrival = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(prefix) + delta[w]);
+    const std::uint64_t after_overhead = arrival + own_cost;
+    std::uint64_t dep_ready = 0;
+    for (stf::TaskId pr : graph.predecessors(t)) {
+      std::uint64_t ready_at = finish[pr];
+      if (params.cross_worker_latency > 0 &&
+          mapping(range[pr].id) != w)
+        ready_at += params.cross_worker_latency;
+      dep_ready = std::max(dep_ready, ready_at);
+    }
+    const std::uint64_t start = std::max(after_overhead, dep_ready);
+    const std::uint64_t fin = start + cost;
+    finish[t] = fin;
+
+    ws[w].buckets.task_ns += cost;
+    ws[w].buckets.runtime_ns += own_cost;
+    if (start > after_overhead) {
+      ws[w].buckets.idle_ns += start - after_overhead;
+      ++ws[w].waits;
+    }
+    ++ws[w].tasks_executed;
+    own_skip[w] += skip_cost;
+
+    prefix += skip_cost;  // S(t+1)
+    delta[w] = static_cast<std::int64_t>(fin) -
+               static_cast<std::int64_t>(prefix);
+  }
+
+  // Foreign-task skip costs are runtime management; a worker pays the
+  // global prefix minus the skip cost of its own tasks.
+  for (std::uint32_t w = 0; w < p; ++w) {
+    ws[w].buckets.runtime_ns += prefix - own_skip[w];
+    ws[w].tasks_skipped = n - ws[w].tasks_executed;
+    if (params.pruned) ws[w].tasks_skipped = 0;
+  }
+
+  // Makespan and trailing idle (workers that finish early wait for the
+  // slowest — exactly the tau_p = p * t_p accounting of Section 2.3).
+  std::uint64_t makespan = 0;
+  for (std::uint32_t w = 0; w < p; ++w) {
+    const auto cursor = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(prefix) + delta[w]);
+    makespan = std::max(makespan, cursor);
+  }
+  for (std::uint32_t w = 0; w < p; ++w) {
+    const auto cursor = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(prefix) + delta[w]);
+    ws[w].buckets.idle_ns += makespan - cursor;
+  }
+
+  Report rep;
+  rep.makespan = makespan;
+  rep.total_threads = p;
+  rep.stats.workers = std::move(ws);
+  rep.stats.wall_ns = makespan;
+  return rep;
+}
+
+std::uint64_t ideal_makespan(const stf::TaskFlow& flow,
+                             const stf::DependencyGraph& graph,
+                             std::uint32_t workers, const TimeScale& scale) {
+  RIO_ASSERT(workers > 0);
+  std::uint64_t total = 0;
+  for (const stf::Task& t : flow.tasks()) total += exec_ticks(t.cost, scale);
+  const std::uint64_t balanced = (total + workers - 1) / workers;
+  // Critical path in ticks: rescale task costs the same way.
+  std::uint64_t cp = 0;
+  {
+    std::vector<std::uint64_t> fin(flow.num_tasks(), 0);
+    for (stf::TaskId t = 0; t < flow.num_tasks(); ++t) {
+      std::uint64_t start = 0;
+      for (stf::TaskId p : graph.predecessors(t))
+        start = std::max(start, fin[p]);
+      fin[t] = start + exec_ticks(flow.task(t).cost, scale);
+      cp = std::max(cp, fin[t]);
+    }
+  }
+  return std::max(balanced, cp);
+}
+
+}  // namespace rio::sim

@@ -1,0 +1,5 @@
+// Umbrella header for the discrete-event execution-model simulator.
+#pragma once
+
+#include "sim/params.hpp"    // IWYU pragma: export
+#include "sim/simulate.hpp"  // IWYU pragma: export

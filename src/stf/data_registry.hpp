@@ -1,0 +1,100 @@
+// Data-object registry: the memory the tasks operate on.
+//
+// A data object is a named region of memory managed by the runtime
+// (Section 2.1). The registry either owns the storage (create<T>) or wraps
+// user memory (attach<T>), and hands out typed views to task bodies. It is
+// built once, before execution, and is strictly read-only metadata during a
+// parallel run — only the *contents* of the buffers change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "stf/types.hpp"
+
+namespace rio::stf {
+
+/// Registry of data objects referenced by a task flow.
+class DataRegistry {
+ public:
+  DataRegistry() = default;
+  DataRegistry(DataRegistry&&) noexcept = default;
+  DataRegistry& operator=(DataRegistry&&) noexcept = default;
+  DataRegistry(const DataRegistry&) = delete;
+  DataRegistry& operator=(const DataRegistry&) = delete;
+
+  /// Creates a registry-owned, zero-initialized object of `count` Ts.
+  template <typename T>
+  DataHandle<T> create(std::string name, std::size_t count = 1) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "data objects hold flat HPC payloads");
+    Entry e;
+    e.name = std::move(name);
+    e.bytes = sizeof(T) * count;
+    e.owned = std::make_unique<std::byte[]>(e.bytes);
+    std::memset(e.owned.get(), 0, e.bytes);
+    e.ptr = e.owned.get();
+    entries_.push_back(std::move(e));
+    return DataHandle<T>{static_cast<DataId>(entries_.size() - 1)};
+  }
+
+  /// Wraps caller-owned memory (e.g. an application matrix tile). The
+  /// caller must keep it alive for the lifetime of the registry.
+  template <typename T>
+  DataHandle<T> attach(std::string name, T* ptr, std::size_t count = 1) {
+    Entry e;
+    e.name = std::move(name);
+    e.bytes = sizeof(T) * count;
+    e.ptr = ptr;
+    entries_.push_back(std::move(e));
+    return DataHandle<T>{static_cast<DataId>(entries_.size() - 1)};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  [[nodiscard]] const std::string& name(DataId id) const {
+    RIO_ASSERT(id < entries_.size());
+    return entries_[id].name;
+  }
+
+  [[nodiscard]] std::size_t bytes(DataId id) const {
+    RIO_ASSERT(id < entries_.size());
+    return entries_[id].bytes;
+  }
+
+  /// Raw pointer for engine internals; task bodies should go through
+  /// TaskContext::get<T> which adds debug-mode checks.
+  [[nodiscard]] void* raw(DataId id) const {
+    RIO_ASSERT(id < entries_.size());
+    return entries_[id].ptr;
+  }
+
+  template <typename T>
+  [[nodiscard]] T* typed(DataHandle<T> h, std::size_t expect_count = 0) const {
+    RIO_ASSERT(h.id < entries_.size());
+    const Entry& e = entries_[h.id];
+    if (expect_count != 0)
+      RIO_ASSERT_MSG(e.bytes == sizeof(T) * expect_count,
+                     "typed view size mismatch");
+    RIO_DEBUG_ASSERT(e.bytes % sizeof(T) == 0);
+    return static_cast<T*>(e.ptr);
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::size_t bytes = 0;
+    void* ptr = nullptr;
+    std::unique_ptr<std::byte[]> owned;  // null when attached
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rio::stf

@@ -1,0 +1,87 @@
+// Incremental STF dependency scanner.
+//
+// The single-pass bookkeeping that turns program order + access modes into
+// predecessor sets, shared by the DependencyGraph builder (whole-flow
+// analysis) and the centralized runtime's master (incremental discovery —
+// the per-task management work of cost model (1)).
+//
+// Semantics per data object:
+//   * a READ depends on the current write frontier;
+//   * a WRITE depends on the frontier and on every read since it formed;
+//   * a REDUCTION joining an open run (same data, no intervening reads or
+//     writes) depends only on what the run itself depended on — members of
+//     a run carry NO edges among each other (they commute); any other
+//     access after the run depends on all of its members.
+//
+// The "write frontier" is therefore either the one latest writer or the
+// member set of the currently open reduction run.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "stf/task.hpp"
+#include "stf/types.hpp"
+
+namespace rio::stf {
+
+class DependencyScanner {
+ public:
+  explicit DependencyScanner(std::size_t num_data) : data_(num_data) {}
+
+  /// Appends the (deduplicated, ascending) predecessor ids of `task` to
+  /// `out`, then folds the task's accesses into the scan state under the
+  /// caller-chosen id (global flow id or range-local index — the caller's
+  /// indexing space). Tasks must arrive in flow order, ids strictly
+  /// increasing.
+  void next(const Task& task, TaskId id, std::vector<TaskId>& out) {
+    out.clear();
+    for (const Access& a : task.accesses) {
+      DataState& d = data_[a.data];
+      if (is_reduction(a.mode)) {
+        if (!(d.frontier_is_reduction && d.readers_since.empty())) {
+          // Start a new run: remember what every member must wait for.
+          d.pre_run_deps = d.frontier;
+          d.pre_run_deps.insert(d.pre_run_deps.end(), d.readers_since.begin(),
+                                d.readers_since.end());
+          d.frontier.clear();
+          d.frontier_is_reduction = true;
+          d.readers_since.clear();
+        }
+        out.insert(out.end(), d.pre_run_deps.begin(), d.pre_run_deps.end());
+      } else if (is_write(a.mode)) {
+        out.insert(out.end(), d.frontier.begin(), d.frontier.end());
+        out.insert(out.end(), d.readers_since.begin(), d.readers_since.end());
+      } else {  // plain read
+        out.insert(out.end(), d.frontier.begin(), d.frontier.end());
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+
+    for (const Access& a : task.accesses) {
+      DataState& d = data_[a.data];
+      if (is_reduction(a.mode)) {
+        d.frontier.push_back(id);  // joins the (possibly new) run
+      } else if (is_write(a.mode)) {
+        d.frontier.assign(1, id);
+        d.frontier_is_reduction = false;
+        d.readers_since.clear();
+        d.pre_run_deps.clear();
+      } else {
+        d.readers_since.push_back(id);
+      }
+    }
+  }
+
+ private:
+  struct DataState {
+    std::vector<TaskId> frontier;  // latest writer OR open reduction run
+    bool frontier_is_reduction = false;
+    std::vector<TaskId> readers_since;  // reads since the frontier formed
+    std::vector<TaskId> pre_run_deps;   // deps of the open run's members
+  };
+  std::vector<DataState> data_;
+};
+
+}  // namespace rio::stf

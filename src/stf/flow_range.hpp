@@ -1,0 +1,68 @@
+// FlowRange: a contiguous slice of a task flow.
+//
+// The hybrid execution model (see src/hybrid/) alternates phases that are
+// executed by different engines over the SAME flow and data registry. A
+// FlowRange is the non-owning view those engines consume: tasks
+// [first, first + count) of a flow, plus the registry they resolve data
+// against. Task ids inside a range remain the GLOBAL flow ids, so
+// mappings, traces and validation compose across phases.
+#pragma once
+
+#include <cstddef>
+
+#include "support/assert.hpp"
+#include "stf/task_flow.hpp"
+
+namespace rio::stf {
+
+class FlowRange {
+ public:
+  /// Whole-flow view.
+  explicit FlowRange(const TaskFlow& flow)
+      : tasks_(flow.tasks().data()),
+        count_(flow.num_tasks()),
+        registry_(&flow.registry()),
+        num_data_(flow.num_data()) {}
+
+  /// Sub-range [first, first + count) of `flow`.
+  FlowRange(const TaskFlow& flow, TaskId first, std::size_t count)
+      : tasks_(flow.tasks().data() + first),
+        count_(count),
+        registry_(&flow.registry()),
+        num_data_(flow.num_data()) {
+    RIO_ASSERT(first + count <= flow.num_tasks());
+  }
+
+  /// View over externally-managed tasks (used by tests).
+  FlowRange(const Task* tasks, std::size_t count, const DataRegistry& registry)
+      : tasks_(tasks),
+        count_(count),
+        registry_(&registry),
+        num_data_(registry.size()) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] const Task* begin() const noexcept { return tasks_; }
+  [[nodiscard]] const Task* end() const noexcept { return tasks_ + count_; }
+  [[nodiscard]] const Task& operator[](std::size_t i) const {
+    RIO_DEBUG_ASSERT(i < count_);
+    return tasks_[i];
+  }
+  [[nodiscard]] const DataRegistry& registry() const noexcept {
+    return *registry_;
+  }
+  [[nodiscard]] std::size_t num_data() const noexcept { return num_data_; }
+
+  /// Global id of the first task (kInvalidTask for an empty range).
+  [[nodiscard]] TaskId first_id() const noexcept {
+    return count_ > 0 ? tasks_[0].id : kInvalidTask;
+  }
+
+ private:
+  const Task* tasks_;
+  std::size_t count_;
+  const DataRegistry* registry_;
+  std::size_t num_data_;
+};
+
+}  // namespace rio::stf

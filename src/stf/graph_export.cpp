@@ -1,0 +1,96 @@
+#include "stf/graph_export.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace rio::stf {
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"') out += "\\\"";
+    else out += c;
+  }
+  return out;
+}
+
+std::string node_label(const TaskFlow& flow, TaskId t) {
+  const std::string& name = flow.task(t).name;
+  return name.empty() ? "t" + std::to_string(t) : dot_escape(name);
+}
+
+}  // namespace
+
+void export_dot(const TaskFlow& flow, const DependencyGraph& graph,
+                std::ostream& os, const std::vector<WorkerId>& owners,
+                const DotOptions& options) {
+  const std::size_t n = flow.num_tasks();
+  os << "digraph taskflow {\n  rankdir=TB;\n  node [shape=box];\n";
+  if (n > options.max_tasks) {
+    os << "  // flow has " << n << " tasks (> " << options.max_tasks
+       << "); rendering suppressed\n}\n";
+    return;
+  }
+
+  if (options.cluster_by_worker && !owners.empty()) {
+    // Bucket tasks per owner, emit one cluster per worker. Unmapped tasks
+    // (kInvalidWorker) are excluded from the cluster count.
+    WorkerId max_w = 0;
+    for (WorkerId w : owners)
+      if (w != kInvalidWorker) max_w = std::max(max_w, w);
+    for (WorkerId w = 0; w <= max_w; ++w) {
+      os << "  subgraph cluster_w" << w << " {\n    label=\"worker " << w
+         << "\";\n";
+      for (TaskId t = 0; t < n; ++t)
+        if (t < owners.size() && owners[t] == w)
+          os << "    t" << t << " [label=\"" << node_label(flow, t)
+             << "\"];\n";
+      os << "  }\n";
+    }
+    // Unmapped tasks outside clusters.
+    for (TaskId t = 0; t < n; ++t)
+      if (t >= owners.size() || owners[t] == kInvalidWorker)
+        os << "  t" << t << " [label=\"" << node_label(flow, t)
+           << "\", style=dashed];\n";
+  } else {
+    for (TaskId t = 0; t < n; ++t)
+      os << "  t" << t << " [label=\"" << node_label(flow, t) << "\"];\n";
+  }
+
+  for (TaskId t = 0; t < n; ++t)
+    for (TaskId s : graph.successors(t)) os << "  t" << t << " -> t" << s << ";\n";
+  os << "}\n";
+}
+
+FlowSummary summarize_flow(const TaskFlow& flow,
+                           const DependencyGraph& graph) {
+  FlowSummary s;
+  s.tasks = flow.num_tasks();
+  s.data_objects = flow.num_data();
+  s.edges = graph.num_edges();
+  s.max_width = graph.max_ready_width();
+  s.critical_path = graph.critical_path_cost(flow);
+  s.total_cost = flow.total_cost();
+  std::size_t accesses = 0;
+  for (const Task& t : flow.tasks()) accesses += t.accesses.size();
+  s.avg_accesses_per_task =
+      s.tasks > 0 ? static_cast<double>(accesses) / static_cast<double>(s.tasks)
+                  : 0.0;
+  return s;
+}
+
+void print_summary(const FlowSummary& s, std::ostream& os) {
+  os << "tasks:             " << s.tasks << "\n"
+     << "data objects:      " << s.data_objects << "\n"
+     << "dependency edges:  " << s.edges << "\n"
+     << "max ready width:   " << s.max_width << "\n"
+     << "critical path:     " << s.critical_path << "\n"
+     << "total cost:        " << s.total_cost << "\n"
+     << "avg accesses/task: " << s.avg_accesses_per_task << "\n"
+     << "parallelism bound: " << s.parallelism() << "\n";
+}
+
+}  // namespace rio::stf

@@ -1,0 +1,52 @@
+// Task-graph exporters: Graphviz DOT and textual summaries.
+//
+// The mapping work RIO shifts to the programmer (Section 3.2) needs
+// tooling: these exporters render a flow's dependency structure so the
+// mapping author can see chains, fan-outs and panel shapes. DOT output
+// renders with `dot -Tsvg`; the summary gives the quick numbers (tasks,
+// edges, width, critical path) the benches report.
+#pragma once
+
+#include <ostream>
+
+#include "stf/dependency.hpp"
+#include "stf/task_flow.hpp"
+
+namespace rio::stf {
+
+struct DotOptions {
+  bool cluster_by_worker = false;  ///< group nodes per mapped worker
+  std::size_t max_tasks = 2000;    ///< refuse to render unreadably large DAGs
+};
+
+/// Graphviz DOT rendering of the dependency DAG. Node labels use task
+/// names (falling back to ids); when `owners` is non-empty and
+/// cluster_by_worker is set, nodes are grouped into per-worker clusters.
+void export_dot(const TaskFlow& flow, const DependencyGraph& graph,
+                std::ostream& os,
+                const std::vector<WorkerId>& owners = {},
+                const DotOptions& options = {});
+
+/// One-line-per-metric structural summary of a flow.
+struct FlowSummary {
+  std::size_t tasks = 0;
+  std::size_t data_objects = 0;
+  std::size_t edges = 0;
+  std::size_t max_width = 0;          ///< widest ready level
+  std::uint64_t critical_path = 0;    ///< in task-cost units
+  std::uint64_t total_cost = 0;
+  double avg_accesses_per_task = 0.0;
+
+  /// Parallelism upper bound total_cost / critical_path.
+  [[nodiscard]] double parallelism() const noexcept {
+    return critical_path > 0 ? static_cast<double>(total_cost) /
+                                   static_cast<double>(critical_path)
+                             : 1.0;
+  }
+};
+
+FlowSummary summarize_flow(const TaskFlow& flow, const DependencyGraph& graph);
+
+void print_summary(const FlowSummary& summary, std::ostream& os);
+
+}  // namespace rio::stf

@@ -1,0 +1,29 @@
+#include "stf/sequential.hpp"
+
+#include "support/clock.hpp"
+
+namespace rio::stf {
+
+support::RunStats SequentialExecutor::run(const TaskFlow& flow) const {
+  support::RunStats stats;
+  stats.workers.resize(1);
+  support::WorkerStats& w = stats.workers[0];
+
+  const std::uint64_t begin = support::monotonic_ns();
+  for (const Task& task : flow.tasks()) {
+    if (!task.fn) continue;  // cost-only task: nothing to execute
+    TaskContext ctx(task, flow.registry(), /*worker=*/0);
+    const std::uint64_t t0 = support::monotonic_ns();
+    task.fn(ctx);
+    w.buckets.task_ns += support::monotonic_ns() - t0;
+    ++w.tasks_executed;
+  }
+  stats.wall_ns = support::monotonic_ns() - begin;
+  // Everything that was not task body is loop/bookkeeping overhead.
+  // (Saturating: per-task clock granularity can make the sum overshoot.)
+  w.buckets.runtime_ns =
+      stats.wall_ns > w.buckets.task_ns ? stats.wall_ns - w.buckets.task_ns : 0;
+  return stats;
+}
+
+}  // namespace rio::stf

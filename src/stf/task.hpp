@@ -1,0 +1,123 @@
+// Task descriptor and execution context.
+//
+// A task is a pure function over its declared data accesses (Section 2.1).
+// The descriptor carries everything every engine needs: the body, the
+// access list, an optional virtual cost (consumed by the discrete-event
+// simulator instead of running the body), and a debug name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "support/inline_vec.hpp"
+#include "stf/data_registry.hpp"
+#include "stf/types.hpp"
+
+namespace rio::stf {
+
+class TaskContext;
+
+/// Task body signature. The context is the only sanctioned door to data:
+/// going through it lets debug builds verify that the body only touches
+/// what the task declared.
+using TaskFn = std::function<void(TaskContext&)>;
+
+/// Access list with inline storage — no allocation for the 1–3 access
+/// tasks that dominate all of the paper's workloads.
+using AccessList = support::InlineVec<Access, 4>;
+
+/// Immutable description of one task in a task flow.
+struct Task {
+  TaskId id = kInvalidTask;
+  TaskFn fn;               ///< body; may be empty for cost-only (simulated) tasks
+  AccessList accesses;
+  std::uint64_t cost = 0;  ///< virtual duration (instructions) for sim engines
+  std::int32_t priority = 0;  ///< scheduler hint: larger = run earlier (only
+                              ///< the OoO priority scheduler consults it)
+  std::string name;        ///< diagnostics only
+
+  /// Mode this task uses on `data`, or nullopt-like kInvalidData sentinel
+  /// behaviour: returns false when the task does not touch `data`.
+  [[nodiscard]] bool finds_access(DataId data, AccessMode& out) const noexcept {
+    for (const Access& a : accesses) {
+      if (a.data == data) {
+        out = a.mode;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True when the task declares a write-like access on any data object.
+  [[nodiscard]] bool has_write() const noexcept {
+    for (const Access& a : accesses)
+      if (is_write(a.mode)) return true;
+    return false;
+  }
+};
+
+/// Handed to a running task body; resolves handles to memory and (in debug
+/// mode) validates that the task declared the access it performs.
+class TaskContext {
+ public:
+  TaskContext(const Task& task, const DataRegistry& registry,
+              WorkerId worker) noexcept
+      : task_(task), registry_(registry), worker_(worker) {}
+
+  /// Typed view of a declared data object. Aborts in debug builds when the
+  /// task did not declare an access on it, or requests a stronger mode than
+  /// declared (writing through a read handle).
+  template <typename T>
+  T* get(DataHandle<T> h, AccessMode used = AccessMode::kReadWrite) const {
+    (void)used;  // consulted by the debug checks only
+#ifndef NDEBUG
+    AccessMode declared{};
+    const bool found = task_.finds_access(h.id, declared);
+    RIO_DEBUG_ASSERT(found && "task touches undeclared data");
+    if (found) {
+      RIO_DEBUG_ASSERT(!(is_write(used) && !is_write(declared)) &&
+                       "write through a read-only access");
+    }
+#endif
+    return registry_.typed<T>(h);
+  }
+
+  /// Convenience for scalar objects.
+  template <typename T>
+  T& scalar(DataHandle<T> h, AccessMode used = AccessMode::kReadWrite) const {
+    return *get<T>(h, used);
+  }
+
+  [[nodiscard]] const Task& task() const noexcept { return task_; }
+  [[nodiscard]] TaskId task_id() const noexcept { return task_.id; }
+  [[nodiscard]] WorkerId worker() const noexcept { return worker_; }
+  [[nodiscard]] const DataRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+ private:
+  const Task& task_;
+  const DataRegistry& registry_;
+  WorkerId worker_;
+};
+
+/// Anything a deterministic STF program can submit tasks into: a TaskFlow
+/// (materializes the flow) or a RIO replay context (executes on the fly).
+/// This is how the repository supports the paper's true decentralized
+/// unrolling — every worker runs the program itself (Section 3.3).
+class SubmitSink {
+ public:
+  virtual ~SubmitSink() = default;
+
+  /// Submits the next task in program order. Implementations assign ids.
+  virtual void submit(TaskFn fn, AccessList accesses, std::uint64_t cost = 0,
+                      std::string name = {}) = 0;
+};
+
+/// A deterministic STF program: must submit the same task sequence on every
+/// invocation (assumption 2 of Section 3.4).
+using ProgramFn = std::function<void(SubmitSink&)>;
+
+}  // namespace rio::stf

@@ -1,0 +1,113 @@
+// TaskFlow: a materialized STF program.
+//
+// The flow is built once by the application (or by replaying a ProgramFn)
+// and is immutable during execution, so every engine — sequential
+// reference, RIO, centralized OoO, simulator — can share one instance
+// without synchronization. Tasks are stored in submission order; their
+// index *is* their Task ID (paper Section 3.4, assumption 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stf/data_registry.hpp"
+#include "stf/task.hpp"
+#include "stf/types.hpp"
+
+namespace rio::stf {
+
+/// Builder + container for an STF program and its data objects.
+class TaskFlow final : public SubmitSink {
+ public:
+  TaskFlow() = default;
+  TaskFlow(TaskFlow&&) noexcept = default;
+  TaskFlow& operator=(TaskFlow&&) noexcept = default;
+  TaskFlow(const TaskFlow&) = delete;
+  TaskFlow& operator=(const TaskFlow&) = delete;
+
+  // -- data objects ---------------------------------------------------------
+
+  template <typename T>
+  DataHandle<T> create_data(std::string name, std::size_t count = 1) {
+    return registry_.create<T>(std::move(name), count);
+  }
+
+  template <typename T>
+  DataHandle<T> attach_data(std::string name, T* ptr, std::size_t count = 1) {
+    return registry_.attach<T>(std::move(name), ptr, count);
+  }
+
+  // -- tasks ----------------------------------------------------------------
+
+  /// SubmitSink interface: appends the next task; its id is its position.
+  void submit(TaskFn fn, AccessList accesses, std::uint64_t cost = 0,
+              std::string name = {}) override {
+    Task t;
+    t.id = static_cast<TaskId>(tasks_.size());
+    t.fn = std::move(fn);
+    t.accesses = std::move(accesses);
+    t.cost = cost;
+    t.name = std::move(name);
+    tasks_.push_back(std::move(t));
+  }
+
+  /// Convenience overload with the name first, reading like the paper:
+  ///   flow.add("getrf(0,0)", body, {readwrite(a00)});
+  void add(std::string name, TaskFn fn, AccessList accesses,
+           std::uint64_t cost = 0) {
+    submit(std::move(fn), std::move(accesses), cost, std::move(name));
+  }
+
+  /// Cost-only task for simulator-driven experiments: no body, just a
+  /// virtual duration and an access signature.
+  void add_virtual(std::uint64_t cost, AccessList accesses,
+                   std::string name = {}) {
+    submit(TaskFn{}, std::move(accesses), cost, std::move(name));
+  }
+
+  /// Materializes a deterministic program into this flow.
+  static TaskFlow from_program(const ProgramFn& program) {
+    TaskFlow flow;
+    program(flow);
+    return flow;
+  }
+
+  // -- observers ------------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return tasks_.size(); }
+  [[nodiscard]] std::size_t num_data() const noexcept {
+    return registry_.size();
+  }
+  [[nodiscard]] const Task& task(TaskId id) const {
+    RIO_ASSERT(id < tasks_.size());
+    return tasks_[id];
+  }
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept {
+    return tasks_;
+  }
+  [[nodiscard]] const DataRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] DataRegistry& registry() noexcept { return registry_; }
+
+  /// Sets the scheduler priority hint of a task (see Task::priority).
+  void set_priority(TaskId id, std::int32_t priority) {
+    RIO_ASSERT(id < tasks_.size());
+    tasks_[id].priority = priority;
+  }
+
+  /// Total virtual cost of all tasks (simulator workloads).
+  [[nodiscard]] std::uint64_t total_cost() const noexcept {
+    std::uint64_t c = 0;
+    for (const Task& t : tasks_) c += t.cost;
+    return c;
+  }
+
+ private:
+  DataRegistry registry_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace rio::stf

@@ -1,0 +1,89 @@
+#include "stf/trace_export.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace rio::stf {
+namespace {
+
+/// JSON string escaping for the small character set task names can hold.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::uint64_t earliest_start(const Trace& trace) {
+  std::uint64_t t0 = std::numeric_limits<std::uint64_t>::max();
+  for (const TraceEvent& ev : trace.events()) t0 = std::min(t0, ev.start_ns);
+  return trace.size() ? t0 : 0;
+}
+
+}  // namespace
+
+void export_chrome_trace(const Trace& trace, const TaskFlow& flow,
+                         std::ostream& os) {
+  const std::uint64_t t0 = earliest_start(trace);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : trace.events()) {
+    const std::string& name =
+        ev.task < flow.num_tasks() ? flow.task(ev.task).name : std::string();
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\""
+       << escape(name.empty() ? "task " + std::to_string(ev.task) : name)
+       << "\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.worker
+       << ",\"ts\":" << static_cast<double>(ev.start_ns - t0) / 1e3
+       << ",\"dur\":" << static_cast<double>(ev.end_ns - ev.start_ns) / 1e3
+       << ",\"args\":{\"task_id\":" << ev.task << ",\"seq\":" << ev.seq
+       << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}";
+}
+
+void export_csv(const Trace& trace, const TaskFlow& flow, std::ostream& os) {
+  os << "task,name,worker,start_ns,end_ns,duration_ns,seq\n";
+  for (const TraceEvent& ev : trace.events()) {
+    const std::string& name =
+        ev.task < flow.num_tasks() ? flow.task(ev.task).name : std::string();
+    os << ev.task << "," << name << "," << ev.worker << "," << ev.start_ns
+       << "," << ev.end_ns << "," << (ev.end_ns - ev.start_ns) << ","
+       << ev.seq << "\n";
+  }
+}
+
+std::vector<WorkerUtilization> summarize_utilization(const Trace& trace) {
+  std::vector<WorkerUtilization> out;
+  std::vector<std::uint64_t> first_start, last_end;
+  for (const TraceEvent& ev : trace.events()) {
+    if (ev.worker >= out.size()) {
+      out.resize(ev.worker + 1);
+      first_start.resize(ev.worker + 1,
+                         std::numeric_limits<std::uint64_t>::max());
+      last_end.resize(ev.worker + 1, 0);
+    }
+    auto& u = out[ev.worker];
+    ++u.tasks;
+    u.busy_ns += ev.end_ns - ev.start_ns;
+    first_start[ev.worker] = std::min(first_start[ev.worker], ev.start_ns);
+    last_end[ev.worker] = std::max(last_end[ev.worker], ev.end_ns);
+  }
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    out[w].worker = static_cast<WorkerId>(w);
+    out[w].span_ns =
+        last_end[w] > first_start[w] ? last_end[w] - first_start[w] : 0;
+  }
+  return out;
+}
+
+}  // namespace rio::stf

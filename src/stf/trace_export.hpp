@@ -1,0 +1,44 @@
+// Trace exporters.
+//
+// The paper's methodology avoids trace dumping during fine-grained runs
+// (Section 5.1) — our engines follow that and only record in-memory events
+// when asked. Once a run is over, these exporters turn the trace into
+// artifacts: the Chrome trace-event JSON format (open in
+// chrome://tracing or Perfetto) for visual inspection of worker
+// timelines, and a flat CSV for scripted analysis.
+#pragma once
+
+#include <ostream>
+
+#include "stf/task_flow.hpp"
+#include "stf/trace.hpp"
+
+namespace rio::stf {
+
+/// Chrome trace-event JSON ("X" complete events, one row per worker).
+/// `flow` provides task names; timestamps are rebased to the earliest
+/// event and converted to microseconds as the format expects.
+void export_chrome_trace(const Trace& trace, const TaskFlow& flow,
+                         std::ostream& os);
+
+/// Flat CSV: task,name,worker,start_ns,end_ns,duration_ns,seq.
+void export_csv(const Trace& trace, const TaskFlow& flow, std::ostream& os);
+
+/// Per-worker utilization summary derived from a trace: busy time between
+/// each worker's first start and last end. Returns rows of
+/// (worker, tasks, busy_ns, span_ns).
+struct WorkerUtilization {
+  WorkerId worker = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t span_ns = 0;
+
+  [[nodiscard]] double utilization() const noexcept {
+    return span_ns > 0
+               ? static_cast<double>(busy_ns) / static_cast<double>(span_ns)
+               : 1.0;
+  }
+};
+std::vector<WorkerUtilization> summarize_utilization(const Trace& trace);
+
+}  // namespace rio::stf

@@ -1,0 +1,115 @@
+// Core vocabulary of the Sequential Task Flow (STF) programming model.
+//
+// Section 2.1 of the paper: a program is a *task flow* — a sequence of
+// tasks, each declaring an access mode (read-only / write-only /
+// read-write) on the data objects it touches. Dependencies are implicit:
+// they are derived from program order plus access modes, which is what
+// gives STF its sequential-consistency guarantee.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rio::stf {
+
+/// Dense index of a data object within a DataRegistry / TaskFlow.
+using DataId = std::uint32_t;
+
+/// Position of a task in the task flow; doubles as the paper's "Task ID"
+/// (assumption 1 of Section 3.4: tasks are numbered in control-flow order).
+using TaskId = std::uint64_t;
+
+/// Identifier of an execution resource (thread / virtual core).
+using WorkerId = std::uint32_t;
+
+inline constexpr DataId kInvalidData = std::numeric_limits<DataId>::max();
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+inline constexpr WorkerId kInvalidWorker = std::numeric_limits<WorkerId>::max();
+
+/// Access mode a task declares on a data object (Section 2.1). ReadWrite
+/// synchronizes exactly like Write — it orders after all prior reads and
+/// writes — but tells debug validators that the previous value is consumed.
+///
+/// kReduction extends strict STF with the commutative-update construct the
+/// paper attributes to SuperGlue's data versioning (Section 3.4, [21]):
+/// consecutive reduction accesses to the same object COMMUTE with each
+/// other (an out-of-order engine may run them in any order, one at a time)
+/// while ordering like a write against every non-reduction access. The
+/// update function must be commutative and associative for the program to
+/// stay deterministic. The in-order engines simply run reductions in flow
+/// order — a legal (and for RIO, free) ordering.
+enum class AccessMode : std::uint8_t {
+  kRead,
+  kWrite,
+  kReadWrite,
+  kReduction,
+};
+
+/// True when the mode orders like a write for dependency purposes.
+/// (Reductions do: they modify the object; their special pairwise
+/// commutativity is handled where it matters via is_reduction().)
+constexpr bool is_write(AccessMode m) noexcept {
+  return m == AccessMode::kWrite || m == AccessMode::kReadWrite ||
+         m == AccessMode::kReduction;
+}
+
+/// True when the mode observes the previous value.
+constexpr bool is_read(AccessMode m) noexcept {
+  return m == AccessMode::kRead || m == AccessMode::kReadWrite ||
+         m == AccessMode::kReduction;
+}
+
+/// True for the commutative-update mode.
+constexpr bool is_reduction(AccessMode m) noexcept {
+  return m == AccessMode::kReduction;
+}
+
+constexpr const char* to_string(AccessMode m) noexcept {
+  switch (m) {
+    case AccessMode::kRead: return "R";
+    case AccessMode::kWrite: return "W";
+    case AccessMode::kReadWrite: return "RW";
+    case AccessMode::kReduction: return "RED";
+  }
+  return "?";
+}
+
+/// One declared access of a task.
+struct Access {
+  DataId data = kInvalidData;
+  AccessMode mode = AccessMode::kRead;
+
+  friend bool operator==(const Access&, const Access&) = default;
+};
+
+/// Typed, copyable handle to a data object. The type parameter only carries
+/// compile-time intent: TaskContext::get<T> checks it against the
+/// registered object size in debug builds.
+template <typename T>
+struct DataHandle {
+  DataId id = kInvalidData;
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return id != kInvalidData;
+  }
+};
+
+/// Access-declaration helpers so submissions read like the paper's model:
+///   flow.submit("gemm", fn, {read(a), read(b), readwrite(c)});
+template <typename T>
+constexpr Access read(DataHandle<T> h) noexcept {
+  return {h.id, AccessMode::kRead};
+}
+template <typename T>
+constexpr Access write(DataHandle<T> h) noexcept {
+  return {h.id, AccessMode::kWrite};
+}
+template <typename T>
+constexpr Access readwrite(DataHandle<T> h) noexcept {
+  return {h.id, AccessMode::kReadWrite};
+}
+template <typename T>
+constexpr Access reduce(DataHandle<T> h) noexcept {
+  return {h.id, AccessMode::kReduction};
+}
+
+}  // namespace rio::stf

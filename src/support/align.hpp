@@ -1,0 +1,54 @@
+// Cache-line alignment utilities.
+//
+// Shared synchronization state that is written by one thread and polled by
+// others must live on its own cache line, otherwise unrelated writes cause
+// coherence traffic ("false sharing") that dominates fine-grained runtime
+// overhead — exactly the regime the RIO execution model targets.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+
+namespace rio::support {
+
+/// Size of a destructive-interference-free block. We pin this to 64 bytes
+/// (the line size of every x86-64 and most AArch64 parts) instead of
+/// std::hardware_destructive_interference_size, whose value is ABI-fragile
+/// and triggers -Winterference-size on GCC.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a T so that it occupies (at least) one full cache line and starts
+/// on a cache-line boundary. Intended for per-worker counters and for the
+/// shared state words of data objects.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  static_assert(!std::is_reference_v<T>);
+
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+  explicit CacheAligned(T&& v) : value(static_cast<T&&>(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Pad up to a full line so adjacent array elements do not share a line.
+  char pad_[kCacheLineSize > sizeof(T) ? kCacheLineSize - sizeof(T) : 1]{};
+};
+
+/// A cache-line-isolated atomic counter, the building block of both the
+/// RIO shared data-object state and the runtimes' statistics counters.
+template <typename T>
+using AlignedAtomic = CacheAligned<std::atomic<T>>;
+
+static_assert(sizeof(CacheAligned<std::atomic<std::uint64_t>>) >= kCacheLineSize);
+static_assert(alignof(CacheAligned<std::atomic<std::uint64_t>>) == kCacheLineSize);
+
+}  // namespace rio::support

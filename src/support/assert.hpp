@@ -1,0 +1,37 @@
+// Assertion macros.
+//
+// RIO_ASSERT is active in all build types: the invariants it guards (the
+// sequential-consistency protocol state, simulator event ordering) are cheap
+// integer comparisons whose cost is irrelevant next to what they protect.
+// RIO_DEBUG_ASSERT compiles out in release builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rio::support::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "RIO_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+}  // namespace rio::support::detail
+
+#define RIO_ASSERT(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::rio::support::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define RIO_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::rio::support::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define RIO_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define RIO_DEBUG_ASSERT(expr) RIO_ASSERT(expr)
+#endif

@@ -1,0 +1,69 @@
+// Time sources.
+//
+// The efficiency-decomposition methodology of Section 2.3 needs two kinds of
+// time per worker: wall-clock intervals (to bucket task / idle / runtime
+// phases) and CPU time (the paper derives RIO idle time from the CPU-time
+// share because its blocking waits do not consume CPU). Both are wrapped
+// here behind cheap, testable helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace rio::support {
+
+/// Nanoseconds since an arbitrary epoch; monotonic, steady across threads.
+inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// CPU time consumed by the *calling thread*, in nanoseconds. Used to
+/// separate idle (blocked, no CPU burn) from busy phases without dumping
+/// traces — the paper's non-intrusive measurement for RIO (Section 5.1).
+inline std::uint64_t thread_cpu_ns() noexcept {
+#if defined(__linux__)
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return monotonic_ns();
+#endif
+}
+
+/// Scoped stopwatch accumulating into a caller-owned counter. Zero overhead
+/// when the counter is local; used to attribute time to the tau buckets.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::uint64_t& sink) noexcept
+      : sink_(sink), start_(monotonic_ns()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_ += monotonic_ns() - start_; }
+
+ private:
+  std::uint64_t& sink_;
+  std::uint64_t start_;
+};
+
+/// Simple start/stop stopwatch for benches and examples.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(monotonic_ns()) {}
+  void reset() noexcept { start_ = monotonic_ns(); }
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return monotonic_ns() - start_;
+  }
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace rio::support

@@ -1,0 +1,116 @@
+// Minimal table / CSV emitters used by the bench harness and examples.
+//
+// Every figure-reproduction binary prints both a human-readable aligned
+// table (for eyeballing the shape against the paper) and machine-readable
+// CSV (for plotting). Keeping the emitters here avoids ad-hoc printf
+// formatting drifting apart across bench binaries.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rio::support {
+
+/// A simple column-aligned text table. Cells are strings; numeric
+/// convenience adders format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  class RowBuilder {
+   public:
+    explicit RowBuilder(std::vector<std::string>& row) : row_(row) {}
+    RowBuilder& str(std::string s) {
+      row_.push_back(std::move(s));
+      return *this;
+    }
+    RowBuilder& num(double v, int precision = 4) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(precision) << v;
+      row_.push_back(os.str());
+      return *this;
+    }
+    RowBuilder& sci(double v, int precision = 3) {
+      std::ostringstream os;
+      os << std::scientific << std::setprecision(precision) << v;
+      row_.push_back(os.str());
+      return *this;
+    }
+    RowBuilder& integer(long long v) {
+      row_.push_back(std::to_string(v));
+      return *this;
+    }
+
+   private:
+    std::vector<std::string>& row_;
+  };
+
+  RowBuilder row() {
+    rows_.emplace_back();
+    return RowBuilder(rows_.back());
+  }
+
+  /// Aligned, boxed-off table for terminals.
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& r) {
+      os << "| ";
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string();
+        os << std::left << std::setw(static_cast<int>(width[c])) << cell
+           << (c + 1 < width.size() ? " | " : " |");
+      }
+      os << '\n';
+    };
+    print_row(header_);
+    os << "|";
+    for (std::size_t c = 0; c < width.size(); ++c)
+      os << std::string(width[c] + 2, '-') << (c + 1 < width.size() ? "|" : "|");
+    os << '\n';
+    for (const auto& r : rows_) print_row(r);
+  }
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c)
+        os << r[c] << (c + 1 < r.size() ? "," : "");
+      os << '\n';
+    };
+    emit(header_);
+    for (const auto& r : rows_) emit(r);
+  }
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a nanosecond count with an adaptive unit (ns/us/ms/s).
+inline std::string format_duration_ns(double ns) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (ns < 1e3)
+    os << ns << " ns";
+  else if (ns < 1e6)
+    os << ns / 1e3 << " us";
+  else if (ns < 1e9)
+    os << ns / 1e6 << " ms";
+  else
+    os << ns / 1e9 << " s";
+  return os.str();
+}
+
+}  // namespace rio::support

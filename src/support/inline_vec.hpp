@@ -1,0 +1,148 @@
+// Small-buffer vector.
+//
+// A task's access list has 1–3 entries for every workload in the paper
+// (2 reads + 1 write in the random-dependency experiment is the maximum).
+// Storing them inline avoids a heap allocation per task, which matters when
+// the whole point of the runtime is sub-microsecond per-task overhead.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace rio::support {
+
+/// Vector with inline storage for N elements, spilling to the heap beyond.
+/// Deliberately minimal: the subset of std::vector the runtimes need.
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0);
+
+ public:
+  InlineVec() noexcept = default;
+
+  InlineVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  InlineVec(const InlineVec& other) {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i)
+      ::new (static_cast<void*>(data() + i)) T(other.data()[i]);
+    size_ = other.size_;
+  }
+
+  InlineVec(InlineVec&& other) noexcept(std::is_nothrow_move_constructible_v<T>) {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      for (std::size_t i = 0; i < other.size_; ++i)
+        ::new (static_cast<void*>(data() + i)) T(std::move(other.data()[i]));
+      size_ = other.size_;
+      other.clear();
+    }
+  }
+
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (std::size_t i = 0; i < other.size_; ++i)
+        ::new (static_cast<void*>(data() + i)) T(other.data()[i]);
+      size_ = other.size_;
+    }
+    return *this;
+  }
+
+  InlineVec& operator=(InlineVec&& other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    if (this != &other) {
+      this->~InlineVec();
+      ::new (static_cast<void*>(this)) InlineVec(std::move(other));
+    }
+    return *this;
+  }
+
+  ~InlineVec() {
+    clear();
+    if (heap_) ::operator delete(heap_);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap > capacity_) grow(cap);
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data()[i].~T();
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool is_inline() const noexcept { return heap_ == nullptr; }
+
+  T* data() noexcept {
+    return heap_ ? heap_ : std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+  const T* data() const noexcept {
+    return heap_ ? heap_
+                 : std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  T& operator[](std::size_t i) noexcept {
+    RIO_DEBUG_ASSERT(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    RIO_DEBUG_ASSERT(i < size_);
+    return data()[i];
+  }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+
+ private:
+  void grow(std::size_t new_cap) {
+    if (new_cap < size_ + 1) new_cap = size_ + 1;
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data()[i]));
+      data()[i].~T();
+    }
+    if (heap_) ::operator delete(heap_);
+    heap_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace rio::support

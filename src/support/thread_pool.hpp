@@ -1,0 +1,108 @@
+// Persistent worker pool.
+//
+// The runtimes spawn their workers per run by default, which is simple and
+// correct but costs tens of microseconds per run — significant for the
+// hybrid engine (one run per phase) and for repeated fine-grained runs.
+// ThreadPool keeps p parked threads and broadcasts one job to all of them:
+// exactly the "fork" shape every engine here needs (each worker runs the
+// same function with its worker id; the caller blocks until all finish).
+//
+// Synchronization is generation-based: workers park on an atomic
+// generation word (futex via std::atomic::wait); run() installs the job,
+// bumps the generation and wakes everyone; the last worker to finish wakes
+// the caller. No locks on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rio::support {
+
+class ThreadPool {
+ public:
+  using Job = std::function<void(std::uint32_t worker)>;
+
+  explicit ThreadPool(std::uint32_t threads) : size_(threads) {
+    RIO_ASSERT_MSG(threads > 0, "pool needs at least one thread");
+    workers_.reserve(threads);
+    for (std::uint32_t w = 0; w < threads; ++w)
+      workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    stop_.store(true, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+    generation_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+
+  /// Runs `job(w)` on every pool thread; returns when all completed.
+  /// Not reentrant: one run at a time (engines are the only callers).
+  void run(const Job& job) {
+    job_ = &job;
+    remaining_.store(size_, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+    generation_.notify_all();
+    // Park until the last worker signals completion.
+    std::uint32_t left = remaining_.load(std::memory_order_acquire);
+    while (left != 0) {
+      remaining_.wait(left, std::memory_order_acquire);
+      left = remaining_.load(std::memory_order_acquire);
+    }
+    job_ = nullptr;
+  }
+
+ private:
+  void worker_loop(std::uint32_t w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::uint64_t gen = generation_.load(std::memory_order_acquire);
+      while (gen == seen) {
+        generation_.wait(gen, std::memory_order_acquire);
+        gen = generation_.load(std::memory_order_acquire);
+      }
+      seen = gen;
+      if (stop_.load(std::memory_order_acquire)) return;
+      (*job_)(w);
+      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        remaining_.notify_all();
+    }
+  }
+
+  std::uint32_t size_;
+  const Job* job_ = nullptr;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint32_t> remaining_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Fork-join helper used by every engine: runs `fn(w)` for w in [0, p) on
+/// the pool when one is attached (extra pool threads no-op), otherwise on
+/// freshly spawned threads. Blocks until all complete.
+inline void run_parallel(ThreadPool* pool, std::uint32_t p,
+                         const ThreadPool::Job& fn) {
+  if (pool != nullptr) {
+    RIO_ASSERT_MSG(pool->size() >= p, "pool smaller than worker count");
+    pool->run([&](std::uint32_t w) {
+      if (w < p) fn(w);
+    });
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  for (std::uint32_t w = 0; w < p; ++w) threads.emplace_back(fn, w);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace rio::support

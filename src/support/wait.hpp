@@ -1,0 +1,116 @@
+// Wait policies for dependency stalls.
+//
+// Algorithm 2 of the paper contains two "wait for <shared word> == <local
+// value>" loops. How a worker waits is a policy decision with a large
+// performance impact:
+//   * pure spinning has the lowest wake-up latency but burns a hardware
+//     thread, and livelocks when workers are oversubscribed on few cores;
+//   * spin-then-yield keeps low latency while remaining safe under
+//     oversubscription (this reproduction's test machine has one core);
+//   * C++20 std::atomic::wait parks the thread in the kernel (futex on
+//     Linux), which is what a production runtime wants for long stalls.
+//
+// The policy is a template parameter of the hot loops and a runtime knob of
+// the public API, so benches can ablate it (bench/abl_wait_policy).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace rio::support {
+
+/// Selects how a worker waits for a shared atomic to reach a target value.
+enum class WaitPolicy : std::uint8_t {
+  kSpin,       ///< busy-poll with a pause instruction, never yield
+  kSpinYield,  ///< short pause burst, then std::this_thread::yield
+  kBlock,      ///< short spin, then std::atomic::wait (futex)
+};
+
+/// Architectural pause: lowers power and frees pipeline slots for the
+/// sibling hyperthread while spinning.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Exponential spin backoff with an oversubscription escape hatch.
+/// After kSpinLimit rounds the caller should fall back to yielding or
+/// blocking; the backoff object tracks that state.
+class Backoff {
+ public:
+  /// One backoff round. Returns true while still in the spin phase.
+  bool spin() noexcept {
+    if (rounds_ >= kSpinLimit) return false;
+    const std::uint32_t iters = std::uint32_t{1} << (rounds_ < 6 ? rounds_ : 6);
+    for (std::uint32_t i = 0; i < iters; ++i) cpu_pause();
+    ++rounds_;
+    return true;
+  }
+
+  void yield() noexcept { std::this_thread::yield(); }
+
+  void reset() noexcept { rounds_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 10;
+  std::uint32_t rounds_ = 0;
+};
+
+/// Blocks until `word.load(acquire) == expected`, following `policy`.
+///
+/// The predicate is an equality on purpose: both waits in Algorithm 2
+/// compare a thread-local replica against the shared state, and equality
+/// (not >=) is what keeps the protocol correct for writes that reset
+/// nb_reads_since_write to zero.
+template <typename T>
+void wait_until_equal(const std::atomic<T>& word, T expected,
+                      WaitPolicy policy) noexcept {
+  if (word.load(std::memory_order_acquire) == expected) return;
+  Backoff backoff;
+  for (;;) {
+    switch (policy) {
+      case WaitPolicy::kSpin:
+        cpu_pause();
+        break;
+      case WaitPolicy::kSpinYield:
+        if (!backoff.spin()) backoff.yield();
+        break;
+      case WaitPolicy::kBlock: {
+        if (backoff.spin()) break;
+        // atomic::wait needs the *current* (unwanted) value; re-read it to
+        // avoid a missed wakeup between the check and the park.
+        T current = word.load(std::memory_order_acquire);
+        if (current == expected) return;
+        word.wait(current, std::memory_order_acquire);
+        break;
+      }
+    }
+    if (word.load(std::memory_order_acquire) == expected) return;
+  }
+}
+
+/// Store + wake for the kBlock policy. Release ordering publishes all task
+/// side effects before dependents are allowed through.
+template <typename T>
+void store_and_notify(std::atomic<T>& word, T value, WaitPolicy policy) noexcept {
+  word.store(value, std::memory_order_release);
+  if (policy == WaitPolicy::kBlock) word.notify_all();
+}
+
+/// Human-readable policy name for bench/report output.
+constexpr const char* to_string(WaitPolicy p) noexcept {
+  switch (p) {
+    case WaitPolicy::kSpin: return "spin";
+    case WaitPolicy::kSpinYield: return "spin-yield";
+    case WaitPolicy::kBlock: return "block";
+  }
+  return "?";
+}
+
+}  // namespace rio::support

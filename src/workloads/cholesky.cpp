@@ -1,0 +1,149 @@
+#include "workloads/cholesky.hpp"
+
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "workloads/dense.hpp"
+
+namespace rio::workloads {
+
+namespace {
+std::string nm(const char* op, std::uint32_t i, std::uint32_t j) {
+  return std::string(op) + "(" + std::to_string(i) + "," + std::to_string(j) +
+         ")";
+}
+}  // namespace
+
+Workload make_cholesky_dag(const CholeskyDagSpec& spec) {
+  RIO_ASSERT(spec.tiles > 0);
+  Workload w;
+  w.name = "cholesky-dag";
+  const std::uint32_t nt = spec.tiles;
+
+  std::vector<stf::DataHandle<std::uint64_t>> tiles;
+  tiles.reserve(static_cast<std::size_t>(nt) * nt);
+  for (std::uint32_t i = 0; i < nt; ++i)
+    for (std::uint32_t j = 0; j < nt; ++j)
+      tiles.push_back(w.flow.create_data<std::uint64_t>(nm("A", i, j)));
+  auto h = [&](std::uint32_t i, std::uint32_t j) {
+    return tiles[static_cast<std::size_t>(i) * nt + j];
+  };
+
+  const auto [pr, pc] =
+      spec.num_workers > 0 ? pick_grid(spec.num_workers)
+                           : std::pair<std::uint32_t, std::uint32_t>{1, 1};
+  auto owner = [&, pr = pr, pc = pc](std::uint32_t i, std::uint32_t j) {
+    if (spec.num_workers > 0) w.owners.push_back(cyclic_owner(i, j, pr, pc));
+  };
+
+  for (std::uint32_t k = 0; k < nt; ++k) {
+    w.flow.add(nm("potrf", k, k), make_body(spec.body, spec.task_cost),
+               {stf::readwrite(h(k, k))}, spec.task_cost);
+    owner(k, k);
+    for (std::uint32_t i = k + 1; i < nt; ++i) {
+      w.flow.add(nm("trsm", i, k), make_body(spec.body, spec.task_cost),
+                 {stf::read(h(k, k)), stf::readwrite(h(i, k))},
+                 spec.task_cost);
+      owner(i, k);
+    }
+    for (std::uint32_t i = k + 1; i < nt; ++i) {
+      w.flow.add(nm("syrk", i, k), make_body(spec.body, spec.task_cost),
+                 {stf::read(h(i, k)), stf::readwrite(h(i, i))},
+                 spec.task_cost);
+      owner(i, i);
+      for (std::uint32_t j = k + 1; j < i; ++j) {
+        w.flow.add(
+            nm("gemm", i, j) + "@" + std::to_string(k),
+            make_body(spec.body, spec.task_cost),
+            {stf::read(h(i, k)), stf::read(h(j, k)), stf::readwrite(h(i, j))},
+            spec.task_cost);
+        owner(i, j);
+      }
+    }
+  }
+  return w;
+}
+
+Workload make_cholesky_numeric(TiledMatrix& a, std::uint32_t num_workers) {
+  Workload w;
+  w.name = "cholesky-numeric";
+  const std::uint32_t nt = a.tiles();
+  const std::uint32_t dim = a.tile_dim();
+  a.attach(w.flow, "A");
+
+  const auto [pr, pc] = num_workers > 0
+                            ? pick_grid(num_workers)
+                            : std::pair<std::uint32_t, std::uint32_t>{1, 1};
+  auto owner = [&, pr = pr, pc = pc](std::uint32_t i, std::uint32_t j) {
+    if (num_workers > 0) w.owners.push_back(cyclic_owner(i, j, pr, pc));
+  };
+  const std::uint64_t cost = 2ull * dim * dim * dim;
+
+  for (std::uint32_t k = 0; k < nt; ++k) {
+    const auto hkk = a.handle(k, k);
+    w.flow.add(
+        nm("potrf", k, k),
+        [hkk, dim](stf::TaskContext& ctx) { potrf_tile(ctx.get(hkk), dim); },
+        {stf::readwrite(hkk)}, cost);
+    owner(k, k);
+    for (std::uint32_t i = k + 1; i < nt; ++i) {
+      const auto hik = a.handle(i, k);
+      w.flow.add(
+          nm("trsm", i, k),
+          [hkk, hik, dim](stf::TaskContext& ctx) {
+            trsm_right_lower_transpose(ctx.get(hkk, stf::AccessMode::kRead),
+                                       ctx.get(hik), dim);
+          },
+          {stf::read(hkk), stf::readwrite(hik)}, cost);
+      owner(i, k);
+    }
+    for (std::uint32_t i = k + 1; i < nt; ++i) {
+      const auto hik = a.handle(i, k);
+      const auto hii = a.handle(i, i);
+      w.flow.add(
+          nm("syrk", i, k),
+          [hik, hii, dim](stf::TaskContext& ctx) {
+            syrk_tile(ctx.get(hii), ctx.get(hik, stf::AccessMode::kRead), dim);
+          },
+          {stf::read(hik), stf::readwrite(hii)}, cost);
+      owner(i, i);
+      for (std::uint32_t j = k + 1; j < i; ++j) {
+        const auto hjk = a.handle(j, k);
+        const auto hij = a.handle(i, j);
+        w.flow.add(
+            nm("gemm", i, j) + "@" + std::to_string(k),
+            [hik, hjk, hij, dim](stf::TaskContext& ctx) {
+              // C(i,j) -= A(i,k) * A(j,k)^T; reuse gemm_minus on a
+              // transposed copy-free basis is not possible with our simple
+              // kernel, so materialize A(j,k)^T into a stack tile.
+              const double* ajk = ctx.get(hjk, stf::AccessMode::kRead);
+              std::vector<double> ajkT(static_cast<std::size_t>(dim) * dim);
+              for (std::uint32_t r = 0; r < dim; ++r)
+                for (std::uint32_t c = 0; c < dim; ++c)
+                  ajkT[c + static_cast<std::size_t>(r) * dim] =
+                      ajk[r + static_cast<std::size_t>(c) * dim];
+              gemm_minus_tile(ctx.get(hij),
+                              ctx.get(hik, stf::AccessMode::kRead),
+                              ajkT.data(), dim);
+            },
+            {stf::read(hik), stf::read(hjk), stf::readwrite(hij)}, cost);
+        owner(i, j);
+      }
+    }
+  }
+  return w;
+}
+
+std::uint64_t cholesky_dag_task_count(std::uint32_t nt) {
+  std::uint64_t n = 0;
+  for (std::uint32_t k = 0; k < nt; ++k) {
+    n += 1;                // potrf
+    n += nt - k - 1;       // trsm
+    n += nt - k - 1;       // syrk
+    for (std::uint32_t i = k + 1; i < nt; ++i) n += i - k - 1;  // gemm
+  }
+  return n;
+}
+
+}  // namespace rio::workloads

@@ -1,0 +1,38 @@
+// Tiled Cholesky factorization (extension workload).
+//
+// Not part of the paper's four experiments, but the canonical STF workload
+// its cited related work revolves around ([Agullo et al., IPDPS 2016]
+// studies static schedules on exactly this factorization). Used by the
+// mapping-ablation bench and as a third numeric example:
+//   potrf(k):     RW A(k,k)
+//   trsm(i,k):    R  A(k,k), RW A(i,k)            for i > k
+//   syrk(i,k):    R  A(i,k), RW A(i,i)            for i > k
+//   gemm(i,j,k):  R  A(i,k), R A(j,k), RW A(i,j)  for i > j > k
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/kernels.hpp"
+#include "workloads/tiled_matrix.hpp"
+#include "workloads/workload.hpp"
+
+namespace rio::workloads {
+
+struct CholeskyDagSpec {
+  std::uint32_t tiles = 4;
+  std::uint64_t task_cost = 1000;
+  BodyKind body = BodyKind::kCounter;
+  std::uint32_t num_workers = 0;
+};
+
+/// Synthetic Cholesky DAG (structure only).
+Workload make_cholesky_dag(const CholeskyDagSpec& spec);
+
+/// Numeric tiled Cholesky of the SPD matrix `a`, in place (lower triangle;
+/// strictly-upper tiles are left untouched).
+Workload make_cholesky_numeric(TiledMatrix& a, std::uint32_t num_workers = 0);
+
+/// Task count of the Cholesky DAG for an nt-tile grid.
+std::uint64_t cholesky_dag_task_count(std::uint32_t tiles);
+
+}  // namespace rio::workloads

@@ -1,0 +1,179 @@
+#include "workloads/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rio::workloads {
+
+namespace {
+// Column-major indexing helper.
+inline std::size_t at(std::size_t r, std::size_t c, std::size_t ld) {
+  return r + c * ld;
+}
+}  // namespace
+
+void gemm_tile(double* c, const double* a, const double* b, std::size_t dim) {
+  // jki order: stream down columns of C and A (unit stride, column-major),
+  // broadcast one B element per inner loop — the textbook cache-friendly
+  // order for column-major data; GCC vectorizes the inner loop.
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t k = 0; k < dim; ++k) {
+      const double bkj = b[at(k, j, dim)];
+      const double* ak = a + k * dim;
+      double* cj = c + j * dim;
+      for (std::size_t i = 0; i < dim; ++i) cj[i] += ak[i] * bkj;
+    }
+  }
+}
+
+void gemm_minus_tile(double* c, const double* a, const double* b,
+                     std::size_t dim) {
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t k = 0; k < dim; ++k) {
+      const double bkj = b[at(k, j, dim)];
+      const double* ak = a + k * dim;
+      double* cj = c + j * dim;
+      for (std::size_t i = 0; i < dim; ++i) cj[i] -= ak[i] * bkj;
+    }
+  }
+}
+
+void getrf_tile(double* a, std::size_t dim) {
+  // Right-looking unpivoted LU. Valid for the diagonally-dominant inputs
+  // the workload generators produce.
+  for (std::size_t k = 0; k < dim; ++k) {
+    const double pivot = a[at(k, k, dim)];
+    RIO_DEBUG_ASSERT(pivot != 0.0);
+    const double inv = 1.0 / pivot;
+    for (std::size_t i = k + 1; i < dim; ++i) a[at(i, k, dim)] *= inv;
+    for (std::size_t j = k + 1; j < dim; ++j) {
+      const double ukj = a[at(k, j, dim)];
+      for (std::size_t i = k + 1; i < dim; ++i)
+        a[at(i, j, dim)] -= a[at(i, k, dim)] * ukj;
+    }
+  }
+}
+
+void trsm_lower_left(const double* lu, double* b, std::size_t dim) {
+  // Forward substitution with the unit-lower factor, one column at a time.
+  for (std::size_t j = 0; j < dim; ++j) {
+    double* bj = b + j * dim;
+    for (std::size_t k = 0; k < dim; ++k) {
+      const double bkj = bj[k];  // L has unit diagonal: no divide
+      for (std::size_t i = k + 1; i < dim; ++i)
+        bj[i] -= lu[at(i, k, dim)] * bkj;
+    }
+  }
+}
+
+void trsm_upper_right(const double* lu, double* b, std::size_t dim) {
+  // Solve X * U = B column-block-wise: for column j of U, X(:,j) =
+  // (B(:,j) - X(:,0..j-1) * U(0..j-1, j)) / U(j,j).
+  for (std::size_t j = 0; j < dim; ++j) {
+    double* bj = b + j * dim;
+    for (std::size_t k = 0; k < j; ++k) {
+      const double ukj = lu[at(k, j, dim)];
+      const double* bk = b + k * dim;
+      for (std::size_t i = 0; i < dim; ++i) bj[i] -= bk[i] * ukj;
+    }
+    const double inv = 1.0 / lu[at(j, j, dim)];
+    for (std::size_t i = 0; i < dim; ++i) bj[i] *= inv;
+  }
+}
+
+void potrf_tile(double* a, std::size_t dim) {
+  for (std::size_t k = 0; k < dim; ++k) {
+    double diag = a[at(k, k, dim)];
+    for (std::size_t m = 0; m < k; ++m) {
+      const double lkm = a[at(k, m, dim)];
+      diag -= lkm * lkm;
+    }
+    RIO_DEBUG_ASSERT(diag > 0.0);
+    diag = std::sqrt(diag);
+    a[at(k, k, dim)] = diag;
+    const double inv = 1.0 / diag;
+    for (std::size_t i = k + 1; i < dim; ++i) {
+      double v = a[at(i, k, dim)];
+      for (std::size_t m = 0; m < k; ++m)
+        v -= a[at(i, m, dim)] * a[at(k, m, dim)];
+      a[at(i, k, dim)] = v * inv;
+    }
+  }
+}
+
+void trsm_right_lower_transpose(const double* l, double* b, std::size_t dim) {
+  // Solve X * L^T = B  =>  column k of X depends on columns 0..k-1.
+  for (std::size_t k = 0; k < dim; ++k) {
+    double* bk = b + k * dim;
+    for (std::size_t m = 0; m < k; ++m) {
+      const double lkm = l[at(k, m, dim)];
+      const double* bm = b + m * dim;
+      for (std::size_t i = 0; i < dim; ++i) bk[i] -= bm[i] * lkm;
+    }
+    const double inv = 1.0 / l[at(k, k, dim)];
+    for (std::size_t i = 0; i < dim; ++i) bk[i] *= inv;
+  }
+}
+
+void syrk_tile(double* c, const double* a, std::size_t dim) {
+  // Lower triangle of C -= A * A^T.
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t k = 0; k < dim; ++k) {
+      const double ajk = a[at(j, k, dim)];
+      for (std::size_t i = j; i < dim; ++i)
+        c[at(i, j, dim)] -= a[at(i, k, dim)] * ajk;
+    }
+  }
+}
+
+void naive_dgemm(double* c, const double* a, const double* b, std::size_t n) {
+  gemm_tile(c, a, b, n);
+}
+
+void blocked_dgemm(double* c, const double* a, const double* b, std::size_t n,
+                   std::size_t block) {
+  RIO_ASSERT(block > 0);
+  // Pack the active tiles of A and B into contiguous scratch so each
+  // sub-multiplication works on dense column-major tiles — this is what
+  // gives small blocks their cache penalty relative to large ones, the
+  // effect Figure 3 measures.
+  std::vector<double> apack(block * block), bpack(block * block),
+      cpack(block * block);
+  for (std::size_t jj = 0; jj < n; jj += block) {
+    const std::size_t jb = std::min(block, n - jj);
+    for (std::size_t ii = 0; ii < n; ii += block) {
+      const std::size_t ib = std::min(block, n - ii);
+      // Load C tile.
+      for (std::size_t j = 0; j < jb; ++j)
+        for (std::size_t i = 0; i < ib; ++i)
+          cpack[at(i, j, ib)] = c[at(ii + i, jj + j, n)];
+      for (std::size_t kk = 0; kk < n; kk += block) {
+        const std::size_t kb = std::min(block, n - kk);
+        for (std::size_t k = 0; k < kb; ++k)
+          for (std::size_t i = 0; i < ib; ++i)
+            apack[at(i, k, ib)] = a[at(ii + i, kk + k, n)];
+        for (std::size_t j = 0; j < jb; ++j)
+          for (std::size_t k = 0; k < kb; ++k)
+            bpack[at(k, j, kb)] = b[at(kk + k, jj + j, n)];
+        // C_tile += A_tile * B_tile (rectangular-safe jki kernel).
+        for (std::size_t j = 0; j < jb; ++j) {
+          for (std::size_t k = 0; k < kb; ++k) {
+            const double bkj = bpack[at(k, j, kb)];
+            const double* ak = apack.data() + k * ib;
+            double* cj = cpack.data() + j * ib;
+            for (std::size_t i = 0; i < ib; ++i) cj[i] += ak[i] * bkj;
+          }
+        }
+      }
+      // Store C tile back.
+      for (std::size_t j = 0; j < jb; ++j)
+        for (std::size_t i = 0; i < ib; ++i)
+          c[at(ii + i, jj + j, n)] = cpack[at(i, j, ib)];
+    }
+  }
+}
+
+}  // namespace rio::workloads

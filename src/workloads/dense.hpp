@@ -1,0 +1,64 @@
+// Dense linear-algebra tile kernels.
+//
+// These are the real numerical bodies behind the GEMM / LU / Cholesky task
+// graphs: unblocked kernels operating on square b x b column-major tiles.
+// They replace the Intel MKL kernels of the paper's Figures 2-4 (see
+// DESIGN.md, substitution table). blocked_dgemm() is the cache-blocked
+// full-matrix multiply used to measure kernel efficiency vs tile size
+// (Figure 3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rio::workloads {
+
+// All kernels use column-major storage: element (r, c) of a b x b tile is
+// at [r + c * b], matching the BLAS convention the paper's kernels use.
+
+/// C += A * B on b x b tiles.
+void gemm_tile(double* c, const double* a, const double* b, std::size_t dim);
+
+/// C -= A * B on b x b tiles (the Schur-complement update of LU/Cholesky).
+void gemm_minus_tile(double* c, const double* a, const double* b,
+                     std::size_t dim);
+
+/// In-place unpivoted LU of a b x b tile: A <- L\U with unit-diagonal L
+/// stored below the diagonal and U on/above it.
+void getrf_tile(double* a, std::size_t dim);
+
+/// B <- L^{-1} * B where L is the unit-lower-triangular factor stored in
+/// `lu` (the row-panel update of tiled LU).
+void trsm_lower_left(const double* lu, double* b, std::size_t dim);
+
+/// B <- B * U^{-1} where U is the upper-triangular factor stored in `lu`
+/// (the column-panel update of tiled LU).
+void trsm_upper_right(const double* lu, double* b, std::size_t dim);
+
+/// In-place Cholesky of a symmetric positive-definite tile: A <- L with L
+/// lower-triangular (upper part left untouched).
+void potrf_tile(double* a, std::size_t dim);
+
+/// B <- B * L^{-T} (the panel update of tiled Cholesky).
+void trsm_right_lower_transpose(const double* l, double* b, std::size_t dim);
+
+/// C -= A * A^T restricted to the lower triangle (Cholesky diagonal update).
+void syrk_tile(double* c, const double* a, std::size_t dim);
+
+/// Reference n x n matrix multiply (ikj order, no blocking): the oracle for
+/// blocked_dgemm and the t(g->n) endpoint of the Figure-3 sweep.
+void naive_dgemm(double* c, const double* a, const double* b, std::size_t n);
+
+/// Cache-blocked n x n multiply with block size `block`: the whole
+/// computation is split into block-sized sub-multiplications, exactly the
+/// task decomposition of Figures 2-3. n need not be a multiple of block.
+void blocked_dgemm(double* c, const double* a, const double* b, std::size_t n,
+                   std::size_t block);
+
+/// FLOP count of an n x n GEMM (2 n^3), for efficiency reporting.
+constexpr double gemm_flops(std::size_t n) {
+  return 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+         static_cast<double>(n);
+}
+
+}  // namespace rio::workloads

@@ -1,0 +1,91 @@
+#include "workloads/gemm.hpp"
+
+#include "support/assert.hpp"
+#include "workloads/dense.hpp"
+
+namespace rio::workloads {
+
+Workload make_gemm_dag(const GemmDagSpec& spec) {
+  RIO_ASSERT(spec.tiles > 0);
+  Workload w;
+  w.name = "gemm-dag";
+  const std::uint32_t nt = spec.tiles;
+
+  // Register the tile grid as (body-less) data objects: dependencies only.
+  std::vector<stf::DataHandle<std::uint64_t>> ta, tb, tc;
+  auto grid = [&](const char* base, auto& out) {
+    out.reserve(static_cast<std::size_t>(nt) * nt);
+    for (std::uint32_t i = 0; i < nt; ++i)
+      for (std::uint32_t j = 0; j < nt; ++j)
+        out.push_back(w.flow.create_data<std::uint64_t>(
+            std::string(base) + "(" + std::to_string(i) + "," +
+            std::to_string(j) + ")"));
+  };
+  grid("A", ta);
+  grid("B", tb);
+  grid("C", tc);
+  auto idx = [nt](std::uint32_t i, std::uint32_t j) {
+    return static_cast<std::size_t>(i) * nt + j;
+  };
+
+  const auto [pr, pc] =
+      spec.num_workers > 0 ? pick_grid(spec.num_workers)
+                           : std::pair<std::uint32_t, std::uint32_t>{1, 1};
+
+  for (std::uint32_t i = 0; i < nt; ++i) {
+    for (std::uint32_t j = 0; j < nt; ++j) {
+      for (std::uint32_t k = 0; k < nt; ++k) {
+        w.flow.add("gemm(" + std::to_string(i) + "," + std::to_string(j) +
+                       "," + std::to_string(k) + ")",
+                   make_body(spec.body, spec.task_cost),
+                   {stf::read(ta[idx(i, k)]), stf::read(tb[idx(k, j)]),
+                    stf::readwrite(tc[idx(i, j)])},
+                   spec.task_cost);
+        if (spec.num_workers > 0)
+          w.owners.push_back(cyclic_owner(i, j, pr, pc));
+      }
+    }
+  }
+  return w;
+}
+
+Workload make_gemm_numeric(TiledMatrix& a, TiledMatrix& b, TiledMatrix& c,
+                           std::uint32_t num_workers) {
+  RIO_ASSERT(a.tiles() == b.tiles() && b.tiles() == c.tiles());
+  RIO_ASSERT(a.tile_dim() == b.tile_dim() && b.tile_dim() == c.tile_dim());
+  Workload w;
+  w.name = "gemm-numeric";
+  const std::uint32_t nt = a.tiles();
+  const std::uint32_t dim = a.tile_dim();
+  a.attach(w.flow, "A");
+  b.attach(w.flow, "B");
+  c.attach(w.flow, "C");
+
+  const auto [pr, pc] = num_workers > 0
+                            ? pick_grid(num_workers)
+                            : std::pair<std::uint32_t, std::uint32_t>{1, 1};
+  // ~2 dim^3 fused multiply-adds per tile multiply.
+  const std::uint64_t cost = 2ull * dim * dim * dim;
+
+  for (std::uint32_t i = 0; i < nt; ++i) {
+    for (std::uint32_t j = 0; j < nt; ++j) {
+      for (std::uint32_t k = 0; k < nt; ++k) {
+        const auto ha = a.handle(i, k);
+        const auto hb = b.handle(k, j);
+        const auto hc = c.handle(i, j);
+        w.flow.add(
+            "gemm(" + std::to_string(i) + "," + std::to_string(j) + "," +
+                std::to_string(k) + ")",
+            [ha, hb, hc, dim](stf::TaskContext& ctx) {
+              gemm_tile(ctx.get(hc), ctx.get(ha, stf::AccessMode::kRead),
+                        ctx.get(hb, stf::AccessMode::kRead), dim);
+            },
+            {stf::read(ha), stf::read(hb), stf::readwrite(hc)}, cost);
+        if (num_workers > 0) w.owners.push_back(cyclic_owner(i, j, pr, pc));
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace rio::workloads

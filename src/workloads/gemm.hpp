@@ -1,0 +1,36 @@
+// Tiled matrix-multiplication task graph — Experiment 3 of Section 5.1 and
+// the workload behind Figures 2-4.
+//
+// C(i,j) accumulates sum_k A(i,k) * B(k,j): one task per (i,j,k) triple
+// with reads on A(i,k), B(k,j) and a read-write on C(i,j). Iterating k
+// innermost makes each C tile's accumulation a contiguous chain in the
+// flow, which is the submission order a programmer would naturally write
+// and the one RIO's in-order execution benefits from.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/kernels.hpp"
+#include "workloads/tiled_matrix.hpp"
+#include "workloads/workload.hpp"
+
+namespace rio::workloads {
+
+struct GemmDagSpec {
+  std::uint32_t tiles = 4;        ///< square tile grid: tiles x tiles
+  std::uint64_t task_cost = 1000; ///< counter iterations / virtual cost
+  BodyKind body = BodyKind::kCounter;
+  std::uint32_t num_workers = 0;  ///< >0: owner-computes 2-D cyclic table
+};
+
+/// Synthetic GEMM DAG (dependency structure only; bodies per `spec.body`).
+/// Owners follow the C-tile owner under a 2-D block-cyclic distribution.
+Workload make_gemm_dag(const GemmDagSpec& spec);
+
+/// Numeric tiled GEMM: builds the same DAG with real gemm_tile bodies over
+/// caller-owned tiled matrices (C += A * B). Matrices must be attached by
+/// this call's flow and outlive it.
+Workload make_gemm_numeric(TiledMatrix& a, TiledMatrix& b, TiledMatrix& c,
+                           std::uint32_t num_workers = 0);
+
+}  // namespace rio::workloads

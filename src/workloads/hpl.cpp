@@ -1,0 +1,297 @@
+#include "workloads/hpl.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "support/assert.hpp"
+#include "workloads/dense.hpp"
+
+namespace rio::workloads {
+namespace {
+
+/// Per-tile-row pivot candidate exchanged between search and reduce tasks.
+struct Cand {
+  double value = 0.0;        // |entry|
+  std::uint32_t local_row = 0;
+};
+
+std::string nm(const char* op, std::uint32_t a, std::uint32_t b) {
+  return std::string(op) + "(" + std::to_string(a) + "," + std::to_string(b) +
+         ")";
+}
+
+}  // namespace
+
+HplWorkload make_hpl_lu(TiledMatrix& a, std::uint32_t num_workers) {
+  RIO_ASSERT(num_workers > 0);
+  const std::uint32_t nt = a.tiles();
+  const std::uint32_t b = a.tile_dim();
+  const std::size_t n = a.order();
+
+  HplWorkload out;
+  Workload& w = out.workload;
+  w.name = "hpl-lu";
+  a.attach(w.flow, "A");
+
+  // Pivot-candidate slots (one per tile row) and the permutation record.
+  std::vector<stf::DataHandle<Cand>> cand;
+  for (std::uint32_t i = 0; i < nt; ++i)
+    cand.push_back(w.flow.create_data<Cand>("cand[" + std::to_string(i) + "]"));
+  out.perm = std::make_shared<std::vector<std::uint64_t>>(n, 0);
+  auto perm_h = w.flow.attach_data<std::uint64_t>("perm", out.perm->data(), n);
+  const auto perm_ptr = out.perm;
+
+  std::vector<bool> is_fine;
+  auto fine_owner = [&](stf::WorkerId owner) {
+    w.owners.push_back(owner);
+    is_fine.push_back(true);
+  };
+  auto coarse_owner = [&](std::uint32_t i, std::uint32_t j) {
+    const auto [pr, pc] = pick_grid(num_workers);
+    w.owners.push_back(cyclic_owner(i, j, pr, pc));
+    is_fine.push_back(false);
+  };
+
+  const std::uint64_t fine_cost = 4ull * b;          // O(b) scans
+  const std::uint64_t coarse_cost = 2ull * b * b * b;  // O(b^3) updates
+
+  for (std::uint32_t k = 0; k < nt; ++k) {
+    // ---------------- FINE: pivoted panel factorization ------------------
+    for (std::uint32_t c = 0; c < b; ++c) {
+      // search(i): local max of panel column c in tile row i.
+      for (std::uint32_t i = k; i < nt; ++i) {
+        const auto hik = a.handle(i, k);
+        const auto hc = cand[i];
+        const std::uint32_t from = (i == k) ? c : 0;
+        w.flow.add(
+            nm("search", i, c) + "@" + std::to_string(k),
+            [hik, hc, from, c, b](stf::TaskContext& ctx) {
+              const double* tile = ctx.get(hik, stf::AccessMode::kRead);
+              Cand best{-1.0, from};
+              for (std::uint32_t r = from; r < b; ++r) {
+                const double v = std::fabs(tile[r + c * b]);
+                if (v > best.value) best = {v, r};
+              }
+              *ctx.get(hc) = best;
+            },
+            {stf::read(hik), stf::write(hc)}, fine_cost);
+        fine_owner(static_cast<stf::WorkerId>(i % num_workers));
+      }
+
+      // reduce+swap: pick the global pivot, swap the panel rows, record it.
+      {
+        stf::AccessList acc;
+        for (std::uint32_t i = k; i < nt; ++i) acc.push_back(stf::read(cand[i]));
+        for (std::uint32_t i = k; i < nt; ++i)
+          acc.push_back(stf::readwrite(a.handle(i, k)));
+        acc.push_back(stf::readwrite(perm_h));
+        std::vector<stf::DataHandle<Cand>> cands(cand.begin() + k, cand.end());
+        std::vector<stf::DataHandle<double>> tiles;
+        for (std::uint32_t i = k; i < nt; ++i) tiles.push_back(a.handle(i, k));
+        w.flow.add(
+            nm("pivot", k, c),
+            [cands, tiles, perm_ptr, k, c, b](stf::TaskContext& ctx) {
+              // Global argmax, first-wins on ties (matches the dense
+              // reference's strict-greater scan).
+              std::uint32_t best_tile = 0;
+              Cand best = *ctx.get(cands[0], stf::AccessMode::kRead);
+              for (std::uint32_t t = 1; t < cands.size(); ++t) {
+                const Cand cd = *ctx.get(cands[t], stf::AccessMode::kRead);
+                if (cd.value > best.value) {
+                  best = cd;
+                  best_tile = t;
+                }
+              }
+              const std::uint64_t cur = static_cast<std::uint64_t>(k) * b + c;
+              const std::uint64_t piv =
+                  static_cast<std::uint64_t>(k + best_tile) * b +
+                  best.local_row;
+              (*perm_ptr)[cur] = piv;
+              if (piv != cur) {
+                // Swap the panel-width rows (tile column k only; trailing
+                // columns are swapped by the coarse laswp tasks).
+                double* trow = ctx.get(tiles[0]);            // tile (k,k)
+                double* prow = ctx.get(tiles[best_tile]);    // tile (ir,k)
+                for (std::uint32_t col = 0; col < b; ++col)
+                  std::swap(trow[c + col * b],
+                            prow[best.local_row + col * b]);
+              }
+            },
+            std::move(acc), fine_cost);
+        fine_owner(static_cast<stf::WorkerId>(k % num_workers));
+      }
+
+      // update(i): scale column c below the pivot + rank-1 panel update.
+      for (std::uint32_t i = k; i < nt; ++i) {
+        const auto hkk = a.handle(k, k);
+        const auto hik = a.handle(i, k);
+        stf::AccessList acc;
+        if (i == k)
+          acc.push_back(stf::readwrite(hkk));
+        else {
+          acc.push_back(stf::read(hkk));
+          acc.push_back(stf::readwrite(hik));
+        }
+        w.flow.add(
+            nm("panel_update", i, c) + "@" + std::to_string(k),
+            [hkk, hik, i, k, c, b](stf::TaskContext& ctx) {
+              const double* pivot_tile =
+                  (i == k) ? ctx.get(hkk) : ctx.get(hkk, stf::AccessMode::kRead);
+              double* tile = (i == k) ? ctx.get(hkk) : ctx.get(hik);
+              const double pivot = pivot_tile[c + c * b];
+              RIO_DEBUG_ASSERT(pivot != 0.0);
+              const double inv = 1.0 / pivot;
+              const std::uint32_t from = (i == k) ? c + 1 : 0;
+              for (std::uint32_t r = from; r < b; ++r) {
+                const double l = tile[r + c * b] * inv;
+                tile[r + c * b] = l;
+                for (std::uint32_t cc = c + 1; cc < b; ++cc)
+                  tile[r + cc * b] -= l * pivot_tile[c + cc * b];
+              }
+            },
+            std::move(acc), fine_cost);
+        fine_owner(static_cast<stf::WorkerId>(i % num_workers));
+      }
+    }
+
+    // ---------------- COARSE: swaps, solves, trailing update --------------
+    // laswp(j): apply this panel's row swaps to every other tile column.
+    for (std::uint32_t j = 0; j < nt; ++j) {
+      if (j == k) continue;
+      stf::AccessList acc;
+      acc.push_back(stf::read(perm_h));
+      for (std::uint32_t i = k; i < nt; ++i)
+        acc.push_back(stf::readwrite(a.handle(i, j)));
+      std::vector<stf::DataHandle<double>> tiles;
+      for (std::uint32_t i = k; i < nt; ++i) tiles.push_back(a.handle(i, j));
+      w.flow.add(
+          nm("laswp", k, j),
+          [tiles, perm_ptr, k, b](stf::TaskContext& ctx) {
+            for (std::uint32_t c = 0; c < b; ++c) {
+              const std::uint64_t cur = static_cast<std::uint64_t>(k) * b + c;
+              const std::uint64_t piv = (*perm_ptr)[cur];
+              if (piv == cur) continue;
+              double* trow = ctx.get(tiles[0]);
+              double* prow = ctx.get(tiles[piv / b - k]);
+              const auto pr_local = static_cast<std::uint32_t>(piv % b);
+              for (std::uint32_t col = 0; col < b; ++col)
+                std::swap(trow[c + col * b], prow[pr_local + col * b]);
+            }
+          },
+          std::move(acc), coarse_cost);
+      coarse_owner(k, j);
+    }
+    // trsm(j): row-panel solves with the unit-lower panel factor.
+    for (std::uint32_t j = k + 1; j < nt; ++j) {
+      const auto hkk = a.handle(k, k);
+      const auto hkj = a.handle(k, j);
+      w.flow.add(
+          nm("trsm", k, j),
+          [hkk, hkj, b](stf::TaskContext& ctx) {
+            trsm_lower_left(ctx.get(hkk, stf::AccessMode::kRead),
+                            ctx.get(hkj), b);
+          },
+          {stf::read(hkk), stf::readwrite(hkj)}, coarse_cost);
+      coarse_owner(k, j);
+    }
+    // gemm(i,j): trailing update.
+    for (std::uint32_t i = k + 1; i < nt; ++i) {
+      for (std::uint32_t j = k + 1; j < nt; ++j) {
+        const auto hik = a.handle(i, k);
+        const auto hkj = a.handle(k, j);
+        const auto hij = a.handle(i, j);
+        w.flow.add(
+            nm("gemm", i, j) + "@" + std::to_string(k),
+            [hik, hkj, hij, b](stf::TaskContext& ctx) {
+              gemm_minus_tile(ctx.get(hij),
+                              ctx.get(hik, stf::AccessMode::kRead),
+                              ctx.get(hkj, stf::AccessMode::kRead), b);
+            },
+            {stf::read(hik), stf::read(hkj), stf::readwrite(hij)},
+            coarse_cost);
+        coarse_owner(i, j);
+      }
+    }
+  }
+
+  // Encode "coarse" as kInvalidWorker in a COPY used by partial_mapping();
+  // keep complete owners in `workload.owners` so pure-RIO runs also work.
+  // partial_mapping() needs the fine/coarse distinction: rebuild owners
+  // with kInvalidWorker for coarse tasks into a dedicated vector stored in
+  // the closure.
+  {
+    std::vector<stf::WorkerId> partial(w.owners.size());
+    for (std::size_t t = 0; t < w.owners.size(); ++t)
+      partial[t] = is_fine[t] ? w.owners[t] : stf::kInvalidWorker;
+    // Stash the partial table by swapping: HplWorkload::partial_mapping()
+    // reads workload.owners, so store the PARTIAL view there and keep the
+    // complete table under a custom mapping for full-RIO users.
+    out.full_owners = std::move(w.owners);
+    w.owners = std::move(partial);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> dense_lu_pivoted(std::vector<double>& a,
+                                            std::size_t n) {
+  RIO_ASSERT(a.size() == n * n);
+  std::vector<std::uint64_t> perm(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::size_t piv = c;
+    double best = std::fabs(a[c + c * n]);
+    for (std::size_t r = c + 1; r < n; ++r) {
+      const double v = std::fabs(a[r + c * n]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    perm[c] = piv;
+    if (piv != c)
+      for (std::size_t col = 0; col < n; ++col)
+        std::swap(a[c + col * n], a[piv + col * n]);
+    const double inv = 1.0 / a[c + c * n];
+    for (std::size_t r = c + 1; r < n; ++r) {
+      const double l = a[r + c * n] * inv;
+      a[r + c * n] = l;
+      for (std::size_t col = c + 1; col < n; ++col)
+        a[r + col * n] -= l * a[c + col * n];
+    }
+  }
+  return perm;
+}
+
+double hpl_residual(const TiledMatrix& original, const TiledMatrix& lu,
+                    const std::vector<std::uint64_t>& perm) {
+  const std::size_t n = original.order();
+  RIO_ASSERT(perm.size() == n && lu.order() == n);
+
+  // P*A: apply the recorded swaps, in order, to a dense copy.
+  std::vector<double> pa(n * n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) pa[r + c * n] = original.at(r, c);
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t piv = perm[c];
+    if (piv != c)
+      for (std::size_t col = 0; col < n; ++col)
+        std::swap(pa[c + col * n], pa[piv + col * n]);
+  }
+
+  double norm_a = 0.0, worst = 0.0;
+  for (double v : pa) norm_a = std::max(norm_a, std::fabs(v));
+  // ||P*A - L*U||_max, computing (L*U)(r,c) on the fly.
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      double acc = 0.0;
+      const std::size_t kmax = std::min(r, c);
+      for (std::size_t k = 0; k <= kmax; ++k) {
+        const double l = (k == r) ? 1.0 : lu.at(r, k);
+        acc += l * lu.at(k, c);
+      }
+      worst = std::max(worst, std::fabs(pa[r + c * n] - acc));
+    }
+  }
+  return worst / (static_cast<double>(n) * norm_a);
+}
+
+}  // namespace rio::workloads

@@ -1,0 +1,88 @@
+// Tiled LU factorization WITH partial pivoting — the paper's motivating
+// workload.
+//
+// Section 1: "the core of the HPL algorithm is a LU matrix factorization
+// with partial pivoting: while most operations are performed at coarse
+// granularity, the pivoting itself requires fine-grained operations that
+// can not be efficiently executed as tasks with such runtime systems."
+//
+// This generator emits exactly that mixed-granularity flow. For each panel
+// step k over an nt x nt grid of b x b tiles:
+//
+//   FINE (per panel column c = 0..b-1; O(b) or O(b^2/nt) work each):
+//     search(i):      find the max |entry| of column c in tile row i
+//     reduce+swap:    pick the global pivot, swap the panel rows, record
+//                     the pivot index (conservative superset access
+//                     declaration over the panel tiles — the pivot row is
+//                     data-dependent, the classic reason pivoting is hard
+//                     for STF runtimes)
+//     update(i):      scale column c and rank-1-update the panel tile row
+//
+//   COARSE (per step; O(b^2)–O(b^3) work each):
+//     laswp(j):       apply the panel's row swaps to tile column j != k
+//     trsm(j):        A(k,j) <- L(k,k)^{-1} A(k,j)          for j > k
+//     gemm(i,j):      A(i,j) -= A(i,k) * A(k,j)             for i,j > k
+//
+// The generator fills `owners` for the FINE tasks only (search/update by
+// tile row, reduce by panel, cyclic over workers) and leaves the coarse
+// tasks unmapped — i.e. it produces the PARTIAL mapping the hybrid runtime
+// consumes: fine phases run decentralized in-order, coarse phases run on
+// the centralized OoO engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "workloads/tiled_matrix.hpp"
+#include "workloads/workload.hpp"
+
+namespace rio::workloads {
+
+struct HplWorkload {
+  Workload workload;  ///< `workload.owners` holds the PARTIAL table:
+                      ///< fine tasks own a worker, coarse tasks are
+                      ///< stf::kInvalidWorker (dynamic phase)
+  /// Complete owner table (fine: row-cyclic; coarse: tile-owner cyclic)
+  /// for running the WHOLE flow on the pure in-order runtime.
+  std::vector<stf::WorkerId> full_owners;
+  /// Pivot indices (global row chosen for each column), filled at
+  /// execution time; needed to verify P A = L U.
+  std::shared_ptr<std::vector<std::uint64_t>> perm;
+
+  /// The partial mapping for hybrid::Runtime: owners[t] for fine tasks,
+  /// nullopt for coarse ones.
+  [[nodiscard]] std::function<std::optional<stf::WorkerId>(stf::TaskId)>
+  partial_mapping() const {
+    const auto owners = workload.owners;
+    return [owners](stf::TaskId t) -> std::optional<stf::WorkerId> {
+      if (t >= owners.size() || owners[t] == stf::kInvalidWorker)
+        return std::nullopt;
+      return owners[t];
+    };
+  }
+
+  /// Total mapping over the complete owner table (pure-RIO execution).
+  [[nodiscard]] rt::Mapping full_mapping() const {
+    return rt::mapping::table(full_owners, "hpl/full-owners");
+  }
+};
+
+/// Builds the pivoted-LU flow over `a` (in place: on completion the tiles
+/// hold L\U of P*A). `num_workers` sizes the fine-task owner assignment.
+HplWorkload make_hpl_lu(TiledMatrix& a, std::uint32_t num_workers);
+
+/// Reference dense LU with partial pivoting (right-looking, unblocked) on
+/// a column-major n x n matrix; returns the pivot rows per column.
+/// The verification oracle for the tiled flow.
+std::vector<std::uint64_t> dense_lu_pivoted(std::vector<double>& a,
+                                            std::size_t n);
+
+/// Max-norm residual ||P*A - L*U|| / (n * ||A||) of a factorization stored
+/// tiled in `lu` with pivot rows `perm`, against the original `a`.
+double hpl_residual(const TiledMatrix& original, const TiledMatrix& lu,
+                    const std::vector<std::uint64_t>& perm);
+
+}  // namespace rio::workloads

@@ -1,0 +1,81 @@
+// GEMM kernel-efficiency model for the Figure 2/4 simulations.
+//
+// Figure 3 of the paper measures how the sequential DGEMM kernel loses
+// efficiency at small tile sizes (less cache reuse per tile). The
+// simulated multicore experiments need that curve to convert a tile size
+// into a per-task virtual cost:
+//
+//     cost(b) = 2 b^3 / (peak * e_g(b))
+//
+// The model ships with an analytic default, e_g(b) = 1 / (1 + a/b), which
+// matches the measured shape of our blocked_dgemm (bench/fig3) and of the
+// paper's MKL curve: efficiency climbing steeply through small tiles and
+// saturating near 1 for large ones. Benches can replace it with measured
+// (tile, efficiency) points; interpolation is piecewise linear in log(b).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rio::workloads {
+
+class KernelModel {
+ public:
+  /// Analytic model. `half_eff_tile` is the tile size at which the kernel
+  /// reaches 50% efficiency (a = half_eff_tile).
+  explicit KernelModel(double peak_flops_per_tick = 16.0,
+                       double half_eff_tile = 20.0)
+      : peak_(peak_flops_per_tick), a_(half_eff_tile) {}
+
+  /// Model from measured points (tile size -> efficiency in (0, 1]).
+  static KernelModel from_measurements(
+      std::vector<std::pair<double, double>> points,
+      double peak_flops_per_tick = 16.0) {
+    RIO_ASSERT(!points.empty());
+    KernelModel m(peak_flops_per_tick);
+    std::sort(points.begin(), points.end());
+    m.points_ = std::move(points);
+    return m;
+  }
+
+  /// Granularity efficiency e_g at tile size b.
+  [[nodiscard]] double efficiency(double tile) const {
+    RIO_ASSERT(tile > 0);
+    if (points_.empty()) return 1.0 / (1.0 + a_ / tile);
+    if (tile <= points_.front().first) return points_.front().second;
+    if (tile >= points_.back().first) return points_.back().second;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      if (tile <= points_[i].first) {
+        const auto [x0, y0] = points_[i - 1];
+        const auto [x1, y1] = points_[i];
+        const double f =
+            (std::log(tile) - std::log(x0)) / (std::log(x1) - std::log(x0));
+        return y0 + f * (y1 - y0);
+      }
+    }
+    return points_.back().second;
+  }
+
+  /// Virtual cost (ticks) of one b x b x b GEMM tile task.
+  [[nodiscard]] std::uint64_t tile_cost(std::uint32_t tile) const {
+    const double flops = 2.0 * static_cast<double>(tile) *
+                         static_cast<double>(tile) *
+                         static_cast<double>(tile);
+    return static_cast<std::uint64_t>(
+        std::llround(flops / (peak_ * efficiency(tile))));
+  }
+
+  [[nodiscard]] double peak() const noexcept { return peak_; }
+
+ private:
+  double peak_;
+  double a_ = 20.0;
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace rio::workloads

@@ -1,0 +1,25 @@
+#include "workloads/kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/clock.hpp"
+
+namespace rio::workloads {
+
+double counter_iterations_per_ns(int rounds) {
+  constexpr std::uint64_t kProbeIters = 4'000'000;
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    const std::uint64_t t0 = support::monotonic_ns();
+    counter_kernel(kProbeIters);
+    const std::uint64_t dt = support::monotonic_ns() - t0;
+    rates.push_back(static_cast<double>(kProbeIters) /
+                    static_cast<double>(dt > 0 ? dt : 1));
+  }
+  std::sort(rates.begin(), rates.end());
+  return rates[rates.size() / 2];
+}
+
+}  // namespace rio::workloads

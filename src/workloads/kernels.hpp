@@ -1,0 +1,53 @@
+// Synthetic task kernels.
+//
+// Section 5.1: to isolate the pipelining and runtime efficiencies from
+// granularity/locality effects, the paper substitutes every real task with
+// a common synthetic kernel that increments a stack-local counter. Its
+// duration is linear in N, it touches no shared memory, and splitting the
+// same total work across more tasks costs nothing — hence e_g = e_l = 1 by
+// construction.
+#pragma once
+
+#include <cstdint>
+
+#include "stf/task.hpp"
+
+namespace rio::workloads {
+
+/// The paper's synthetic kernel (verbatim semantics):
+///   volatile uint64_t counter = 0;
+///   for (i = 0; i < n; i++) counter = i;
+/// The volatile store defeats vectorization/DCE, making the loop a stable
+/// ~1-instruction-per-iteration time unit on any compiler.
+inline void counter_kernel(std::uint64_t n) noexcept {
+  volatile std::uint64_t counter = 0;
+  for (std::uint64_t i = 0; i < n; ++i) counter = i;
+  (void)counter;
+}
+
+/// Task body wrapping counter_kernel with a fixed iteration count.
+inline stf::TaskFn counter_body(std::uint64_t iterations) {
+  return [iterations](stf::TaskContext&) { counter_kernel(iterations); };
+}
+
+/// How generators fill task bodies.
+enum class BodyKind : std::uint8_t {
+  kNone,     ///< cost-only tasks for the discrete-event simulator
+  kCounter,  ///< the paper's synthetic counter kernel (real execution)
+};
+
+/// Builds the body for a task of virtual cost `cost` under `kind`.
+inline stf::TaskFn make_body(BodyKind kind, std::uint64_t cost) {
+  switch (kind) {
+    case BodyKind::kNone: return {};
+    case BodyKind::kCounter: return counter_body(cost);
+  }
+  return {};
+}
+
+/// Calibrates how many counter-kernel iterations fit in one nanosecond on
+/// the host (median of `rounds` probes). Benches use it to translate the
+/// paper's "task size in instructions" axis into host-time task sizes.
+double counter_iterations_per_ns(int rounds = 5);
+
+}  // namespace rio::workloads

@@ -1,0 +1,150 @@
+#include "workloads/lu.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/assert.hpp"
+#include "workloads/dense.hpp"
+
+namespace rio::workloads {
+
+namespace {
+std::string tile_name(const char* op, std::uint32_t i, std::uint32_t j) {
+  return std::string(op) + "(" + std::to_string(i) + "," + std::to_string(j) +
+         ")";
+}
+}  // namespace
+
+Workload make_lu_dag(const LuDagSpec& spec) {
+  RIO_ASSERT(spec.row_tiles > 0 && spec.col_tiles > 0);
+  Workload w;
+  w.name = "lu-dag";
+  const std::uint32_t rt = spec.row_tiles;
+  const std::uint32_t ct = spec.col_tiles;
+
+  std::vector<stf::DataHandle<std::uint64_t>> tiles;
+  tiles.reserve(static_cast<std::size_t>(rt) * ct);
+  for (std::uint32_t i = 0; i < rt; ++i)
+    for (std::uint32_t j = 0; j < ct; ++j)
+      tiles.push_back(w.flow.create_data<std::uint64_t>(tile_name("A", i, j)));
+  auto h = [&](std::uint32_t i, std::uint32_t j) {
+    return tiles[static_cast<std::size_t>(i) * ct + j];
+  };
+
+  const auto [pr, pc] =
+      spec.num_workers > 0 ? pick_grid(spec.num_workers)
+                           : std::pair<std::uint32_t, std::uint32_t>{1, 1};
+  auto owner = [&, pr = pr, pc = pc](std::uint32_t i, std::uint32_t j) {
+    if (spec.num_workers > 0) w.owners.push_back(cyclic_owner(i, j, pr, pc));
+  };
+
+  const std::uint32_t steps = std::min(rt, ct);
+  for (std::uint32_t k = 0; k < steps; ++k) {
+    w.flow.add(tile_name("getrf", k, k), make_body(spec.body, spec.task_cost),
+               {stf::readwrite(h(k, k))}, spec.task_cost);
+    owner(k, k);
+    for (std::uint32_t j = k + 1; j < ct; ++j) {
+      w.flow.add(tile_name("trsm_u", k, j),
+                 make_body(spec.body, spec.task_cost),
+                 {stf::read(h(k, k)), stf::readwrite(h(k, j))},
+                 spec.task_cost);
+      owner(k, j);
+    }
+    for (std::uint32_t i = k + 1; i < rt; ++i) {
+      w.flow.add(tile_name("trsm_l", i, k),
+                 make_body(spec.body, spec.task_cost),
+                 {stf::read(h(k, k)), stf::readwrite(h(i, k))},
+                 spec.task_cost);
+      owner(i, k);
+    }
+    for (std::uint32_t i = k + 1; i < rt; ++i) {
+      for (std::uint32_t j = k + 1; j < ct; ++j) {
+        w.flow.add(
+            tile_name("gemm", i, j) + "@" + std::to_string(k),
+            make_body(spec.body, spec.task_cost),
+            {stf::read(h(i, k)), stf::read(h(k, j)), stf::readwrite(h(i, j))},
+            spec.task_cost);
+        owner(i, j);
+      }
+    }
+  }
+  return w;
+}
+
+Workload make_lu_numeric(TiledMatrix& a, std::uint32_t num_workers) {
+  Workload w;
+  w.name = "lu-numeric";
+  const std::uint32_t nt = a.tiles();
+  const std::uint32_t dim = a.tile_dim();
+  a.attach(w.flow, "A");
+
+  const auto [pr, pc] = num_workers > 0
+                            ? pick_grid(num_workers)
+                            : std::pair<std::uint32_t, std::uint32_t>{1, 1};
+  auto owner = [&, pr = pr, pc = pc](std::uint32_t i, std::uint32_t j) {
+    if (num_workers > 0) w.owners.push_back(cyclic_owner(i, j, pr, pc));
+  };
+  const std::uint64_t cost = 2ull * dim * dim * dim;
+
+  for (std::uint32_t k = 0; k < nt; ++k) {
+    const auto hkk = a.handle(k, k);
+    w.flow.add(
+        tile_name("getrf", k, k),
+        [hkk, dim](stf::TaskContext& ctx) { getrf_tile(ctx.get(hkk), dim); },
+        {stf::readwrite(hkk)}, cost);
+    owner(k, k);
+    for (std::uint32_t j = k + 1; j < nt; ++j) {
+      const auto hkj = a.handle(k, j);
+      w.flow.add(
+          tile_name("trsm_u", k, j),
+          [hkk, hkj, dim](stf::TaskContext& ctx) {
+            trsm_lower_left(ctx.get(hkk, stf::AccessMode::kRead),
+                            ctx.get(hkj), dim);
+          },
+          {stf::read(hkk), stf::readwrite(hkj)}, cost);
+      owner(k, j);
+    }
+    for (std::uint32_t i = k + 1; i < nt; ++i) {
+      const auto hik = a.handle(i, k);
+      w.flow.add(
+          tile_name("trsm_l", i, k),
+          [hkk, hik, dim](stf::TaskContext& ctx) {
+            trsm_upper_right(ctx.get(hkk, stf::AccessMode::kRead),
+                             ctx.get(hik), dim);
+          },
+          {stf::read(hkk), stf::readwrite(hik)}, cost);
+      owner(i, k);
+    }
+    for (std::uint32_t i = k + 1; i < nt; ++i) {
+      for (std::uint32_t j = k + 1; j < nt; ++j) {
+        const auto hik = a.handle(i, k);
+        const auto hkj = a.handle(k, j);
+        const auto hij = a.handle(i, j);
+        w.flow.add(
+            tile_name("gemm", i, j) + "@" + std::to_string(k),
+            [hik, hkj, hij, dim](stf::TaskContext& ctx) {
+              gemm_minus_tile(ctx.get(hij),
+                              ctx.get(hik, stf::AccessMode::kRead),
+                              ctx.get(hkj, stf::AccessMode::kRead), dim);
+            },
+            {stf::read(hik), stf::read(hkj), stf::readwrite(hij)}, cost);
+        owner(i, j);
+      }
+    }
+  }
+  return w;
+}
+
+std::uint64_t lu_dag_task_count(std::uint32_t rt, std::uint32_t ct) {
+  std::uint64_t n = 0;
+  const std::uint32_t steps = std::min(rt, ct);
+  for (std::uint32_t k = 0; k < steps; ++k) {
+    n += 1;                                   // getrf
+    n += ct - k - 1;                          // trsm_u
+    n += rt - k - 1;                          // trsm_l
+    n += static_cast<std::uint64_t>(rt - k - 1) * (ct - k - 1);  // gemm
+  }
+  return n;
+}
+
+}  // namespace rio::workloads

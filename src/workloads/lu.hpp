@@ -1,0 +1,46 @@
+// Tiled LU factorization without pivoting — Experiment 4 of Section 5.1 and
+// the task graph the paper model-checks in Table 1.
+//
+// For an rt x ct tile grid, panel step k emits:
+//   getrf(k,k):    RW A(k,k)
+//   trsm_u(k,j):   R  A(k,k), RW A(k,j)          for j > k   (row panel)
+//   trsm_l(i,k):   R  A(k,k), RW A(i,k)          for i > k   (column panel)
+//   gemm(i,j,k):   R  A(i,k), R A(k,j), RW A(i,j) for i,j > k (trailing)
+//
+// This is the dependency pattern whose fine-grained variant motivates the
+// paper (HPL's partial pivoting needs fine tasks; we reproduce the
+// unpivoted structure the paper evaluates). The generator supports
+// rectangular grids (3 x 2 etc.) to match Table 1's model-checking sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/kernels.hpp"
+#include "workloads/tiled_matrix.hpp"
+#include "workloads/workload.hpp"
+
+namespace rio::workloads {
+
+struct LuDagSpec {
+  std::uint32_t row_tiles = 4;
+  std::uint32_t col_tiles = 4;
+  std::uint64_t task_cost = 1000;
+  BodyKind body = BodyKind::kCounter;
+  std::uint32_t num_workers = 0;  ///< >0: owner-computes 2-D cyclic table
+};
+
+/// Synthetic LU DAG (structure only). Owners follow the written tile under
+/// a 2-D block-cyclic distribution.
+Workload make_lu_dag(const LuDagSpec& spec);
+
+/// Numeric tiled LU of `a` in place (no pivoting — callers must supply a
+/// diagonally dominant matrix, see TiledMatrix::fill_random_diagonally_
+/// dominant). Square grids only.
+Workload make_lu_numeric(TiledMatrix& a, std::uint32_t num_workers = 0);
+
+/// Number of tasks the LU DAG emits for an rt x ct grid (used by tests and
+/// the model-checking bench to report problem sizes).
+std::uint64_t lu_dag_task_count(std::uint32_t row_tiles,
+                                std::uint32_t col_tiles);
+
+}  // namespace rio::workloads

@@ -1,0 +1,113 @@
+#include "workloads/stencil.hpp"
+
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rio::workloads {
+
+Workload make_stencil_dag(const StencilSpec& spec) {
+  RIO_ASSERT(spec.chunks > 0 && spec.steps > 0);
+  Workload w;
+  w.name = "stencil-dag";
+  const std::uint32_t n = spec.chunks;
+
+  // Double-buffered chunk handles: buf[parity][chunk].
+  std::vector<stf::DataHandle<std::uint64_t>> buf[2];
+  for (int p = 0; p < 2; ++p) {
+    buf[p].reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      buf[p].push_back(w.flow.create_data<std::uint64_t>(
+          "u" + std::to_string(p) + "[" + std::to_string(i) + "]"));
+  }
+
+  for (std::uint32_t t = 0; t < spec.steps; ++t) {
+    const auto& cur = buf[t % 2];
+    const auto& nxt = buf[(t + 1) % 2];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      stf::AccessList acc;
+      if (i > 0) acc.push_back(stf::read(cur[i - 1]));
+      acc.push_back(stf::read(cur[i]));
+      if (i + 1 < n) acc.push_back(stf::read(cur[i + 1]));
+      acc.push_back(stf::write(nxt[i]));
+      w.flow.add("step" + std::to_string(t) + "[" + std::to_string(i) + "]",
+                 make_body(spec.body, spec.task_cost), std::move(acc),
+                 spec.task_cost);
+      if (spec.num_workers > 0)
+        w.owners.push_back(static_cast<stf::WorkerId>(
+            static_cast<std::uint64_t>(i) * spec.num_workers / n));
+    }
+  }
+  return w;
+}
+
+Workload make_stencil_numeric(std::uint32_t chunks, std::uint32_t chunk_len,
+                              std::uint32_t steps,
+                              std::vector<double>& buffer_a,
+                              std::vector<double>& buffer_b,
+                              std::uint32_t num_workers) {
+  RIO_ASSERT(chunks > 0 && chunk_len > 0 && steps > 0);
+  const std::size_t total = static_cast<std::size_t>(chunks) * chunk_len;
+  RIO_ASSERT_MSG(buffer_a.size() == total && buffer_b.size() == total,
+                 "buffers must be chunks * chunk_len doubles");
+  Workload w;
+  w.name = "stencil-numeric";
+
+  std::vector<stf::DataHandle<double>> buf[2];
+  std::vector<double>* store[2] = {&buffer_a, &buffer_b};
+  for (int p = 0; p < 2; ++p) {
+    buf[p].reserve(chunks);
+    for (std::uint32_t i = 0; i < chunks; ++i)
+      buf[p].push_back(w.flow.attach_data<double>(
+          "u" + std::to_string(p) + "[" + std::to_string(i) + "]",
+          store[p]->data() + static_cast<std::size_t>(i) * chunk_len,
+          chunk_len));
+  }
+
+  // 3-point heat update with reflective boundaries:
+  //   next[x] = 0.25*left + 0.5*mid + 0.25*right.
+  const std::uint64_t cost = 4ull * chunk_len;
+  for (std::uint32_t t = 0; t < steps; ++t) {
+    const auto& cur = buf[t % 2];
+    const auto& nxt = buf[(t + 1) % 2];
+    for (std::uint32_t i = 0; i < chunks; ++i) {
+      const bool has_left = i > 0;
+      const bool has_right = i + 1 < chunks;
+      const auto hl = has_left ? cur[i - 1] : cur[i];
+      const auto hm = cur[i];
+      const auto hr = has_right ? cur[i + 1] : cur[i];
+      const auto hn = nxt[i];
+      stf::AccessList acc;
+      if (has_left) acc.push_back(stf::read(hl));
+      acc.push_back(stf::read(hm));
+      if (has_right) acc.push_back(stf::read(hr));
+      acc.push_back(stf::write(hn));
+      w.flow.add(
+          "step" + std::to_string(t) + "[" + std::to_string(i) + "]",
+          [hl, hm, hr, hn, chunk_len, has_left,
+           has_right](stf::TaskContext& ctx) {
+            const double* left = ctx.get(hl, stf::AccessMode::kRead);
+            const double* mid = ctx.get(hm, stf::AccessMode::kRead);
+            const double* right = ctx.get(hr, stf::AccessMode::kRead);
+            double* out = ctx.get(hn);
+            for (std::uint32_t x = 0; x < chunk_len; ++x) {
+              const double lv = x > 0           ? mid[x - 1]
+                                : has_left      ? left[chunk_len - 1]
+                                                : mid[0];
+              const double rv = x + 1 < chunk_len ? mid[x + 1]
+                                : has_right       ? right[0]
+                                                  : mid[chunk_len - 1];
+              out[x] = 0.25 * lv + 0.5 * mid[x] + 0.25 * rv;
+            }
+          },
+          std::move(acc), cost);
+      if (num_workers > 0)
+        w.owners.push_back(static_cast<stf::WorkerId>(
+            static_cast<std::uint64_t>(i) * num_workers / chunks));
+    }
+  }
+  return w;
+}
+
+}  // namespace rio::workloads

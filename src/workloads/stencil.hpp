@@ -1,0 +1,45 @@
+// 1-D stencil sweep (extension workload).
+//
+// T Jacobi time-steps over a double-buffered array of chunks: updating
+// chunk i at step t reads chunks i-1, i, i+1 of the current buffer and
+// writes chunk i of the next buffer. With a block mapping, RIO's
+// neighbour-only synchronization makes the steady state a software
+// pipeline — the classic case where the decentralized model's cheap
+// point-to-point waits shine and the centralized master adds nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/kernels.hpp"
+#include "workloads/workload.hpp"
+
+namespace rio::workloads {
+
+struct StencilSpec {
+  std::uint32_t chunks = 16;       ///< spatial decomposition
+  std::uint32_t steps = 8;         ///< time steps
+  std::uint64_t task_cost = 1000;
+  BodyKind body = BodyKind::kCounter;
+  std::uint32_t num_workers = 0;   ///< >0: contiguous block owner table
+};
+
+/// Synthetic stencil DAG. Owners: chunk i belongs to worker
+/// i * p / chunks (contiguous blocks — the natural domain decomposition).
+Workload make_stencil_dag(const StencilSpec& spec);
+
+struct NumericStencilResult {
+  Workload workload;
+  stf::DataHandle<double> result;  ///< handle of the final buffer's chunk 0
+};
+
+/// Numeric 3-point heat-equation stencil over `chunks` chunks of
+/// `chunk_len` doubles, `steps` sweeps. Verifiable against a sequential
+/// reference by the test suite.
+Workload make_stencil_numeric(std::uint32_t chunks, std::uint32_t chunk_len,
+                              std::uint32_t steps,
+                              std::vector<double>& buffer_a,
+                              std::vector<double>& buffer_b,
+                              std::uint32_t num_workers = 0);
+
+}  // namespace rio::workloads

@@ -1,0 +1,68 @@
+#include "workloads/synthetic.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace rio::workloads {
+
+Workload make_independent(const IndependentSpec& spec) {
+  Workload w;
+  w.name = "independent";
+  for (std::uint64_t t = 0; t < spec.num_tasks; ++t) {
+    w.flow.submit(make_body(spec.body, spec.task_cost), /*accesses=*/{},
+                  spec.task_cost);
+  }
+  if (spec.num_workers > 0) {
+    w.owners.reserve(spec.num_tasks);
+    for (std::uint64_t t = 0; t < spec.num_tasks; ++t)
+      w.owners.push_back(static_cast<stf::WorkerId>(t % spec.num_workers));
+  }
+  return w;
+}
+
+Workload make_random_deps(const RandomDepsSpec& spec) {
+  RIO_ASSERT_MSG(spec.reads_per_task + spec.writes_per_task <= spec.num_data,
+                 "not enough data objects for distinct accesses");
+  Workload w;
+  w.name = "random-deps";
+
+  // The data objects exist for their dependency structure only; the counter
+  // body never dereferences them, matching the paper's methodology.
+  std::vector<stf::DataHandle<std::uint64_t>> data;
+  data.reserve(spec.num_data);
+  for (std::uint32_t d = 0; d < spec.num_data; ++d)
+    data.push_back(
+        w.flow.create_data<std::uint64_t>("d" + std::to_string(d)));
+
+  support::Xoshiro256 rng(spec.seed);
+  std::vector<std::uint32_t> picked;
+  for (std::uint64_t t = 0; t < spec.num_tasks; ++t) {
+    // Draw reads_per_task + writes_per_task distinct objects.
+    picked.clear();
+    while (picked.size() < spec.reads_per_task + spec.writes_per_task) {
+      const auto candidate =
+          static_cast<std::uint32_t>(rng.bounded(spec.num_data));
+      if (std::find(picked.begin(), picked.end(), candidate) == picked.end())
+        picked.push_back(candidate);
+    }
+    stf::AccessList accesses;
+    for (std::uint32_t r = 0; r < spec.reads_per_task; ++r)
+      accesses.push_back(stf::read(data[picked[r]]));
+    for (std::uint32_t wr = 0; wr < spec.writes_per_task; ++wr)
+      accesses.push_back(
+          stf::write(data[picked[spec.reads_per_task + wr]]));
+    w.flow.submit(make_body(spec.body, spec.task_cost), std::move(accesses),
+                  spec.task_cost);
+  }
+
+  if (spec.num_workers > 0) {
+    w.owners.reserve(spec.num_tasks);
+    for (std::uint64_t t = 0; t < spec.num_tasks; ++t)
+      w.owners.push_back(static_cast<stf::WorkerId>(t % spec.num_workers));
+  }
+  return w;
+}
+
+}  // namespace rio::workloads

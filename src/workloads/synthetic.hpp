@@ -1,0 +1,44 @@
+// Synthetic task graphs — Experiments 1 and 2 of Section 5.1.
+//
+// Experiment 1: independent tasks (no data, no dependencies) — isolates the
+// raw per-task cost of each execution model (also Figures 6 and 7).
+//
+// Experiment 2: random dependencies — each task draws 2 random read
+// dependencies and 1 random write dependency over a pool of 128 data
+// objects. With no exploitable structure, no good static mapping or
+// submission order exists: this is RIO's designed-in worst case.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/kernels.hpp"
+#include "workloads/workload.hpp"
+
+namespace rio::workloads {
+
+struct IndependentSpec {
+  std::uint64_t num_tasks = 1024;
+  std::uint64_t task_cost = 1000;     ///< counter iterations / virtual cost
+  BodyKind body = BodyKind::kCounter;
+  std::uint32_t num_workers = 0;      ///< >0: fill round-robin owner table
+};
+
+/// Experiment-1 generator: `num_tasks` tasks touching no data at all.
+Workload make_independent(const IndependentSpec& spec);
+
+struct RandomDepsSpec {
+  std::uint64_t num_tasks = 1024;
+  std::uint32_t num_data = 128;       ///< paper: 128 data objects
+  std::uint32_t reads_per_task = 2;   ///< paper: 2 random read deps
+  std::uint32_t writes_per_task = 1;  ///< paper: 1 random write dep
+  std::uint64_t task_cost = 1000;
+  BodyKind body = BodyKind::kCounter;
+  std::uint64_t seed = 42;
+  std::uint32_t num_workers = 0;      ///< >0: fill round-robin owner table
+};
+
+/// Experiment-2 generator. Reads and the write target distinct objects
+/// (a task never lists the same data twice).
+Workload make_random_deps(const RandomDepsSpec& spec);
+
+}  // namespace rio::workloads

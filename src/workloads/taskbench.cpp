@@ -1,0 +1,107 @@
+#include "workloads/taskbench.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace rio::workloads {
+namespace {
+
+std::uint32_t floor_log2(std::uint32_t v) {
+  std::uint32_t r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> taskbench_deps(const TaskBenchSpec& spec,
+                                          std::uint32_t t, std::uint32_t d) {
+  const std::uint32_t w = spec.width;
+  std::vector<std::uint32_t> deps;
+  if (t == 0) return deps;  // first step has no upstream row
+  switch (spec.pattern) {
+    case TaskBenchPattern::kTrivial:
+      break;
+    case TaskBenchPattern::kNoComm:
+      deps = {d};
+      break;
+    case TaskBenchPattern::kStencil1D:
+      if (d > 0) deps.push_back(d - 1);
+      deps.push_back(d);
+      if (d + 1 < w) deps.push_back(d + 1);
+      break;
+    case TaskBenchPattern::kStencil1DPeriodic:
+      deps = {(d + w - 1) % w, d, (d + 1) % w};
+      std::sort(deps.begin(), deps.end());
+      deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+      break;
+    case TaskBenchPattern::kFft: {
+      const std::uint32_t levels = std::max(1u, floor_log2(w));
+      const std::uint32_t partner = d ^ (1u << ((t - 1) % levels));
+      deps.push_back(d);
+      if (partner < w && partner != d) deps.push_back(partner);
+      std::sort(deps.begin(), deps.end());
+      break;
+    }
+    case TaskBenchPattern::kTree: {
+      // Folded binary tree: at step t, point d also consumes its sibling
+      // at distance 2^((t-1) mod levels) below it.
+      const std::uint32_t levels = std::max(1u, floor_log2(w));
+      const std::uint32_t stride = 1u << ((t - 1) % levels);
+      deps.push_back(d);
+      if (d + stride < w) deps.push_back(d + stride);
+      break;
+    }
+    case TaskBenchPattern::kAllToAll:
+      deps.resize(w);
+      for (std::uint32_t i = 0; i < w; ++i) deps[i] = i;
+      break;
+    case TaskBenchPattern::kSpread: {
+      // k = 3 strided dependencies, Task Bench's information-spreading
+      // pattern: offsets t, 2t, 3t (mod width), plus the point itself.
+      deps.push_back(d);
+      for (std::uint32_t k = 1; k <= 3; ++k)
+        deps.push_back((d + k * t) % w);
+      std::sort(deps.begin(), deps.end());
+      deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+      break;
+    }
+  }
+  return deps;
+}
+
+Workload make_taskbench(const TaskBenchSpec& spec) {
+  RIO_ASSERT(spec.width > 0 && spec.steps > 0);
+  Workload w;
+  w.name = std::string("taskbench/") + to_string(spec.pattern);
+
+  // Double-buffered per-point objects: buf[parity][point].
+  std::vector<stf::DataHandle<std::uint64_t>> buf[2];
+  for (int p = 0; p < 2; ++p) {
+    buf[p].reserve(spec.width);
+    for (std::uint32_t d = 0; d < spec.width; ++d)
+      buf[p].push_back(w.flow.create_data<std::uint64_t>(
+          "p" + std::to_string(p) + "[" + std::to_string(d) + "]"));
+  }
+
+  for (std::uint32_t t = 0; t < spec.steps; ++t) {
+    const auto& cur = buf[t % 2];
+    const auto& nxt = buf[(t + 1) % 2];
+    for (std::uint32_t d = 0; d < spec.width; ++d) {
+      stf::AccessList acc;
+      for (std::uint32_t dep : taskbench_deps(spec, t, d))
+        acc.push_back(stf::read(cur[dep]));
+      acc.push_back(stf::write(nxt[d]));
+      w.flow.add(std::string(to_string(spec.pattern)) + "(" +
+                     std::to_string(t) + "," + std::to_string(d) + ")",
+                 make_body(spec.body, spec.task_cost), std::move(acc),
+                 spec.task_cost);
+      if (spec.num_workers > 0)
+        w.owners.push_back(static_cast<stf::WorkerId>(d % spec.num_workers));
+    }
+  }
+  return w;
+}
+
+}  // namespace rio::workloads

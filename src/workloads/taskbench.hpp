@@ -1,0 +1,79 @@
+// Mini Task Bench — the parameterized dependence patterns of the paper's
+// motivating study.
+//
+// The paper's granularity argument rests on the Task Bench survey
+// [Slaughter et al., SC20]: STF runtimes only become profitable above a
+// minimum task granularity (~100 us on ~24-core nodes for StarPU-class
+// systems). Task Bench expresses workloads as an iteration space of
+// `width` points by `steps` time steps with a per-step dependence pattern.
+// This module reimplements the core patterns over our STF layer, so the
+// METG (minimum effective task granularity) methodology can be replayed
+// against both execution models (bench/metg).
+//
+// Every point of every step is one task: it reads the previous-step
+// objects of its dependence neighbourhood and writes its own double-
+// buffered object.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/kernels.hpp"
+#include "workloads/workload.hpp"
+
+namespace rio::workloads {
+
+/// Task Bench dependence patterns (the shared-memory-relevant subset).
+enum class TaskBenchPattern : std::uint8_t {
+  kTrivial,           ///< no dependencies at all
+  kNoComm,            ///< same-point only: width independent chains
+  kStencil1D,         ///< points d-1, d, d+1 (clamped at the borders)
+  kStencil1DPeriodic, ///< same, wrapping around
+  kFft,               ///< butterfly: d and d XOR 2^(t mod log2(width))
+  kTree,              ///< binary reduction tree folded over the steps
+  kAllToAll,          ///< every point depends on every previous point
+  kSpread,            ///< k strided dependencies (k = 3) spreading info
+};
+
+constexpr const char* to_string(TaskBenchPattern p) noexcept {
+  switch (p) {
+    case TaskBenchPattern::kTrivial: return "trivial";
+    case TaskBenchPattern::kNoComm: return "no_comm";
+    case TaskBenchPattern::kStencil1D: return "stencil_1d";
+    case TaskBenchPattern::kStencil1DPeriodic: return "stencil_1d_periodic";
+    case TaskBenchPattern::kFft: return "fft";
+    case TaskBenchPattern::kTree: return "tree";
+    case TaskBenchPattern::kAllToAll: return "all_to_all";
+    case TaskBenchPattern::kSpread: return "spread";
+  }
+  return "?";
+}
+
+/// All patterns, for parameterized tests/benches.
+inline constexpr TaskBenchPattern kAllTaskBenchPatterns[] = {
+    TaskBenchPattern::kTrivial,   TaskBenchPattern::kNoComm,
+    TaskBenchPattern::kStencil1D, TaskBenchPattern::kStencil1DPeriodic,
+    TaskBenchPattern::kFft,       TaskBenchPattern::kTree,
+    TaskBenchPattern::kAllToAll,  TaskBenchPattern::kSpread,
+};
+
+struct TaskBenchSpec {
+  TaskBenchPattern pattern = TaskBenchPattern::kStencil1D;
+  std::uint32_t width = 24;     ///< points per step (Task Bench: ~cores)
+  std::uint32_t steps = 32;     ///< time steps
+  std::uint64_t task_cost = 1000;
+  BodyKind body = BodyKind::kNone;
+  std::uint32_t num_workers = 0;  ///< >0: owner table (point d -> d mod p,
+                                  ///< the Task Bench shard mapping)
+};
+
+/// Dependence neighbourhood of point `d` at step `t` (indices into the
+/// previous step's row). Exposed for tests.
+std::vector<std::uint32_t> taskbench_deps(const TaskBenchSpec& spec,
+                                          std::uint32_t t, std::uint32_t d);
+
+/// Builds the width x steps task grid for `spec`.
+Workload make_taskbench(const TaskBenchSpec& spec);
+
+}  // namespace rio::workloads

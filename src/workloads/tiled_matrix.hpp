@@ -1,0 +1,124 @@
+// Tiled matrix storage for the numeric task graphs.
+//
+// An nt x nt grid of dim x dim column-major tiles, stored contiguously
+// tile-by-tile so that each tile is one data object with unit-stride
+// columns — the layout task-based dense linear algebra uses so a task's
+// working set is exactly its tiles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "stf/task_flow.hpp"
+
+namespace rio::workloads {
+
+class TiledMatrix {
+ public:
+  TiledMatrix(std::uint32_t tiles, std::uint32_t dim)
+      : tiles_(tiles),
+        dim_(dim),
+        storage_(static_cast<std::size_t>(tiles) * tiles * dim * dim, 0.0) {}
+
+  [[nodiscard]] std::uint32_t tiles() const noexcept { return tiles_; }
+  [[nodiscard]] std::uint32_t tile_dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t order() const noexcept {
+    return static_cast<std::size_t>(tiles_) * dim_;
+  }
+
+  [[nodiscard]] double* tile(std::uint32_t i, std::uint32_t j) noexcept {
+    RIO_DEBUG_ASSERT(i < tiles_ && j < tiles_);
+    return storage_.data() +
+           (static_cast<std::size_t>(i) * tiles_ + j) * dim_ * dim_;
+  }
+  [[nodiscard]] const double* tile(std::uint32_t i,
+                                   std::uint32_t j) const noexcept {
+    RIO_DEBUG_ASSERT(i < tiles_ && j < tiles_);
+    return storage_.data() +
+           (static_cast<std::size_t>(i) * tiles_ + j) * dim_ * dim_;
+  }
+
+  /// Element access in global (row, col) coordinates, column-major within
+  /// the owning tile. For tests and verification only — O(1) but does the
+  /// tile arithmetic every call.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return tile(static_cast<std::uint32_t>(r / dim_),
+                static_cast<std::uint32_t>(c / dim_))[(r % dim_) +
+                                                      (c % dim_) * dim_];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return tile(static_cast<std::uint32_t>(r / dim_),
+                static_cast<std::uint32_t>(c / dim_))[(r % dim_) +
+                                                      (c % dim_) * dim_];
+  }
+
+  /// Registers every tile as a data object of `flow`; handle(i, j) resolves
+  /// them afterwards. The matrix must outlive the flow's executions.
+  void attach(stf::TaskFlow& flow, const std::string& name) {
+    handles_.clear();
+    handles_.reserve(static_cast<std::size_t>(tiles_) * tiles_);
+    for (std::uint32_t i = 0; i < tiles_; ++i)
+      for (std::uint32_t j = 0; j < tiles_; ++j)
+        handles_.push_back(flow.attach_data<double>(
+            name + "(" + std::to_string(i) + "," + std::to_string(j) + ")",
+            tile(i, j), static_cast<std::size_t>(dim_) * dim_));
+  }
+
+  [[nodiscard]] stf::DataHandle<double> handle(std::uint32_t i,
+                                               std::uint32_t j) const {
+    RIO_DEBUG_ASSERT(!handles_.empty());
+    return handles_[static_cast<std::size_t>(i) * tiles_ + j];
+  }
+
+  /// Uniform random entries in [-1, 1).
+  void fill_random(std::uint64_t seed) {
+    support::Xoshiro256 rng(seed);
+    for (double& v : storage_) v = rng.uniform() * 2.0 - 1.0;
+  }
+
+  /// Random entries made strongly diagonally dominant, so unpivoted LU is
+  /// numerically safe (and Cholesky after symmetrization is SPD).
+  void fill_random_diagonally_dominant(std::uint64_t seed) {
+    fill_random(seed);
+    const std::size_t n = order();
+    for (std::size_t r = 0; r < n; ++r) at(r, r) += static_cast<double>(n);
+  }
+
+  /// Symmetrizes in place: A <- (A + A^T) / 2.
+  void symmetrize() {
+    const std::size_t n = order();
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = r + 1; c < n; ++c) {
+        const double v = 0.5 * (at(r, c) + at(c, r));
+        at(r, c) = v;
+        at(c, r) = v;
+      }
+  }
+
+  /// Max absolute element-wise difference against another matrix.
+  [[nodiscard]] double max_abs_diff(const TiledMatrix& other) const {
+    RIO_ASSERT(tiles_ == other.tiles_ && dim_ == other.dim_);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < storage_.size(); ++i) {
+      const double d = storage_[i] - other.storage_[i];
+      worst = d > worst ? d : (-d > worst ? -d : worst);
+    }
+    return worst;
+  }
+
+  [[nodiscard]] const std::vector<double>& raw() const noexcept {
+    return storage_;
+  }
+
+ private:
+  std::uint32_t tiles_;
+  std::uint32_t dim_;
+  std::vector<double> storage_;
+  std::vector<stf::DataHandle<double>> handles_;
+};
+
+}  // namespace rio::workloads

@@ -1,0 +1,50 @@
+// Common workload vocabulary.
+//
+// A Workload bundles a generated task flow with the static mapping its
+// generator recommends (Section 3.2: the mapping is supplied together with
+// the algorithm, typically an owner-computes / block-cyclic distribution
+// for linear algebra). Generators fill `owners` when the spec names a
+// worker count; `mapping()` wraps it into the closure RIO consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rio/mapping.hpp"
+#include "stf/task_flow.hpp"
+
+namespace rio::workloads {
+
+struct Workload {
+  std::string name;
+  stf::TaskFlow flow;
+  std::vector<stf::WorkerId> owners;  ///< one entry per task (may be empty)
+
+  /// The generator-recommended static mapping. Falls back to round-robin
+  /// over `fallback_workers` when the generator computed no owner table.
+  [[nodiscard]] rt::Mapping mapping(std::uint32_t fallback_workers = 1) const {
+    if (!owners.empty()) return rt::mapping::table(owners, name + "/owners");
+    return rt::mapping::round_robin(fallback_workers);
+  }
+};
+
+/// Splits p workers into the most square pr x pc process grid (pr*pc == p,
+/// pr <= pc). The standard choice for 2-D block-cyclic distributions.
+inline std::pair<std::uint32_t, std::uint32_t> pick_grid(std::uint32_t p) {
+  std::uint32_t pr = 1;
+  for (std::uint32_t d = 1; d * d <= p; ++d)
+    if (p % d == 0) pr = d;
+  return {pr, p / pr};
+}
+
+/// Owner of tile (i, j) under a 2-D block-cyclic distribution on a pr x pc
+/// grid — the ScaLAPACK-style mapping the paper cites for dense linear
+/// algebra [Blackford et al., ScaLAPACK Users' Guide].
+inline stf::WorkerId cyclic_owner(std::uint32_t i, std::uint32_t j,
+                                  std::uint32_t pr, std::uint32_t pc) {
+  return static_cast<stf::WorkerId>((i % pr) * pc + (j % pc));
+}
+
+}  // namespace rio::workloads

@@ -1,0 +1,15 @@
+// Umbrella header for the workload generators.
+#pragma once
+
+#include "workloads/cholesky.hpp"      // IWYU pragma: export
+#include "workloads/dense.hpp"         // IWYU pragma: export
+#include "workloads/gemm.hpp"          // IWYU pragma: export
+#include "workloads/hpl.hpp"          // IWYU pragma: export
+#include "workloads/kernel_model.hpp"  // IWYU pragma: export
+#include "workloads/kernels.hpp"       // IWYU pragma: export
+#include "workloads/lu.hpp"            // IWYU pragma: export
+#include "workloads/stencil.hpp"       // IWYU pragma: export
+#include "workloads/synthetic.hpp"     // IWYU pragma: export
+#include "workloads/taskbench.hpp"     // IWYU pragma: export
+#include "workloads/tiled_matrix.hpp"  // IWYU pragma: export
+#include "workloads/workload.hpp"      // IWYU pragma: export

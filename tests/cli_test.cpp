@@ -1,0 +1,189 @@
+// Tests for the rioflow command-line driver (src/cli).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hpp"
+
+namespace {
+
+using rio::cli::Options;
+
+bool parse_args(std::initializer_list<const char*> args, Options& o,
+                std::string& error) {
+  std::vector<const char*> argv{"rioflow"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return rio::cli::parse(static_cast<int>(argv.size()), argv.data(), o,
+                         error);
+}
+
+int run_args(std::initializer_list<const char*> args, std::string* out_text =
+                                                          nullptr) {
+  Options o;
+  std::string error;
+  if (!parse_args(args, o, error)) return -1;
+  std::ostringstream out, err;
+  const int rc = rio::cli::run(o, out, err);
+  if (out_text) *out_text = out.str() + err.str();
+  return rc;
+}
+
+// ------------------------------------------------------------- parsing -----
+
+TEST(CliParse, DefaultsAreSane) {
+  Options o;
+  std::string error;
+  EXPECT_TRUE(parse_args({}, o, error));
+  EXPECT_EQ(o.workload, "independent");
+  EXPECT_EQ(o.engine, "rio");
+  EXPECT_EQ(o.workers, 2u);
+}
+
+TEST(CliParse, AllKnobs) {
+  Options o;
+  std::string error;
+  EXPECT_TRUE(parse_args({"--workload", "lu", "--engine", "coor", "--workers",
+                          "7", "--tiles", "5", "--task-size", "123",
+                          "--mapping", "rr", "--policy", "block",
+                          "--scheduler", "priority", "--repeat", "3",
+                          "--seed", "9", "--summary", "--decompose", "--csv"},
+                         o, error))
+      << error;
+  EXPECT_EQ(o.workload, "lu");
+  EXPECT_EQ(o.engine, "coor");
+  EXPECT_EQ(o.workers, 7u);
+  EXPECT_EQ(o.tiles, 5u);
+  EXPECT_EQ(o.task_size, 123u);
+  EXPECT_EQ(o.mapping, "rr");
+  EXPECT_EQ(o.policy, "block");
+  EXPECT_EQ(o.scheduler, "priority");
+  EXPECT_EQ(o.repeat, 3);
+  EXPECT_EQ(o.seed, 9u);
+  EXPECT_TRUE(o.summary && o.decompose && o.csv);
+}
+
+TEST(CliParse, RejectsUnknownOption) {
+  Options o;
+  std::string error;
+  EXPECT_FALSE(parse_args({"--frobnicate"}, o, error));
+  EXPECT_NE(error.find("unknown option"), std::string::npos);
+}
+
+TEST(CliParse, RejectsMissingValue) {
+  Options o;
+  std::string error;
+  EXPECT_FALSE(parse_args({"--workers"}, o, error));
+}
+
+TEST(CliParse, RejectsBadNumber) {
+  Options o;
+  std::string error;
+  EXPECT_FALSE(parse_args({"--tasks", "banana"}, o, error));
+  EXPECT_NE(error.find("bad numeric"), std::string::npos);
+}
+
+TEST(CliParse, RejectsZeroWorkers) {
+  Options o;
+  std::string error;
+  EXPECT_FALSE(parse_args({"--workers", "0"}, o, error));
+}
+
+TEST(CliParse, HelpShortCircuits) {
+  Options o;
+  std::string error;
+  EXPECT_TRUE(parse_args({"--help"}, o, error));
+  EXPECT_TRUE(o.help);
+  std::string text;
+  EXPECT_EQ(run_args({"--help"}, &text), 0);
+  EXPECT_NE(text.find("usage:"), std::string::npos);
+}
+
+// -------------------------------------------------------------- running ----
+
+TEST(CliRun, EveryEngineRunsEveryCompatibleWorkload) {
+  for (const char* engine :
+       {"seq", "rio", "rio-pruned", "coor", "sim-rio", "sim-coor"}) {
+    for (const char* workload :
+         {"independent", "random", "gemm", "lu", "cholesky", "stencil",
+          "taskbench:fft"}) {
+      std::string text;
+      const int rc = run_args({"--engine", engine, "--workload", workload,
+                               "--tasks", "200", "--tiles", "3", "--width",
+                               "6", "--steps", "4", "--task-size", "50",
+                               "--workers", "2"},
+                              &text);
+      EXPECT_EQ(rc, 0) << engine << " x " << workload << ": " << text;
+      EXPECT_NE(text.find(engine), std::string::npos);
+    }
+  }
+}
+
+TEST(CliRun, UnknownEngineFails) {
+  std::string text;
+  EXPECT_EQ(run_args({"--engine", "warp-drive"}, &text), 1);
+  EXPECT_NE(text.find("unknown engine"), std::string::npos);
+}
+
+TEST(CliRun, UnknownWorkloadFails) {
+  std::string text;
+  EXPECT_EQ(run_args({"--workload", "nonsense"}, &text), 1);
+}
+
+TEST(CliRun, UnknownTaskbenchPatternFails) {
+  std::string text;
+  EXPECT_EQ(run_args({"--workload", "taskbench:warp"}, &text), 1);
+}
+
+TEST(CliRun, SummaryAndDecomposePrint) {
+  std::string text;
+  EXPECT_EQ(run_args({"--workload", "lu", "--tiles", "3", "--summary",
+                      "--decompose", "--task-size", "10"},
+                     &text),
+            0);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  EXPECT_NE(text.find("e_p ="), std::string::npos);
+}
+
+TEST(CliRun, WritesDotAndTraceFiles) {
+  const std::string dot = "/tmp/rioflow_test.dot";
+  const std::string trace = "/tmp/rioflow_test_trace.json";
+  std::remove(dot.c_str());
+  std::remove(trace.c_str());
+  std::string text;
+  EXPECT_EQ(run_args({"--workload", "gemm", "--tiles", "2", "--engine", "rio",
+                      "--task-size", "10", "--dot", dot.c_str(), "--trace",
+                      trace.c_str()},
+                     &text),
+            0);
+  std::ifstream fd(dot), ft(trace);
+  ASSERT_TRUE(fd.good());
+  ASSERT_TRUE(ft.good());
+  std::stringstream sd, st;
+  sd << fd.rdbuf();
+  st << ft.rdbuf();
+  EXPECT_NE(sd.str().find("digraph taskflow"), std::string::npos);
+  EXPECT_NE(st.str().find("traceEvents"), std::string::npos);
+  std::remove(dot.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(CliRun, CsvOutput) {
+  std::string text;
+  EXPECT_EQ(run_args({"--csv", "--tasks", "50", "--task-size", "10"}, &text),
+            0);
+  EXPECT_NE(text.find("engine,workload,tasks,workers,time"),
+            std::string::npos);
+}
+
+TEST(CliRun, SimEngineReportsVirtualTime) {
+  std::string text;
+  EXPECT_EQ(run_args({"--engine", "sim-coor", "--workers", "24", "--tasks",
+                      "1000", "--task-size", "1000"},
+                     &text),
+            0);
+  EXPECT_NE(text.find("(virtual)"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,231 @@
+// Tests for the centralized OoO baseline runtime: dependency resolution,
+// scheduler variants, stealing, traces and the sequential-consistency
+// oracle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "coor/coor.hpp"
+#include "stf/stf.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace rio;
+using coor::Config;
+using coor::Runtime;
+using coor::SchedulerKind;
+
+// ------------------------------------------------------------ ReadyQueue ---
+
+TEST(ReadyQueue, FifoOrder) {
+  coor::ReadyQueue q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1u);
+  EXPECT_EQ(q.pop().value(), 2u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ReadyQueue, LifoPushGoesFront) {
+  coor::ReadyQueue q;
+  q.push(1, /*lifo=*/true);
+  q.push(2, /*lifo=*/true);
+  EXPECT_EQ(q.pop().value(), 2u);
+}
+
+TEST(ReadyQueue, StealTakesFromBack) {
+  coor::ReadyQueue q;
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.try_steal().value(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1u);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(ReadyQueue, CloseDrainsThenEnds) {
+  coor::ReadyQueue q;
+  q.push(5);
+  q.close();
+  EXPECT_EQ(q.pop().value(), 5u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+// --------------------------------------------------------------- runtime ---
+
+class CoorScheduler
+    : public ::testing::TestWithParam<std::tuple<SchedulerKind, bool>> {};
+
+TEST_P(CoorScheduler, ExecutesEveryTaskOnce) {
+  const auto [sched, steal] = GetParam();
+  stf::TaskFlow flow;
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 200; ++i)
+    flow.add("t", [&hits](stf::TaskContext&) { hits.fetch_add(1); }, {});
+  Runtime rt(Config{.num_workers = 3, .scheduler = sched,
+                    .work_stealing = steal});
+  auto stats = rt.run(flow);
+  EXPECT_EQ(hits.load(), 200);
+  EXPECT_EQ(stats.tasks_executed(), 200u);
+}
+
+TEST_P(CoorScheduler, RespectsChainOrder) {
+  const auto [sched, steal] = GetParam();
+  stf::TaskFlow flow;
+  auto d = flow.create_data<int>("d");
+  for (int i = 1; i <= 6; ++i)
+    flow.add("s",
+             [d, i](stf::TaskContext& ctx) { ctx.scalar(d) = ctx.scalar(d) * 10 + i; },
+             {stf::readwrite(d)});
+  Runtime rt(Config{.num_workers = 3, .scheduler = sched,
+                    .work_stealing = steal, .enable_guard = true});
+  rt.run(flow);
+  EXPECT_EQ(flow.registry().typed<int>(d)[0], 123456);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, CoorScheduler,
+    ::testing::Values(std::make_tuple(SchedulerKind::kFifo, false),
+                      std::make_tuple(SchedulerKind::kLifo, false),
+                      std::make_tuple(SchedulerKind::kLocality, false),
+                      std::make_tuple(SchedulerKind::kLocality, true)),
+    [](const auto& i) {
+      return std::string(coor::to_string(std::get<0>(i.param))) +
+             (std::get<1>(i.param) ? "Steal" : "NoSteal");
+    });
+
+TEST(Coor, EmptyFlowTerminates) {
+  stf::TaskFlow flow;
+  Runtime rt(Config{.num_workers = 2});
+  auto stats = rt.run(flow);
+  EXPECT_EQ(stats.tasks_executed(), 0u);
+}
+
+TEST(Coor, TraceIsSequentiallyConsistentButMaybeOutOfOrder) {
+  workloads::LuDagSpec spec;
+  spec.row_tiles = 4;
+  spec.col_tiles = 4;
+  spec.task_cost = 200;
+  auto wl = workloads::make_lu_dag(spec);
+  Runtime rt(Config{.num_workers = 4, .collect_trace = true,
+                    .enable_guard = true});
+  rt.run(wl.flow);
+  stf::DependencyGraph graph(wl.flow);
+  // OoO: no per-worker in-order requirement, but the DAG must hold.
+  const auto r = rt.trace().validate(wl.flow, graph, false);
+  EXPECT_TRUE(r.ok()) << r.reason;
+}
+
+TEST(Coor, MasterStatsAreRuntimeOnly) {
+  workloads::IndependentSpec spec;
+  spec.num_tasks = 500;
+  spec.task_cost = 5000;
+  auto wl = workloads::make_independent(spec);
+  Runtime rt(Config{.num_workers = 2});
+  auto stats = rt.run(wl.flow);
+  ASSERT_EQ(stats.workers.size(), 3u);  // 2 workers + master
+  const auto& master = stats.workers[2];
+  EXPECT_EQ(master.buckets.task_ns, 0u);
+  EXPECT_GT(master.buckets.runtime_ns, 0u);
+  EXPECT_EQ(master.tasks_executed, 0u);
+}
+
+TEST(Coor, ArtificialMasterOverheadSlowsDispatch) {
+  workloads::IndependentSpec spec;
+  spec.num_tasks = 100;
+  spec.task_cost = 1;
+  auto wl = workloads::make_independent(spec);
+
+  Runtime cheap(Config{.num_workers = 2, .master_overhead_ns = 0});
+  Runtime costly(Config{.num_workers = 2, .master_overhead_ns = 50'000});
+  const auto fast = cheap.run(wl.flow);
+  const auto slow = costly.run(wl.flow);
+  // 100 tasks x 50us >= 5ms of forced master time.
+  EXPECT_GT(slow.wall_ns, fast.wall_ns);
+  EXPECT_GT(slow.workers[2].buckets.runtime_ns, 4'000'000u);
+}
+
+// Oracle comparison on the random-dependency workload across schedulers.
+class CoorOracle : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(CoorOracle, RandomGraphMatchesSequential) {
+  // Order-sensitive bodies: fold task ids into written objects.
+  auto make = [](std::uint64_t seed) {
+    workloads::RandomDepsSpec spec;
+    spec.num_tasks = 300;
+    spec.num_data = 24;
+    spec.body = workloads::BodyKind::kNone;
+    spec.seed = seed;
+    auto wl = workloads::make_random_deps(spec);
+    stf::TaskFlow rebuilt;
+    std::vector<stf::DataHandle<std::uint64_t>> data;
+    for (std::uint32_t d = 0; d < spec.num_data; ++d)
+      data.push_back(
+          rebuilt.create_data<std::uint64_t>("d" + std::to_string(d)));
+    for (const stf::Task& t : wl.flow.tasks()) {
+      stf::AccessList acc = t.accesses;
+      const stf::TaskId id = t.id;
+      std::vector<stf::DataId> written, readed;
+      for (const auto& a : t.accesses)
+        (is_write(a.mode) ? written : readed).push_back(a.data);
+      rebuilt.add(t.name,
+                  [written, readed, id](stf::TaskContext& ctx) {
+                    std::uint64_t v = id + 1;
+                    for (stf::DataId rd : readed)
+                      v ^= *static_cast<const std::uint64_t*>(
+                          ctx.registry().raw(rd));
+                    for (stf::DataId wr : written) {
+                      auto* p =
+                          static_cast<std::uint64_t*>(ctx.registry().raw(wr));
+                      *p = *p * 1000003u + v;
+                    }
+                  },
+                  std::move(acc), t.cost);
+    }
+    stf::TaskFlow out = std::move(rebuilt);
+    return out;
+  };
+
+  auto seq_flow = make(17);
+  stf::SequentialExecutor{}.run(seq_flow);
+
+  auto par_flow = make(17);
+  Runtime rt(Config{.num_workers = 4, .scheduler = GetParam(),
+                    .work_stealing = GetParam() == SchedulerKind::kLocality,
+                    .enable_guard = true});
+  rt.run(par_flow);
+
+  for (stf::DataId d = 0; d < par_flow.num_data(); ++d)
+    EXPECT_EQ(std::memcmp(par_flow.registry().raw(d), seq_flow.registry().raw(d),
+                          par_flow.registry().bytes(d)),
+              0)
+        << "object " << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, CoorOracle,
+                         ::testing::Values(SchedulerKind::kFifo,
+                                           SchedulerKind::kLifo,
+                                           SchedulerKind::kLocality),
+                         [](const auto& i) {
+                           return std::string(coor::to_string(i.param));
+                         });
+
+TEST(Coor, NumericLuMatchesSequential) {
+  constexpr std::uint32_t nt = 3, dim = 8;
+  workloads::TiledMatrix a1(nt, dim), a2(nt, dim);
+  a1.fill_random_diagonally_dominant(31);
+  a2.fill_random_diagonally_dominant(31);
+
+  auto wl_seq = workloads::make_lu_numeric(a1);
+  stf::SequentialExecutor{}.run(wl_seq.flow);
+
+  auto wl_par = workloads::make_lu_numeric(a2);
+  Runtime rt(Config{.num_workers = 4, .enable_guard = true});
+  rt.run(wl_par.flow);
+
+  EXPECT_EQ(a1.max_abs_diff(a2), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Failure-injection tests: a throwing task body must cancel the run
+// deterministically — every worker drains, the first exception propagates
+// to the caller, and the runtime object remains usable.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "coor/coor.hpp"
+#include "hybrid/hybrid.hpp"
+#include "rio/rio.hpp"
+#include "stf/stf.hpp"
+
+namespace {
+
+using namespace rio;
+
+struct BoomError : std::runtime_error {
+  BoomError() : std::runtime_error("boom") {}
+};
+
+/// A chain flow whose middle task throws; tasks after it must be skipped
+/// (their bodies never run) while the run still terminates.
+stf::TaskFlow throwing_flow(int n, int throw_at, std::atomic<int>& executed) {
+  stf::TaskFlow flow;
+  auto d = flow.create_data<int>("d");
+  for (int i = 0; i < n; ++i)
+    flow.add("t" + std::to_string(i),
+             [i, throw_at, &executed](stf::TaskContext&) {
+               if (i == throw_at) throw BoomError{};
+               executed.fetch_add(1);
+             },
+             {stf::readwrite(d)});
+  return flow;
+}
+
+TEST(Failure, RioPropagatesFirstException) {
+  std::atomic<int> executed{0};
+  auto flow = throwing_flow(40, 10, executed);
+  rt::Runtime runtime(rt::Config{.num_workers = 3});
+  EXPECT_THROW(runtime.run(flow, rt::mapping::round_robin(3)), BoomError);
+  // Tasks strictly after the throwing one on the chain never ran.
+  EXPECT_EQ(executed.load(), 10);
+}
+
+TEST(Failure, RioRuntimeUsableAfterFailure) {
+  std::atomic<int> executed{0};
+  auto bad = throwing_flow(20, 0, executed);
+  rt::Runtime runtime(rt::Config{.num_workers = 2});
+  EXPECT_THROW(runtime.run(bad, rt::mapping::round_robin(2)), BoomError);
+
+  stf::TaskFlow good;
+  auto d = good.create_data<int>("d");
+  for (int i = 0; i < 10; ++i)
+    good.add("inc", [d](stf::TaskContext& ctx) { ctx.scalar(d) += 1; },
+             {stf::readwrite(d)});
+  runtime.run(good, rt::mapping::round_robin(2));
+  EXPECT_EQ(*good.registry().typed<int>(d), 10);
+}
+
+TEST(Failure, CoorPropagatesException) {
+  std::atomic<int> executed{0};
+  auto flow = throwing_flow(30, 5, executed);
+  coor::Runtime runtime(coor::Config{.num_workers = 3});
+  EXPECT_THROW(runtime.run(flow), BoomError);
+  EXPECT_EQ(executed.load(), 5);
+}
+
+TEST(Failure, PrunedRioPropagatesException) {
+  std::atomic<int> executed{0};
+  auto flow = throwing_flow(30, 7, executed);
+  const auto mapping = rt::mapping::round_robin(2);
+  rt::PrunedPlan plan(flow, mapping, 2);
+  rt::PrunedRuntime runtime(rt::Config{.num_workers = 2});
+  EXPECT_THROW(runtime.run(flow, plan), BoomError);
+  EXPECT_EQ(executed.load(), 7);
+}
+
+TEST(Failure, StreamingModePropagates) {
+  stf::DataRegistry registry;
+  auto d = registry.create<int>("d");
+  rt::Runtime runtime(rt::Config{.num_workers = 2});
+  EXPECT_THROW(
+      runtime.run_program(
+          registry,
+          [d](stf::SubmitSink& sink) {
+            for (int i = 0; i < 10; ++i)
+              sink.submit(
+                  [i](stf::TaskContext&) {
+                    if (i == 4) throw BoomError{};
+                  },
+                  {stf::readwrite(d)}, 1, "");
+          },
+          rt::mapping::round_robin(2)),
+      BoomError);
+}
+
+TEST(Failure, HybridPropagatesFromEitherPhaseKind) {
+  for (int throw_at : {2, 12}) {  // 2 = static phase, 12 = dynamic phase
+    std::atomic<int> executed{0};
+    auto flow = throwing_flow(20, throw_at, executed);
+    hybrid::Runtime runtime(hybrid::Config{.num_workers = 2});
+    EXPECT_THROW(
+        runtime.run(flow,
+                    [](stf::TaskId t) -> std::optional<stf::WorkerId> {
+                      if (t < 10) return static_cast<stf::WorkerId>(t % 2);
+                      return std::nullopt;
+                    }),
+        BoomError)
+        << "throw_at=" << throw_at;
+    EXPECT_EQ(executed.load(), throw_at);
+  }
+}
+
+TEST(Failure, SequentialExecutorPropagatesNaturally) {
+  std::atomic<int> executed{0};
+  auto flow = throwing_flow(10, 3, executed);
+  EXPECT_THROW(stf::SequentialExecutor{}.run(flow), BoomError);
+  EXPECT_EQ(executed.load(), 3);
+}
+
+TEST(Failure, FirstOfManyExceptionsWins) {
+  // Independent throwing tasks across workers: exactly one exception
+  // surfaces and the run still drains all tasks' bookkeeping.
+  stf::TaskFlow flow;
+  for (int i = 0; i < 12; ++i)
+    flow.add("boom", [](stf::TaskContext&) { throw BoomError{}; }, {});
+  rt::Runtime runtime(rt::Config{.num_workers = 4});
+  EXPECT_THROW(runtime.run(flow, rt::mapping::round_robin(4)), BoomError);
+}
+
+}  // namespace

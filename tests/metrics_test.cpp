@@ -1,0 +1,84 @@
+// Tests for the efficiency decomposition (Section 2.3): algebraic identity,
+// limiting cases and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include "metrics/efficiency.hpp"
+
+namespace {
+
+using rio::metrics::decompose;
+using rio::metrics::decompose_synthetic;
+using rio::metrics::parallel_efficiency;
+using rio::support::TimeBuckets;
+
+TEST(Efficiency, ProductEqualsParallelEfficiency) {
+  // e_g*e_l*e_p*e_r must equal t / tau_p by the algebra of Section 2.3.
+  const std::uint64_t t_best = 800, t_seq_g = 1000;
+  const TimeBuckets cum{1200, 300, 100};
+  const auto e = decompose(t_best, t_seq_g, cum);
+  const double direct =
+      static_cast<double>(t_best) / static_cast<double>(cum.total());
+  EXPECT_NEAR(e.product(), direct, 1e-12);
+}
+
+TEST(Efficiency, SyntheticKernelHasUnitGranularityAndLocality) {
+  const TimeBuckets cum{5000, 1000, 500};
+  const auto e = decompose_synthetic(cum);
+  EXPECT_DOUBLE_EQ(e.e_g, 1.0);
+  EXPECT_DOUBLE_EQ(e.e_l, 1.0);
+  EXPECT_NEAR(e.e_p, 5000.0 / 6000.0, 1e-12);
+  EXPECT_NEAR(e.e_r, 6000.0 / 6500.0, 1e-12);
+}
+
+TEST(Efficiency, PerfectRunIsAllOnes) {
+  const TimeBuckets cum{1000, 0, 0};
+  const auto e = decompose(1000, 1000, cum);
+  EXPECT_DOUBLE_EQ(e.e_g, 1.0);
+  EXPECT_DOUBLE_EQ(e.e_l, 1.0);
+  EXPECT_DOUBLE_EQ(e.e_p, 1.0);
+  EXPECT_DOUBLE_EQ(e.e_r, 1.0);
+  EXPECT_DOUBLE_EQ(e.product(), 1.0);
+}
+
+TEST(Efficiency, IdleOnlyHurtsPipelining) {
+  const auto base = decompose(100, 100, TimeBuckets{100, 0, 0});
+  const auto idle = decompose(100, 100, TimeBuckets{100, 100, 0});
+  EXPECT_LT(idle.e_p, base.e_p);
+  EXPECT_DOUBLE_EQ(idle.e_r, 1.0);
+}
+
+TEST(Efficiency, RuntimeOnlyHurtsRuntimeEfficiency) {
+  const auto e = decompose(100, 100, TimeBuckets{100, 0, 100});
+  EXPECT_DOUBLE_EQ(e.e_p, 1.0);
+  EXPECT_NEAR(e.e_r, 0.5, 1e-12);
+}
+
+TEST(Efficiency, SuperLinearLocalityAllowed) {
+  // e_l > 1: multi-cache effects can beat the sequential run (Section 2.3).
+  const auto e = decompose(1000, 1000, TimeBuckets{800, 0, 0});
+  EXPECT_GT(e.e_l, 1.0);
+}
+
+TEST(Efficiency, DegenerateZeroBucketsPrintable) {
+  const auto e = decompose(0, 0, TimeBuckets{});
+  EXPECT_EQ(e.e_g, 1.0);
+  EXPECT_EQ(e.e_l, 1.0);
+  EXPECT_EQ(e.e_p, 1.0);
+  EXPECT_EQ(e.e_r, 1.0);
+}
+
+TEST(Efficiency, ParallelEfficiencyDirect) {
+  EXPECT_NEAR(parallel_efficiency(1000, 4, 500), 0.5, 1e-12);
+  EXPECT_EQ(parallel_efficiency(100, 0, 0), 1.0);
+}
+
+TEST(Efficiency, MasterlessCapMatchesPaper) {
+  // A dedicated master caps e_r at (p-1)/p (Section 5.2): with p=4 threads,
+  // 3 working and 1 managing for the whole run, e_r = 3/4.
+  const std::uint64_t span = 1000;
+  TimeBuckets cum{3 * span, 0, span};  // 3 workers fully busy + 1 master
+  const auto e = decompose(3 * span, 3 * span, cum);
+  EXPECT_NEAR(e.e_r, 0.75, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Tests for the explicit-state model checker: tiny hand-checked state
+// spaces, the Appendix-B properties on the paper's LU instances, and
+// negative cases (a broken "execution model" must be caught).
+#include <gtest/gtest.h>
+
+#include "modelcheck/spec.hpp"
+#include "workloads/lu.hpp"
+
+namespace {
+
+using namespace rio;
+using mc::check_run_in_order;
+using mc::check_stf;
+
+stf::TaskFlow lu_flow(std::uint32_t rt, std::uint32_t ct) {
+  workloads::LuDagSpec spec;
+  spec.row_tiles = rt;
+  spec.col_tiles = ct;
+  spec.body = workloads::BodyKind::kNone;
+  return std::move(workloads::make_lu_dag(spec).flow);
+}
+
+// ------------------------------------------------------- tiny state spaces -
+
+TEST(StfModel, SingleTaskTwoWorkers) {
+  stf::TaskFlow flow;
+  flow.add_virtual(1, {});
+  const auto r = check_stf(flow, 2);
+  EXPECT_TRUE(r.ok()) << r.violation;
+  // States: init; w0 or w1 executing; done. = 4 distinct.
+  EXPECT_EQ(r.distinct_states, 4u);
+  EXPECT_EQ(r.terminal_states, 1u);
+}
+
+TEST(StfModel, TwoIndependentTasksInterleaveFreely) {
+  stf::TaskFlow flow;
+  flow.add_virtual(1, {});
+  flow.add_virtual(1, {});
+  const auto r1 = check_stf(flow, 1);
+  const auto r2 = check_stf(flow, 2);
+  EXPECT_TRUE(r1.ok());
+  EXPECT_TRUE(r2.ok());
+  // More workers, more interleavings.
+  EXPECT_GT(r2.distinct_states, r1.distinct_states);
+}
+
+TEST(StfModel, ChainHasLinearStateSpace) {
+  stf::TaskFlow flow;
+  auto d = flow.create_data<int>("d");
+  for (int i = 0; i < 5; ++i) flow.add_virtual(1, {stf::readwrite(d)});
+  const auto r = check_stf(flow, 2);
+  EXPECT_TRUE(r.ok()) << r.violation;
+  // A chain admits no concurrency: per step only (executing by w0/w1) and
+  // idle states: 1 + 5*(2+1) states... exact: init + per task (2 active
+  // variants + 1 terminated) = 1 + 5*3 = 16? Enumerate: between task i and
+  // i+1 there is exactly one 'all idle' state. States: all-idle x6 + active
+  // x(5 tasks x 2 workers) = 16.
+  EXPECT_EQ(r.distinct_states, 16u);
+}
+
+TEST(RioModel, ChainOnTwoWorkersIsDeterministic) {
+  stf::TaskFlow flow;
+  auto d = flow.create_data<int>("d");
+  for (int i = 0; i < 5; ++i) flow.add_virtual(1, {stf::readwrite(d)});
+  const auto r = check_run_in_order(flow, 2, rt::mapping::round_robin(2));
+  EXPECT_TRUE(r.ok()) << r.violation;
+  // In-order + fixed mapping: exactly one execution: 11 states
+  // (init + execute/terminate alternation per task).
+  EXPECT_EQ(r.distinct_states, 11u);
+  EXPECT_EQ(r.terminal_states, 1u);
+}
+
+TEST(RioModel, FewerBehavioursThanStf) {
+  const auto flow_size = [](std::uint32_t rt, std::uint32_t ct) {
+    auto flow = lu_flow(rt, ct);
+    const auto stf_r = check_stf(flow, 2);
+    const auto rio_r =
+        check_run_in_order(flow, 2, rt::mapping::round_robin(2));
+    EXPECT_TRUE(stf_r.ok());
+    EXPECT_TRUE(rio_r.ok()) << rio_r.violation;
+    // The in-order model restricts executions: fewer distinct states.
+    EXPECT_LT(rio_r.distinct_states, stf_r.distinct_states);
+  };
+  flow_size(2, 2);
+  flow_size(3, 2);
+}
+
+// ------------------------------------------------ the Table 1 instances ----
+
+TEST(Table1, Lu2x2Properties) {
+  auto flow = lu_flow(2, 2);
+  // k=0: getrf + trsm_u + trsm_l + gemm (4); k=1: getrf (1).
+  EXPECT_EQ(flow.num_tasks(), 5u);
+  EXPECT_EQ(workloads::lu_dag_task_count(2, 2), 5u);
+  const auto stf_r = check_stf(flow, 2);
+  EXPECT_TRUE(stf_r.ok()) << stf_r.violation;
+  const auto rio_r = check_run_in_order(flow, 2, rt::mapping::round_robin(2));
+  EXPECT_TRUE(rio_r.ok()) << rio_r.violation;
+}
+
+TEST(Table1, Lu3x2Properties) {
+  auto flow = lu_flow(3, 2);
+  const auto stf_r = check_stf(flow, 2);
+  EXPECT_TRUE(stf_r.ok()) << stf_r.violation;
+  const auto rio_r = check_run_in_order(flow, 2, rt::mapping::round_robin(2));
+  EXPECT_TRUE(rio_r.ok()) << rio_r.violation;
+  // Exponential growth vs 2x2, as in Table 1.
+  const auto small = check_stf(lu_flow(2, 2), 2);
+  EXPECT_GT(stf_r.generated_states, small.generated_states);
+}
+
+// ----------------------------------------------------------- negative ------
+
+TEST(Property, AnyMappingIsDeadlockFree) {
+  // Because every worker walks its share in global flow order and
+  // dependencies only point backwards, the RunInOrder model is deadlock-
+  // free for EVERY mapping — a key soundness property of the paper's
+  // model. Sweep a few adversarial mappings over a dependency-heavy flow.
+  auto flow = lu_flow(3, 3);
+  const auto n = flow.num_tasks();
+  for (std::uint64_t variant = 0; variant < 6; ++variant) {
+    std::vector<stf::WorkerId> owners(n);
+    for (std::size_t t = 0; t < n; ++t)
+      owners[t] = static_cast<stf::WorkerId>((t * (variant + 1) + variant) % 2);
+    const auto r =
+        check_run_in_order(flow, 2, rt::mapping::table(owners), true, 500'000);
+    EXPECT_TRUE(r.ok()) << "variant " << variant << ": " << r.violation;
+  }
+}
+
+TEST(Negative, TruncationReported) {
+  auto flow = lu_flow(3, 3);
+  const auto r = check_stf(flow, 2, /*max_states=*/100);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Checker, GeneratedAtLeastDistinct) {
+  auto flow = lu_flow(2, 2);
+  const auto r = check_stf(flow, 2);
+  EXPECT_GE(r.generated_states, r.distinct_states - 1);
+}
+
+}  // namespace

@@ -1,0 +1,14 @@
+// rioflow entry point — all logic lives in src/cli (testable).
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  rio::cli::Options options;
+  std::string error;
+  if (!rio::cli::parse(argc, argv, options, error)) {
+    std::cerr << "rioflow: " << error << "\n\n" << rio::cli::usage();
+    return 1;
+  }
+  return rio::cli::run(options, std::cout, std::cerr);
+}
