@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rioflow.dir/tools/rioflow.cpp.o"
+  "CMakeFiles/rioflow.dir/tools/rioflow.cpp.o.d"
+  "rioflow"
+  "rioflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rioflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_locality"
+  "../bench/abl_locality.pdb"
+  "CMakeFiles/abl_locality.dir/abl_locality.cpp.o"
+  "CMakeFiles/abl_locality.dir/abl_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_straggler"
+  "../bench/abl_straggler.pdb"
+  "CMakeFiles/abl_straggler.dir/abl_straggler.cpp.o"
+  "CMakeFiles/abl_straggler.dir/abl_straggler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_kernel_efficiency"
+  "../bench/fig3_kernel_efficiency.pdb"
+  "CMakeFiles/fig3_kernel_efficiency.dir/fig3_kernel_efficiency.cpp.o"
+  "CMakeFiles/fig3_kernel_efficiency.dir/fig3_kernel_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_kernel_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_efficiency_decomposition"
+  "../bench/fig4_efficiency_decomposition.pdb"
+  "CMakeFiles/fig4_efficiency_decomposition.dir/fig4_efficiency_decomposition.cpp.o"
+  "CMakeFiles/fig4_efficiency_decomposition.dir/fig4_efficiency_decomposition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_efficiency_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_counter_scaling"
+  "../bench/fig6_counter_scaling.pdb"
+  "CMakeFiles/fig6_counter_scaling.dir/fig6_counter_scaling.cpp.o"
+  "CMakeFiles/fig6_counter_scaling.dir/fig6_counter_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_counter_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

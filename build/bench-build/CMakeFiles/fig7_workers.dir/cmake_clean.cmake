@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_workers"
+  "../bench/fig7_workers.pdb"
+  "CMakeFiles/fig7_workers.dir/fig7_workers.cpp.o"
+  "CMakeFiles/fig7_workers.dir/fig7_workers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

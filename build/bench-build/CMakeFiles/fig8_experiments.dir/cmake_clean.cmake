@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_experiments"
+  "../bench/fig8_experiments.pdb"
+  "CMakeFiles/fig8_experiments.dir/fig8_experiments.cpp.o"
+  "CMakeFiles/fig8_experiments.dir/fig8_experiments.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hpl_mixed_granularity"
+  "../bench/hpl_mixed_granularity.pdb"
+  "CMakeFiles/hpl_mixed_granularity.dir/hpl_mixed_granularity.cpp.o"
+  "CMakeFiles/hpl_mixed_granularity.dir/hpl_mixed_granularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_mixed_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/metg"
+  "../bench/metg.pdb"
+  "CMakeFiles/metg.dir/metg.cpp.o"
+  "CMakeFiles/metg.dir/metg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_protocol"
+  "../bench/micro_protocol.pdb"
+  "CMakeFiles/micro_protocol.dir/micro_protocol.cpp.o"
+  "CMakeFiles/micro_protocol.dir/micro_protocol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

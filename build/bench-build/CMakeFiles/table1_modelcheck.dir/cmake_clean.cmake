@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_modelcheck"
+  "../bench/table1_modelcheck.pdb"
+  "CMakeFiles/table1_modelcheck.dir/table1_modelcheck.cpp.o"
+  "CMakeFiles/table1_modelcheck.dir/table1_modelcheck.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_modelcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

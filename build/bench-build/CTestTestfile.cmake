@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig2_gemm_time "/root/repo/build/bench/fig2_gemm_time" "--quick")
+set_tests_properties(bench_smoke_fig2_gemm_time PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig3_kernel_efficiency "/root/repo/build/bench/fig3_kernel_efficiency" "--quick")
+set_tests_properties(bench_smoke_fig3_kernel_efficiency PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig4_efficiency_decomposition "/root/repo/build/bench/fig4_efficiency_decomposition" "--quick")
+set_tests_properties(bench_smoke_fig4_efficiency_decomposition PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig6_counter_scaling "/root/repo/build/bench/fig6_counter_scaling" "--quick")
+set_tests_properties(bench_smoke_fig6_counter_scaling PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig7_workers "/root/repo/build/bench/fig7_workers" "--quick")
+set_tests_properties(bench_smoke_fig7_workers PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig8_experiments "/root/repo/build/bench/fig8_experiments" "--quick")
+set_tests_properties(bench_smoke_fig8_experiments PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table1_modelcheck "/root/repo/build/bench/table1_modelcheck" "--quick")
+set_tests_properties(bench_smoke_table1_modelcheck PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_abl_ablations "/root/repo/build/bench/abl_ablations" "--quick")
+set_tests_properties(bench_smoke_abl_ablations PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_abl_sensitivity "/root/repo/build/bench/abl_sensitivity" "--quick")
+set_tests_properties(bench_smoke_abl_sensitivity PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_abl_straggler "/root/repo/build/bench/abl_straggler" "--quick")
+set_tests_properties(bench_smoke_abl_straggler PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_abl_locality "/root/repo/build/bench/abl_locality" "--quick")
+set_tests_properties(bench_smoke_abl_locality PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_hpl_mixed_granularity "/root/repo/build/bench/hpl_mixed_granularity" "--quick")
+set_tests_properties(bench_smoke_hpl_mixed_granularity PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_metg "/root/repo/build/bench/metg" "--quick")
+set_tests_properties(bench_smoke_metg PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_pipeline.dir/heat_pipeline.cpp.o"
+  "CMakeFiles/heat_pipeline.dir/heat_pipeline.cpp.o.d"
+  "heat_pipeline"
+  "heat_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

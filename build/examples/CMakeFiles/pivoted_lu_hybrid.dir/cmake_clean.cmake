@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivoted_lu_hybrid.dir/pivoted_lu_hybrid.cpp.o"
+  "CMakeFiles/pivoted_lu_hybrid.dir/pivoted_lu_hybrid.cpp.o.d"
+  "pivoted_lu_hybrid"
+  "pivoted_lu_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivoted_lu_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_cli.dir/cli.cpp.o"
+  "CMakeFiles/rio_cli.dir/cli.cpp.o.d"
+  "librio_cli.a"
+  "librio_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_coor.dir/runtime.cpp.o"
+  "CMakeFiles/rio_coor.dir/runtime.cpp.o.d"
+  "librio_coor.a"
+  "librio_coor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_coor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_hybrid.dir/runtime.cpp.o"
+  "CMakeFiles/rio_hybrid.dir/runtime.cpp.o.d"
+  "librio_hybrid.a"
+  "librio_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_metrics.dir/efficiency.cpp.o"
+  "CMakeFiles/rio_metrics.dir/efficiency.cpp.o.d"
+  "librio_metrics.a"
+  "librio_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

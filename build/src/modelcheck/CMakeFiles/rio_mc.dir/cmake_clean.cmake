@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_mc.dir/spec.cpp.o"
+  "CMakeFiles/rio_mc.dir/spec.cpp.o.d"
+  "librio_mc.a"
+  "librio_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

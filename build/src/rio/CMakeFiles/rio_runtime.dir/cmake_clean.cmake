@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_runtime.dir/pruning.cpp.o"
+  "CMakeFiles/rio_runtime.dir/pruning.cpp.o.d"
+  "CMakeFiles/rio_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/rio_runtime.dir/runtime.cpp.o.d"
+  "librio_runtime.a"
+  "librio_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librio_runtime.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_sim.dir/coor_sim.cpp.o"
+  "CMakeFiles/rio_sim.dir/coor_sim.cpp.o.d"
+  "CMakeFiles/rio_sim.dir/hybrid_sim.cpp.o"
+  "CMakeFiles/rio_sim.dir/hybrid_sim.cpp.o.d"
+  "CMakeFiles/rio_sim.dir/rio_sim.cpp.o"
+  "CMakeFiles/rio_sim.dir/rio_sim.cpp.o.d"
+  "librio_sim.a"
+  "librio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

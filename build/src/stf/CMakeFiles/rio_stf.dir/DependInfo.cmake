@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stf/dependency.cpp" "src/stf/CMakeFiles/rio_stf.dir/dependency.cpp.o" "gcc" "src/stf/CMakeFiles/rio_stf.dir/dependency.cpp.o.d"
+  "/root/repo/src/stf/graph_export.cpp" "src/stf/CMakeFiles/rio_stf.dir/graph_export.cpp.o" "gcc" "src/stf/CMakeFiles/rio_stf.dir/graph_export.cpp.o.d"
+  "/root/repo/src/stf/sequential.cpp" "src/stf/CMakeFiles/rio_stf.dir/sequential.cpp.o" "gcc" "src/stf/CMakeFiles/rio_stf.dir/sequential.cpp.o.d"
+  "/root/repo/src/stf/trace.cpp" "src/stf/CMakeFiles/rio_stf.dir/trace.cpp.o" "gcc" "src/stf/CMakeFiles/rio_stf.dir/trace.cpp.o.d"
+  "/root/repo/src/stf/trace_export.cpp" "src/stf/CMakeFiles/rio_stf.dir/trace_export.cpp.o" "gcc" "src/stf/CMakeFiles/rio_stf.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rio_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_stf.dir/dependency.cpp.o"
+  "CMakeFiles/rio_stf.dir/dependency.cpp.o.d"
+  "CMakeFiles/rio_stf.dir/graph_export.cpp.o"
+  "CMakeFiles/rio_stf.dir/graph_export.cpp.o.d"
+  "CMakeFiles/rio_stf.dir/sequential.cpp.o"
+  "CMakeFiles/rio_stf.dir/sequential.cpp.o.d"
+  "CMakeFiles/rio_stf.dir/trace.cpp.o"
+  "CMakeFiles/rio_stf.dir/trace.cpp.o.d"
+  "CMakeFiles/rio_stf.dir/trace_export.cpp.o"
+  "CMakeFiles/rio_stf.dir/trace_export.cpp.o.d"
+  "librio_stf.a"
+  "librio_stf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_stf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cholesky.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/cholesky.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/cholesky.cpp.o.d"
+  "/root/repo/src/workloads/dense.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/dense.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/dense.cpp.o.d"
+  "/root/repo/src/workloads/gemm.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/gemm.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/gemm.cpp.o.d"
+  "/root/repo/src/workloads/hpl.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/hpl.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/hpl.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/workloads/lu.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/lu.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/lu.cpp.o.d"
+  "/root/repo/src/workloads/stencil.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/stencil.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/stencil.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/taskbench.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/taskbench.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/taskbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stf/CMakeFiles/rio_stf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rio/CMakeFiles/rio_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rio_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_workloads.dir/cholesky.cpp.o"
+  "CMakeFiles/rio_workloads.dir/cholesky.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/dense.cpp.o"
+  "CMakeFiles/rio_workloads.dir/dense.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/gemm.cpp.o"
+  "CMakeFiles/rio_workloads.dir/gemm.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/hpl.cpp.o"
+  "CMakeFiles/rio_workloads.dir/hpl.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/rio_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/lu.cpp.o"
+  "CMakeFiles/rio_workloads.dir/lu.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/stencil.cpp.o"
+  "CMakeFiles/rio_workloads.dir/stencil.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/rio_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/taskbench.cpp.o"
+  "CMakeFiles/rio_workloads.dir/taskbench.cpp.o.d"
+  "librio_workloads.a"
+  "librio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

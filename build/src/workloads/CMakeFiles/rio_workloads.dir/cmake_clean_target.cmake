@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librio_workloads.a"
+)

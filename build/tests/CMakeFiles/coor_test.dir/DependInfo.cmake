@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coor_test.cpp" "tests/CMakeFiles/coor_test.dir/coor_test.cpp.o" "gcc" "tests/CMakeFiles/coor_test.dir/coor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rio_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stf/CMakeFiles/rio_stf.dir/DependInfo.cmake"
+  "/root/repo/build/src/coor/CMakeFiles/rio_coor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/rio/CMakeFiles/rio_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coor_test.dir/coor_test.cpp.o"
+  "CMakeFiles/coor_test.dir/coor_test.cpp.o.d"
+  "coor_test"
+  "coor_test.pdb"
+  "coor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

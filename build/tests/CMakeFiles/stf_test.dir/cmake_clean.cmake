@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stf_test.dir/stf_test.cpp.o"
+  "CMakeFiles/stf_test.dir/stf_test.cpp.o.d"
+  "stf_test"
+  "stf_test.pdb"
+  "stf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskbench_test.dir/taskbench_test.cpp.o"
+  "CMakeFiles/taskbench_test.dir/taskbench_test.cpp.o.d"
+  "taskbench_test"
+  "taskbench_test.pdb"
+  "taskbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
