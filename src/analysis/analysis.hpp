@@ -1,0 +1,15 @@
+// Umbrella header for the static/dynamic analysis subsystem.
+//
+//   * flow_lint  — pure static lint over a TaskFlow + DependencyGraph
+//                  (hazards, mapping diagnostics, counter-width risks);
+//   * hb_checker — precise happens-before race check over recorded
+//                  acquire/release events (strictly stronger than the
+//                  interval-overlap test in Trace::validate);
+//   * fixtures   — known-bad flows the tests and the CLI's lintfix:*
+//                  workloads use to prove each finding fires.
+#pragma once
+
+#include "analysis/finding.hpp"    // IWYU pragma: export
+#include "analysis/fixtures.hpp"   // IWYU pragma: export
+#include "analysis/flow_lint.hpp"  // IWYU pragma: export
+#include "analysis/hb_checker.hpp" // IWYU pragma: export

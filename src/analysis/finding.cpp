@@ -1,0 +1,22 @@
+#include "analysis/finding.hpp"
+
+#include <ostream>
+
+namespace rio::analysis {
+
+void Report::print(std::ostream& os) const {
+  std::size_t errors = 0, warnings = 0, infos = 0;
+  for (const Finding& f : findings_) {
+    os << to_string(f.severity) << ' ' << f.code << ": " << f.message << '\n';
+    switch (f.severity) {
+      case Severity::kError: ++errors; break;
+      case Severity::kWarning: ++warnings; break;
+      case Severity::kInfo: ++infos; break;
+    }
+  }
+  for (const std::string& m : metrics_) os << "metric: " << m << '\n';
+  os << errors << " error(s), " << warnings << " warning(s), " << infos
+     << " info\n";
+}
+
+}  // namespace rio::analysis

@@ -1,0 +1,101 @@
+// Findings: the vocabulary shared by every analyzer in src/analysis.
+//
+// A Finding is one diagnostic — a short stable code (grep-able, documented
+// in docs/analysis.md), a severity, the task/data it points at when that is
+// meaningful, and a fully formatted one-line message. Analyzers return a
+// Report, which the CLI prints and turns into an exit code; tests assert on
+// codes, not on message wording.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stf/types.hpp"
+
+namespace rio::analysis {
+
+/// Ordered: anything >= kWarning fails the default CLI gate.
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+constexpr const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+/// One diagnostic. Aggregated findings (e.g. "N redundant edges") set
+/// `count` > 1 and leave task/data invalid.
+struct Finding {
+  std::string code;                    ///< stable id, e.g. "RF001"
+  Severity severity = Severity::kInfo;
+  stf::TaskId task = stf::kInvalidTask;
+  stf::DataId data = stf::kInvalidData;
+  std::string message;                 ///< one line, already formatted
+  std::uint64_t count = 1;             ///< occurrences folded into this entry
+};
+
+/// Result of one analyzer run: findings plus free-form metric lines (the
+/// critical-path / load summaries that are informational, never gating).
+class Report {
+ public:
+  void add(Finding f) { findings_.push_back(std::move(f)); }
+
+  void add(std::string code, Severity severity, std::string message,
+           stf::TaskId task = stf::kInvalidTask,
+           stf::DataId data = stf::kInvalidData, std::uint64_t count = 1) {
+    findings_.push_back(
+        {std::move(code), severity, task, data, std::move(message), count});
+  }
+
+  void add_metric(std::string line) { metrics_.push_back(std::move(line)); }
+
+  [[nodiscard]] const std::vector<Finding>& findings() const noexcept {
+    return findings_;
+  }
+  [[nodiscard]] const std::vector<std::string>& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return findings_.empty(); }
+
+  /// Worst severity present; kInfo when the report is empty.
+  [[nodiscard]] Severity worst_severity() const noexcept {
+    Severity worst = Severity::kInfo;
+    for (const Finding& f : findings_) worst = std::max(worst, f.severity);
+    return worst;
+  }
+
+  [[nodiscard]] std::size_t count_at_least(Severity s) const noexcept {
+    std::size_t n = 0;
+    for (const Finding& f : findings_)
+      if (f.severity >= s) ++n;
+    return n;
+  }
+
+  /// True when any finding carries `code` (tests key on this).
+  [[nodiscard]] bool has(const std::string& code) const noexcept {
+    return std::any_of(findings_.begin(), findings_.end(),
+                       [&](const Finding& f) { return f.code == code; });
+  }
+
+  /// Merges another report's findings and metrics into this one.
+  void merge(Report other) {
+    for (Finding& f : other.findings_) findings_.push_back(std::move(f));
+    for (std::string& m : other.metrics_) metrics_.push_back(std::move(m));
+  }
+
+  /// Prints findings (one per line), then metrics, then a summary line.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<Finding> findings_;
+  std::vector<std::string> metrics_;
+};
+
+}  // namespace rio::analysis

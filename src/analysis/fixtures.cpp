@@ -1,0 +1,79 @@
+#include "analysis/fixtures.hpp"
+
+#include "stf/types.hpp"
+
+namespace rio::analysis::fixtures {
+
+using stf::read;
+using stf::readwrite;
+using stf::write;
+
+stf::TaskFlow bad_uninit_read() {
+  stf::TaskFlow flow;
+  auto scratch = flow.create_uninitialized_data<double>("scratch", 16);
+  auto out = flow.create_data<double>("out", 16);
+  // Reads `scratch` before anything has written it — the hazard.
+  flow.add_virtual(1, {read(scratch), write(out)}, "consume");
+  flow.add_virtual(1, {write(scratch)}, "init-too-late");
+  flow.add_virtual(1, {read(scratch), readwrite(out)}, "consume-again");
+  return flow;
+}
+
+stf::TaskFlow bad_dead_write() {
+  stf::TaskFlow flow;
+  auto x = flow.create_data<double>("x", 8);
+  flow.add_virtual(1, {write(x)}, "wasted-write");   // overwritten below
+  flow.add_virtual(1, {write(x)}, "real-write");
+  flow.add_virtual(1, {read(x)}, "reader");
+  return flow;
+}
+
+stf::TaskFlow bad_unused_handle() {
+  stf::TaskFlow flow;
+  auto used = flow.create_data<double>("used", 4);
+  flow.create_data<double>("orphan", 4);  // never accessed
+  flow.add_virtual(1, {write(used)}, "producer");
+  flow.add_virtual(1, {read(used)}, "consumer");
+  return flow;
+}
+
+stf::TaskFlow bad_redundant_edge() {
+  stf::TaskFlow flow;
+  auto a = flow.create_data<double>("a", 4);
+  auto b = flow.create_data<double>("b", 4);
+  flow.add_virtual(1, {write(a)}, "t0");
+  flow.add_virtual(1, {read(a), write(b)}, "t1");
+  // Depends on t0 directly (reads a) and through t1 (reads b): the direct
+  // edge t0 -> t2 is implied by t0 -> t1 -> t2.
+  flow.add_virtual(1, {read(b), read(a)}, "t2");
+  return flow;
+}
+
+RaceFixture injected_race() {
+  RaceFixture fx;
+  auto d = fx.flow.create_data<double>("shared", 4);
+  fx.flow.add_virtual(10, {write(d)}, "writer-a");
+  fx.flow.add_virtual(10, {write(d)}, "writer-b");
+
+  // Disjoint intervals ([0,10) then [20,30)) in dependency order: the
+  // interval-overlap validator is satisfied.
+  fx.trace.record({/*task=*/0, /*worker=*/0, /*start=*/0, /*end=*/10,
+                   /*seq=*/0});
+  fx.trace.record({/*task=*/1, /*worker=*/1, /*start=*/20, /*end=*/30,
+                   /*seq=*/1});
+
+  // But the sync order says writer-b acquired BEFORE writer-a released:
+  // nothing ordered the two bodies — a race the wall clock happened to
+  // hide.
+  fx.sync.record({0, 0, d.id, stf::AccessMode::kWrite,
+                  stf::SyncKind::kAcquire, /*stamp=*/0});
+  fx.sync.record({1, 1, d.id, stf::AccessMode::kWrite,
+                  stf::SyncKind::kAcquire, /*stamp=*/1});
+  fx.sync.record({0, 0, d.id, stf::AccessMode::kWrite,
+                  stf::SyncKind::kRelease, /*stamp=*/2});
+  fx.sync.record({1, 1, d.id, stf::AccessMode::kWrite,
+                  stf::SyncKind::kRelease, /*stamp=*/3});
+  return fx;
+}
+
+}  // namespace rio::analysis::fixtures

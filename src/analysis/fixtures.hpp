@@ -1,0 +1,38 @@
+// Known-bad flows for exercising the analyzers.
+//
+// Each fixture is deliberately minimal: one hazard, a couple of tasks, so a
+// test (or `rioflow lint --workload lintfix:<name>`) can assert that the
+// analyzer reports exactly the expected finding code. The race fixture also
+// carries a hand-built Trace/SyncTrace pair whose wall-clock intervals are
+// disjoint — the interval overlap test passes while the happens-before
+// checker must still report the race.
+#pragma once
+
+#include "stf/task_flow.hpp"
+#include "stf/trace.hpp"
+
+namespace rio::analysis::fixtures {
+
+/// RF001: a task reads an uninitialized scratch object before any write.
+[[nodiscard]] stf::TaskFlow bad_uninit_read();
+
+/// RF002: a write is overwritten with no intervening read.
+[[nodiscard]] stf::TaskFlow bad_dead_write();
+
+/// RF003: a data object is registered but never accessed.
+[[nodiscard]] stf::TaskFlow bad_unused_handle();
+
+/// RF004: a dependency edge is transitively implied by a two-hop path.
+[[nodiscard]] stf::TaskFlow bad_redundant_edge();
+
+/// RC301 material: two unordered writes whose recorded intervals do not
+/// overlap. `trace` passes Trace::validate (the interval test); `sync`
+/// makes check_happens_before report the race.
+struct RaceFixture {
+  stf::TaskFlow flow;
+  stf::Trace trace;
+  stf::SyncTrace sync;
+};
+[[nodiscard]] RaceFixture injected_race();
+
+}  // namespace rio::analysis::fixtures

@@ -1,0 +1,278 @@
+#include "analysis/flow_lint.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rio::analysis {
+namespace {
+
+std::string task_ref(const stf::TaskFlow& flow, stf::TaskId t) {
+  std::string s = "task " + std::to_string(t);
+  const std::string& name = flow.task(t).name;
+  if (!name.empty()) s += " '" + name + "'";
+  return s;
+}
+
+std::string data_ref(const stf::TaskFlow& flow, stf::DataId d) {
+  const std::string& name = flow.registry().name(d);
+  if (!name.empty()) return "'" + name + "'";
+  return "data " + std::to_string(d);
+}
+
+/// Per-data scan state; mirrors the dependency scanner's frontier.
+struct DataState {
+  stf::TaskId last_write = stf::kInvalidTask;
+  std::uint64_t reads_since_write = 0;
+  std::uint64_t max_reads_between_writes = 0;
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_writes = 0;
+};
+
+void lint_accesses(const stf::TaskFlow& flow, const LintOptions& opts,
+                   Report& report) {
+  const std::size_t num_data = flow.num_data();
+  std::vector<DataState> state(num_data);
+  std::vector<bool> uninit_reported(num_data, false);
+  std::vector<std::pair<stf::TaskId, stf::DataId>> dead_writes;
+  std::uint64_t zero_access_tasks = 0;
+  stf::TaskId first_zero_access = stf::kInvalidTask;
+
+  for (const stf::Task& task : flow.tasks()) {
+    if (task.accesses.empty()) {
+      if (zero_access_tasks == 0) first_zero_access = task.id;
+      ++zero_access_tasks;
+      continue;
+    }
+    // Reads first, then writes: a ReadWrite/Reduction access consumes the
+    // previous value before replacing it, so it keeps the prior write live.
+    for (const stf::Access& a : task.accesses) {
+      if (!stf::is_read(a.mode)) continue;
+      DataState& ds = state[a.data];
+      if (ds.total_writes == 0 && !flow.registry().initialized(a.data) &&
+          !uninit_reported[a.data]) {
+        uninit_reported[a.data] = true;
+        report.add("RF001", Severity::kWarning,
+                   task_ref(flow, task.id) + " reads " +
+                       data_ref(flow, a.data) +
+                       " before any task writes it (object was created "
+                       "uninitialized)",
+                   task.id, a.data);
+      }
+      ++ds.total_reads;
+      ++ds.reads_since_write;
+      if (ds.reads_since_write > ds.max_reads_between_writes)
+        ds.max_reads_between_writes = ds.reads_since_write;
+    }
+    for (const stf::Access& a : task.accesses) {
+      if (!stf::is_write(a.mode)) continue;
+      DataState& ds = state[a.data];
+      if (ds.last_write != stf::kInvalidTask && ds.reads_since_write == 0)
+        dead_writes.emplace_back(ds.last_write, a.data);
+      ds.last_write = task.id;
+      ds.reads_since_write = 0;
+      ++ds.total_writes;
+    }
+  }
+
+  for (const auto& [task, data] : dead_writes) {
+    // A write to an object nothing ever reads is the write-only-object
+    // pattern (RF006 below), not a dead store within a live object.
+    if (state[data].total_reads == 0) continue;
+    report.add("RF002", Severity::kWarning,
+               task_ref(flow, task) + " writes " + data_ref(flow, data) +
+                   " but the value is overwritten before any task reads it",
+               task, data);
+  }
+
+  for (stf::DataId d = 0; d < num_data; ++d) {
+    const DataState& ds = state[d];
+    if (ds.total_reads == 0 && ds.total_writes == 0)
+      report.add("RF003", Severity::kWarning,
+                 data_ref(flow, d) +
+                     " is registered but no task ever accesses it",
+                 stf::kInvalidTask, d);
+  }
+
+  if (zero_access_tasks > 0)
+    report.add("RF005", Severity::kInfo,
+               std::to_string(zero_access_tasks) +
+                   " task(s) declare no data accesses (first: " +
+                   task_ref(flow, first_zero_access) +
+                   "); they synchronize with nothing",
+               first_zero_access, stf::kInvalidData, zero_access_tasks);
+
+  std::uint64_t write_only = 0;
+  stf::DataId first_write_only = stf::kInvalidData;
+  for (stf::DataId d = 0; d < num_data; ++d) {
+    if (state[d].total_writes > 0 && state[d].total_reads == 0) {
+      if (write_only == 0) first_write_only = d;
+      ++write_only;
+    }
+  }
+  if (write_only > 0)
+    report.add("RF006", Severity::kInfo,
+               std::to_string(write_only) +
+                   " data object(s) are written but never read (first: " +
+                   data_ref(flow, first_write_only) + ")",
+               stf::kInvalidTask, first_write_only, write_only);
+
+  // RP2xx — protocol counter widths (Section 3.3 keeps one task-id word and
+  // one reads-since-write counter per data object).
+  if (opts.counter_bits < 64) {
+    const std::uint64_t limit = std::uint64_t{1} << opts.counter_bits;
+    if (flow.num_tasks() >= limit)
+      report.add("RP201", Severity::kWarning,
+                 "flow has " + std::to_string(flow.num_tasks()) +
+                     " tasks; a " + std::to_string(opts.counter_bits) +
+                     "-bit task-id counter overflows");
+    std::uint64_t worst = 0;
+    stf::DataId worst_d = stf::kInvalidData;
+    for (stf::DataId d = 0; d < num_data; ++d)
+      if (state[d].max_reads_between_writes > worst) {
+        worst = state[d].max_reads_between_writes;
+        worst_d = d;
+      }
+    if (worst >= limit)
+      report.add("RP202", Severity::kWarning,
+                 data_ref(flow, worst_d) + " sees " + std::to_string(worst) +
+                     " reads between writes; a " +
+                     std::to_string(opts.counter_bits) +
+                     "-bit reads-since-write counter overflows",
+                 stf::kInvalidTask, worst_d);
+  }
+}
+
+void lint_redundant_edges(const stf::TaskFlow& flow,
+                          const stf::DependencyGraph& graph,
+                          const LintOptions& opts, Report& report) {
+  const std::size_t n = graph.num_tasks();
+  if (n == 0) return;
+  if (n > opts.max_reachability_tasks) {
+    report.add_metric("redundant-edge analysis skipped (" +
+                      std::to_string(n) + " tasks > cap of " +
+                      std::to_string(opts.max_reachability_tasks) + ")");
+    return;
+  }
+  // Ancestor bitsets in task-id order (ids are already topological).
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> anc(n * words, 0);
+  std::vector<std::uint64_t> joined(words);
+  std::uint64_t redundant = 0;
+  stf::TaskId first_pred = stf::kInvalidTask;
+  stf::TaskId first_succ = stf::kInvalidTask;
+  for (stf::TaskId t = 0; t < n; ++t) {
+    std::uint64_t* mine = &anc[t * words];
+    const auto& preds = graph.predecessors(t);
+    // joined = union of the ancestors of every predecessor: a direct edge
+    // (p, t) is transitively implied iff p is an ancestor of another pred.
+    std::fill(joined.begin(), joined.end(), 0);
+    for (stf::TaskId p : preds) {
+      const std::uint64_t* pa = &anc[p * words];
+      for (std::size_t w = 0; w < words; ++w) joined[w] |= pa[w];
+    }
+    for (stf::TaskId p : preds) {
+      if ((joined[p / 64] >> (p % 64)) & 1u) {
+        if (redundant == 0) {
+          first_pred = p;
+          first_succ = t;
+        }
+        ++redundant;
+      }
+      mine[p / 64] |= std::uint64_t{1} << (p % 64);
+    }
+    for (std::size_t w = 0; w < words; ++w) mine[w] |= joined[w];
+  }
+  if (redundant > 0)
+    report.add("RF004", Severity::kInfo,
+               std::to_string(redundant) +
+                   " dependency edge(s) are transitively implied by other "
+                   "paths (first: " +
+                   task_ref(flow, first_pred) + " -> " +
+                   task_ref(flow, first_succ) +
+                   "); harmless but they inflate in-degrees",
+               first_succ, stf::kInvalidData, redundant);
+}
+
+void lint_mapping(const stf::TaskFlow& flow, const stf::DependencyGraph& graph,
+                  const LintOptions& opts, Report& report) {
+  const rt::Mapping& map = *opts.mapping;
+  const std::uint32_t p = opts.num_workers;
+  std::vector<std::uint64_t> load(p, 0);
+  std::uint64_t out_of_range = 0;
+  stf::TaskId first_bad = stf::kInvalidTask;
+  for (const stf::Task& task : flow.tasks()) {
+    const stf::WorkerId w = map(task.id);
+    if (w >= p) {
+      if (out_of_range == 0) first_bad = task.id;
+      ++out_of_range;
+      continue;
+    }
+    load[w] += task.cost > 0 ? task.cost : 1;
+  }
+  if (out_of_range > 0) {
+    report.add("RM101", Severity::kError,
+               "mapping '" + map.name() + "' sends " +
+                   std::to_string(out_of_range) +
+                   " task(s) to workers >= " + std::to_string(p) +
+                   " (first: " + task_ref(flow, first_bad) + ")",
+               first_bad, stf::kInvalidData, out_of_range);
+    return;  // load numbers below would be meaningless
+  }
+  std::uint64_t max_load = 0, total = 0;
+  std::uint32_t max_w = 0;
+  for (std::uint32_t w = 0; w < p; ++w) {
+    total += load[w];
+    if (load[w] > max_load) {
+      max_load = load[w];
+      max_w = w;
+    }
+  }
+  const double mean = p > 0 ? static_cast<double>(total) / p : 0.0;
+  if (mean > 0.0) {
+    const double ratio = static_cast<double>(max_load) / mean;
+    if (ratio > opts.imbalance_threshold)
+      report.add("RM102", Severity::kWarning,
+                 "mapping '" + map.name() + "' is imbalanced: worker " +
+                     std::to_string(max_w) + " carries " +
+                     std::to_string(max_load) + " cost units, " +
+                     std::to_string(ratio) + "x the mean");
+    report.add_metric("per-worker load: max " + std::to_string(max_load) +
+                      ", mean " + std::to_string(mean) + " (mapping '" +
+                      map.name() + "', " + std::to_string(p) + " workers)");
+  }
+  const std::size_t width = graph.max_ready_width();
+  if (p > width)
+    report.add("RM103", Severity::kInfo,
+               std::to_string(p) + " workers exceed the flow's maximum "
+                   "ready width of " + std::to_string(width) +
+                   "; some workers can never be busy");
+}
+
+}  // namespace
+
+Report lint_flow(const stf::TaskFlow& flow, const stf::DependencyGraph& graph,
+                 const LintOptions& opts) {
+  Report report;
+  lint_accesses(flow, opts, report);
+  lint_redundant_edges(flow, graph, opts, report);
+  if (opts.mapping != nullptr && opts.mapping->valid() && opts.num_workers > 0)
+    lint_mapping(flow, graph, opts, report);
+
+  const std::uint64_t cp = graph.critical_path_cost(flow);
+  std::uint64_t total = 0;
+  for (const stf::Task& t : flow.tasks()) total += t.cost > 0 ? t.cost : 1;
+  report.add_metric("tasks " + std::to_string(flow.num_tasks()) + ", data " +
+                    std::to_string(flow.num_data()) + ", edges " +
+                    std::to_string(graph.num_edges()));
+  if (cp > 0)
+    report.add_metric(
+        "critical path cost " + std::to_string(cp) + " of " +
+        std::to_string(total) + " total (avg parallelism " +
+        std::to_string(static_cast<double>(total) / static_cast<double>(cp)) +
+        ", max ready width " + std::to_string(graph.max_ready_width()) + ")");
+  return report;
+}
+
+}  // namespace rio::analysis

@@ -1,0 +1,58 @@
+// Static flow lint: pure analysis over a TaskFlow and its DependencyGraph.
+//
+// Nothing here executes a task. One scan in flow order reproduces exactly
+// the state the dependency scanner keeps (last writer, readers since), so
+// every hazard is decided the same way the runtimes would order it.
+//
+// Finding codes (see docs/analysis.md):
+//   RF001  uninitialized read     warning  read before the first write of a
+//                                          create_uninitialized object
+//   RF002  dead write             warning  write overwritten with no read in
+//                                          between (object is read elsewhere)
+//   RF003  unused handle          warning  data registered, never accessed
+//   RF004  redundant edges        info     transitively implied dep edges
+//   RF005  zero-access tasks      info     tasks declaring no accesses
+//   RF006  write-only objects     info     data written but never read
+//   RM101  mapping out of range   error    mapping(t) >= num_workers
+//   RM102  load imbalance         warning  max/mean per-worker cost too high
+//   RM103  excess workers         info     workers > max ready width
+//   RP201  task counter overflow  warning  tasks >= 2^counter_bits
+//   RP202  read counter overflow  warning  reads between writes >= 2^bits
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/finding.hpp"
+#include "rio/mapping.hpp"
+#include "stf/dependency.hpp"
+#include "stf/task_flow.hpp"
+
+namespace rio::analysis {
+
+struct LintOptions {
+  /// Optional deterministic mapping to diagnose (RM1xx). Requires
+  /// num_workers > 0 when set.
+  const rt::Mapping* mapping = nullptr;
+  std::uint32_t num_workers = 0;
+
+  /// Width of the RIO protocol counters (task ids, reads-since-write).
+  /// 64 (the shipped width) never overflows; narrower embedded builds can
+  /// pass their width to get RP2xx findings.
+  std::uint32_t counter_bits = 64;
+
+  /// Redundant-edge detection keeps one ancestor bitset per task, so memory
+  /// is quadratic; flows beyond this many tasks skip the pass (noted as a
+  /// metric line, not a finding).
+  std::size_t max_reachability_tasks = 8192;
+
+  /// RM102 threshold on (max per-worker cost) / (mean per-worker cost).
+  double imbalance_threshold = 2.0;
+};
+
+/// Lints `flow` against `graph` (which must have been built from the same
+/// flow). Pure: no task body runs, no data is touched.
+[[nodiscard]] Report lint_flow(const stf::TaskFlow& flow,
+                               const stf::DependencyGraph& graph,
+                               const LintOptions& opts = {});
+
+}  // namespace rio::analysis

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/analysis.hpp"
 #include "coor/coor.hpp"
 #include "metrics/efficiency.hpp"
 #include "rio/rio.hpp"
@@ -107,6 +108,26 @@ bool build_workload(const Options& o, workloads::Workload& out,
     s.body = body;
     s.num_workers = o.workers;
     out = workloads::make_taskbench(s);
+  } else if (o.workload.rfind("lintfix:", 0) == 0) {
+    // Seeded-bad flows from src/analysis — each carries exactly one hazard
+    // so `rioflow lint` can demonstrate (and tests can assert) the finding.
+    const std::string name = o.workload.substr(8);
+    if (name == "uninit-read") {
+      out.flow = analysis::fixtures::bad_uninit_read();
+    } else if (name == "dead-write") {
+      out.flow = analysis::fixtures::bad_dead_write();
+    } else if (name == "unused-handle") {
+      out.flow = analysis::fixtures::bad_unused_handle();
+    } else if (name == "redundant-edge") {
+      out.flow = analysis::fixtures::bad_redundant_edge();
+    } else if (name == "race") {
+      out.flow = analysis::fixtures::injected_race().flow;
+    } else {
+      error = "unknown lint fixture '" + name +
+              "' (uninit-read|dead-write|unused-handle|redundant-edge|race)";
+      return false;
+    }
+    out.name = o.workload;
   } else {
     error = "unknown workload '" + o.workload + "'";
     return false;
@@ -154,15 +175,141 @@ bool pick_scheduler(const Options& o, coor::SchedulerKind& out,
   return true;
 }
 
+bool parse_fail_on(const std::string& s, analysis::Severity& out,
+                   std::string& error) {
+  if (s == "error") out = analysis::Severity::kError;
+  else if (s == "warning") out = analysis::Severity::kWarning;
+  else if (s == "info") out = analysis::Severity::kInfo;
+  else {
+    error = "unknown --fail-on '" + s + "' (error|warning|info)";
+    return false;
+  }
+  return true;
+}
+
+/// `rioflow lint`: pure static analysis, nothing executes.
+int run_lint(const Options& o, std::ostream& out, std::ostream& err) {
+  std::string error;
+  analysis::Severity threshold{};
+  if (!parse_fail_on(o.fail_on, threshold, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  workloads::Workload wl;
+  if (!build_workload(o, wl, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  stf::DependencyGraph graph(wl.flow);
+  rt::Mapping mapping;
+  if (!pick_mapping(o, wl, mapping, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  analysis::LintOptions lo;
+  lo.mapping = &mapping;
+  lo.num_workers = o.workers;
+  lo.counter_bits = o.counter_bits;
+  const analysis::Report report = analysis::lint_flow(wl.flow, graph, lo);
+  out << "-- lint: " << wl.name << " --\n";
+  report.print(out);
+  return report.count_at_least(threshold) > 0 ? 3 : 0;
+}
+
+/// `rioflow check`: execute with sync recording, then validate the trace
+/// (interval test) and run the happens-before race checker on top.
+int run_check(const Options& o, std::ostream& out, std::ostream& err) {
+  std::string error;
+  analysis::Severity threshold{};
+  if (!parse_fail_on(o.fail_on, threshold, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  workloads::Workload wl;
+  if (!build_workload(o, wl, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  stf::DependencyGraph graph(wl.flow);
+
+  stf::Trace trace;
+  stf::SyncTrace sync;
+  bool worker_in_order = false;
+  if (o.workload == "lintfix:race") {
+    // The injected fixture IS the recorded execution: replay it instead of
+    // running (a real run of this flow is correctly ordered).
+    auto fx = analysis::fixtures::injected_race();
+    trace = std::move(fx.trace);
+    sync = std::move(fx.sync);
+  } else if (o.engine == "rio") {
+    rt::Mapping mapping;
+    support::WaitPolicy policy{};
+    if (!pick_mapping(o, wl, mapping, error) ||
+        !pick_policy(o, policy, error)) {
+      err << "rioflow: " << error << "\n";
+      return 1;
+    }
+    rt::Runtime engine(rt::Config{.num_workers = o.workers,
+                                  .wait_policy = policy,
+                                  .collect_trace = true,
+                                  .collect_sync = true});
+    engine.run(wl.flow, mapping);
+    trace = engine.trace();
+    sync = engine.sync_trace();
+    worker_in_order = true;
+  } else if (o.engine == "coor") {
+    coor::SchedulerKind scheduler{};
+    if (!pick_scheduler(o, scheduler, error)) {
+      err << "rioflow: " << error << "\n";
+      return 1;
+    }
+    coor::Runtime engine(coor::Config{.num_workers = o.workers,
+                                      .scheduler = scheduler,
+                                      .collect_trace = true,
+                                      .collect_sync = true});
+    engine.run(wl.flow);
+    trace = engine.trace();
+    sync = engine.sync_trace();
+  } else {
+    err << "rioflow: check supports engines rio|coor, not '" << o.engine
+        << "'\n";
+    return 1;
+  }
+
+  out << "-- check: " << wl.name << " --\n";
+  const stf::ValidationResult vr =
+      trace.validate(wl.flow, graph, worker_in_order);
+  if (!vr.ok())
+    out << "interval validation: FAILED (" << vr.reason << ")\n";
+  else if (!vr.timing_checked)
+    out << "interval validation: skipped (" << vr.reason << ")\n";
+  else
+    out << "interval validation: ok\n";
+
+  const analysis::Report report = analysis::check_happens_before(wl.flow, sync);
+  report.print(out);
+  if (!vr.ok()) return 2;
+  return report.count_at_least(threshold) > 0 ? 3 : 0;
+}
+
 }  // namespace
 
 std::string usage() {
   return R"(rioflow — run STF workloads on the RIO execution models
 
-usage: rioflow [options]
+usage: rioflow [command] [options]
+  commands:
+    (none)        generate the workload and execute it on --engine
+    lint          static flow analysis only — nothing executes (RF/RM/RP
+                  finding codes; see docs/analysis.md)
+    check         execute on rio|coor recording sync events, then run the
+                  happens-before race checker (RC codes)
+
   --workload W    independent | random | gemm | lu | cholesky | stencil |
                   taskbench:<trivial|no_comm|stencil_1d|stencil_1d_periodic|
-                             fft|tree|all_to_all|spread>        [independent]
+                             fft|tree|all_to_all|spread> |
+                  lintfix:<uninit-read|dead-write|unused-handle|
+                           redundant-edge|race>                 [independent]
   --engine E      seq | rio | rio-pruned | coor | sim-rio | sim-coor  [rio]
   --workers N     worker threads / virtual cores                [2]
   --tasks N       synthetic workloads: task count               [4096]
@@ -175,6 +322,8 @@ usage: rioflow [options]
   --scheduler S   fifo | lifo | locality | priority (coor)      [fifo]
   --repeat N      repetitions (best time reported)              [1]
   --seed N        workload seed                                 [42]
+  --counter-bits N  lint: protocol counter width for RP2xx       [64]
+  --fail-on S     lint/check: exit 3 at error|warning|info       [warning]
   --summary       print flow structure summary
   --decompose     print e_p/e_r efficiency decomposition
   --dot FILE      write the dependency DAG as Graphviz DOT
@@ -186,7 +335,17 @@ usage: rioflow [options]
 
 bool parse(int argc, const char* const* argv, Options& o,
            std::string& error) {
-  for (int i = 1; i < argc; ++i) {
+  int first = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string cmd = argv[1];
+    if (cmd != "lint" && cmd != "check") {
+      error = "unknown command '" + cmd + "' (lint|check)";
+      return false;
+    }
+    o.command = cmd;
+    first = 2;
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     auto need_value = [&](const char* name) -> const char* {
       if (i + 1 >= argc) {
@@ -232,9 +391,14 @@ bool parse(int argc, const char* const* argv, Options& o,
       const char* v = need_value("--trace");
       if (!v) return false;
       o.trace_path = v;
+    } else if (arg == "--fail-on") {
+      const char* v = need_value("--fail-on");
+      if (!v) return false;
+      o.fail_on = v;
     } else if (arg == "--workers" || arg == "--tasks" || arg == "--tiles" ||
                arg == "--width" || arg == "--steps" || arg == "--task-size" ||
-               arg == "--repeat" || arg == "--seed") {
+               arg == "--repeat" || arg == "--seed" ||
+               arg == "--counter-bits") {
       const char* v = need_value(arg.c_str());
       if (!v) return false;
       const std::string value = v;
@@ -246,6 +410,8 @@ bool parse(int argc, const char* const* argv, Options& o,
       else if (arg == "--steps") ok = to_u32(value, o.steps);
       else if (arg == "--task-size") ok = to_u64(value, o.task_size);
       else if (arg == "--seed") ok = to_u64(value, o.seed);
+      else if (arg == "--counter-bits")
+        ok = to_u32(value, o.counter_bits) && o.counter_bits > 0;
       else {
         std::uint32_t r = 0;
         ok = to_u32(value, r);
@@ -276,6 +442,8 @@ int run(const Options& o, std::ostream& out, std::ostream& err) {
     out << usage();
     return 0;
   }
+  if (o.command == "lint") return run_lint(o, out, err);
+  if (o.command == "check") return run_check(o, out, err);
   std::string error;
   workloads::Workload wl;
   if (!build_workload(o, wl, error)) {

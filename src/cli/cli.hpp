@@ -15,10 +15,16 @@
 namespace rio::cli {
 
 struct Options {
+  // Subcommand: "" runs the workload (the historical behaviour); "lint"
+  // statically analyses it without executing anything; "check" executes it
+  // with sync-event recording and runs the happens-before race checker.
+  std::string command;
+
   // Workload selection.
   std::string workload = "independent";  ///< independent | random | gemm |
                                          ///< lu | cholesky | stencil |
-                                         ///< taskbench:<pattern>
+                                         ///< taskbench:<pattern> |
+                                         ///< lintfix:<fixture>
   std::uint64_t tasks = 4096;   ///< synthetic workloads: task count
   std::uint32_t tiles = 8;      ///< tiled workloads: grid dimension
   std::uint32_t width = 24;     ///< taskbench: points per step
@@ -34,6 +40,11 @@ struct Options {
   std::string policy = "yield";     ///< spin | yield | block
   std::string scheduler = "fifo";   ///< fifo | lifo | locality | priority
   int repeat = 1;
+
+  // Analysis (lint / check).
+  std::uint32_t counter_bits = 64;  ///< lint: protocol counter width (RP2xx)
+  std::string fail_on = "warning";  ///< exit non-zero at this severity:
+                                    ///< error | warning | info
 
   // Outputs.
   bool summary = false;       ///< print flow structure summary
@@ -53,7 +64,8 @@ bool parse(int argc, const char* const* argv, Options& out,
 std::string usage();
 
 /// Executes per the options; prints results to `out`. Returns process exit
-/// code (0 ok, 1 bad configuration, 2 execution problem).
+/// code (0 ok, 1 bad configuration, 2 execution problem, 3 analysis
+/// findings at or above the --fail-on severity).
 int run(const Options& options, std::ostream& out, std::ostream& err);
 
 }  // namespace rio::cli

@@ -47,6 +47,7 @@ struct Engine {
   std::atomic<std::uint64_t> completed{0};
   std::atomic<bool> done{false};
   std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> sync_stamp{0};
   stf::AccessGuard guard;
   // First failure wins; after cancellation remaining bodies are skipped
   // while completion bookkeeping continues, so the run drains cleanly.
@@ -179,6 +180,7 @@ support::RunStats Runtime::run(const stf::FlowRange& range) {
   support::RunStats stats;
   stats.workers.resize(p + 1);  // + master
   std::vector<std::vector<stf::TraceEvent>> traces(p);
+  std::vector<std::vector<stf::SyncEvent>> syncs(p);
   std::vector<std::uint64_t> worker_wall(p, 0);
 
   std::barrier start(static_cast<std::ptrdiff_t>(p) + 1);
@@ -203,6 +205,14 @@ support::RunStats Runtime::run(const stf::FlowRange& range) {
 
         const stf::Task& task = range[*li];
         eng.lock_reductions(task, locked_reductions);
+        // Acquire stamps are drawn after the pop (every predecessor already
+        // published its releases) and after the reduction locks are held.
+        if (cfg_.collect_sync) {
+          for (const stf::Access& a : task.accesses)
+            syncs[w].push_back(
+                {task.id, w, a.data, a.mode, stf::SyncKind::kAcquire,
+                 eng.sync_stamp.fetch_add(1, std::memory_order_acq_rel)});
+        }
         if (cfg_.enable_guard)
           for (const stf::Access& a : task.accesses) eng.guard.acquire(a);
         std::uint64_t t0 = 0, t1 = 0;
@@ -222,6 +232,14 @@ support::RunStats Runtime::run(const stf::FlowRange& range) {
         }
         if (cfg_.enable_guard)
           for (const stf::Access& a : task.accesses) eng.guard.release(a);
+        // Release stamps precede both the reduction unlock and complete(),
+        // the two publications that can admit a successor.
+        if (cfg_.collect_sync) {
+          for (const stf::Access& a : task.accesses)
+            syncs[w].push_back(
+                {task.id, w, a.data, a.mode, stf::SyncKind::kRelease,
+                 eng.sync_stamp.fetch_add(1, std::memory_order_acq_rel)});
+        }
         eng.unlock_reductions(locked_reductions);
         if (cfg_.collect_trace)
           traces[w].push_back(
@@ -300,6 +318,11 @@ support::RunStats Runtime::run(const stf::FlowRange& range) {
     trace_.reserve(n);
     for (auto& tr : traces)
       for (const auto& ev : tr) trace_.record(ev);
+  }
+  sync_trace_.clear();
+  if (cfg_.collect_sync) {
+    for (auto& sy : syncs)
+      for (const auto& ev : sy) sync_trace_.record(ev);
   }
   RIO_ASSERT(eng.completed.load() == n);
   if (eng.first_error) std::rethrow_exception(eng.first_error);

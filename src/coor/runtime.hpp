@@ -40,6 +40,8 @@ struct Config {
                                          ///< (0 = just our real cost)
   bool collect_stats = true;
   bool collect_trace = false;
+  bool collect_sync = false;  ///< record acquire/release sync events for
+                              ///< the happens-before checker (src/analysis)
   bool enable_guard = false;
   bool pin_workers = false;  ///< pin workers (and master) to logical CPUs
 };
@@ -59,6 +61,12 @@ class Runtime {
   support::RunStats run(const stf::FlowRange& range);
 
   [[nodiscard]] const stf::Trace& trace() const noexcept { return trace_; }
+
+  /// Synchronization events of the last run (empty unless cfg.collect_sync).
+  [[nodiscard]] const stf::SyncTrace& sync_trace() const noexcept {
+    return sync_trace_;
+  }
+
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
   /// Uses `pool` (>= num_workers + 1 threads: workers + master) for
@@ -68,6 +76,7 @@ class Runtime {
  private:
   Config cfg_;
   stf::Trace trace_;
+  stf::SyncTrace sync_trace_;
   support::ThreadPool* pool_ = nullptr;
 };
 

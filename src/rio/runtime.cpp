@@ -26,10 +26,13 @@ struct WorkerCtx {
   // Instrumentation (all optional).
   bool collect_stats = false;
   bool collect_trace = false;
+  bool collect_sync = false;
   stf::AccessGuard* guard = nullptr;
   std::atomic<std::uint64_t>* seq = nullptr;  // global completion counter
+  std::atomic<std::uint64_t>* sync_stamp = nullptr;  // sync-event order
   support::WorkerStats stats;
   std::vector<stf::TraceEvent> trace;
+  std::vector<stf::SyncEvent> sync;
 
   // Failure handling: the first thrown exception wins; once `cancelled` is
   // set, remaining task BODIES are skipped while the synchronization
@@ -73,6 +76,16 @@ void process_task(const stf::Task& task, WorkerCtx& ctx) {
     ++ctx.stats.waits;
   }
 
+  // Acquire stamps are drawn AFTER every get_* completed, so each observed
+  // terminate_* (stamped before its publish) sorts strictly earlier — the
+  // invariant the happens-before checker relies on.
+  if (ctx.collect_sync) {
+    for (const stf::Access& a : task.accesses)
+      ctx.sync.push_back(
+          {task.id, ctx.self, a.data, a.mode, stf::SyncKind::kAcquire,
+           ctx.sync_stamp->fetch_add(1, std::memory_order_acq_rel)});
+  }
+
   if (ctx.guard)
     for (const stf::Access& a : task.accesses) ctx.guard->acquire(a);
 
@@ -96,6 +109,14 @@ void process_task(const stf::Task& task, WorkerCtx& ctx) {
 
   if (ctx.guard)
     for (const stf::Access& a : task.accesses) ctx.guard->release(a);
+
+  // Release stamps are drawn BEFORE terminate_* publishes anything.
+  if (ctx.collect_sync) {
+    for (const stf::Access& a : task.accesses)
+      ctx.sync.push_back(
+          {task.id, ctx.self, a.data, a.mode, stf::SyncKind::kRelease,
+           ctx.sync_stamp->fetch_add(1, std::memory_order_acq_rel)});
+  }
 
   for (const stf::Access& a : task.accesses) {
     if (is_write(a.mode))
@@ -157,6 +178,7 @@ support::RunStats Runtime::run(const stf::FlowRange& range,
   stf::AccessGuard guard;
   if (cfg_.enable_guard) guard.enable(num_data);
   std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> sync_stamp{0};
   std::atomic<bool> cancelled{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
@@ -172,8 +194,10 @@ support::RunStats Runtime::run(const stf::FlowRange& range,
     c.policy = cfg_.wait_policy;
     c.collect_stats = cfg_.collect_stats;
     c.collect_trace = cfg_.collect_trace;
+    c.collect_sync = cfg_.collect_sync;
     c.guard = cfg_.enable_guard ? &guard : nullptr;
     c.seq = &seq;
+    c.sync_stamp = &sync_stamp;
     c.cancelled = &cancelled;
     c.first_error = &first_error;
     c.error_mu = &error_mu;
@@ -201,6 +225,7 @@ support::RunStats Runtime::run(const stf::FlowRange& range,
   stats.wall_ns = wall;
   stats.workers.resize(p);
   trace_.clear();
+  sync_trace_.clear();
   if (cfg_.collect_trace) trace_.reserve(range.size());
   for (std::uint32_t w = 0; w < p; ++w) {
     WorkerCtx& c = ctxs[w];
@@ -213,6 +238,7 @@ support::RunStats Runtime::run(const stf::FlowRange& range,
     }
     stats.workers[w] = c.stats;
     for (const stf::TraceEvent& ev : c.trace) trace_.record(ev);
+    for (const stf::SyncEvent& ev : c.sync) sync_trace_.record(ev);
   }
   if (first_error) std::rethrow_exception(first_error);
   return stats;
@@ -229,6 +255,7 @@ support::RunStats Runtime::run_program(const stf::DataRegistry& registry,
   stf::AccessGuard guard;
   if (cfg_.enable_guard) guard.enable(num_data);
   std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> sync_stamp{0};
   std::atomic<bool> cancelled{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
@@ -244,8 +271,10 @@ support::RunStats Runtime::run_program(const stf::DataRegistry& registry,
     c.policy = cfg_.wait_policy;
     c.collect_stats = cfg_.collect_stats;
     c.collect_trace = cfg_.collect_trace;
+    c.collect_sync = cfg_.collect_sync;
     c.guard = cfg_.enable_guard ? &guard : nullptr;
     c.seq = &seq;
+    c.sync_stamp = &sync_stamp;
     c.cancelled = &cancelled;
     c.first_error = &first_error;
     c.error_mu = &error_mu;
@@ -271,6 +300,7 @@ support::RunStats Runtime::run_program(const stf::DataRegistry& registry,
   stats.wall_ns = wall;
   stats.workers.resize(p);
   trace_.clear();
+  sync_trace_.clear();
   for (std::uint32_t w = 0; w < p; ++w) {
     WorkerCtx& c = ctxs[w];
     if (cfg_.collect_stats) {
@@ -280,6 +310,7 @@ support::RunStats Runtime::run_program(const stf::DataRegistry& registry,
     }
     stats.workers[w] = c.stats;
     for (const stf::TraceEvent& ev : c.trace) trace_.record(ev);
+    for (const stf::SyncEvent& ev : c.sync) sync_trace_.record(ev);
   }
   if (first_error) std::rethrow_exception(first_error);
   return stats;

@@ -39,6 +39,8 @@ struct Config {
   bool collect_stats = true;   ///< fill the tau buckets (adds 2 clock reads
                                ///< per executed task + 1 per stall)
   bool collect_trace = false;  ///< record a validatable execution trace
+  bool collect_sync = false;   ///< record acquire/release sync events for
+                               ///< the happens-before checker (src/analysis)
   bool enable_guard = false;   ///< dynamic data-race detection (tests)
   bool pin_workers = false;    ///< pin worker w to logical CPU w mod #cpus
 };
@@ -67,6 +69,11 @@ class Runtime {
   /// Trace of the last run (empty unless cfg.collect_trace).
   [[nodiscard]] const stf::Trace& trace() const noexcept { return trace_; }
 
+  /// Synchronization events of the last run (empty unless cfg.collect_sync).
+  [[nodiscard]] const stf::SyncTrace& sync_trace() const noexcept {
+    return sync_trace_;
+  }
+
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
   /// Uses `pool` (>= num_workers threads) for subsequent runs instead of
@@ -78,6 +85,7 @@ class Runtime {
  private:
   Config cfg_;
   stf::Trace trace_;
+  stf::SyncTrace sync_trace_;
   support::ThreadPool* pool_ = nullptr;
 };
 

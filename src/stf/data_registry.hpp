@@ -44,6 +44,24 @@ class DataRegistry {
     return DataHandle<T>{static_cast<DataId>(entries_.size() - 1)};
   }
 
+  /// Creates a registry-owned object WITHOUT the zero-fill (skips the
+  /// memset — worthwhile for large scratch buffers). The object carries no
+  /// defined initial contents: a task must write it before any task reads
+  /// it, which the static analyzer (src/analysis) enforces as RF001.
+  template <typename T>
+  DataHandle<T> create_uninitialized(std::string name, std::size_t count = 1) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "data objects hold flat HPC payloads");
+    Entry e;
+    e.name = std::move(name);
+    e.bytes = sizeof(T) * count;
+    e.owned = std::make_unique<std::byte[]>(e.bytes);
+    e.ptr = e.owned.get();
+    e.initialized = false;
+    entries_.push_back(std::move(e));
+    return DataHandle<T>{static_cast<DataId>(entries_.size() - 1)};
+  }
+
   /// Wraps caller-owned memory (e.g. an application matrix tile). The
   /// caller must keep it alive for the lifetime of the registry.
   template <typename T>
@@ -66,6 +84,15 @@ class DataRegistry {
   [[nodiscard]] std::size_t bytes(DataId id) const {
     RIO_ASSERT(id < entries_.size());
     return entries_[id].bytes;
+  }
+
+  /// True when the object holds defined contents before the first in-flow
+  /// write: zero-filled (create) or caller-supplied (attach). False only
+  /// for create_uninitialized objects — reading those before a write is
+  /// the uninitialized-read hazard the analyzer flags.
+  [[nodiscard]] bool initialized(DataId id) const {
+    RIO_ASSERT(id < entries_.size());
+    return entries_[id].initialized;
   }
 
   /// Raw pointer for engine internals; task bodies should go through
@@ -92,6 +119,7 @@ class DataRegistry {
     std::size_t bytes = 0;
     void* ptr = nullptr;
     std::unique_ptr<std::byte[]> owned;  // null when attached
+    bool initialized = true;  // false: needs a write before any read
   };
 
   std::vector<Entry> entries_;

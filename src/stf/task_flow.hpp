@@ -35,6 +35,12 @@ class TaskFlow final : public SubmitSink {
   }
 
   template <typename T>
+  DataHandle<T> create_uninitialized_data(std::string name,
+                                          std::size_t count = 1) {
+    return registry_.create_uninitialized<T>(std::move(name), count);
+  }
+
+  template <typename T>
   DataHandle<T> attach_data(std::string name, T* ptr, std::size_t count = 1) {
     return registry_.attach<T>(std::move(name), ptr, count);
   }

@@ -29,15 +29,61 @@ struct TraceEvent {
   std::uint64_t seq = 0;       ///< global completion order (engine-assigned)
 };
 
+/// One synchronization operation on a data object, recorded by the engines
+/// when Config::collect_sync is set. An ACQUIRE is the completion of a
+/// dependency wait (RIO's get_read/get_write, COOR's ready dispatch); a
+/// RELEASE is the publication that lets successors through (terminate_*,
+/// successor release). `stamp` is drawn from one global atomic counter such
+/// that every release an acquire observed carries a smaller stamp — the
+/// total order the happens-before checker (src/analysis) replays.
+enum class SyncKind : std::uint8_t { kAcquire, kRelease };
+
+struct SyncEvent {
+  TaskId task = kInvalidTask;
+  WorkerId worker = kInvalidWorker;
+  DataId data = kInvalidData;
+  AccessMode mode = AccessMode::kRead;
+  SyncKind kind = SyncKind::kAcquire;
+  std::uint64_t stamp = 0;  ///< global publication/acquisition order
+};
+
+/// A full-run synchronization trace: acquire/release events in arbitrary
+/// order (consumers sort by stamp).
+class SyncTrace {
+ public:
+  void record(SyncEvent ev) { events_.push_back(ev); }
+  void reserve(std::size_t n) { events_.reserve(n); }
+  [[nodiscard]] const std::vector<SyncEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<SyncEvent> events_;
+};
+
 /// Outcome of validating a trace; `ok()` plus a human-readable reason.
 struct ValidationResult {
   bool valid = true;
   std::string reason;
 
+  /// False when the engine recorded no timestamps: the data-race and
+  /// dependency-order checks were SKIPPED, not passed. `reason` then says
+  /// "timestamps unavailable". Structural checks (completeness, per-worker
+  /// order) still ran.
+  bool timing_checked = true;
+
   [[nodiscard]] bool ok() const noexcept { return valid; }
 
+  /// True only when validation passed AND nothing was skipped.
+  [[nodiscard]] bool fully_checked() const noexcept {
+    return valid && timing_checked;
+  }
+
   static ValidationResult failure(std::string why) {
-    return {false, std::move(why)};
+    return {false, std::move(why), true};
   }
 };
 

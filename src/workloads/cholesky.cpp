@@ -21,13 +21,17 @@ Workload make_cholesky_dag(const CholeskyDagSpec& spec) {
   w.name = "cholesky-dag";
   const std::uint32_t nt = spec.tiles;
 
+  // Only the lower triangle exists: the factorization never touches
+  // A(i,j) for j > i, and registering those tiles would leave dangling
+  // handles (lint finding RF003).
   std::vector<stf::DataHandle<std::uint64_t>> tiles;
-  tiles.reserve(static_cast<std::size_t>(nt) * nt);
+  tiles.reserve((static_cast<std::size_t>(nt) * (nt + 1)) / 2);
   for (std::uint32_t i = 0; i < nt; ++i)
-    for (std::uint32_t j = 0; j < nt; ++j)
+    for (std::uint32_t j = 0; j <= i; ++j)
       tiles.push_back(w.flow.create_data<std::uint64_t>(nm("A", i, j)));
   auto h = [&](std::uint32_t i, std::uint32_t j) {
-    return tiles[static_cast<std::size_t>(i) * nt + j];
+    RIO_DEBUG_ASSERT(j <= i);
+    return tiles[(static_cast<std::size_t>(i) * (i + 1)) / 2 + j];
   };
 
   const auto [pr, pc] =

@@ -50,9 +50,12 @@ Workload make_random_deps(const RandomDepsSpec& spec) {
     stf::AccessList accesses;
     for (std::uint32_t r = 0; r < spec.reads_per_task; ++r)
       accesses.push_back(stf::read(data[picked[r]]));
+    // ReadWrite, not Write: it orders identically (the DAG is unchanged)
+    // but marks the previous value as consumed, so random back-to-back
+    // updates of one object are not dead stores to the lint pass.
     for (std::uint32_t wr = 0; wr < spec.writes_per_task; ++wr)
       accesses.push_back(
-          stf::write(data[picked[spec.reads_per_task + wr]]));
+          stf::readwrite(data[picked[spec.reads_per_task + wr]]));
     w.flow.submit(make_body(spec.body, spec.task_cost), std::move(accesses),
                   spec.task_cost);
   }

@@ -186,4 +186,115 @@ TEST(CliRun, SimEngineReportsVirtualTime) {
   EXPECT_NE(text.find("(virtual)"), std::string::npos);
 }
 
+// ----------------------------------------------------------- lint/check ----
+
+TEST(CliLint, ParsesSubcommandAndKnobs) {
+  Options o;
+  std::string error;
+  EXPECT_TRUE(parse_args({"lint", "--workload", "gemm", "--counter-bits",
+                          "16", "--fail-on", "info"},
+                         o, error))
+      << error;
+  EXPECT_EQ(o.command, "lint");
+  EXPECT_EQ(o.counter_bits, 16u);
+  EXPECT_EQ(o.fail_on, "info");
+}
+
+TEST(CliLint, RejectsUnknownCommand) {
+  Options o;
+  std::string error;
+  EXPECT_FALSE(parse_args({"frobnicate"}, o, error));
+  EXPECT_NE(error.find("unknown command"), std::string::npos);
+}
+
+TEST(CliLint, RejectsBadFailOn) {
+  std::string text;
+  EXPECT_EQ(run_args({"lint", "--fail-on", "sometimes"}, &text), 1);
+}
+
+TEST(CliLint, EachBadFixtureFailsWithItsCode) {
+  const struct {
+    const char* workload;
+    const char* code;
+    const char* fail_on;
+  } cases[] = {
+      {"lintfix:uninit-read", "RF001", "warning"},
+      {"lintfix:dead-write", "RF002", "warning"},
+      {"lintfix:unused-handle", "RF003", "warning"},
+      {"lintfix:redundant-edge", "RF004", "info"},
+  };
+  for (const auto& c : cases) {
+    std::string text;
+    const int rc = run_args(
+        {"lint", "--workload", c.workload, "--fail-on", c.fail_on}, &text);
+    EXPECT_EQ(rc, 3) << c.workload << ": " << text;
+    EXPECT_NE(text.find(c.code), std::string::npos)
+        << c.workload << ": " << text;
+  }
+}
+
+TEST(CliLint, RedundantEdgeFixturePassesAtDefaultThreshold) {
+  // The finding is informational (the dependency scanner itself emits such
+  // edges for W->R->W patterns), so the default gate lets it through.
+  std::string text;
+  EXPECT_EQ(run_args({"lint", "--workload", "lintfix:redundant-edge"}, &text),
+            0)
+      << text;
+  EXPECT_NE(text.find("RF004"), std::string::npos);
+}
+
+TEST(CliLint, ShippedWorkloadsExitZero) {
+  for (const char* workload :
+       {"independent", "random", "gemm", "lu", "cholesky", "stencil",
+        "taskbench:fft", "taskbench:trivial", "taskbench:stencil_1d"}) {
+    std::string text;
+    const int rc = run_args({"lint", "--workload", workload, "--tasks",
+                             "2048", "--tiles", "3", "--width", "6",
+                             "--steps", "4", "--workers", "2"},
+                            &text);
+    EXPECT_EQ(rc, 0) << workload << ":\n" << text;
+  }
+}
+
+TEST(CliLint, UnknownFixtureFails) {
+  std::string text;
+  EXPECT_EQ(run_args({"lint", "--workload", "lintfix:nonsense"}, &text), 1);
+}
+
+TEST(CliLint, NarrowCountersAreDiagnosed) {
+  std::string text;
+  const int rc = run_args({"lint", "--workload", "stencil", "--width", "6",
+                           "--steps", "4", "--counter-bits", "1"},
+                          &text);
+  EXPECT_EQ(rc, 3) << text;
+  EXPECT_NE(text.find("RP201"), std::string::npos);
+}
+
+TEST(CliCheck, CleanRunPassesOnBothEngines) {
+  for (const char* engine : {"rio", "coor"}) {
+    std::string text;
+    const int rc = run_args({"check", "--engine", engine, "--workload",
+                             "stencil", "--width", "4", "--steps", "4",
+                             "--task-size", "20", "--workers", "2"},
+                            &text);
+    EXPECT_EQ(rc, 0) << engine << ":\n" << text;
+    EXPECT_NE(text.find("0 race(s)"), std::string::npos) << text;
+  }
+}
+
+TEST(CliCheck, InjectedRaceFixtureFails) {
+  std::string text;
+  const int rc = run_args({"check", "--workload", "lintfix:race"}, &text);
+  EXPECT_EQ(rc, 3) << text;
+  // The interval validator is satisfied by the disjoint wall-clock windows;
+  // only the happens-before checker sees the race.
+  EXPECT_NE(text.find("interval validation: ok"), std::string::npos) << text;
+  EXPECT_NE(text.find("RC301"), std::string::npos) << text;
+}
+
+TEST(CliCheck, RejectsSimEngines) {
+  std::string text;
+  EXPECT_EQ(run_args({"check", "--engine", "sim-rio"}, &text), 1);
+}
+
 }  // namespace

@@ -278,6 +278,33 @@ TEST(TraceRace, AllowsConcurrentReaders) {
   EXPECT_TRUE(tr.validate(flow, g, false).ok());
 }
 
+TEST_F(TraceFixture, ZeroTimestampsAreSkippedNotValidated) {
+  // An engine that records no clocks (all start/end zero) used to sail
+  // through the race and dependency checks; it must now say it skipped
+  // them.
+  DependencyGraph g(flow);
+  Trace tr;
+  tr.record({0, 0, 0, 0, 0});
+  tr.record({1, 1, 0, 0, 1});
+  tr.record({2, 0, 0, 0, 2});
+  const auto r = tr.validate(flow, g, false);
+  EXPECT_TRUE(r.ok());  // structural checks still passed
+  EXPECT_FALSE(r.timing_checked);
+  EXPECT_FALSE(r.fully_checked());
+  EXPECT_NE(r.reason.find("timestamps unavailable"), std::string::npos);
+}
+
+TEST_F(TraceFixture, TimedTraceReportsFullyChecked) {
+  DependencyGraph g(flow);
+  Trace tr;
+  tr.record({0, 0, 0, 10, 0});
+  tr.record({1, 1, 10, 20, 1});
+  tr.record({2, 0, 20, 30, 2});
+  const auto r = tr.validate(flow, g, false);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.fully_checked());
+}
+
 // ---------------------------------------------------------- access guard ---
 
 TEST(AccessGuard, AllowsConcurrentReaders) {
