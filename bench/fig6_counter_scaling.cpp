@@ -124,7 +124,7 @@ void real_threads(const bench::Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+  const auto opt = bench::Options::parse(argc, argv, {"--real"});
   bool real = false;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--real") == 0) real = true;

@@ -18,6 +18,7 @@ using namespace rio;
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
+  bench::JsonReporter json("fig7_workers", opt);
   const std::uint64_t per_worker = opt.quick ? 1u << 12 : 1u << 15;
   const std::uint64_t task_size = 1u << 10;  // ~1 us tasks
   const std::vector<std::uint32_t> workers =
@@ -38,18 +39,20 @@ int main(int argc, char** argv) {
     spec.task_cost = task_size;
     spec.body = workloads::BodyKind::kNone;
     auto wl = workloads::make_independent(spec);
+    // One compiled image serves all three simulated engines.
+    const stf::FlowImage image = stf::FlowImage::compile(wl.flow);
 
     sim::DecentralizedParams dp;
     dp.workers = w;
     const auto full =
-        sim::simulate_decentralized(wl.flow, rt::mapping::round_robin(w), dp);
+        sim::simulate_decentralized(image, rt::mapping::round_robin(w), dp);
     sim::DecentralizedParams pp = dp;
     pp.pruned = true;
     const auto pruned =
-        sim::simulate_decentralized(wl.flow, rt::mapping::round_robin(w), pp);
+        sim::simulate_decentralized(image, rt::mapping::round_robin(w), pp);
     sim::CentralizedParams cp;
     cp.workers = w;  // w workers + 1 master: w+1 threads total
-    const auto coor = sim::simulate_centralized(wl.flow, cp);
+    const auto coor = sim::simulate_centralized(image, cp);
     stf::DependencyGraph graph(wl.flow);
     const auto ideal = sim::ideal_makespan(wl.flow, graph, w);
 
@@ -61,10 +64,11 @@ int main(int argc, char** argv) {
         .num(static_cast<double>(coor.makespan) * 1e-6, 2)
         .num(static_cast<double>(ideal) * 1e-6, 2);
   }
-  bench::emit(table, opt);
+  bench::emit(table, opt, json, "scaling");
 
   std::cout << "Paper shape: RIO grows linearly with workers (duplicated\n"
                "unrolling); pruning flattens it; the centralized master\n"
                "serializes w*2^15 dispatches and grows far faster.\n";
+  bench::finish(json);
   return 0;
 }

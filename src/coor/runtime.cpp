@@ -40,7 +40,7 @@ void burn_ns(std::uint64_t ns) {
 }
 
 struct Engine {
-  const stf::FlowRange& range;
+  stf::ImageRange range;  // cheap view; the backing FlowImage outlives us
   const Config& cfg;
   std::vector<TaskNode> nodes;
   std::deque<ReadyQueue> queues;  // 1 (central) or num_workers (locality)
@@ -65,7 +65,7 @@ struct Engine {
   // workers may pick them in any order — but one at a time per object.
   std::vector<support::AlignedAtomic<std::uint32_t>> reduction_locks;
 
-  Engine(const stf::FlowRange& r, const Config& c)
+  Engine(const stf::ImageRange& r, const Config& c)
       : range(r), cfg(c), nodes(r.size()), reduction_locks(r.num_data()) {
     const std::size_t nq =
         c.scheduler == SchedulerKind::kLocality ? c.num_workers : 1;
@@ -104,14 +104,13 @@ struct Engine {
   /// worker; round-robin for data-less tasks.
   [[nodiscard]] std::size_t home_queue(std::size_t li) const {
     if (queues.size() == 1) return 0;
-    const stf::Task& task = range[li];
-    if (task.accesses.empty()) return li % queues.size();
-    return task.accesses[0].data % queues.size();
+    if (range.num_accesses(li) == 0) return li % queues.size();
+    return range.acc_begin(li)->data % queues.size();
   }
 
   void dispatch(std::size_t li) {
     queues[home_queue(li)].push(li, cfg.scheduler == SchedulerKind::kLifo,
-                                range[li].priority);
+                                range.priority(li));
   }
 
   /// Worker-side completion: mark finished, release registered successors.
@@ -169,10 +168,20 @@ Runtime::Runtime(Config cfg) : cfg_(cfg) {
 }
 
 support::RunStats Runtime::run(const stf::TaskFlow& flow) {
-  return run(stf::FlowRange(flow));
+  const stf::FlowImage image = stf::FlowImage::compile(flow);
+  return run(stf::ImageRange(image));
 }
 
 support::RunStats Runtime::run(const stf::FlowRange& range) {
+  const stf::FlowImage image = stf::FlowImage::compile(range);
+  return run(stf::ImageRange(image));
+}
+
+support::RunStats Runtime::run(const stf::FlowImage& image) {
+  return run(stf::ImageRange(image));
+}
+
+support::RunStats Runtime::run(const stf::ImageRange& range) {
   Engine eng(range, cfg_);
   const std::uint32_t p = cfg_.num_workers;
   const std::size_t n = range.size();
@@ -203,7 +212,7 @@ support::RunStats Runtime::run(const stf::FlowRange& range) {
         }
         if (!li) break;
 
-        const stf::Task& task = range[*li];
+        const stf::Task& task = range.task(*li);
         eng.lock_reductions(task, locked_reductions);
         // Acquire stamps are drawn after the pop (every predecessor already
         // published its releases) and after the reduction locks are held.
@@ -265,8 +274,9 @@ support::RunStats Runtime::run(const stf::FlowRange& range) {
     std::vector<stf::TaskId> preds;
 
     for (std::size_t li = 0; li < n; ++li) {
-      const stf::Task& task = range[li];
-      scanner.next(task, li, preds);
+      // Flat-array scan: the master never touches a Task record while
+      // unrolling — only the image's dense access spans.
+      scanner.next(range.acc_begin(li), range.acc_end(li), li, preds);
 
       for (std::size_t prev : preds) {
         std::lock_guard lock(eng.nodes[prev].mu);

@@ -26,6 +26,7 @@
 #include "support/thread_pool.hpp"
 #include "support/wait.hpp"
 #include "coor/ready_queue.hpp"
+#include "stf/flow_image.hpp"
 #include "stf/flow_range.hpp"
 #include "stf/task_flow.hpp"
 #include "stf/trace.hpp"
@@ -53,12 +54,22 @@ class Runtime {
   /// Runs `flow` to completion. The calling thread becomes the master;
   /// stats.workers holds num_workers entries followed by one entry for the
   /// master (whose time is management/idle only, never task time).
+  /// Internally compiles a throwaway FlowImage — callers that run the same
+  /// flow repeatedly should compile once and use the image overloads.
   support::RunStats run(const stf::TaskFlow& flow);
 
   /// Range variant for hybrid phase execution: all tasks preceding the
   /// range must already be complete (dependencies are derived within the
   /// range only).
   support::RunStats run(const stf::FlowRange& range);
+
+  /// Fast replay from a compiled image: the master's incremental unroll and
+  /// the locality router walk the image's flat metadata (stf/flow_image.hpp)
+  /// instead of Task records. Compile once, run many times.
+  support::RunStats run(const stf::FlowImage& image);
+
+  /// Image-slice variant (hybrid phase execution).
+  support::RunStats run(const stf::ImageRange& range);
 
   [[nodiscard]] const stf::Trace& trace() const noexcept { return trace_; }
 

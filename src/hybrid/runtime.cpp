@@ -3,7 +3,7 @@
 #include <memory>
 
 #include "support/assert.hpp"
-#include "stf/flow_range.hpp"
+#include "stf/flow_image.hpp"
 
 namespace rio::hybrid {
 
@@ -68,6 +68,10 @@ support::RunStats Runtime::run(const stf::TaskFlow& flow,
   }
   RIO_ASSERT_MSG(expect == flow.num_tasks(), "phases must cover the flow");
 
+  // One compilation serves every phase: each phase executes an ImageRange
+  // slice, so neither engine ever walks the AoS Task array while unrolling.
+  const stf::FlowImage image = stf::FlowImage::compile(flow);
+
   const std::uint32_t p = cfg_.num_workers;
   support::RunStats total;
   // Worker slots 0..p-1 aggregate across phases; slot p is the dynamic
@@ -97,7 +101,7 @@ support::RunStats Runtime::run(const stf::TaskFlow& flow,
 
   for (const Phase& ph : phases) {
     if (ph.count == 0) continue;
-    const stf::FlowRange range(flow, ph.first, ph.count);
+    const stf::ImageRange range(image, ph.first, ph.count);
     support::RunStats phase_stats;
     if (ph.kind == Phase::Kind::kStatic) {
       // Phase barrier semantics: everything before `first` completed, so

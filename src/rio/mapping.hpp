@@ -38,6 +38,11 @@ class Mapping {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] bool valid() const noexcept { return fn_ && *fn_; }
 
+  /// Stable identity of the underlying closure: copies of one Mapping share
+  /// it, distinct constructions never do (while either is alive). Cache key
+  /// material for compiled plans (PrunedPlanCache).
+  [[nodiscard]] const void* identity() const noexcept { return fn_.get(); }
+
  private:
   std::string name_;
   std::shared_ptr<Fn> fn_;

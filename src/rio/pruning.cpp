@@ -5,11 +5,162 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "support/assert.hpp"
 #include "support/clock.hpp"
+#include "support/topology.hpp"
 
 namespace rio::rt {
+namespace {
+
+/// Shared scan state: what a fully-unrolling worker's local replica would
+/// contain just before each task.
+struct ScanState {
+  stf::TaskId last_writer = kNoWrite;
+  std::uint64_t reads_since_write = 0;
+};
+
+/// Core pruned execution: fork p workers, each walks only its own plan
+/// slice, waiting on precomputed protocol values. `body_of(id)` resolves a
+/// task id to its source descriptor (TaskFlow or FlowImage backed).
+template <typename BodyOf>
+support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
+                             const stf::DataRegistry& registry,
+                             std::size_t num_data, const PrunedPlan& plan,
+                             stf::Trace& trace_out, stf::SyncTrace& sync_out,
+                             BodyOf&& body_of) {
+  RIO_ASSERT_MSG(plan.num_workers() == cfg.num_workers,
+                 "plan built for a different worker count");
+  const std::uint32_t p = cfg.num_workers;
+
+  std::vector<SharedDataState> shared(num_data);
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> sync_stamp{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::barrier start(static_cast<std::ptrdiff_t>(p));
+  std::vector<support::WorkerStats> wstats(p);
+  std::vector<std::uint64_t> worker_wall(p, 0);
+  std::vector<std::vector<stf::TraceEvent>> traces(p);
+  std::vector<std::vector<stf::SyncEvent>> syncs(p);
+
+  const std::uint32_t cpus = support::detect_topology().logical_cpus;
+  const auto body = [&](std::uint32_t w) {
+    if (cfg.pin_workers) support::pin_current_thread(w % cpus);
+    const auto& mine = plan.tasks_for(w);
+    support::WorkerStats& st = wstats[w];
+    const auto policy = cfg.wait_policy;
+    start.arrive_and_wait();
+    const std::uint64_t begin = support::monotonic_ns();
+    for (const PrunedTask& pt : mine) {
+      // Wait on the precomputed expectations — no local replica needed.
+      bool stalled = false;
+      std::uint64_t wait_begin = 0;
+      if (cfg.collect_stats) wait_begin = support::monotonic_ns();
+      for (const PrunedAccess& pa : pt.accesses) {
+        const SharedDataState& s = shared[pa.data];
+        if (s.last_executed_write.value.load(std::memory_order_acquire) !=
+            pa.expected_writer) {
+          stalled = true;
+          support::wait_until_equal(s.last_executed_write.value,
+                                    pa.expected_writer, policy);
+        }
+        if (is_write(pa.mode) &&
+            s.nb_reads_since_write.value.load(std::memory_order_acquire) !=
+                pa.expected_reads) {
+          stalled = true;
+          support::wait_until_equal(s.nb_reads_since_write.value,
+                                    pa.expected_reads, policy);
+        }
+      }
+      if (cfg.collect_stats && stalled) {
+        st.buckets.idle_ns += support::monotonic_ns() - wait_begin;
+        ++st.waits;
+      }
+
+      // Acquire stamps after all waits completed — same invariant as the
+      // full runtime, so the happens-before checker accepts pruned traces.
+      if (cfg.collect_sync) {
+        for (const PrunedAccess& pa : pt.accesses)
+          syncs[w].push_back(
+              {pt.id, w, pa.data, pa.mode, stf::SyncKind::kAcquire,
+               sync_stamp.fetch_add(1, std::memory_order_acq_rel)});
+      }
+
+      const stf::Task& task = body_of(pt.id);
+      std::uint64_t t0 = 0;
+      if (cfg.collect_stats || cfg.collect_trace) t0 = support::monotonic_ns();
+      if (task.fn && !cancelled.load(std::memory_order_acquire)) {
+        stf::TaskContext tc(task, registry, w);
+        try {
+          task.fn(tc);
+        } catch (...) {
+          std::lock_guard lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          cancelled.store(true, std::memory_order_release);
+        }
+      }
+      std::uint64_t t1 = 0;
+      if (cfg.collect_stats || cfg.collect_trace) {
+        t1 = support::monotonic_ns();
+        if (cfg.collect_stats) st.buckets.task_ns += t1 - t0;
+      }
+
+      // Release stamps before anything is published.
+      if (cfg.collect_sync) {
+        for (const PrunedAccess& pa : pt.accesses)
+          syncs[w].push_back(
+              {pt.id, w, pa.data, pa.mode, stf::SyncKind::kRelease,
+               sync_stamp.fetch_add(1, std::memory_order_acq_rel)});
+      }
+
+      for (const PrunedAccess& pa : pt.accesses) {
+        SharedDataState& s = shared[pa.data];
+        if (is_write(pa.mode)) {
+          s.nb_reads_since_write.value.store(0, std::memory_order_relaxed);
+          support::store_and_notify(s.last_executed_write.value, pt.id,
+                                    policy);
+          if (policy == support::WaitPolicy::kBlock)
+            s.nb_reads_since_write.value.notify_all();
+        } else {
+          s.nb_reads_since_write.value.fetch_add(1,
+                                                 std::memory_order_acq_rel);
+          if (policy == support::WaitPolicy::kBlock)
+            s.nb_reads_since_write.value.notify_all();
+        }
+      }
+      if (cfg.collect_trace)
+        traces[w].push_back(
+            {pt.id, w, t0, t1,
+             seq.fetch_add(1, std::memory_order_relaxed)});
+      if (cfg.collect_stats) ++st.tasks_executed;
+    }
+    worker_wall[w] = support::monotonic_ns() - begin;
+  };
+  const std::uint64_t t0 = support::monotonic_ns();
+  support::run_parallel(pool, p, body);
+
+  support::RunStats stats;
+  stats.wall_ns = support::monotonic_ns() - t0;
+  stats.workers = std::move(wstats);
+  trace_out.clear();
+  sync_out.clear();
+  for (std::uint32_t w = 0; w < p; ++w) {
+    if (cfg.collect_stats) {
+      auto& b = stats.workers[w].buckets;
+      const std::uint64_t busy = b.task_ns + b.idle_ns;
+      b.runtime_ns = worker_wall[w] > busy ? worker_wall[w] - busy : 0;
+    }
+    for (const stf::TraceEvent& ev : traces[w]) trace_out.record(ev);
+    for (const stf::SyncEvent& ev : syncs[w]) sync_out.record(ev);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return stats;
+}
+
+}  // namespace
 
 PrunedPlan::PrunedPlan(const stf::TaskFlow& flow, const Mapping& mapping,
                        std::uint32_t num_workers) {
@@ -19,10 +170,6 @@ PrunedPlan::PrunedPlan(const stf::TaskFlow& flow, const Mapping& mapping,
   // The same scan state the dependency analyzer uses, but instead of
   // emitting edges we snapshot the (last_writer, reads_since) pair into the
   // owner's plan.
-  struct ScanState {
-    stf::TaskId last_writer = kNoWrite;
-    std::uint64_t reads_since_write = 0;
-  };
   std::vector<ScanState> data(flow.num_data());
 
   for (const stf::Task& task : flow.tasks()) {
@@ -55,111 +202,93 @@ PrunedPlan::PrunedPlan(const stf::TaskFlow& flow, const Mapping& mapping,
   }
 }
 
+PrunedPlan::PrunedPlan(const stf::FlowImage& image, const Mapping& mapping,
+                       std::uint32_t num_workers) {
+  RIO_ASSERT(mapping.valid() && num_workers > 0);
+  per_worker_.resize(num_workers);
+
+  std::vector<ScanState> data(image.num_data());
+  const stf::FlowImage::Span* spans = image.spans();
+  const stf::Access* acc = image.accesses();
+  const std::size_t n = image.size();
+  const stf::TaskId first = image.first_id();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const stf::TaskId id = first + i;
+    const stf::WorkerId owner = mapping(id);
+    RIO_ASSERT_MSG(owner < num_workers, "mapping produced out-of-range worker");
+
+    PrunedTask pt;
+    pt.id = id;
+    const stf::FlowImage::Span s = spans[i];
+    for (std::uint32_t k = s.begin; k != s.end; ++k) {
+      const stf::Access& a = acc[k];
+      const ScanState& st = data[a.data];
+      PrunedAccess pa;
+      pa.data = a.data;
+      pa.mode = a.mode;
+      pa.expected_writer = st.last_writer;
+      pa.expected_reads = st.reads_since_write;
+      pt.accesses.push_back(pa);
+    }
+    per_worker_[owner].push_back(std::move(pt));
+    ++total_;
+
+    for (std::uint32_t k = s.begin; k != s.end; ++k) {
+      const stf::Access& a = acc[k];
+      ScanState& st = data[a.data];
+      if (is_write(a.mode)) {
+        st.last_writer = id;
+        st.reads_since_write = 0;
+      } else {
+        st.reads_since_write += 1;
+      }
+    }
+  }
+}
+
+std::shared_ptr<const PrunedPlan> PrunedPlanCache::get(
+    const stf::FlowImage& image, const Mapping& mapping,
+    std::uint32_t num_workers) {
+  const Key key{image.serial(), mapping.identity(), num_workers};
+  for (const Entry& e : entries_) {
+    if (e.key.serial == key.serial && e.key.mapping == key.mapping &&
+        e.key.workers == key.workers)
+      return e.plan;
+  }
+  auto plan = std::make_shared<const PrunedPlan>(image, mapping, num_workers);
+  ++compiles_;
+  entries_.push_back({key, plan});
+  return plan;
+}
+
 PrunedRuntime::PrunedRuntime(Config cfg) : cfg_(cfg) {
   RIO_ASSERT(cfg_.num_workers > 0);
 }
 
 support::RunStats PrunedRuntime::run(const stf::TaskFlow& flow,
                                      const PrunedPlan& plan) {
-  RIO_ASSERT_MSG(plan.num_workers() == cfg_.num_workers,
-                 "plan built for a different worker count");
-  const std::uint32_t p = cfg_.num_workers;
+  return run_pruned(cfg_, pool_, flow.registry(), flow.num_data(), plan,
+                    trace_, sync_trace_,
+                    [&](stf::TaskId id) -> const stf::Task& {
+                      return flow.task(id);
+                    });
+}
 
-  std::vector<SharedDataState> shared(flow.num_data());
-  std::atomic<bool> cancelled{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  std::barrier start(static_cast<std::ptrdiff_t>(p) + 1);
-  std::vector<support::WorkerStats> wstats(p);
-  std::vector<std::uint64_t> worker_wall(p, 0);
+support::RunStats PrunedRuntime::run(const stf::FlowImage& image,
+                                     const PrunedPlan& plan) {
+  const stf::TaskId first = image.first_id();
+  return run_pruned(cfg_, pool_, image.registry(), image.num_data(), plan,
+                    trace_, sync_trace_,
+                    [&, first](stf::TaskId id) -> const stf::Task& {
+                      return image.task(id - first);
+                    });
+}
 
-  std::vector<std::thread> threads;
-  threads.reserve(p);
-  for (std::uint32_t w = 0; w < p; ++w) {
-    threads.emplace_back([&, w] {
-      const auto& mine = plan.tasks_for(w);
-      support::WorkerStats& st = wstats[w];
-      const auto policy = cfg_.wait_policy;
-      start.arrive_and_wait();
-      const std::uint64_t begin = support::monotonic_ns();
-      for (const PrunedTask& pt : mine) {
-        // Wait on the precomputed expectations — no local replica needed.
-        bool stalled = false;
-        std::uint64_t wait_begin = 0;
-        if (cfg_.collect_stats) wait_begin = support::monotonic_ns();
-        for (const PrunedAccess& pa : pt.accesses) {
-          const SharedDataState& s = shared[pa.data];
-          if (s.last_executed_write.value.load(std::memory_order_acquire) !=
-              pa.expected_writer) {
-            stalled = true;
-            support::wait_until_equal(s.last_executed_write.value,
-                                      pa.expected_writer, policy);
-          }
-          if (is_write(pa.mode) &&
-              s.nb_reads_since_write.value.load(std::memory_order_acquire) !=
-                  pa.expected_reads) {
-            stalled = true;
-            support::wait_until_equal(s.nb_reads_since_write.value,
-                                      pa.expected_reads, policy);
-          }
-        }
-        if (cfg_.collect_stats && stalled) {
-          st.buckets.idle_ns += support::monotonic_ns() - wait_begin;
-          ++st.waits;
-        }
-
-        const stf::Task& task = flow.task(pt.id);
-        std::uint64_t t0 = 0;
-        if (cfg_.collect_stats) t0 = support::monotonic_ns();
-        if (task.fn && !cancelled.load(std::memory_order_acquire)) {
-          stf::TaskContext tc(task, flow.registry(), w);
-          try {
-            task.fn(tc);
-          } catch (...) {
-            std::lock_guard lock(error_mu);
-            if (!first_error) first_error = std::current_exception();
-            cancelled.store(true, std::memory_order_release);
-          }
-        }
-        if (cfg_.collect_stats)
-          st.buckets.task_ns += support::monotonic_ns() - t0;
-
-        for (const PrunedAccess& pa : pt.accesses) {
-          SharedDataState& s = shared[pa.data];
-          if (is_write(pa.mode)) {
-            s.nb_reads_since_write.value.store(0, std::memory_order_relaxed);
-            support::store_and_notify(s.last_executed_write.value, pt.id,
-                                      policy);
-            if (policy == support::WaitPolicy::kBlock)
-              s.nb_reads_since_write.value.notify_all();
-          } else {
-            s.nb_reads_since_write.value.fetch_add(1,
-                                                   std::memory_order_acq_rel);
-            if (policy == support::WaitPolicy::kBlock)
-              s.nb_reads_since_write.value.notify_all();
-          }
-        }
-        if (cfg_.collect_stats) ++st.tasks_executed;
-      }
-      worker_wall[w] = support::monotonic_ns() - begin;
-    });
-  }
-  start.arrive_and_wait();
-  const std::uint64_t t0 = support::monotonic_ns();
-  for (auto& th : threads) th.join();
-
-  support::RunStats stats;
-  stats.wall_ns = support::monotonic_ns() - t0;
-  stats.workers = std::move(wstats);
-  if (cfg_.collect_stats) {
-    for (std::uint32_t w = 0; w < p; ++w) {
-      auto& b = stats.workers[w].buckets;
-      const std::uint64_t busy = b.task_ns + b.idle_ns;
-      b.runtime_ns = worker_wall[w] > busy ? worker_wall[w] - busy : 0;
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
-  return stats;
+support::RunStats PrunedRuntime::run(const stf::FlowImage& image,
+                                     const Mapping& mapping) {
+  const auto plan = cache_.get(image, mapping, cfg_.num_workers);
+  return run(image, *plan);
 }
 
 }  // namespace rio::rt

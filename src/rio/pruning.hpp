@@ -15,15 +15,22 @@
 // unrolling. The precomputation is a single O(n) scan shared by all
 // workers (analogous to the compiler-assisted pruning used in
 // distributed-memory STF runtimes [Agullo et al., TPDS 2017]).
+//
+// Plans compile fastest from a stf::FlowImage (flat access array, no Task
+// records touched), and PrunedPlanCache memoizes them keyed by
+// (image serial, mapping identity, worker count) so a run loop pays the
+// O(n) compilation exactly once per distinct (flow, mapping) pair.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "support/inline_vec.hpp"
 #include "support/stats.hpp"
 #include "rio/mapping.hpp"
 #include "rio/runtime.hpp"
+#include "stf/flow_image.hpp"
 #include "stf/task_flow.hpp"
 
 namespace rio::rt {
@@ -51,6 +58,11 @@ class PrunedPlan {
   PrunedPlan(const stf::TaskFlow& flow, const Mapping& mapping,
              std::uint32_t num_workers);
 
+  /// Same scan over a compiled image: walks the flat access array instead
+  /// of per-task Access lists. Ids stay global (image.first_id() based).
+  PrunedPlan(const stf::FlowImage& image, const Mapping& mapping,
+             std::uint32_t num_workers);
+
   [[nodiscard]] std::uint32_t num_workers() const noexcept {
     return static_cast<std::uint32_t>(per_worker_.size());
   }
@@ -67,6 +79,39 @@ class PrunedPlan {
   std::size_t total_ = 0;
 };
 
+/// Memoizes compiled plans keyed by (FlowImage::serial(),
+/// Mapping::identity(), worker count). A repeated run() over the same
+/// image+mapping pays ZERO plan recomputation — the property micro_unroll
+/// measures and the replay tests assert via compiles().
+///
+/// Not thread-safe: one cache belongs to one driving thread (the engines
+/// themselves are already single-entry).
+class PrunedPlanCache {
+ public:
+  /// Returns the cached plan, compiling (and counting) on first sight.
+  std::shared_ptr<const PrunedPlan> get(const stf::FlowImage& image,
+                                        const Mapping& mapping,
+                                        std::uint32_t num_workers);
+
+  /// How many plans were actually compiled (cache misses).
+  [[nodiscard]] std::uint64_t compiles() const noexcept { return compiles_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  struct Key {
+    std::uint64_t serial = 0;     // FlowImage::serial()
+    const void* mapping = nullptr;  // Mapping::identity()
+    std::uint32_t workers = 0;
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const PrunedPlan> plan;
+  };
+  std::vector<Entry> entries_;  // few distinct keys per process: linear scan
+  std::uint64_t compiles_ = 0;
+};
+
 /// Executes a flow through a pruned plan. Same synchronization protocol as
 /// Runtime::run, but each worker only ever touches its own tasks.
 class PrunedRuntime {
@@ -75,8 +120,40 @@ class PrunedRuntime {
 
   support::RunStats run(const stf::TaskFlow& flow, const PrunedPlan& plan);
 
+  /// Image replay through an explicit plan (bodies come from image.task()).
+  support::RunStats run(const stf::FlowImage& image, const PrunedPlan& plan);
+
+  /// Cached fast path: compiles the plan on first call for this
+  /// (image, mapping) pair, replays from cache afterwards. The bench loop
+  /// is literally `while (...) prt.run(image, mapping);`.
+  support::RunStats run(const stf::FlowImage& image, const Mapping& mapping);
+
+  /// Trace of the last run (empty unless cfg.collect_trace).
+  [[nodiscard]] const stf::Trace& trace() const noexcept { return trace_; }
+
+  /// Synchronization events of the last run (empty unless cfg.collect_sync).
+  [[nodiscard]] const stf::SyncTrace& sync_trace() const noexcept {
+    return sync_trace_;
+  }
+
+  /// Cache-miss counter of the internal plan cache (test hook for the
+  /// "second run recompiles nothing" guarantee).
+  [[nodiscard]] std::uint64_t plan_compiles() const noexcept {
+    return cache_.compiles();
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Same contract as Runtime::attach_pool: reuse `pool` for all subsequent
+  /// runs instead of spawning threads per run.
+  void attach_pool(support::ThreadPool* pool) noexcept { pool_ = pool; }
+
  private:
   Config cfg_;
+  stf::Trace trace_;
+  stf::SyncTrace sync_trace_;
+  PrunedPlanCache cache_;
+  support::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace rio::rt

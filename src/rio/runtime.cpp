@@ -5,6 +5,7 @@
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "support/assert.hpp"
 #include "support/clock.hpp"
@@ -42,26 +43,11 @@ struct WorkerCtx {
   std::mutex* error_mu = nullptr;
 };
 
-/// Handles one task in flow order: execute it if mapped here, otherwise
-/// register its accesses locally. This is the body of Algorithm 1
-/// generalized to tasks with several accesses.
-void process_task(const stf::Task& task, WorkerCtx& ctx) {
-  const stf::WorkerId executor = (*ctx.mapping)(task.id);
-  if (executor != ctx.self) {
-    // Not ours: one or two private-memory writes per access, no atomics.
-    for (const stf::Access& a : task.accesses) {
-      if (is_write(a.mode))
-        declare_write(ctx.local[a.data], task.id);
-      else
-        declare_read(ctx.local[a.data]);
-    }
-    if (ctx.collect_stats) ++ctx.stats.tasks_skipped;
-    return;
-  }
-
-  // Ours: acquire every access (get_*), run the body, then release
-  // (terminate_*). Acquisition cannot deadlock: a get_* only waits on the
-  // completion of strictly earlier tasks, never on another waiting worker.
+/// The mapped-here half of Algorithm 1: acquire every access (get_*), run
+/// the body, then release (terminate_*). Acquisition cannot deadlock: a
+/// get_* only waits on the completion of strictly earlier tasks, never on
+/// another waiting worker.
+void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
   bool stalled = false;
   std::uint64_t wait_begin = 0;
   if (ctx.collect_stats) wait_begin = support::monotonic_ns();
@@ -134,6 +120,25 @@ void process_task(const stf::Task& task, WorkerCtx& ctx) {
   if (ctx.collect_stats) ++ctx.stats.tasks_executed;
 }
 
+/// Handles one task in flow order: execute it if mapped here, otherwise
+/// register its accesses locally. This is the body of Algorithm 1
+/// generalized to tasks with several accesses.
+void process_task(const stf::Task& task, WorkerCtx& ctx) {
+  const stf::WorkerId executor = (*ctx.mapping)(task.id);
+  if (executor != ctx.self) {
+    // Not ours: one or two private-memory writes per access, no atomics.
+    for (const stf::Access& a : task.accesses) {
+      if (is_write(a.mode))
+        declare_write(ctx.local[a.data], task.id);
+      else
+        declare_read(ctx.local[a.data]);
+    }
+    if (ctx.collect_stats) ++ctx.stats.tasks_skipped;
+    return;
+  }
+  execute_owned(task, ctx);
+}
+
 /// Streaming sink: submits flow straight into process_task, assigning ids
 /// by submission order (identical on every worker for a deterministic
 /// program).
@@ -157,103 +162,23 @@ class ReplaySink final : public stf::SubmitSink {
   stf::TaskId next_id_ = 0;
 };
 
-}  // namespace
-
-Runtime::Runtime(Config cfg) : cfg_(cfg) {
-  RIO_ASSERT_MSG(cfg_.num_workers > 0, "need at least one worker");
-}
-
-support::RunStats Runtime::run(const stf::TaskFlow& flow,
-                               const Mapping& mapping) {
-  return run(stf::FlowRange(flow), mapping);
-}
-
-support::RunStats Runtime::run(const stf::FlowRange& range,
-                               const Mapping& mapping) {
+/// Shared fork-join scaffolding of every run flavour: allocates the shared
+/// protocol words and per-worker contexts, aligns the workers on a start
+/// barrier, runs `unroll(ctx)` on each, then folds stats/traces back
+/// together. `unroll` is the whole per-worker walk (streaming, ranged, or
+/// compiled-image replay).
+template <typename UnrollFn>
+support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
+                         const stf::DataRegistry& registry,
+                         std::size_t num_data, std::size_t trace_reserve,
+                         stf::Trace& trace_out, stf::SyncTrace& sync_out,
+                         const Mapping& mapping, UnrollFn&& unroll) {
   RIO_ASSERT(mapping.valid());
-  const std::uint32_t p = cfg_.num_workers;
-  const std::size_t num_data = range.num_data();
+  const std::uint32_t p = cfg.num_workers;
 
   std::vector<SharedDataState> shared(num_data);
   stf::AccessGuard guard;
-  if (cfg_.enable_guard) guard.enable(num_data);
-  std::atomic<std::uint64_t> seq{0};
-  std::atomic<std::uint64_t> sync_stamp{0};
-  std::atomic<bool> cancelled{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-
-  std::vector<WorkerCtx> ctxs(p);
-  for (std::uint32_t w = 0; w < p; ++w) {
-    WorkerCtx& c = ctxs[w];
-    c.self = w;
-    c.mapping = &mapping;
-    c.shared = shared.data();
-    c.local.resize(num_data);
-    c.registry = &range.registry();
-    c.policy = cfg_.wait_policy;
-    c.collect_stats = cfg_.collect_stats;
-    c.collect_trace = cfg_.collect_trace;
-    c.collect_sync = cfg_.collect_sync;
-    c.guard = cfg_.enable_guard ? &guard : nullptr;
-    c.seq = &seq;
-    c.sync_stamp = &sync_stamp;
-    c.cancelled = &cancelled;
-    c.first_error = &first_error;
-    c.error_mu = &error_mu;
-  }
-
-  // All workers align on a start barrier so their wall times compare; the
-  // makespan clock wraps the whole fork-join (spawn/wake cost included).
-  std::barrier start(static_cast<std::ptrdiff_t>(p));
-  std::vector<std::uint64_t> worker_wall(p, 0);
-
-  const std::uint32_t cpus = support::detect_topology().logical_cpus;
-  const auto body = [&](std::uint32_t w) {
-    if (cfg_.pin_workers) support::pin_current_thread(w % cpus);
-    WorkerCtx& c = ctxs[w];
-    start.arrive_and_wait();
-    const std::uint64_t begin = support::monotonic_ns();
-    for (const stf::Task& task : range) process_task(task, c);
-    worker_wall[w] = support::monotonic_ns() - begin;
-  };
-  const std::uint64_t t0 = support::monotonic_ns();
-  support::run_parallel(pool_, p, body);
-  const std::uint64_t wall = support::monotonic_ns() - t0;
-
-  support::RunStats stats;
-  stats.wall_ns = wall;
-  stats.workers.resize(p);
-  trace_.clear();
-  sync_trace_.clear();
-  if (cfg_.collect_trace) trace_.reserve(range.size());
-  for (std::uint32_t w = 0; w < p; ++w) {
-    WorkerCtx& c = ctxs[w];
-    if (cfg_.collect_stats) {
-      // Whatever was neither task body nor dependency stall is runtime
-      // management: unrolling, declare ops, protocol publication.
-      const std::uint64_t busy = c.stats.buckets.task_ns + c.stats.buckets.idle_ns;
-      c.stats.buckets.runtime_ns =
-          worker_wall[w] > busy ? worker_wall[w] - busy : 0;
-    }
-    stats.workers[w] = c.stats;
-    for (const stf::TraceEvent& ev : c.trace) trace_.record(ev);
-    for (const stf::SyncEvent& ev : c.sync) sync_trace_.record(ev);
-  }
-  if (first_error) std::rethrow_exception(first_error);
-  return stats;
-}
-
-support::RunStats Runtime::run_program(const stf::DataRegistry& registry,
-                                       const stf::ProgramFn& program,
-                                       const Mapping& mapping) {
-  RIO_ASSERT(mapping.valid());
-  const std::uint32_t p = cfg_.num_workers;
-  const std::size_t num_data = registry.size();
-
-  std::vector<SharedDataState> shared(num_data);
-  stf::AccessGuard guard;
-  if (cfg_.enable_guard) guard.enable(num_data);
+  if (cfg.enable_guard) guard.enable(num_data);
   std::atomic<std::uint64_t> seq{0};
   std::atomic<std::uint64_t> sync_stamp{0};
   std::atomic<bool> cancelled{false};
@@ -268,11 +193,11 @@ support::RunStats Runtime::run_program(const stf::DataRegistry& registry,
     c.shared = shared.data();
     c.local.resize(num_data);
     c.registry = &registry;
-    c.policy = cfg_.wait_policy;
-    c.collect_stats = cfg_.collect_stats;
-    c.collect_trace = cfg_.collect_trace;
-    c.collect_sync = cfg_.collect_sync;
-    c.guard = cfg_.enable_guard ? &guard : nullptr;
+    c.policy = cfg.wait_policy;
+    c.collect_stats = cfg.collect_stats;
+    c.collect_trace = cfg.collect_trace;
+    c.collect_sync = cfg.collect_sync;
+    c.guard = cfg.enable_guard ? &guard : nullptr;
     c.seq = &seq;
     c.sync_stamp = &sync_stamp;
     c.cancelled = &cancelled;
@@ -280,40 +205,112 @@ support::RunStats Runtime::run_program(const stf::DataRegistry& registry,
     c.error_mu = &error_mu;
   }
 
+  // All workers align on a start barrier so their wall times compare; the
+  // makespan clock wraps the whole fork-join (spawn/wake cost included).
   std::barrier start(static_cast<std::ptrdiff_t>(p));
   std::vector<std::uint64_t> worker_wall(p, 0);
+
   const std::uint32_t cpus = support::detect_topology().logical_cpus;
   const auto body = [&](std::uint32_t w) {
-    if (cfg_.pin_workers) support::pin_current_thread(w % cpus);
+    if (cfg.pin_workers) support::pin_current_thread(w % cpus);
     WorkerCtx& c = ctxs[w];
-    ReplaySink sink(c);
     start.arrive_and_wait();
     const std::uint64_t begin = support::monotonic_ns();
-    program(sink);  // the worker IS the unroller — nothing is stored
+    unroll(c);
     worker_wall[w] = support::monotonic_ns() - begin;
   };
   const std::uint64_t t0 = support::monotonic_ns();
-  support::run_parallel(pool_, p, body);
+  support::run_parallel(pool, p, body);
   const std::uint64_t wall = support::monotonic_ns() - t0;
 
   support::RunStats stats;
   stats.wall_ns = wall;
   stats.workers.resize(p);
-  trace_.clear();
-  sync_trace_.clear();
+  trace_out.clear();
+  sync_out.clear();
+  if (cfg.collect_trace && trace_reserve > 0) trace_out.reserve(trace_reserve);
   for (std::uint32_t w = 0; w < p; ++w) {
     WorkerCtx& c = ctxs[w];
-    if (cfg_.collect_stats) {
+    if (cfg.collect_stats) {
+      // Whatever was neither task body nor dependency stall is runtime
+      // management: unrolling, declare ops, protocol publication.
       const std::uint64_t busy = c.stats.buckets.task_ns + c.stats.buckets.idle_ns;
       c.stats.buckets.runtime_ns =
           worker_wall[w] > busy ? worker_wall[w] - busy : 0;
     }
     stats.workers[w] = c.stats;
-    for (const stf::TraceEvent& ev : c.trace) trace_.record(ev);
-    for (const stf::SyncEvent& ev : c.sync) sync_trace_.record(ev);
+    for (const stf::TraceEvent& ev : c.trace) trace_out.record(ev);
+    for (const stf::SyncEvent& ev : c.sync) sync_out.record(ev);
   }
   if (first_error) std::rethrow_exception(first_error);
   return stats;
+}
+
+}  // namespace
+
+Runtime::Runtime(Config cfg) : cfg_(cfg) {
+  RIO_ASSERT_MSG(cfg_.num_workers > 0, "need at least one worker");
+}
+
+support::RunStats Runtime::run(const stf::TaskFlow& flow,
+                               const Mapping& mapping) {
+  return run(stf::FlowRange(flow), mapping);
+}
+
+support::RunStats Runtime::run(const stf::FlowRange& range,
+                               const Mapping& mapping) {
+  return launch(cfg_, pool_, range.registry(), range.num_data(), range.size(),
+                trace_, sync_trace_, mapping, [&](WorkerCtx& c) {
+                  for (const stf::Task& task : range) process_task(task, c);
+                });
+}
+
+support::RunStats Runtime::run(const stf::FlowImage& image,
+                               const Mapping& mapping) {
+  return run(stf::ImageRange(image), mapping);
+}
+
+support::RunStats Runtime::run(const stf::ImageRange& range,
+                               const Mapping& mapping) {
+  // Hoist everything the unroll loop needs out of the per-task path: the
+  // span and access arrays are the ONLY memory a worker touches for a task
+  // it skips (plus its private local[] words) — the dense metadata that
+  // makes p×n unrolling cheap.
+  const std::size_t n = range.size();
+  const stf::FlowImage::Span* spans = range.spans();
+  const stf::Access* acc = range.accesses_base();
+  const stf::TaskId first = n > 0 ? range.first_id() : 0;
+  return launch(
+      cfg_, pool_, range.registry(), range.num_data(), n, trace_, sync_trace_,
+      mapping, [&, n, spans, acc, first](WorkerCtx& c) {
+        const Mapping& map = *c.mapping;
+        for (std::size_t i = 0; i < n; ++i) {
+          const stf::TaskId id = first + i;
+          if (map(id) != c.self) {
+            const stf::FlowImage::Span s = spans[i];
+            for (std::uint32_t k = s.begin; k != s.end; ++k) {
+              const stf::Access a = acc[k];
+              if (is_write(a.mode))
+                declare_write(c.local[a.data], id);
+              else
+                declare_read(c.local[a.data]);
+            }
+            if (c.collect_stats) ++c.stats.tasks_skipped;
+            continue;
+          }
+          execute_owned(range.task(i), c);
+        }
+      });
+}
+
+support::RunStats Runtime::run_program(const stf::DataRegistry& registry,
+                                       const stf::ProgramFn& program,
+                                       const Mapping& mapping) {
+  return launch(cfg_, pool_, registry, registry.size(), 0, trace_, sync_trace_,
+                mapping, [&](WorkerCtx& c) {
+                  ReplaySink sink(c);
+                  program(sink);  // the worker IS the unroller
+                });
 }
 
 }  // namespace rio::rt

@@ -25,6 +25,7 @@
 #include "rio/data_object.hpp"
 #include "rio/mapping.hpp"
 #include "stf/access_guard.hpp"
+#include "stf/flow_image.hpp"
 #include "stf/flow_range.hpp"
 #include "stf/task_flow.hpp"
 #include "stf/trace.hpp"
@@ -58,6 +59,16 @@ class Runtime {
   /// must already be complete — the hybrid runtime's phase barrier
   /// guarantees this). Task ids stay global; the mapping sees them as-is.
   support::RunStats run(const stf::FlowRange& range, const Mapping& mapping);
+
+  /// Fast replay from a compiled FlowImage (stf/flow_image.hpp): the
+  /// non-mapped path is a tight loop over the image's flat access array —
+  /// no Task records, no InlineVec iteration, just the one-or-two private
+  /// writes per access the cost model promises. Compile the image once,
+  /// run it many times.
+  support::RunStats run(const stf::FlowImage& image, const Mapping& mapping);
+
+  /// Image-slice variant (hybrid phase execution).
+  support::RunStats run(const stf::ImageRange& range, const Mapping& mapping);
 
   /// Streaming mode: each worker runs `program` itself against a
   /// pre-registered data registry; tasks are executed or declared on the

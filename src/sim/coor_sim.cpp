@@ -20,10 +20,24 @@ std::uint64_t exec_ticks(std::uint64_t instructions, const TimeScale& scale) {
 Report simulate_centralized(const stf::TaskFlow& flow,
                             const CentralizedParams& params,
                             const TimeScale& scale) {
-  return simulate_centralized(stf::FlowRange(flow), params, scale);
+  const stf::FlowImage image = stf::FlowImage::compile(flow);
+  return simulate_centralized(stf::ImageRange(image), params, scale);
 }
 
 Report simulate_centralized(const stf::FlowRange& range,
+                            const CentralizedParams& params,
+                            const TimeScale& scale) {
+  const stf::FlowImage image = stf::FlowImage::compile(range);
+  return simulate_centralized(stf::ImageRange(image), params, scale);
+}
+
+Report simulate_centralized(const stf::FlowImage& image,
+                            const CentralizedParams& params,
+                            const TimeScale& scale) {
+  return simulate_centralized(stf::ImageRange(image), params, scale);
+}
+
+Report simulate_centralized(const stf::ImageRange& range,
                             const CentralizedParams& params,
                             const TimeScale& scale) {
   RIO_ASSERT(params.workers > 0);
@@ -38,7 +52,7 @@ Report simulate_centralized(const stf::FlowRange& range,
   std::uint64_t master_clock = 0;
   for (stf::TaskId t = 0; t < n; ++t) {
     master_clock += params.master_per_task +
-                    params.master_per_access * range[t].accesses.size();
+                    params.master_per_access * range.num_accesses(t);
     discovery[t] = master_clock;
   }
   const std::uint64_t master_total = master_clock;
@@ -76,7 +90,7 @@ Report simulate_centralized(const stf::FlowRange& range,
     if (ready_time > wfree) ws[w].buckets.idle_ns += ready_time - wfree;
     const std::uint64_t start =
         std::max(ready_time, wfree) + params.worker_pop;
-    std::uint64_t cost = exec_ticks(range[t].cost, scale);
+    std::uint64_t cost = exec_ticks(range.cost(t), scale);
     if (!params.worker_speed.empty()) {
       RIO_ASSERT(params.worker_speed.size() >= p);
       cost = static_cast<std::uint64_t>(

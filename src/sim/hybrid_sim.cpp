@@ -8,6 +8,15 @@ Report simulate_hybrid(const stf::TaskFlow& flow,
                        const DecentralizedParams& dparams,
                        const CentralizedParams& cparams,
                        const TimeScale& scale) {
+  const stf::FlowImage image = stf::FlowImage::compile(flow);
+  return simulate_hybrid(image, phases, dparams, cparams, scale);
+}
+
+Report simulate_hybrid(const stf::FlowImage& image,
+                       const std::vector<hybrid::Phase>& phases,
+                       const DecentralizedParams& dparams,
+                       const CentralizedParams& cparams,
+                       const TimeScale& scale) {
   const std::uint32_t p = dparams.workers;
   RIO_ASSERT_MSG(cparams.workers == p,
                  "hybrid phases must share one worker pool");
@@ -18,7 +27,7 @@ Report simulate_hybrid(const stf::TaskFlow& flow,
     RIO_ASSERT_MSG(ph.first == expect, "phases must tile the flow in order");
     expect += ph.count;
   }
-  RIO_ASSERT_MSG(expect == flow.num_tasks(), "phases must cover the flow");
+  RIO_ASSERT_MSG(expect == image.size(), "phases must cover the flow");
 
   Report total;
   total.total_threads = p + 1;  // p workers + the dynamic phases' master
@@ -26,7 +35,7 @@ Report simulate_hybrid(const stf::TaskFlow& flow,
 
   for (const auto& ph : phases) {
     if (ph.count == 0) continue;
-    const stf::FlowRange range(flow, ph.first, ph.count);
+    const stf::ImageRange range(image, ph.first, ph.count);
     Report rep;
     if (ph.kind == hybrid::Phase::Kind::kStatic) {
       RIO_ASSERT(ph.mapping.valid());

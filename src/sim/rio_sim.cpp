@@ -20,10 +20,29 @@ Report simulate_decentralized(const stf::TaskFlow& flow,
                               const rt::Mapping& mapping,
                               const DecentralizedParams& params,
                               const TimeScale& scale) {
-  return simulate_decentralized(stf::FlowRange(flow), mapping, params, scale);
+  const stf::FlowImage image = stf::FlowImage::compile(flow);
+  return simulate_decentralized(stf::ImageRange(image), mapping, params,
+                                scale);
 }
 
 Report simulate_decentralized(const stf::FlowRange& range,
+                              const rt::Mapping& mapping,
+                              const DecentralizedParams& params,
+                              const TimeScale& scale) {
+  const stf::FlowImage image = stf::FlowImage::compile(range);
+  return simulate_decentralized(stf::ImageRange(image), mapping, params,
+                                scale);
+}
+
+Report simulate_decentralized(const stf::FlowImage& image,
+                              const rt::Mapping& mapping,
+                              const DecentralizedParams& params,
+                              const TimeScale& scale) {
+  return simulate_decentralized(stf::ImageRange(image), mapping, params,
+                                scale);
+}
+
+Report simulate_decentralized(const stf::ImageRange& range,
                               const rt::Mapping& mapping,
                               const DecentralizedParams& params,
                               const TimeScale& scale) {
@@ -43,17 +62,16 @@ Report simulate_decentralized(const stf::FlowRange& range,
   std::vector<std::uint64_t> own_skip(p, 0);  // skip cost of own tasks
 
   for (stf::TaskId t = 0; t < n; ++t) {
-    const stf::Task& task = range[t];
-    const auto num_acc = static_cast<std::uint64_t>(task.accesses.size());
+    const auto num_acc = static_cast<std::uint64_t>(range.num_accesses(t));
     const std::uint64_t skip_cost =
         params.pruned ? 0
                       : params.skip_per_task + params.skip_per_access * num_acc;
-    const stf::WorkerId w = mapping(task.id);
+    const stf::WorkerId w = mapping(range.task_id(t));
     RIO_ASSERT_MSG(w < p, "mapping out of range for simulated workers");
 
     const std::uint64_t own_cost =
         params.own_per_task + params.own_per_access * num_acc;
-    std::uint64_t cost = exec_ticks(task.cost, scale);
+    std::uint64_t cost = exec_ticks(range.cost(t), scale);
     if (!params.worker_speed.empty()) {
       RIO_ASSERT(params.worker_speed.size() >= p);
       cost = static_cast<std::uint64_t>(
@@ -67,7 +85,7 @@ Report simulate_decentralized(const stf::FlowRange& range,
     for (stf::TaskId pr : graph.predecessors(t)) {
       std::uint64_t ready_at = finish[pr];
       if (params.cross_worker_latency > 0 &&
-          mapping(range[pr].id) != w)
+          mapping(range.task_id(pr)) != w)
         ready_at += params.cross_worker_latency;
       dep_ready = std::max(dep_ready, ready_at);
     }

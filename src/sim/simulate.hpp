@@ -18,6 +18,7 @@
 #include "hybrid/runtime.hpp"
 #include "rio/mapping.hpp"
 #include "stf/dependency.hpp"
+#include "stf/flow_image.hpp"
 #include "stf/flow_range.hpp"
 #include "stf/task_flow.hpp"
 
@@ -37,11 +38,22 @@ struct Report {
 /// prefix-sum formulation (worker cursors = shared prefix + per-worker
 /// offset), valid because task ids are a topological order of both the
 /// dependency DAG and each worker's in-order chain.
+/// The TaskFlow/FlowRange entry points compile a throwaway FlowImage; sweep
+/// drivers that simulate one flow many times (bench/fig*) should compile
+/// once and pass the image.
 Report simulate_decentralized(const stf::TaskFlow& flow,
                               const rt::Mapping& mapping,
                               const DecentralizedParams& params,
                               const TimeScale& scale = {});
 Report simulate_decentralized(const stf::FlowRange& range,
+                              const rt::Mapping& mapping,
+                              const DecentralizedParams& params,
+                              const TimeScale& scale = {});
+Report simulate_decentralized(const stf::FlowImage& image,
+                              const rt::Mapping& mapping,
+                              const DecentralizedParams& params,
+                              const TimeScale& scale = {});
+Report simulate_decentralized(const stf::ImageRange& range,
                               const rt::Mapping& mapping,
                               const DecentralizedParams& params,
                               const TimeScale& scale = {});
@@ -57,6 +69,12 @@ Report simulate_centralized(const stf::TaskFlow& flow,
 Report simulate_centralized(const stf::FlowRange& range,
                             const CentralizedParams& params,
                             const TimeScale& scale = {});
+Report simulate_centralized(const stf::FlowImage& image,
+                            const CentralizedParams& params,
+                            const TimeScale& scale = {});
+Report simulate_centralized(const stf::ImageRange& range,
+                            const CentralizedParams& params,
+                            const TimeScale& scale = {});
 
 /// Simulates the hybrid execution model (src/hybrid): phases run
 /// alternately on the decentralized and centralized virtual engines with a
@@ -65,6 +83,11 @@ Report simulate_centralized(const stf::FlowRange& range,
 /// decentralized params' worker count must equal the centralized one so
 /// the thread pool is comparable: p workers + 1 master-capable thread.
 Report simulate_hybrid(const stf::TaskFlow& flow,
+                       const std::vector<hybrid::Phase>& phases,
+                       const DecentralizedParams& dparams,
+                       const CentralizedParams& cparams,
+                       const TimeScale& scale = {});
+Report simulate_hybrid(const stf::FlowImage& image,
                        const std::vector<hybrid::Phase>& phases,
                        const DecentralizedParams& dparams,
                        const CentralizedParams& cparams,

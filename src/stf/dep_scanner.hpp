@@ -35,8 +35,16 @@ class DependencyScanner {
   /// indexing space). Tasks must arrive in flow order, ids strictly
   /// increasing.
   void next(const Task& task, TaskId id, std::vector<TaskId>& out) {
+    next(task.accesses.begin(), task.accesses.end(), id, out);
+  }
+
+  /// Same, over a bare access span — the form the compiled FlowImage
+  /// replay feeds (no Task record in sight).
+  void next(const Access* begin, const Access* end, TaskId id,
+            std::vector<TaskId>& out) {
     out.clear();
-    for (const Access& a : task.accesses) {
+    for (const Access* it = begin; it != end; ++it) {
+      const Access& a = *it;
       DataState& d = data_[a.data];
       if (is_reduction(a.mode)) {
         if (!(d.frontier_is_reduction && d.readers_since.empty())) {
@@ -59,7 +67,8 @@ class DependencyScanner {
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
 
-    for (const Access& a : task.accesses) {
+    for (const Access* it = begin; it != end; ++it) {
+      const Access& a = *it;
       DataState& d = data_[a.data];
       if (is_reduction(a.mode)) {
         d.frontier.push_back(id);  // joins the (possibly new) run

@@ -5,6 +5,7 @@
 
 #include "support/assert.hpp"
 #include "stf/dep_scanner.hpp"
+#include "stf/flow_image.hpp"
 
 namespace rio::stf {
 
@@ -21,6 +22,24 @@ DependencyGraph::DependencyGraph(const FlowRange& range) {
   for (TaskId t = 0; t < n; ++t) {
     scanner.next(range[t], t, scratch);
     // Self-edges are impossible: state updates happen after dep collection.
+    preds_[t] = scratch;
+    for (TaskId p : scratch) {
+      RIO_DEBUG_ASSERT(p < t);
+      succs_[p].push_back(t);
+    }
+    num_edges_ += scratch.size();
+  }
+}
+
+DependencyGraph::DependencyGraph(const ImageRange& range) {
+  const std::size_t n = range.size();
+  preds_.resize(n);
+  succs_.resize(n);
+
+  DependencyScanner scanner(range.num_data());
+  std::vector<TaskId> scratch;
+  for (TaskId t = 0; t < n; ++t) {
+    scanner.next(range.acc_begin(t), range.acc_end(t), t, scratch);
     preds_[t] = scratch;
     for (TaskId p : scratch) {
       RIO_DEBUG_ASSERT(p < t);

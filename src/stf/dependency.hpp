@@ -18,6 +18,8 @@
 
 namespace rio::stf {
 
+class ImageRange;  // flow_image.hpp
+
 /// Explicit task DAG derived from a flow. Edges point from a task to the
 /// tasks that must wait for it (predecessor -> successor). When built from
 /// a FlowRange, node indices are positions WITHIN the range.
@@ -30,6 +32,10 @@ class DependencyGraph {
   /// Range variant: dependencies are derived within the range only (the
   /// hybrid phase barrier guarantees everything before it is complete).
   explicit DependencyGraph(const FlowRange& range);
+
+  /// Compiled-image variant: identical DAG, built from the image's flat
+  /// access array without touching any Task record.
+  explicit DependencyGraph(const ImageRange& range);
 
   [[nodiscard]] std::size_t num_tasks() const noexcept {
     return preds_.size();

@@ -1,0 +1,98 @@
+#include "stf/flow_image.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <limits>
+
+namespace rio::stf {
+namespace {
+
+std::uint64_t next_serial() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Bumps `offset` to the next multiple of `align` and returns the aligned
+/// offset. All our arrays align to <= 8, and operator new[] hands back
+/// max_align_t-aligned storage, so offsets are the only thing to manage.
+std::size_t align_up(std::size_t offset, std::size_t align) noexcept {
+  return (offset + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+FlowImage::FlowImage(const FlowRange& range) {
+  n_ = range.size();
+  num_data_ = range.num_data();
+  registry_ = &range.registry();
+  src_ = range.begin();
+  first_ = n_ > 0 ? range.first_id() : 0;
+  serial_ = next_serial();
+
+  // Pass 1: sizes. Ids must be consecutive — true for every materialized
+  // flow (a task's id is its position) and required for task_id(i) to be
+  // computable without touching the Task record.
+  std::size_t name_bytes = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const Task& t = src_[i];
+    RIO_ASSERT_MSG(t.id == first_ + i,
+                   "FlowImage requires consecutive task ids");
+    total_acc_ += t.accesses.size();
+    total_cost_ += t.cost;
+    name_bytes += t.name.size();
+  }
+  RIO_ASSERT_MSG(total_acc_ <= std::numeric_limits<std::uint32_t>::max() &&
+                     name_bytes <= std::numeric_limits<std::uint32_t>::max(),
+                 "flow too large for 32-bit image offsets");
+
+  // Single arena, arrays ordered by descending alignment.
+  std::size_t off = 0;
+  const std::size_t costs_off = off;
+  off += n_ * sizeof(std::uint64_t);
+  const std::size_t spans_off = align_up(off, alignof(Span));
+  off = spans_off + n_ * sizeof(Span);
+  const std::size_t prios_off = align_up(off, alignof(std::int32_t));
+  off = prios_off + n_ * sizeof(std::int32_t);
+  const std::size_t name_off_off = align_up(off, alignof(std::uint32_t));
+  off = name_off_off + (n_ + 1) * sizeof(std::uint32_t);
+  const std::size_t acc_off = align_up(off, alignof(Access));
+  off = acc_off + total_acc_ * sizeof(Access);
+  const std::size_t chars_off = off;
+  off += name_bytes;
+
+  arena_ = std::make_unique<std::byte[]>(off > 0 ? off : 1);
+  std::byte* base = arena_.get();
+  auto* costs = reinterpret_cast<std::uint64_t*>(base + costs_off);
+  auto* spans = reinterpret_cast<Span*>(base + spans_off);
+  auto* prios = reinterpret_cast<std::int32_t*>(base + prios_off);
+  auto* name_off = reinterpret_cast<std::uint32_t*>(base + name_off_off);
+  auto* acc = reinterpret_cast<Access*>(base + acc_off);
+  auto* chars = reinterpret_cast<char*>(base + chars_off);
+
+  // Pass 2: fill.
+  std::uint32_t acc_cursor = 0;
+  std::uint32_t char_cursor = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const Task& t = src_[i];
+    costs[i] = t.cost;
+    prios[i] = t.priority;
+    spans[i].begin = acc_cursor;
+    for (const Access& a : t.accesses) acc[acc_cursor++] = a;
+    spans[i].end = acc_cursor;
+    name_off[i] = char_cursor;
+    if (!t.name.empty()) {
+      std::memcpy(chars + char_cursor, t.name.data(), t.name.size());
+      char_cursor += static_cast<std::uint32_t>(t.name.size());
+    }
+  }
+  name_off[n_] = char_cursor;
+
+  costs_ = costs;
+  spans_ = spans;
+  prios_ = prios;
+  name_off_ = name_off;
+  acc_ = acc;
+  name_chars_ = chars;
+}
+
+}  // namespace rio::stf

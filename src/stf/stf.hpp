@@ -7,6 +7,7 @@
 #include "stf/sequential.hpp"      // IWYU pragma: export
 #include "stf/task.hpp"            // IWYU pragma: export
 #include "stf/task_flow.hpp"       // IWYU pragma: export
+#include "stf/flow_image.hpp"      // IWYU pragma: export
 #include "stf/flow_range.hpp"      // IWYU pragma: export
 #include "stf/graph_export.hpp"    // IWYU pragma: export
 #include "stf/trace.hpp"           // IWYU pragma: export

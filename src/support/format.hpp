@@ -93,6 +93,15 @@ class Table {
 
   [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
 
+  /// Structured access for non-text emitters (bench JSON reporter).
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

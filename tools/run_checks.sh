@@ -5,7 +5,10 @@
 #   3. clang-tidy over src/ (skipped with a notice when not installed);
 #   4. `rioflow lint` over every shipped workload — all must exit 0;
 #   5. `rioflow lint` over every seeded-bad fixture — all must exit non-zero;
-#   6. `rioflow check` on both runtimes plus the injected-race fixture.
+#   6. `rioflow check` on both runtimes plus the injected-race fixture;
+#   7. bench JSON reporters — micro_unroll and fig7_workers emit
+#      BENCH_*.json, both must parse; BENCH_unroll.json is kept at the
+#      repo root (committed reference numbers, see docs/perf.md).
 #
 # Usage: tools/run_checks.sh [build-dir]   (default: build)
 set -u
@@ -69,6 +72,31 @@ for e in rio coor; do
 done
 if "$RIOFLOW" check --workload lintfix:race >/dev/null; then
   fail "check lintfix:race (expected a reported race)"
+fi
+
+step "bench json reporters"
+json_ok() {  # validate without depending on a system json tool chain
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$1" >/dev/null
+  else
+    [ -s "$1" ]  # last resort: non-empty
+  fi
+}
+# Run from the repo root: the reporters write BENCH_<id>.json into $PWD.
+if (cd "$ROOT" && "$BUILD/bench/micro_unroll" --quick --json >/dev/null); then
+  if ! json_ok "$ROOT/BENCH_unroll.json"; then
+    fail "BENCH_unroll.json does not parse"
+  fi
+else
+  fail "micro_unroll --quick --json"
+fi
+if (cd "$ROOT" && "$BUILD/bench/fig7_workers" --quick --json >/dev/null); then
+  if ! json_ok "$ROOT/BENCH_fig7_workers.json"; then
+    fail "BENCH_fig7_workers.json does not parse"
+  fi
+  rm -f "$ROOT/BENCH_fig7_workers.json"  # unroll stays; figures are transient
+else
+  fail "fig7_workers --quick --json"
 fi
 
 step "summary"
