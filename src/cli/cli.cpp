@@ -1,13 +1,20 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <map>
+#include <optional>
 #include <sstream>
+#include <vector>
 
 #include "analysis/analysis.hpp"
 #include "coor/coor.hpp"
+#include "hybrid/runtime.hpp"
 #include "metrics/efficiency.hpp"
 #include "rio/rio.hpp"
 #include "sim/sim.hpp"
@@ -40,10 +47,11 @@ workloads::BodyKind body_for_engine(const std::string& engine) {
              : workloads::BodyKind::kCounter;
 }
 
-/// Builds the selected workload; returns false + error on unknown names.
-bool build_workload(const Options& o, workloads::Workload& out,
-                    std::string& error) {
-  const workloads::BodyKind body = body_for_engine(o.engine);
+/// Builds the selected workload with explicit task bodies; returns false +
+/// error on unknown names. The chaos sweep passes kFold to get
+/// oracle-checkable data, everything else derives the kind from the engine.
+bool build_workload(const Options& o, workloads::BodyKind body,
+                    workloads::Workload& out, std::string& error) {
   if (o.workload == "independent") {
     workloads::IndependentSpec s;
     s.num_tasks = o.tasks;
@@ -59,6 +67,13 @@ bool build_workload(const Options& o, workloads::Workload& out,
     s.seed = o.seed;
     s.num_workers = o.workers;
     out = workloads::make_random_deps(s);
+  } else if (o.workload == "chain") {
+    workloads::ChainSpec s;
+    s.num_tasks = o.tasks;
+    s.task_cost = o.task_size;
+    s.body = body;
+    s.num_workers = o.workers;
+    out = workloads::make_chain(s);
   } else if (o.workload == "gemm") {
     workloads::GemmDagSpec s;
     s.tiles = o.tiles;
@@ -196,7 +211,7 @@ int run_lint(const Options& o, std::ostream& out, std::ostream& err) {
     return 1;
   }
   workloads::Workload wl;
-  if (!build_workload(o, wl, error)) {
+  if (!build_workload(o, body_for_engine(o.engine), wl, error)) {
     err << "rioflow: " << error << "\n";
     return 1;
   }
@@ -226,7 +241,7 @@ int run_check(const Options& o, std::ostream& out, std::ostream& err) {
     return 1;
   }
   workloads::Workload wl;
-  if (!build_workload(o, wl, error)) {
+  if (!build_workload(o, body_for_engine(o.engine), wl, error)) {
     err << "rioflow: " << error << "\n";
     return 1;
   }
@@ -292,6 +307,214 @@ int run_check(const Options& o, std::ostream& out, std::ostream& err) {
   return report.count_at_least(threshold) > 0 ? 3 : 0;
 }
 
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+/// Byte image of every data object in a registry — the oracle comparand.
+std::vector<std::vector<std::byte>> data_image(const stf::DataRegistry& reg) {
+  std::vector<std::vector<std::byte>> img(reg.size());
+  for (std::size_t d = 0; d < reg.size(); ++d) {
+    const auto id = static_cast<stf::DataId>(d);
+    img[d].resize(reg.bytes(id));
+    if (!img[d].empty()) std::memcpy(img[d].data(), reg.raw(id), img[d].size());
+  }
+  return img;
+}
+
+/// `rioflow chaos`: run the selected workloads under a deterministic
+/// fault-plan sweep (seeds x rates x engines) with retry+rollback and the
+/// progress watchdog enabled, verifying every surviving run byte-for-byte
+/// against the sequential oracle.
+int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
+  std::string error;
+  const std::vector<std::string> engines = split_csv(o.engines);
+  if (engines.empty()) {
+    err << "rioflow: --engines is empty\n";
+    return 1;
+  }
+  for (const std::string& e : engines) {
+    if (e != "rio" && e != "rio-pruned" && e != "coor" && e != "hybrid") {
+      err << "rioflow: chaos supports engines rio|rio-pruned|coor|hybrid, "
+             "not '"
+          << e << "'\n";
+      return 1;
+    }
+  }
+  if (o.fault_rate < 0.0 || o.fault_rate > 1.0) {
+    err << "rioflow: --fault-rate must be in [0, 1]\n";
+    return 1;
+  }
+  support::WaitPolicy policy{};
+  coor::SchedulerKind scheduler{};
+  if (!pick_policy(o, policy, error) || !pick_scheduler(o, scheduler, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+
+  const std::vector<std::string> wl_names =
+      o.workload_given ? split_csv(o.workload)
+                       : std::vector<std::string>{"chain", "cholesky"};
+  std::vector<double> rates{o.fault_rate};
+  if (!o.quick && o.fault_rate > 0.0)
+    rates.push_back(std::min(1.0, o.fault_rate * 2.0));
+  const std::uint32_t seeds =
+      o.quick ? std::min<std::uint32_t>(o.fault_seeds, 2) : o.fault_seeds;
+
+  std::uint64_t runs = 0, ok = 0, exhausted = 0, stalled = 0, mismatched = 0,
+                unexpected = 0, total_throws = 0, total_stalls = 0,
+                total_retried = 0;
+
+  for (const std::string& wname : wl_names) {
+    Options wo = o;
+    wo.workload = wname;
+    if (o.quick) {
+      wo.tasks = std::min<std::uint64_t>(wo.tasks, 256);
+      wo.tiles = std::min<std::uint32_t>(wo.tiles, 4);
+      wo.task_size = std::min<std::uint64_t>(wo.task_size, 200);
+    }
+
+    // Sequential oracle: the same flow with fold bodies, executed in flow
+    // order — byte-identical to any fault-free dependency-respecting run.
+    std::vector<std::vector<std::byte>> oracle;
+    {
+      workloads::Workload wl;
+      if (!build_workload(wo, workloads::BodyKind::kFold, wl, error)) {
+        err << "rioflow: " << error << "\n";
+        return 1;
+      }
+      stf::SequentialExecutor{}.run(wl.flow);
+      oracle = data_image(wl.flow.registry());
+    }
+
+    for (const std::string& engine : engines) {
+      for (double rate : rates) {
+        for (std::uint32_t s = 0; s < seeds; ++s) {
+          // Fresh flow per run: data starts from zero again.
+          workloads::Workload wl;
+          if (!build_workload(wo, workloads::BodyKind::kFold, wl, error)) {
+            err << "rioflow: " << error << "\n";
+            return 1;
+          }
+          rt::Mapping mapping;
+          if (!pick_mapping(wo, wl, mapping, error)) {
+            err << "rioflow: " << error << "\n";
+            return 1;
+          }
+
+          support::FaultPlan plan;
+          plan.seed = o.seed + s;
+          plan.throw_rate = rate;
+          support::FaultInjector injector(plan);
+          const support::RetryPolicy retry{.max_attempts = o.retries};
+          const std::uint64_t wd = o.watchdog_ms * 1'000'000ull;
+
+          ++runs;
+          bool survived = false;
+          std::string verdict;
+          try {
+            if (engine == "rio") {
+              rt::Runtime eng(rt::Config{.num_workers = o.workers,
+                                         .wait_policy = policy,
+                                         .collect_stats = false,
+                                         .retry = retry,
+                                         .fault = &injector,
+                                         .watchdog_ns = wd});
+              eng.run(wl.flow, mapping);
+            } else if (engine == "rio-pruned") {
+              rt::PrunedPlan pplan(wl.flow, mapping, o.workers);
+              rt::PrunedRuntime eng(rt::Config{.num_workers = o.workers,
+                                               .wait_policy = policy,
+                                               .collect_stats = false,
+                                               .retry = retry,
+                                               .fault = &injector,
+                                               .watchdog_ns = wd});
+              eng.run(wl.flow, pplan);
+            } else if (engine == "coor") {
+              coor::Runtime eng(coor::Config{.num_workers = o.workers,
+                                             .scheduler = scheduler,
+                                             .collect_stats = false,
+                                             .retry = retry,
+                                             .fault = &injector,
+                                             .watchdog_ns = wd});
+              eng.run(wl.flow);
+            } else {  // hybrid
+              hybrid::Runtime eng(
+                  hybrid::Config{.num_workers = o.workers,
+                                 .wait_policy = policy,
+                                 .dynamic_scheduler = scheduler,
+                                 .collect_stats = false,
+                                 .retry = retry,
+                                 .fault = &injector,
+                                 .watchdog_ns = wd});
+              const std::uint32_t workers = o.workers;
+              eng.run(wl.flow,
+                      [workers](stf::TaskId t) -> std::optional<stf::WorkerId> {
+                        // Alternate static/dynamic phases, 16 tasks each, so
+                        // BOTH engines see faults in every hybrid run.
+                        if ((t / 16) % 2 == 0)
+                          return static_cast<stf::WorkerId>(t % workers);
+                        return std::nullopt;
+                      });
+            }
+            survived = true;
+            verdict = "ok";
+          } catch (const stf::StallError&) {
+            ++stalled;
+            verdict = "STALLED";
+          } catch (const stf::TaskFailure& f) {
+            ++exhausted;
+            verdict = "exhausted (task " + std::to_string(f.report().task) +
+                      " after " + std::to_string(f.report().attempts) +
+                      " attempts)";
+          } catch (const std::exception& e) {
+            ++unexpected;
+            verdict = std::string("ERROR: ") + e.what();
+          }
+          if (survived) {
+            if (data_image(wl.flow.registry()) == oracle) {
+              ++ok;
+            } else {
+              ++mismatched;
+              verdict = "ORACLE MISMATCH";
+            }
+          }
+          if (injector.injected_throws() > 0) ++total_retried;
+          total_throws += injector.injected_throws();
+          total_stalls += injector.injected_stalls();
+
+          out << "chaos: " << wname << " engine=" << engine
+              << " rate=" << rate << " seed=" << plan.seed
+              << " throws=" << injector.injected_throws() << " -> " << verdict
+              << "\n";
+        }
+      }
+    }
+  }
+
+  out << "-- chaos summary --\n"
+      << "runs=" << runs << " ok=" << ok << " exhausted=" << exhausted
+      << " stalled=" << stalled << " mismatched=" << mismatched
+      << " errors=" << unexpected << " injected-throws=" << total_throws
+      << " injected-stalls=" << total_stalls
+      << " runs-with-faults=" << total_retried << "\n";
+  const bool bad = stalled > 0 || mismatched > 0 || unexpected > 0;
+  out << (bad ? "chaos: FAILED\n"
+              : "chaos: all surviving runs matched the sequential oracle\n");
+  return bad ? 3 : 0;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -304,8 +527,12 @@ usage: rioflow [command] [options]
                   finding codes; see docs/analysis.md)
     check         execute on rio|coor recording sync events, then run the
                   happens-before race checker (RC codes)
+    chaos         sweep a deterministic fault plan (seeds x rates x engines)
+                  with retry+rollback and the progress watchdog enabled,
+                  verifying survivors against the sequential oracle
 
-  --workload W    independent | random | gemm | lu | cholesky | stencil |
+  --workload W    independent | random | chain | gemm | lu | cholesky |
+                  stencil |
                   taskbench:<trivial|no_comm|stencil_1d|stencil_1d_periodic|
                              fft|tree|all_to_all|spread> |
                   lintfix:<uninit-read|dead-write|unused-handle|
@@ -324,6 +551,12 @@ usage: rioflow [command] [options]
   --seed N        workload seed                                 [42]
   --counter-bits N  lint: protocol counter width for RP2xx       [64]
   --fail-on S     lint/check: exit 3 at error|warning|info       [warning]
+  --fault-rate R  chaos: P(injected throw) per (task, attempt)   [0.05]
+  --fault-seeds N chaos: fault-plan seeds per (engine, rate)     [3]
+  --retries N     chaos: retry budget (max attempts per task)    [3]
+  --watchdog-ms N chaos: progress watchdog window, 0 disables    [2000]
+  --engines CSV   chaos: subset of rio,rio-pruned,coor,hybrid    [all]
+  --quick         chaos: shrunk sweep for CI gates
   --summary       print flow structure summary
   --decompose     print e_p/e_r efficiency decomposition
   --dot FILE      write the dependency DAG as Graphviz DOT
@@ -338,8 +571,8 @@ bool parse(int argc, const char* const* argv, Options& o,
   int first = 1;
   if (argc > 1 && argv[1][0] != '-') {
     const std::string cmd = argv[1];
-    if (cmd != "lint" && cmd != "check") {
-      error = "unknown command '" + cmd + "' (lint|check)";
+    if (cmd != "lint" && cmd != "check" && cmd != "chaos") {
+      error = "unknown command '" + cmd + "' (lint|check|chaos)";
       return false;
     }
     o.command = cmd;
@@ -363,10 +596,26 @@ bool parse(int argc, const char* const* argv, Options& o,
       o.decompose = true;
     } else if (arg == "--csv") {
       o.csv = true;
+    } else if (arg == "--quick") {
+      o.quick = true;
     } else if (arg == "--workload") {
       const char* v = need_value("--workload");
       if (!v) return false;
       o.workload = v;
+      o.workload_given = true;
+    } else if (arg == "--fault-rate") {
+      const char* v = need_value("--fault-rate");
+      if (!v) return false;
+      char* end = nullptr;
+      o.fault_rate = std::strtod(v, &end);
+      if (end == v || *end != '\0') {
+        error = std::string("bad numeric value for --fault-rate: '") + v + "'";
+        return false;
+      }
+    } else if (arg == "--engines") {
+      const char* v = need_value("--engines");
+      if (!v) return false;
+      o.engines = v;
     } else if (arg == "--engine") {
       const char* v = need_value("--engine");
       if (!v) return false;
@@ -398,7 +647,8 @@ bool parse(int argc, const char* const* argv, Options& o,
     } else if (arg == "--workers" || arg == "--tasks" || arg == "--tiles" ||
                arg == "--width" || arg == "--steps" || arg == "--task-size" ||
                arg == "--repeat" || arg == "--seed" ||
-               arg == "--counter-bits") {
+               arg == "--counter-bits" || arg == "--fault-seeds" ||
+               arg == "--retries" || arg == "--watchdog-ms") {
       const char* v = need_value(arg.c_str());
       if (!v) return false;
       const std::string value = v;
@@ -412,6 +662,12 @@ bool parse(int argc, const char* const* argv, Options& o,
       else if (arg == "--seed") ok = to_u64(value, o.seed);
       else if (arg == "--counter-bits")
         ok = to_u32(value, o.counter_bits) && o.counter_bits > 0;
+      else if (arg == "--fault-seeds")
+        ok = to_u32(value, o.fault_seeds) && o.fault_seeds > 0;
+      else if (arg == "--retries")
+        ok = to_u32(value, o.retries) && o.retries > 0;
+      else if (arg == "--watchdog-ms")
+        ok = to_u64(value, o.watchdog_ms);
       else {
         std::uint32_t r = 0;
         ok = to_u32(value, r);
@@ -444,9 +700,10 @@ int run(const Options& o, std::ostream& out, std::ostream& err) {
   }
   if (o.command == "lint") return run_lint(o, out, err);
   if (o.command == "check") return run_check(o, out, err);
+  if (o.command == "chaos") return run_chaos(o, out, err);
   std::string error;
   workloads::Workload wl;
-  if (!build_workload(o, wl, error)) {
+  if (!build_workload(o, body_for_engine(o.engine), wl, error)) {
     err << "rioflow: " << error << "\n";
     return 1;
   }

@@ -17,12 +17,14 @@ namespace rio::cli {
 struct Options {
   // Subcommand: "" runs the workload (the historical behaviour); "lint"
   // statically analyses it without executing anything; "check" executes it
-  // with sync-event recording and runs the happens-before race checker.
+  // with sync-event recording and runs the happens-before race checker;
+  // "chaos" sweeps a fault plan over engines and verifies every surviving
+  // run against the sequential oracle.
   std::string command;
 
   // Workload selection.
-  std::string workload = "independent";  ///< independent | random | gemm |
-                                         ///< lu | cholesky | stencil |
+  std::string workload = "independent";  ///< independent | random | chain |
+                                         ///< gemm | lu | cholesky | stencil |
                                          ///< taskbench:<pattern> |
                                          ///< lintfix:<fixture>
   std::uint64_t tasks = 4096;   ///< synthetic workloads: task count
@@ -46,6 +48,15 @@ struct Options {
   std::string fail_on = "warning";  ///< exit non-zero at this severity:
                                     ///< error | warning | info
 
+  // Chaos sweep (docs/robustness.md).
+  double fault_rate = 0.05;         ///< base P(throw) per (task, attempt)
+  std::uint32_t fault_seeds = 3;    ///< fault-plan seeds per (engine, rate)
+  std::uint32_t retries = 3;        ///< RetryPolicy::max_attempts
+  std::uint64_t watchdog_ms = 2000; ///< progress watchdog window
+  std::string engines = "rio,rio-pruned,coor,hybrid";  ///< sweep targets
+  bool quick = false;               ///< shrink the sweep for CI gates
+  bool workload_given = false;      ///< --workload was passed explicitly
+
   // Outputs.
   bool summary = false;       ///< print flow structure summary
   bool decompose = false;     ///< print e_p / e_r decomposition
@@ -65,7 +76,8 @@ std::string usage();
 
 /// Executes per the options; prints results to `out`. Returns process exit
 /// code (0 ok, 1 bad configuration, 2 execution problem, 3 analysis
-/// findings at or above the --fail-on severity).
+/// findings at or above the --fail-on severity — or, for chaos, any stall,
+/// oracle mismatch or unexpected error in the sweep).
 int run(const Options& options, std::ostream& out, std::ostream& err);
 
 }  // namespace rio::cli

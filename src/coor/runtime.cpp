@@ -6,15 +6,21 @@
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <optional>
+#include <sstream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "support/assert.hpp"
 #include "support/clock.hpp"
 #include "support/topology.hpp"
 #include "support/align.hpp"
+#include "support/watchdog.hpp"
 #include "stf/access_guard.hpp"
 #include "stf/dep_scanner.hpp"
+#include "stf/failure.hpp"
+#include "stf/resilience.hpp"
 
 namespace rio::coor {
 namespace {
@@ -52,12 +58,15 @@ struct Engine {
   // First failure wins; after cancellation remaining bodies are skipped
   // while completion bookkeeping continues, so the run drains cleanly.
   std::atomic<bool> cancelled{false};
+  // Set only by a firing watchdog: makes injected stalls give up and lets
+  // the run tear down with completed < n.
+  std::atomic<bool> aborted{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
 
-  void record_failure() {
+  void record_failure(std::exception_ptr error) {
     std::lock_guard lock(error_mu);
-    if (!first_error) first_error = std::current_exception();
+    if (!first_error) first_error = std::move(error);
     cancelled.store(true, std::memory_order_release);
   }
   // Per-data exclusivity locks for commuting reductions: the dependency
@@ -192,6 +201,14 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
   std::vector<std::vector<stf::SyncEvent>> syncs(p);
   std::vector<std::uint64_t> worker_wall(p, 0);
 
+  const bool watched = cfg_.watchdog_ns > 0;
+  std::vector<support::WorkerProbe> probes(watched ? p : 0);
+  stf::ResilienceOpts res_proto;
+  res_proto.retry = cfg_.retry;
+  res_proto.fault = cfg_.fault;
+  res_proto.abort = watched ? &eng.aborted : nullptr;
+  const bool resilient = res_proto.active();
+
   std::barrier start(static_cast<std::ptrdiff_t>(p) + 1);
 
   // Worker role (pool/thread indices 0..p-1).
@@ -200,11 +217,15 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
       if (cfg_.pin_workers) support::pin_current_thread(w % cpus);
       support::WorkerStats& st = stats.workers[w];
       std::vector<stf::DataId> locked_reductions;
+      support::WorkerProbe* probe = watched ? &probes[w] : nullptr;
+      stf::ResilienceOpts res = res_proto;  // worker-private copy
+      stf::DataSnapshot snapshot;
       start.arrive_and_wait();
       const std::uint64_t begin = support::monotonic_ns();
       for (;;) {
         std::uint64_t idle0 = 0;
         if (cfg_.collect_stats) idle0 = support::monotonic_ns();
+        if (probe != nullptr) probe->set_state(support::ProbeState::kWaiting);
         auto li = eng.next_task(w);
         if (cfg_.collect_stats) {
           st.buckets.idle_ns += support::monotonic_ns() - idle0;
@@ -213,6 +234,10 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
         if (!li) break;
 
         const stf::Task& task = range.task(*li);
+        if (probe != nullptr) {
+          probe->task.store(task.id, std::memory_order_relaxed);
+          probe->set_state(support::ProbeState::kExecuting);
+        }
         eng.lock_reductions(task, locked_reductions);
         // Acquire stamps are drawn after the pop (every predecessor already
         // published its releases) and after the reduction locks are held.
@@ -227,12 +252,20 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
         std::uint64_t t0 = 0, t1 = 0;
         if (cfg_.collect_stats || cfg_.collect_trace)
           t0 = support::monotonic_ns();
-        if (task.fn && !eng.cancelled.load(std::memory_order_acquire)) {
+        if (resilient) {
+          if (!eng.cancelled.load(std::memory_order_acquire)) {
+            // Rollback is race-free here: the task holds exclusive protocol
+            // ownership of its written data between the pop and complete().
+            stf::BodyResult r =
+                stf::execute_body(task, range.registry(), w, res, snapshot);
+            if (!r.ok) eng.record_failure(std::move(r.error));
+          }
+        } else if (task.fn && !eng.cancelled.load(std::memory_order_acquire)) {
           stf::TaskContext ctx(task, range.registry(), w);
           try {
             task.fn(ctx);
           } catch (...) {
-            eng.record_failure();
+            eng.record_failure(std::current_exception());
           }
         }
         if (cfg_.collect_stats || cfg_.collect_trace) {
@@ -255,8 +288,11 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
               {task.id, w, t0, t1,
                eng.seq.fetch_add(1, std::memory_order_relaxed)});
         eng.complete(*li);
+        if (probe != nullptr)
+          probe->progress.fetch_add(1, std::memory_order_relaxed);
         if (cfg_.collect_stats) ++st.tasks_executed;
       }
+      if (probe != nullptr) probe->set_state(support::ProbeState::kDone);
       worker_wall[w] = support::monotonic_ns() - begin;
   };
 
@@ -300,6 +336,44 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
     master_unroll_end = support::monotonic_ns();
   };
 
+  // Progress watchdog: global completion count frozen for the whole window
+  // with tasks outstanding means the run is stuck (a worker wedged in a
+  // stalled body, or a lost dispatch). Capture the diagnostic first, then
+  // cancel + abort + release every queue so the workers drain and exit.
+  std::optional<support::Watchdog> watchdog;
+  if (watched) {
+    watchdog.emplace(
+        cfg_.watchdog_ns,
+        [&eng]() noexcept {
+          return eng.completed.load(std::memory_order_relaxed);
+        },
+        [&] {
+          std::ostringstream os;
+          os << "coor: no progress for "
+             << static_cast<double>(cfg_.watchdog_ns) / 1e6 << " ms\n"
+             << "  completed " << eng.completed.load(std::memory_order_relaxed)
+             << " of " << n << " tasks\n";
+          for (std::size_t q = 0; q < eng.queues.size(); ++q)
+            os << "  queue " << q << ": depth=" << eng.queues[q].size() << "\n";
+          for (std::uint32_t w = 0; w < p; ++w) {
+            const support::WorkerProbe& pr = probes[w];
+            const support::ProbeState ps = pr.get_state();
+            os << "  worker " << w << ": " << support::to_string(ps)
+               << ", executed=" << pr.progress.load(std::memory_order_relaxed);
+            if (ps == support::ProbeState::kExecuting)
+              os << ", task=" << pr.task.load(std::memory_order_relaxed);
+            os << "\n";
+          }
+          return os.str();
+        },
+        [&eng] {
+          eng.cancelled.store(true, std::memory_order_release);
+          eng.aborted.store(true, std::memory_order_release);
+          eng.done.store(true, std::memory_order_release);
+          for (auto& q : eng.queues) q.close();
+        });
+  }
+
   const std::uint64_t run_begin = support::monotonic_ns();
   support::run_parallel(pool_, p + 1, [&](std::uint32_t w) {
     if (w < p)
@@ -309,6 +383,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
   });
   const std::uint64_t run_end = support::monotonic_ns();
   stats.wall_ns = run_end - run_begin;
+  if (watchdog) watchdog->stop();
 
   if (cfg_.collect_stats) {
     for (std::uint32_t w = 0; w < p; ++w) {
@@ -334,6 +409,9 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
     for (auto& sy : syncs)
       for (const auto& ev : sy) sync_trace_.record(ev);
   }
+  if (watchdog && watchdog->fired())
+    throw stf::StallError(watchdog->diagnostic());
+  // Only an aborted run may finish with completed < n.
   RIO_ASSERT(eng.completed.load() == n);
   if (eng.first_error) std::rethrow_exception(eng.first_error);
   return stats;

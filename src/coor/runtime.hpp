@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "support/fault.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 #include "support/wait.hpp"
@@ -45,6 +46,15 @@ struct Config {
                               ///< the happens-before checker (src/analysis)
   bool enable_guard = false;
   bool pin_workers = false;  ///< pin workers (and master) to logical CPUs
+
+  // Resilience (docs/robustness.md). All default-off: the fast path is
+  // byte-identical to the pre-resilience runtime.
+  support::RetryPolicy retry;  ///< max_attempts > 1 enables retry+rollback
+  support::FaultInjector* fault = nullptr;  ///< deterministic fault
+                                            ///< injection (not owned)
+  std::uint64_t watchdog_ns = 0;  ///< > 0: monitor thread fails the run
+                                  ///< with stf::StallError after this
+                                  ///< no-progress window instead of hanging
 };
 
 class Runtime {

@@ -82,14 +82,20 @@ support::RunStats Runtime::run(const stf::TaskFlow& flow,
                                     .wait_policy = cfg_.wait_policy,
                                     .collect_stats = cfg_.collect_stats,
                                     .collect_trace = false,
-                                    .enable_guard = cfg_.enable_guard});
+                                    .enable_guard = cfg_.enable_guard,
+                                    .retry = cfg_.retry,
+                                    .fault = cfg_.fault,
+                                    .watchdog_ns = cfg_.watchdog_ns});
   coor::Runtime coor_engine(
       coor::Config{.num_workers = p,
                    .scheduler = cfg_.dynamic_scheduler,
                    .work_stealing = cfg_.dynamic_work_stealing,
                    .collect_stats = cfg_.collect_stats,
                    .collect_trace = false,
-                   .enable_guard = cfg_.enable_guard});
+                   .enable_guard = cfg_.enable_guard,
+                   .retry = cfg_.retry,
+                   .fault = cfg_.fault,
+                   .watchdog_ns = cfg_.watchdog_ns});
   if (cfg_.use_pool) {
     // One persistent pool for every phase: p workers + 1 master-capable
     // thread (idle during static phases). Amortizes thread startup across
@@ -99,8 +105,17 @@ support::RunStats Runtime::run(const stf::TaskFlow& flow,
     coor_engine.attach_pool(pool_.get());
   }
 
+  // Cross-phase failure propagation: a failing phase (retry exhaustion,
+  // stall, any thrown body) throws out of its engine's run() and out of
+  // this loop — later phases are cancelled by never starting. The phase
+  // barrier guarantees none of their task bodies has run.
+  last_phases_ = phases.size();
+  completed_phases_ = 0;
   for (const Phase& ph : phases) {
-    if (ph.count == 0) continue;
+    if (ph.count == 0) {
+      ++completed_phases_;
+      continue;
+    }
     const stf::ImageRange range(image, ph.first, ph.count);
     support::RunStats phase_stats;
     if (ph.kind == Phase::Kind::kStatic) {
@@ -110,6 +125,7 @@ support::RunStats Runtime::run(const stf::TaskFlow& flow,
     } else {
       phase_stats = coor_engine.run(range);
     }
+    ++completed_phases_;
     total.wall_ns += phase_stats.wall_ns;
     for (std::size_t w = 0; w < phase_stats.workers.size(); ++w) {
       auto& dst = total.workers[w < p ? w : p];
@@ -120,7 +136,6 @@ support::RunStats Runtime::run(const stf::TaskFlow& flow,
       dst.waits += src.waits;
     }
   }
-  last_phases_ = phases.size();
   return total;
 }
 

@@ -70,6 +70,14 @@ struct Config {
   bool enable_guard = false;
   bool use_pool = true;  ///< persistent num_workers+1 thread pool shared by
                          ///< all phases (off: spawn threads per phase)
+
+  // Resilience (docs/robustness.md), forwarded to BOTH per-phase engines.
+  // A phase failure (retry exhaustion or stall) propagates out of run() and
+  // cancels every later phase: a phase boundary is a barrier, so no task of
+  // a later phase can have started.
+  support::RetryPolicy retry;
+  support::FaultInjector* fault = nullptr;
+  std::uint64_t watchdog_ns = 0;
 };
 
 class Runtime {
@@ -89,9 +97,17 @@ class Runtime {
     return last_phases_;
   }
 
+  /// Phases that ran to completion in the last run. Equal to
+  /// last_phase_count() on success; smaller when a phase failure cancelled
+  /// the rest (the cross-phase propagation tests assert on this).
+  [[nodiscard]] std::size_t completed_phases() const noexcept {
+    return completed_phases_;
+  }
+
  private:
   Config cfg_;
   std::size_t last_phases_ = 0;
+  std::size_t completed_phases_ = 0;
   std::unique_ptr<support::ThreadPool> pool_;  // lazily built when use_pool
 };
 

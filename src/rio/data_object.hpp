@@ -75,13 +75,16 @@ inline void declare_write(LocalDataState& local, stf::TaskId task_id) noexcept {
 /// get_read: block until every write this worker registered before the
 /// current task has been performed. Returns the number of wait rounds
 /// observed (0 = no stall), which feeds the idle-time statistics.
+/// A non-null `abort` (the progress watchdog's flag) lets the wait give up
+/// so a stalled run can drain instead of hanging.
 inline bool get_read(const SharedDataState& shared, const LocalDataState& local,
-                     support::WaitPolicy policy) noexcept {
+                     support::WaitPolicy policy,
+                     const std::atomic<bool>* abort = nullptr) noexcept {
   const bool stalled = shared.last_executed_write.value.load(
                            std::memory_order_acquire) != local.last_registered_write;
   if (stalled)
-    support::wait_until_equal(shared.last_executed_write.value,
-                              local.last_registered_write, policy);
+    support::wait_until_equal_or(shared.last_executed_write.value,
+                                 local.last_registered_write, policy, abort);
   return stalled;
 }
 
@@ -89,19 +92,22 @@ inline bool get_read(const SharedDataState& shared, const LocalDataState& local,
 /// performed (write-after-read ordering).
 inline bool get_write(const SharedDataState& shared,
                       const LocalDataState& local,
-                      support::WaitPolicy policy) noexcept {
+                      support::WaitPolicy policy,
+                      const std::atomic<bool>* abort = nullptr) noexcept {
   bool stalled = false;
   if (shared.last_executed_write.value.load(std::memory_order_acquire) !=
       local.last_registered_write) {
     stalled = true;
-    support::wait_until_equal(shared.last_executed_write.value,
-                              local.last_registered_write, policy);
+    if (!support::wait_until_equal_or(shared.last_executed_write.value,
+                                      local.last_registered_write, policy,
+                                      abort))
+      return stalled;  // aborted: skip the second wait too
   }
   if (shared.nb_reads_since_write.value.load(std::memory_order_acquire) !=
       local.nb_reads_since_write) {
     stalled = true;
-    support::wait_until_equal(shared.nb_reads_since_write.value,
-                              local.nb_reads_since_write, policy);
+    support::wait_until_equal_or(shared.nb_reads_since_write.value,
+                                 local.nb_reads_since_write, policy, abort);
   }
   return stalled;
 }

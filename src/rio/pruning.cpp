@@ -4,12 +4,17 @@
 #include <barrier>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "support/assert.hpp"
 #include "support/clock.hpp"
 #include "support/topology.hpp"
+#include "support/watchdog.hpp"
+#include "rio/stall_diag.hpp"
+#include "stf/failure.hpp"
+#include "stf/resilience.hpp"
 
 namespace rio::rt {
 namespace {
@@ -38,8 +43,18 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
   std::atomic<std::uint64_t> seq{0};
   std::atomic<std::uint64_t> sync_stamp{0};
   std::atomic<bool> cancelled{false};
+  std::atomic<bool> abort{false};  // set only by a firing watchdog
   std::exception_ptr first_error;
   std::mutex error_mu;
+
+  const bool watched = cfg.watchdog_ns > 0;
+  std::vector<support::WorkerProbe> probes(watched ? p : 0);
+  stf::ResilienceOpts res_proto;
+  res_proto.retry = cfg.retry;
+  res_proto.fault = cfg.fault;
+  res_proto.abort = watched ? &abort : nullptr;
+  const bool resilient = res_proto.active();
+
   std::barrier start(static_cast<std::ptrdiff_t>(p));
   std::vector<support::WorkerStats> wstats(p);
   std::vector<std::uint64_t> worker_wall(p, 0);
@@ -52,6 +67,10 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
     const auto& mine = plan.tasks_for(w);
     support::WorkerStats& st = wstats[w];
     const auto policy = cfg.wait_policy;
+    support::WorkerProbe* probe = watched ? &probes[w] : nullptr;
+    const std::atomic<bool>* abort_flag = res_proto.abort;
+    stf::ResilienceOpts res = res_proto;  // worker-private copy
+    stf::DataSnapshot snapshot;
     start.arrive_and_wait();
     const std::uint64_t begin = support::monotonic_ns();
     for (const PrunedTask& pt : mine) {
@@ -61,20 +80,32 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
       if (cfg.collect_stats) wait_begin = support::monotonic_ns();
       for (const PrunedAccess& pa : pt.accesses) {
         const SharedDataState& s = shared[pa.data];
+        if (probe != nullptr) {
+          probe->task.store(pt.id, std::memory_order_relaxed);
+          probe->data.store(pa.data, std::memory_order_relaxed);
+          probe->expected_writer.store(pa.expected_writer,
+                                       std::memory_order_relaxed);
+          probe->expected_reads.store(pa.expected_reads,
+                                      std::memory_order_relaxed);
+          probe->set_state(support::ProbeState::kWaiting);
+        }
         if (s.last_executed_write.value.load(std::memory_order_acquire) !=
             pa.expected_writer) {
           stalled = true;
-          support::wait_until_equal(s.last_executed_write.value,
-                                    pa.expected_writer, policy);
+          if (!support::wait_until_equal_or(s.last_executed_write.value,
+                                            pa.expected_writer, policy,
+                                            abort_flag))
+            continue;  // aborted: skip the dependent read-count wait too
         }
         if (is_write(pa.mode) &&
             s.nb_reads_since_write.value.load(std::memory_order_acquire) !=
                 pa.expected_reads) {
           stalled = true;
-          support::wait_until_equal(s.nb_reads_since_write.value,
-                                    pa.expected_reads, policy);
+          support::wait_until_equal_or(s.nb_reads_since_write.value,
+                                       pa.expected_reads, policy, abort_flag);
         }
       }
+      if (probe != nullptr) probe->set_state(support::ProbeState::kExecuting);
       if (cfg.collect_stats && stalled) {
         st.buckets.idle_ns += support::monotonic_ns() - wait_begin;
         ++st.waits;
@@ -92,7 +123,17 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
       const stf::Task& task = body_of(pt.id);
       std::uint64_t t0 = 0;
       if (cfg.collect_stats || cfg.collect_trace) t0 = support::monotonic_ns();
-      if (task.fn && !cancelled.load(std::memory_order_acquire)) {
+      if (resilient) {
+        if (!cancelled.load(std::memory_order_acquire)) {
+          stf::BodyResult r =
+              stf::execute_body(task, registry, w, res, snapshot);
+          if (!r.ok) {
+            std::lock_guard lock(error_mu);
+            if (!first_error) first_error = std::move(r.error);
+            cancelled.store(true, std::memory_order_release);
+          }
+        }
+      } else if (task.fn && !cancelled.load(std::memory_order_acquire)) {
         stf::TaskContext tc(task, registry, w);
         try {
           task.fn(tc);
@@ -135,12 +176,39 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
         traces[w].push_back(
             {pt.id, w, t0, t1,
              seq.fetch_add(1, std::memory_order_relaxed)});
+      if (probe != nullptr)
+        probe->progress.fetch_add(1, std::memory_order_relaxed);
       if (cfg.collect_stats) ++st.tasks_executed;
     }
+    if (probe != nullptr) probe->set_state(support::ProbeState::kDone);
     worker_wall[w] = support::monotonic_ns() - begin;
   };
+
+  // Same watchdog contract as the full runtime (runtime.cpp): capture the
+  // diagnostic first, then cancel + abort so the waits drain.
+  std::optional<support::Watchdog> watchdog;
+  if (watched) {
+    watchdog.emplace(
+        cfg.watchdog_ns,
+        [&probes, p]() noexcept {
+          std::uint64_t sum = 0;
+          for (std::uint32_t w = 0; w < p; ++w)
+            sum += probes[w].progress.load(std::memory_order_relaxed);
+          return sum;
+        },
+        [&] {
+          return stall_diagnostic("rio-pruned", cfg.watchdog_ns, probes.data(),
+                                  p, shared.data(), num_data);
+        },
+        [&] {
+          cancelled.store(true, std::memory_order_release);
+          abort.store(true, std::memory_order_release);
+        });
+  }
+
   const std::uint64_t t0 = support::monotonic_ns();
   support::run_parallel(pool, p, body);
+  if (watchdog) watchdog->stop();
 
   support::RunStats stats;
   stats.wall_ns = support::monotonic_ns() - t0;
@@ -156,6 +224,7 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
     for (const stf::TraceEvent& ev : traces[w]) trace_out.record(ev);
     for (const stf::SyncEvent& ev : syncs[w]) sync_out.record(ev);
   }
+  if (watchdog && watchdog->fired()) throw stf::StallError(watchdog->diagnostic());
   if (first_error) std::rethrow_exception(first_error);
   return stats;
 }

@@ -4,12 +4,17 @@
 #include <barrier>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "support/assert.hpp"
 #include "support/clock.hpp"
 #include "support/topology.hpp"
+#include "support/watchdog.hpp"
+#include "rio/stall_diag.hpp"
+#include "stf/failure.hpp"
+#include "stf/resilience.hpp"
 
 namespace rio::rt {
 namespace {
@@ -41,7 +46,20 @@ struct WorkerCtx {
   std::atomic<bool>* cancelled = nullptr;
   std::exception_ptr* first_error = nullptr;
   std::mutex* error_mu = nullptr;
+
+  // Resilience (all optional; the defaults keep the historical fast path).
+  stf::ResilienceOpts res;
+  bool resilient = false;              ///< res.active(), hoisted
+  stf::DataSnapshot snapshot;          ///< rollback arena, worker-private
+  support::WorkerProbe* probe = nullptr;  ///< watchdog observability slot
 };
+
+/// Records the first error and flips the cancellation flag.
+void record_failure(WorkerCtx& ctx, std::exception_ptr error) {
+  std::lock_guard lock(*ctx.error_mu);
+  if (!*ctx.first_error) *ctx.first_error = std::move(error);
+  ctx.cancelled->store(true, std::memory_order_release);
+}
 
 /// The mapped-here half of Algorithm 1: acquire every access (get_*), run
 /// the body, then release (terminate_*). Acquisition cannot deadlock: a
@@ -52,11 +70,25 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
   std::uint64_t wait_begin = 0;
   if (ctx.collect_stats) wait_begin = support::monotonic_ns();
   for (const stf::Access& a : task.accesses) {
+    if (ctx.probe != nullptr) {
+      // Publish what we are about to wait for, so a watchdog firing
+      // mid-wait can report expected vs observed counters.
+      ctx.probe->task.store(task.id, std::memory_order_relaxed);
+      ctx.probe->data.store(a.data, std::memory_order_relaxed);
+      ctx.probe->expected_writer.store(ctx.local[a.data].last_registered_write,
+                                       std::memory_order_relaxed);
+      ctx.probe->expected_reads.store(ctx.local[a.data].nb_reads_since_write,
+                                      std::memory_order_relaxed);
+      ctx.probe->set_state(support::ProbeState::kWaiting);
+    }
     if (is_write(a.mode))
-      stalled |= get_write(ctx.shared[a.data], ctx.local[a.data], ctx.policy);
+      stalled |= get_write(ctx.shared[a.data], ctx.local[a.data], ctx.policy,
+                           ctx.res.abort);
     else
-      stalled |= get_read(ctx.shared[a.data], ctx.local[a.data], ctx.policy);
+      stalled |= get_read(ctx.shared[a.data], ctx.local[a.data], ctx.policy,
+                          ctx.res.abort);
   }
+  if (ctx.probe != nullptr) ctx.probe->set_state(support::ProbeState::kExecuting);
   if (ctx.collect_stats && stalled) {
     ctx.stats.buckets.idle_ns += support::monotonic_ns() - wait_begin;
     ++ctx.stats.waits;
@@ -77,14 +109,18 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
 
   std::uint64_t t0 = 0;
   if (ctx.collect_stats || ctx.collect_trace) t0 = support::monotonic_ns();
-  if (task.fn && !ctx.cancelled->load(std::memory_order_acquire)) {
+  if (ctx.resilient) {
+    if (!ctx.cancelled->load(std::memory_order_acquire)) {
+      stf::BodyResult r = stf::execute_body(task, *ctx.registry, ctx.self,
+                                            ctx.res, ctx.snapshot);
+      if (!r.ok) record_failure(ctx, std::move(r.error));
+    }
+  } else if (task.fn && !ctx.cancelled->load(std::memory_order_acquire)) {
     stf::TaskContext tc(task, *ctx.registry, ctx.self);
     try {
       task.fn(tc);
     } catch (...) {
-      std::lock_guard lock(*ctx.error_mu);
-      if (!*ctx.first_error) *ctx.first_error = std::current_exception();
-      ctx.cancelled->store(true, std::memory_order_release);
+      record_failure(ctx, std::current_exception());
     }
   }
   std::uint64_t t1 = 0;
@@ -117,6 +153,8 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
         {task.id, ctx.self, t0, t1,
          ctx.seq->fetch_add(1, std::memory_order_relaxed)});
   }
+  if (ctx.probe != nullptr)
+    ctx.probe->progress.fetch_add(1, std::memory_order_relaxed);
   if (ctx.collect_stats) ++ctx.stats.tasks_executed;
 }
 
@@ -182,8 +220,12 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
   std::atomic<std::uint64_t> seq{0};
   std::atomic<std::uint64_t> sync_stamp{0};
   std::atomic<bool> cancelled{false};
+  std::atomic<bool> abort{false};  // set only by a firing watchdog
   std::exception_ptr first_error;
   std::mutex error_mu;
+
+  const bool watched = cfg.watchdog_ns > 0;
+  std::vector<support::WorkerProbe> probes(watched ? p : 0);
 
   std::vector<WorkerCtx> ctxs(p);
   for (std::uint32_t w = 0; w < p; ++w) {
@@ -203,6 +245,11 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
     c.cancelled = &cancelled;
     c.first_error = &first_error;
     c.error_mu = &error_mu;
+    c.res.retry = cfg.retry;
+    c.res.fault = cfg.fault;
+    c.res.abort = watched ? &abort : nullptr;
+    c.resilient = c.res.active();
+    c.probe = watched ? &probes[w] : nullptr;
   }
 
   // All workers align on a start barrier so their wall times compare; the
@@ -217,11 +264,38 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
     start.arrive_and_wait();
     const std::uint64_t begin = support::monotonic_ns();
     unroll(c);
+    if (c.probe != nullptr) c.probe->set_state(support::ProbeState::kDone);
     worker_wall[w] = support::monotonic_ns() - begin;
   };
+
+  // Progress watchdog: a monitor thread watches the sum of per-worker
+  // executed-task counters; if it freezes for the whole window, capture the
+  // diagnostic (while workers are still stuck), then cancel + abort so every
+  // wait drains and the run fails with StallError instead of hanging.
+  std::optional<support::Watchdog> watchdog;
+  if (watched) {
+    watchdog.emplace(
+        cfg.watchdog_ns,
+        [&probes, p]() noexcept {
+          std::uint64_t sum = 0;
+          for (std::uint32_t w = 0; w < p; ++w)
+            sum += probes[w].progress.load(std::memory_order_relaxed);
+          return sum;
+        },
+        [&] {
+          return stall_diagnostic("rio", cfg.watchdog_ns, probes.data(), p,
+                                  shared.data(), num_data);
+        },
+        [&] {
+          cancelled.store(true, std::memory_order_release);
+          abort.store(true, std::memory_order_release);
+        });
+  }
+
   const std::uint64_t t0 = support::monotonic_ns();
   support::run_parallel(pool, p, body);
   const std::uint64_t wall = support::monotonic_ns() - t0;
+  if (watchdog) watchdog->stop();
 
   support::RunStats stats;
   stats.wall_ns = wall;
@@ -242,6 +316,9 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
     for (const stf::TraceEvent& ev : c.trace) trace_out.record(ev);
     for (const stf::SyncEvent& ev : c.sync) sync_out.record(ev);
   }
+  // A stall outranks any task failure: the StallError diagnostic is the
+  // evidence of WHY the run could not finish.
+  if (watchdog && watchdog->fired()) throw stf::StallError(watchdog->diagnostic());
   if (first_error) std::rethrow_exception(first_error);
   return stats;
 }

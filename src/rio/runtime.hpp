@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/fault.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 #include "support/wait.hpp"
@@ -44,6 +45,15 @@ struct Config {
                                ///< the happens-before checker (src/analysis)
   bool enable_guard = false;   ///< dynamic data-race detection (tests)
   bool pin_workers = false;    ///< pin worker w to logical CPU w mod #cpus
+
+  // Resilience (docs/robustness.md). All default-off: the fast path is
+  // byte-identical to the pre-resilience runtime.
+  support::RetryPolicy retry;  ///< max_attempts > 1 enables retry+rollback
+  support::FaultInjector* fault = nullptr;  ///< deterministic fault
+                                            ///< injection (not owned)
+  std::uint64_t watchdog_ns = 0;  ///< > 0: monitor thread fails the run
+                                  ///< with stf::StallError after this
+                                  ///< no-progress window instead of hanging
 };
 
 class Runtime {

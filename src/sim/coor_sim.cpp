@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/simulate.hpp"
 
 namespace rio::sim {
@@ -80,6 +81,9 @@ Report simulate_centralized(const stf::ImageRange& range,
   std::uint64_t makespan = master_total;
   std::size_t executed = 0;
 
+  Report rep;
+  SimFaults faults(params.faults, params.retry);
+
   while (executed < n) {
     RIO_ASSERT_MSG(!ready.empty(), "no ready task but flow incomplete");
     const auto [ready_time, t] = ready.top();
@@ -96,6 +100,7 @@ Report simulate_centralized(const stf::ImageRange& range,
       cost = static_cast<std::uint64_t>(
           static_cast<double>(cost) / params.worker_speed[w]);
     }
+    cost += faults.extra_ticks(range.task_id(t), cost, rep);
     const std::uint64_t fin = start + cost;
     finish[t] = fin;
     ws[w].buckets.runtime_ns += params.worker_pop;
@@ -123,7 +128,6 @@ Report simulate_centralized(const stf::ImageRange& range,
   ws[p].buckets.runtime_ns = master_total;
   ws[p].buckets.idle_ns = makespan - master_total;
 
-  Report rep;
   rep.makespan = makespan;
   rep.total_threads = p + 1;
   rep.stats.workers = std::move(ws);

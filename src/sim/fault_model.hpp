@@ -1,0 +1,71 @@
+// Fault model for the discrete-event simulators (docs/robustness.md).
+//
+// The real runtimes pay for an injected transient fault with a rollback
+// plus a re-execution (and an optional backoff); an injected stall simply
+// burns worker time. The simulators charge the same costs in VIRTUAL ticks
+// so fault sweeps — seeds x rates x retry budgets — are reproducible
+// without real threads: given the same flow, plan and retry policy the
+// extra ticks and the resilience counters are bit-identical across hosts.
+//
+// The decisions come from the exact FaultInjector the runtimes use, so a
+// simulated sweep and a real chaos run over the same plan agree on WHICH
+// (task, attempt) pairs fault.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/fault.hpp"
+#include "sim/simulate.hpp"
+
+namespace rio::sim {
+
+/// Per-simulation fault state: wraps a FaultInjector plus the retry policy
+/// and converts its decisions into virtual-tick penalties and Report
+/// counters. One instance per simulated run (the injector is stateful:
+/// N-shot budgets deplete).
+class SimFaults {
+ public:
+  SimFaults(const support::FaultPlan& plan, const support::RetryPolicy& retry)
+      : injector_(plan), retry_(retry), active_(plan.any()) {}
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Extra virtual ticks task `id` costs under the plan: injected stalls
+  /// burn their window; each retried attempt wastes one execution of
+  /// `cost` plus the backoff. Exhausted budgets count as failed_tasks (the
+  /// simulators keep going — they model the schedule, not the unwind).
+  std::uint64_t extra_ticks(std::uint64_t id, std::uint64_t cost,
+                            Report& rep) {
+    if (!active_) return 0;
+    std::uint64_t extra = 0;
+    const std::uint64_t stall = injector_.stall_ns(id);
+    if (stall > 0) {
+      extra += stall;
+      ++rep.injected_stalls;
+    }
+    const std::uint32_t max_attempts =
+        std::max<std::uint32_t>(1, retry_.max_attempts);
+    bool retried = false;
+    for (std::uint32_t attempt = 1; injector_.should_throw(id, attempt);
+         ++attempt) {
+      ++rep.injected_throws;
+      if (attempt >= max_attempts) {
+        ++rep.failed_tasks;
+        break;
+      }
+      // The faulted attempt's work is wasted: rollback, back off, re-run.
+      extra += cost + retry_.backoff_ns;
+      retried = true;
+    }
+    if (retried) ++rep.retried_tasks;
+    return extra;
+  }
+
+ private:
+  support::FaultInjector injector_;
+  support::RetryPolicy retry_;
+  bool active_;
+};
+
+}  // namespace rio::sim

@@ -46,6 +46,10 @@ Report simulate_hybrid(const stf::FlowImage& image,
       rep = simulate_centralized(range, cparams, scale);
     }
     total.makespan += rep.makespan;
+    total.injected_throws += rep.injected_throws;
+    total.injected_stalls += rep.injected_stalls;
+    total.retried_tasks += rep.retried_tasks;
+    total.failed_tasks += rep.failed_tasks;
     for (std::size_t w = 0; w < rep.stats.workers.size(); ++w) {
       auto& dst = total.stats.workers[w < p ? w : p];
       const auto& src = rep.stats.workers[w];

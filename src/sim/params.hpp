@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/fault.hpp"
+
 namespace rio::sim {
 
 /// Virtual time unit: 1 tick == 1 ns of modelled time. Task `cost` fields
@@ -61,6 +63,12 @@ struct DecentralizedParams {
   // owner-computes mapping keeps dependencies worker-local and pays
   // nothing — the locality advantage of static placement.
   std::uint64_t cross_worker_latency = 0;
+
+  // Deterministic fault model (sim/fault_model.hpp): injected stalls burn
+  // virtual ticks; injected throws cost a wasted execution per retried
+  // attempt. Defaults (empty plan) are cost-free.
+  support::FaultPlan faults;
+  support::RetryPolicy retry;
 };
 
 /// Centralized out-of-order (StarPU-like) model costs.
@@ -86,6 +94,10 @@ struct CentralizedParams {
   // caches (the pessimistic-but-fair counterpart of the decentralized
   // model's mapping-aware latency).
   std::uint64_t cross_worker_latency = 0;
+
+  // Deterministic fault model — same semantics as DecentralizedParams.
+  support::FaultPlan faults;
+  support::RetryPolicy retry;
 };
 
 }  // namespace rio::sim

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/simulate.hpp"
 
 namespace rio::sim {
@@ -61,6 +62,9 @@ Report simulate_decentralized(const stf::ImageRange& range,
   std::vector<support::WorkerStats> ws(p);
   std::vector<std::uint64_t> own_skip(p, 0);  // skip cost of own tasks
 
+  Report rep;
+  SimFaults faults(params.faults, params.retry);
+
   for (stf::TaskId t = 0; t < n; ++t) {
     const auto num_acc = static_cast<std::uint64_t>(range.num_accesses(t));
     const std::uint64_t skip_cost =
@@ -77,6 +81,7 @@ Report simulate_decentralized(const stf::ImageRange& range,
       cost = static_cast<std::uint64_t>(
           static_cast<double>(cost) / params.worker_speed[w]);
     }
+    cost += faults.extra_ticks(range.task_id(t), cost, rep);
 
     const auto arrival = static_cast<std::uint64_t>(
         static_cast<std::int64_t>(prefix) + delta[w]);
@@ -129,7 +134,6 @@ Report simulate_decentralized(const stf::ImageRange& range,
     ws[w].buckets.idle_ns += makespan - cursor;
   }
 
-  Report rep;
   rep.makespan = makespan;
   rep.total_threads = p;
   rep.stats.workers = std::move(ws);

@@ -29,6 +29,13 @@ struct Report {
   support::RunStats stats;    ///< buckets in virtual ticks; wall_ns==makespan
   std::uint64_t makespan = 0; ///< virtual t_p
   std::uint64_t total_threads = 0;  ///< p used for the tau identity
+
+  // Resilience counters (sim/fault_model.hpp); all zero when the params
+  // carry no fault plan.
+  std::uint64_t injected_throws = 0;  ///< faulted (task, attempt) pairs
+  std::uint64_t injected_stalls = 0;  ///< tasks that hit a stall window
+  std::uint64_t retried_tasks = 0;    ///< tasks needing >= 1 re-execution
+  std::uint64_t failed_tasks = 0;     ///< tasks that exhausted the budget
 };
 
 /// Simulates RIO's decentralized in-order model (Section 3): every virtual

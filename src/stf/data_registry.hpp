@@ -125,4 +125,47 @@ class DataRegistry {
   std::vector<Entry> entries_;
 };
 
+/// Byte snapshot of selected data objects — the rollback half of
+/// retry-with-rollback (docs/robustness.md). The capture of a task's
+/// write/readwrite spans is taken AFTER its dependencies are acquired (the
+/// protocol grants the executing worker exclusive write access between
+/// get_* and terminate_*), so restore + re-run is race-free and
+/// semantically identical to a first execution.
+///
+/// One arena is reused across captures: steady-state retries allocate
+/// nothing once the arena has grown to the largest task's write footprint.
+class DataSnapshot {
+ public:
+  void clear() noexcept {
+    saved_.clear();
+    arena_.clear();  // keeps capacity
+  }
+
+  /// Appends a copy of object `id`'s bytes to the snapshot.
+  void add(const DataRegistry& registry, DataId id) {
+    const std::size_t bytes = registry.bytes(id);
+    const std::size_t offset = arena_.size();
+    arena_.resize(offset + bytes);
+    std::memcpy(arena_.data() + offset, registry.raw(id), bytes);
+    saved_.push_back({id, offset, bytes});
+  }
+
+  /// Writes every captured object's bytes back into the registry.
+  void restore(const DataRegistry& registry) const {
+    for (const Saved& s : saved_)
+      std::memcpy(registry.raw(s.id), arena_.data() + s.offset, s.bytes);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return saved_.empty(); }
+
+ private:
+  struct Saved {
+    DataId id;
+    std::size_t offset;
+    std::size_t bytes;
+  };
+  std::vector<Saved> saved_;
+  std::vector<std::byte> arena_;
+};
+
 }  // namespace rio::stf

@@ -1,0 +1,93 @@
+// Structured failure vocabulary of the resilience layer.
+//
+// Two terminal outcomes exist beyond a plain body exception:
+//   * TaskFailure — a task exhausted its RetryPolicy. Carries a
+//     FailureReport (which task, where, how many attempts) plus the last
+//     underlying exception, so callers can triage without string parsing.
+//   * StallError — the progress watchdog detected a no-progress window and
+//     aborted the run. Carries the per-worker diagnostic captured at the
+//     moment of the stall.
+//
+// When retries are DISABLED the engines keep their historical contract and
+// rethrow the original body exception unwrapped — existing error handling
+// (and tests) see exactly what they always saw.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "stf/types.hpp"
+
+namespace rio::stf {
+
+/// What the runtime knows about a terminally-failed task.
+struct FailureReport {
+  TaskId task = kInvalidTask;
+  std::string name;             ///< Task::name (may be empty)
+  WorkerId worker = kInvalidWorker;
+  std::uint32_t attempts = 0;   ///< executions performed (>= 1)
+};
+
+namespace detail {
+inline std::string describe_failure(const FailureReport& r,
+                                    const std::exception_ptr& cause) {
+  std::string s = "task " + std::to_string(r.task);
+  if (!r.name.empty()) s += " '" + r.name + "'";
+  s += " failed on worker " + std::to_string(r.worker) + " after " +
+       std::to_string(r.attempts) + " attempt(s)";
+  if (cause) {
+    try {
+      std::rethrow_exception(cause);
+    } catch (const std::exception& e) {
+      s += std::string(": ") + e.what();
+    } catch (...) {
+      s += ": non-standard exception";
+    }
+  }
+  return s;
+}
+}  // namespace detail
+
+/// Raised when a task exhausted its retry budget. Replaces the bare rethrow
+/// ONLY when RetryPolicy::enabled(); the nested cause is preserved.
+class TaskFailure : public std::runtime_error {
+ public:
+  TaskFailure(FailureReport report, std::exception_ptr cause)
+      : std::runtime_error(detail::describe_failure(report, cause)),
+        report_(std::move(report)),
+        cause_(std::move(cause)) {}
+
+  [[nodiscard]] const FailureReport& report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] const std::exception_ptr& cause() const noexcept {
+    return cause_;
+  }
+
+ private:
+  FailureReport report_;
+  std::exception_ptr cause_;
+};
+
+/// Raised by a run whose progress watchdog fired: the flow could not make
+/// progress for a full window. what() includes the diagnostic.
+class StallError : public std::runtime_error {
+ public:
+  explicit StallError(std::string diagnostic)
+      : std::runtime_error("run stalled (progress watchdog fired)\n" +
+                           diagnostic),
+        diagnostic_(std::move(diagnostic)) {}
+
+  /// The per-worker diagnostic captured when the stall was detected.
+  [[nodiscard]] const std::string& diagnostic() const noexcept {
+    return diagnostic_;
+  }
+
+ private:
+  std::string diagnostic_;
+};
+
+}  // namespace rio::stf

@@ -1,0 +1,117 @@
+// Shared resilient body execution — used by every engine's worker loop.
+//
+// execute_body() is the one place where fault injection, retry-with-
+// rollback and abort awareness meet. The contract:
+//
+//   1. an injected stall (FaultPlan::stall_*) busy-waits before the body,
+//      interruptible by the abort flag (so the watchdog can drain it);
+//   2. when retries are enabled, the write/readwrite/reduction spans are
+//      snapshotted ONCE before the first attempt — the task already holds
+//      protocol exclusivity on them, so the copy is race-free;
+//   3. each attempt runs the body, then (if the injector says so) throws an
+//      InjectedFault AFTER the body ran — the data really was mutated, so a
+//      retry that skipped the rollback would double-apply the body;
+//   4. a failed attempt with budget left restores the snapshot, pays the
+//      backoff, and re-runs; an exhausted budget returns the error — wrapped
+//      in TaskFailure when retries were enabled, verbatim otherwise (the
+//      historical fail-fast contract).
+//
+// Engines keep their zero-overhead inline path when no resilience is
+// configured; they call this only when `ResilienceOpts::active()`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "support/fault.hpp"
+#include "stf/data_registry.hpp"
+#include "stf/failure.hpp"
+#include "stf/task.hpp"
+
+namespace rio::stf {
+
+/// Resilience knobs threaded from a runtime Config into the worker loop.
+struct ResilienceOpts {
+  support::RetryPolicy retry;
+  support::FaultInjector* fault = nullptr;  ///< not owned; may be shared
+  const std::atomic<bool>* abort = nullptr; ///< watchdog abort flag
+
+  [[nodiscard]] bool active() const noexcept {
+    return fault != nullptr || retry.enabled();
+  }
+};
+
+/// Outcome of one resilient body execution.
+struct BodyResult {
+  bool ok = true;
+  std::uint32_t attempts = 1;  ///< executions performed
+  std::exception_ptr error;    ///< set when !ok
+};
+
+/// Runs `task`'s body under the resilience contract above. `snapshot` is a
+/// caller-owned scratch arena reused across tasks.
+inline BodyResult execute_body(const Task& task, const DataRegistry& registry,
+                               WorkerId worker, const ResilienceOpts& opts,
+                               DataSnapshot& snapshot) {
+  BodyResult result;
+
+  if (opts.fault != nullptr) {
+    const std::uint64_t stall = opts.fault->stall_ns(task.id);
+    if (stall > 0) support::stall_for(stall, opts.abort);
+  }
+
+  const std::uint32_t max_attempts =
+      opts.retry.enabled() ? opts.retry.max_attempts : 1;
+  if (opts.retry.enabled()) {
+    snapshot.clear();
+    for (const Access& a : task.accesses)
+      if (is_write(a.mode)) snapshot.add(registry, a.data);
+  }
+
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    result.attempts = attempt;
+    std::exception_ptr error;
+    try {
+      if (task.fn) {
+        TaskContext tc(task, registry, worker);
+        task.fn(tc);
+      }
+      if (opts.fault != nullptr && opts.fault->should_throw(task.id, attempt))
+        throw support::InjectedFault(task.id, attempt);
+      return result;  // success
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    const bool aborted =
+        opts.abort != nullptr && opts.abort->load(std::memory_order_acquire);
+    if (attempt < max_attempts && !aborted) {
+      snapshot.restore(registry);
+      if (opts.retry.backoff_ns > 0)
+        support::stall_for(opts.retry.backoff_ns, opts.abort);
+      continue;
+    }
+
+    result.ok = false;
+    if (opts.retry.enabled()) {
+      // Terminal failure: restore too, so a failed task has NO effect on
+      // its write set (the failed attempt's partial writes don't leak into
+      // post-mortem state).
+      snapshot.restore(registry);
+      FailureReport report;
+      report.task = task.id;
+      report.name = task.name;
+      report.worker = worker;
+      report.attempts = attempt;
+      result.error = std::make_exception_ptr(
+          TaskFailure(std::move(report), std::move(error)));
+    } else {
+      result.error = std::move(error);
+    }
+    return result;
+  }
+}
+
+}  // namespace rio::stf

@@ -4,6 +4,8 @@
 #include "stf/access_guard.hpp"    // IWYU pragma: export
 #include "stf/data_registry.hpp"   // IWYU pragma: export
 #include "stf/dependency.hpp"      // IWYU pragma: export
+#include "stf/failure.hpp"         // IWYU pragma: export
+#include "stf/resilience.hpp"      // IWYU pragma: export
 #include "stf/sequential.hpp"      // IWYU pragma: export
 #include "stf/task.hpp"            // IWYU pragma: export
 #include "stf/task_flow.hpp"       // IWYU pragma: export

@@ -1,0 +1,168 @@
+// Deterministic fault injection — the chaos half of the resilience layer.
+//
+// A FaultPlan describes WHICH faults a run should experience (transient
+// task-body throws, worker stall windows), a FaultInjector answers the
+// per-task questions at execution time. Decisions are pure functions of
+// (seed, task id, attempt) via a SplitMix64-style hash, NOT of thread
+// interleaving: the same plan injects the same faults into the real
+// runtimes, the pruned replay and the discrete-event simulator, which is
+// what makes fault sweeps (rioflow chaos, sim/params.hpp) reproducible.
+//
+// N-shot budgets (max_throws / max_stalls) are the only shared-mutable
+// state; they are atomics, so one injector may be shared by all workers of
+// a run — or by several runs when a sweep wants a global fault budget.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/clock.hpp"
+#include "support/wait.hpp"
+
+namespace rio::support {
+
+/// Retry knob carried by every runtime config. max_attempts counts the
+/// initial execution: 1 means fail fast (today's first-exception-wins
+/// cancellation), >1 enables snapshot/rollback/re-run of failing bodies.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 1;
+  std::uint64_t backoff_ns = 0;  ///< pause between attempts (0 = immediate)
+
+  [[nodiscard]] constexpr bool enabled() const noexcept {
+    return max_attempts > 1;
+  }
+};
+
+/// Declarative fault schedule. Rates draw per (task, attempt) from `seed`;
+/// the targeted lists fire unconditionally (subject to the budgets), which
+/// is how tests pin a fault onto one specific task.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Transient task-body throws.
+  double throw_rate = 0.0;        ///< P(throw) per (task, attempt)
+  std::uint32_t max_throws = 0;   ///< N-shot budget (0 = unlimited)
+  std::vector<std::uint64_t> throw_tasks;  ///< always-throw task ids...
+  std::uint32_t throw_attempts = 1;        ///< ...on attempts <= this
+
+  // Worker stall windows (the body hangs for stall_ns before running).
+  double stall_rate = 0.0;        ///< P(stall) per task
+  std::uint64_t stall_ns = 0;     ///< stall duration when one fires
+  std::uint32_t max_stalls = 0;   ///< N-shot budget (0 = unlimited)
+  std::vector<std::uint64_t> stall_tasks;  ///< always-stall task ids
+
+  /// True when the plan can inject anything at all — engines skip the
+  /// resilience path entirely for empty plans.
+  [[nodiscard]] bool any() const noexcept {
+    return throw_rate > 0.0 || stall_rate > 0.0 || !throw_tasks.empty() ||
+           !stall_tasks.empty();
+  }
+};
+
+/// The exception a transient injected fault raises inside a task body.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(std::uint64_t task, std::uint32_t attempt)
+      : std::runtime_error("injected transient fault (task " +
+                           std::to_string(task) + ", attempt " +
+                           std::to_string(attempt) + ")"),
+        task_(task),
+        attempt_(attempt) {}
+
+  [[nodiscard]] std::uint64_t task() const noexcept { return task_; }
+  [[nodiscard]] std::uint32_t attempt() const noexcept { return attempt_; }
+
+ private:
+  std::uint64_t task_;
+  std::uint32_t attempt_;
+};
+
+/// Answers a plan's per-task questions. Thread-safe; share one instance
+/// across the workers of a run.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Should attempt `attempt` (1-based) of `task` throw an InjectedFault?
+  [[nodiscard]] bool should_throw(std::uint64_t task,
+                                  std::uint32_t attempt) noexcept {
+    bool hit = false;
+    for (std::uint64_t t : plan_.throw_tasks)
+      hit |= (t == task && attempt <= plan_.throw_attempts);
+    if (!hit && plan_.throw_rate > 0.0)
+      hit = hash_uniform(plan_.seed, task, attempt, 0x7468726f77ULL) <
+            plan_.throw_rate;
+    if (!hit) return false;
+    if (!take_shot(throws_used_, plan_.max_throws)) return false;
+    injected_throws_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Stall window (ns) to impose before executing `task`; 0 = none.
+  [[nodiscard]] std::uint64_t stall_ns(std::uint64_t task) noexcept {
+    bool hit = false;
+    for (std::uint64_t t : plan_.stall_tasks) hit |= (t == task);
+    if (!hit && plan_.stall_rate > 0.0)
+      hit = hash_uniform(plan_.seed, task, 0, 0x7374616c6cULL) <
+            plan_.stall_rate;
+    if (!hit || plan_.stall_ns == 0) return 0;
+    if (!take_shot(stalls_used_, plan_.max_stalls)) return 0;
+    injected_stalls_.fetch_add(1, std::memory_order_relaxed);
+    return plan_.stall_ns;
+  }
+
+  [[nodiscard]] std::uint64_t injected_throws() const noexcept {
+    return injected_throws_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t injected_stalls() const noexcept {
+    return injected_stalls_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  /// Uniform double in [0, 1) from (seed, a, b, salt) — a stateless
+  /// SplitMix64 finalizer, so decisions are interleaving-independent.
+  [[nodiscard]] static double hash_uniform(std::uint64_t seed, std::uint64_t a,
+                                           std::uint64_t b,
+                                           std::uint64_t salt) noexcept {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (a + 1) +
+                      0xbf58476d1ce4e5b9ULL * (b + 1) + salt;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+  /// Consumes one shot of an N-shot budget (0 = unlimited).
+  [[nodiscard]] bool take_shot(std::atomic<std::uint32_t>& used,
+                               std::uint32_t budget) noexcept {
+    if (budget == 0) return true;
+    return used.fetch_add(1, std::memory_order_relaxed) < budget;
+  }
+
+  FaultPlan plan_;
+  std::atomic<std::uint32_t> throws_used_{0};
+  std::atomic<std::uint32_t> stalls_used_{0};
+  std::atomic<std::uint64_t> injected_throws_{0};
+  std::atomic<std::uint64_t> injected_stalls_{0};
+};
+
+/// Busy-waits for `ns` nanoseconds, giving up early when `*abort` becomes
+/// true — an injected stall must stay interruptible or the watchdog's
+/// StallError could never drain the run.
+inline void stall_for(std::uint64_t ns,
+                      const std::atomic<bool>* abort) noexcept {
+  const std::uint64_t until = monotonic_ns() + ns;
+  while (monotonic_ns() < until) {
+    if (abort != nullptr && abort->load(std::memory_order_acquire)) return;
+    cpu_pause();
+  }
+}
+
+}  // namespace rio::support

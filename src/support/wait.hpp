@@ -95,6 +95,35 @@ void wait_until_equal(const std::atomic<T>& word, T expected,
   }
 }
 
+/// Abortable wait: like wait_until_equal, but additionally gives up when
+/// `*abort` becomes true — the progress watchdog's escape hatch for waits
+/// whose expected value will never arrive. Returns true when equality was
+/// reached, false on abort. A null abort delegates to the plain wait.
+///
+/// With a non-null abort the kBlock policy degrades to a spin/yield poll:
+/// a futex park cannot observe the abort flag, and the watchdog must be
+/// able to unblock every waiter without touching the protocol words.
+template <typename T>
+bool wait_until_equal_or(const std::atomic<T>& word, T expected,
+                         WaitPolicy policy,
+                         const std::atomic<bool>* abort) noexcept {
+  if (abort == nullptr) {
+    wait_until_equal(word, expected, policy);
+    return true;
+  }
+  if (word.load(std::memory_order_acquire) == expected) return true;
+  Backoff backoff;
+  for (;;) {
+    if (abort->load(std::memory_order_acquire)) return false;
+    if (policy == WaitPolicy::kSpin) {
+      cpu_pause();
+    } else if (!backoff.spin()) {
+      backoff.yield();
+    }
+    if (word.load(std::memory_order_acquire) == expected) return true;
+  }
+}
+
 /// Store + wake for the kBlock policy. Release ordering publishes all task
 /// side effects before dependents are allowed through.
 template <typename T>

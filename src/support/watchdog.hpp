@@ -1,0 +1,146 @@
+// Progress watchdog — turns a hung run into a diagnosable failure.
+//
+// The equality waits of Algorithm 2 (and coor's blocking queue pops) hang
+// forever when a counter can never reach its expected value — a protocol
+// bug, a crashed worker, or an injected stall. The watchdog is an optional
+// monitor thread that samples a caller-supplied progress counter; when it
+// stays frozen for a full window it captures a diagnostic (while the stuck
+// state is still observable), then triggers an abort callback that unblocks
+// every waiter. The engine then fails the run with stf::StallError instead
+// of hanging the process.
+//
+// WorkerProbe is the per-worker observability slot the diagnostic reads:
+// engines publish what each worker is doing (executing / waiting on which
+// data, expecting which counter values) with relaxed atomics — a few plain
+// stores per task, cheap enough to keep on whenever the watchdog is.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "support/clock.hpp"
+
+namespace rio::support {
+
+/// What a worker is doing right now, per its probe.
+enum class ProbeState : std::uint8_t {
+  kIdle = 0,       ///< before the start barrier / between tasks
+  kWaiting = 1,    ///< blocked in a dependency wait
+  kExecuting = 2,  ///< running a task body
+  kDone = 3,       ///< finished its walk of the flow
+};
+
+constexpr const char* to_string(ProbeState s) noexcept {
+  switch (s) {
+    case ProbeState::kIdle: return "idle";
+    case ProbeState::kWaiting: return "waiting";
+    case ProbeState::kExecuting: return "executing";
+    case ProbeState::kDone: return "done";
+  }
+  return "?";
+}
+
+/// One worker's observability slot. Own cache line: the owner hammers it
+/// with relaxed stores, the watchdog reads it rarely.
+struct alignas(64) WorkerProbe {
+  std::atomic<std::uint64_t> progress{0};  ///< tasks executed by this worker
+  std::atomic<std::uint64_t> task{~0ULL};  ///< task currently held
+  std::atomic<std::uint32_t> data{~0U};    ///< data object being waited on
+  std::atomic<std::uint64_t> expected_writer{0};  ///< protocol expectation
+  std::atomic<std::uint64_t> expected_reads{0};   ///< protocol expectation
+  std::atomic<std::uint8_t> state{0};
+
+  void set_state(ProbeState s) noexcept {
+    state.store(static_cast<std::uint8_t>(s), std::memory_order_relaxed);
+  }
+  [[nodiscard]] ProbeState get_state() const noexcept {
+    return static_cast<ProbeState>(state.load(std::memory_order_relaxed));
+  }
+};
+
+/// The monitor thread. Construction starts it; stop() (or the destructor)
+/// joins it. Exactly one of two things happens: the engine finishes and
+/// calls stop(), or the window expires with frozen progress and the
+/// watchdog captures `diagnose()` then runs `on_fire()`.
+class Watchdog {
+ public:
+  Watchdog(std::uint64_t window_ns, std::function<std::uint64_t()> progress,
+           std::function<std::string()> diagnose,
+           std::function<void()> on_fire)
+      : window_ns_(window_ns),
+        progress_(std::move(progress)),
+        diagnose_(std::move(diagnose)),
+        on_fire_(std::move(on_fire)),
+        thread_([this] { monitor(); }) {}
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+  ~Watchdog() { stop(); }
+
+  void stop() {
+    {
+      std::lock_guard lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// True when the no-progress window expired (valid after stop()).
+  [[nodiscard]] bool fired() const noexcept {
+    return fired_.load(std::memory_order_acquire);
+  }
+
+  /// The captured per-worker diagnostic (valid after stop(), when fired).
+  [[nodiscard]] const std::string& diagnostic() const noexcept {
+    return diagnostic_;
+  }
+
+ private:
+  void monitor() {
+    // Poll well inside the window so a stall is detected within ~1.1x of
+    // the configured window rather than up to 2x.
+    const auto poll = std::chrono::nanoseconds(
+        std::max<std::uint64_t>(window_ns_ / 8, 1'000'000));
+    std::uint64_t last = progress_();
+    std::uint64_t last_change = monotonic_ns();
+    std::unique_lock lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, poll, [this] { return done_; })) return;
+      const std::uint64_t now_progress = progress_();
+      const std::uint64_t now = monotonic_ns();
+      if (now_progress != last) {
+        last = now_progress;
+        last_change = now;
+        continue;
+      }
+      if (now - last_change < window_ns_) continue;
+      // Frozen for a full window. Capture the diagnostic FIRST — the abort
+      // below wakes the waiters and destroys the evidence.
+      diagnostic_ = diagnose_ ? diagnose_() : std::string();
+      fired_.store(true, std::memory_order_release);
+      if (on_fire_) on_fire_();
+      return;
+    }
+  }
+
+  std::uint64_t window_ns_;
+  std::function<std::uint64_t()> progress_;
+  std::function<std::string()> diagnose_;
+  std::function<void()> on_fire_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::atomic<bool> fired_{false};
+  std::string diagnostic_;
+  std::thread thread_;
+};
+
+}  // namespace rio::support

@@ -8,7 +8,10 @@
 // construction.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "stf/task.hpp"
 
@@ -30,10 +33,50 @@ inline stf::TaskFn counter_body(std::uint64_t iterations) {
   return [iterations](stf::TaskContext&) { counter_kernel(iterations); };
 }
 
+/// Order-sensitive fold over the task's declared accesses, on top of the
+/// counter kernel. Each task mixes a per-task constant with the leading 8
+/// bytes of every data object it reads, then folds the mix into every
+/// object it writes:
+///
+///   acc = GOLDEN * (id + 1) ^ read values
+///   v   = v * LCG_MULT + acc        (per written object)
+///
+/// Any dependency-respecting execution order yields byte-identical data
+/// (writes to one object are totally ordered by the protocol), while a
+/// mis-ordered, lost or double-applied write changes the result — making
+/// the sequential oracle a byte-for-byte corruption detector for the chaos
+/// harness. NOT commutative: unusable with kReduction accesses, whose
+/// members may legally execute in any relative order.
+inline stf::TaskFn fold_body(std::uint64_t iterations) {
+  return [iterations](stf::TaskContext& ctx) {
+    counter_kernel(iterations);
+    const stf::Task& task = ctx.task();
+    const stf::DataRegistry& reg = ctx.registry();
+    std::uint64_t acc = 0x9e3779b97f4a7c15ULL * (task.id + 1);
+    for (const stf::Access& a : task.accesses) {
+      if (stf::is_write(a.mode)) continue;
+      std::uint64_t v = 0;
+      std::memcpy(&v, reg.raw(a.data),
+                  std::min<std::size_t>(sizeof(v), reg.bytes(a.data)));
+      acc ^= v;
+    }
+    for (const stf::Access& a : task.accesses) {
+      if (!stf::is_write(a.mode)) continue;
+      const std::size_t nb =
+          std::min<std::size_t>(sizeof(std::uint64_t), reg.bytes(a.data));
+      std::uint64_t v = 0;
+      std::memcpy(&v, reg.raw(a.data), nb);
+      v = v * 6364136223846793005ULL + acc;
+      std::memcpy(reg.raw(a.data), &v, nb);
+    }
+  };
+}
+
 /// How generators fill task bodies.
 enum class BodyKind : std::uint8_t {
   kNone,     ///< cost-only tasks for the discrete-event simulator
   kCounter,  ///< the paper's synthetic counter kernel (real execution)
+  kFold,     ///< counter kernel + oracle-checkable data fold (chaos runs)
 };
 
 /// Builds the body for a task of virtual cost `cost` under `kind`.
@@ -41,6 +84,7 @@ inline stf::TaskFn make_body(BodyKind kind, std::uint64_t cost) {
   switch (kind) {
     case BodyKind::kNone: return {};
     case BodyKind::kCounter: return counter_body(cost);
+    case BodyKind::kFold: return fold_body(cost);
   }
   return {};
 }

@@ -68,4 +68,20 @@ Workload make_random_deps(const RandomDepsSpec& spec) {
   return w;
 }
 
+Workload make_chain(const ChainSpec& spec) {
+  Workload w;
+  w.name = "chain";
+  const auto link = w.flow.create_data<std::uint64_t>("link");
+  for (std::uint64_t t = 0; t < spec.num_tasks; ++t) {
+    w.flow.submit(make_body(spec.body, spec.task_cost),
+                  {stf::readwrite(link)}, spec.task_cost);
+  }
+  if (spec.num_workers > 0) {
+    w.owners.reserve(spec.num_tasks);
+    for (std::uint64_t t = 0; t < spec.num_tasks; ++t)
+      w.owners.push_back(static_cast<stf::WorkerId>(t % spec.num_workers));
+  }
+  return w;
+}
+
 }  // namespace rio::workloads

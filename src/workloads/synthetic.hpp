@@ -41,4 +41,19 @@ struct RandomDepsSpec {
 /// (a task never lists the same data twice).
 Workload make_random_deps(const RandomDepsSpec& spec);
 
+struct ChainSpec {
+  std::uint64_t num_tasks = 256;
+  std::uint64_t task_cost = 500;     ///< counter iterations / virtual cost
+  BodyKind body = BodyKind::kCounter;
+  std::uint32_t num_workers = 0;     ///< >0: fill round-robin owner table
+};
+
+/// Fully serial chain: every task readwrites ONE data object, so task t
+/// depends on task t-1 and nothing ever runs in parallel. The degenerate
+/// workload where every runtime overhead sits on the critical path — and,
+/// with a round-robin owner table, where every dependency crosses workers:
+/// the chaos harness's most order-sensitive case (one misordered or
+/// double-applied fold corrupts every later value).
+Workload make_chain(const ChainSpec& spec);
+
 }  // namespace rio::workloads

@@ -297,4 +297,60 @@ TEST(CliCheck, RejectsSimEngines) {
   EXPECT_EQ(run_args({"check", "--engine", "sim-rio"}, &text), 1);
 }
 
+TEST(CliChaos, ParsesFlags) {
+  Options o;
+  std::string error;
+  ASSERT_TRUE(parse_args({"chaos", "--fault-rate", "0.25", "--fault-seeds",
+                          "5", "--retries", "4", "--watchdog-ms", "750",
+                          "--engines", "rio,coor", "--quick", "--workload",
+                          "chain"},
+                         o, error))
+      << error;
+  EXPECT_EQ(o.command, "chaos");
+  EXPECT_DOUBLE_EQ(o.fault_rate, 0.25);
+  EXPECT_EQ(o.fault_seeds, 5u);
+  EXPECT_EQ(o.retries, 4u);
+  EXPECT_EQ(o.watchdog_ms, 750u);
+  EXPECT_EQ(o.engines, "rio,coor");
+  EXPECT_TRUE(o.quick);
+  EXPECT_TRUE(o.workload_given);
+}
+
+TEST(CliChaos, BadFaultRateFails) {
+  Options o;
+  std::string error;
+  EXPECT_FALSE(parse_args({"chaos", "--fault-rate", "lots"}, o, error));
+}
+
+TEST(CliChaos, RejectsUnknownEngine) {
+  std::string text;
+  EXPECT_EQ(run_args({"chaos", "--engines", "rio,warp-drive"}, &text), 1);
+  EXPECT_NE(text.find("warp-drive"), std::string::npos) << text;
+}
+
+TEST(CliChaos, QuickSweepSurvivesAndMatchesOracle) {
+  std::string text;
+  const int rc = run_args({"chaos", "--quick", "--workload", "chain",
+                           "--tasks", "64", "--task-size", "50", "--workers",
+                           "2", "--fault-rate", "0.1", "--retries", "4"},
+                          &text);
+  EXPECT_EQ(rc, 0) << text;
+  EXPECT_NE(text.find("mismatched=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("stalled=0"), std::string::npos) << text;
+  EXPECT_NE(
+      text.find("all surviving runs matched the sequential oracle"),
+      std::string::npos)
+      << text;
+}
+
+TEST(CliChaos, ZeroRateSweepInjectsNothing) {
+  std::string text;
+  const int rc = run_args({"chaos", "--quick", "--workload", "chain",
+                           "--tasks", "32", "--task-size", "20", "--workers",
+                           "2", "--fault-rate", "0", "--engines", "rio"},
+                          &text);
+  EXPECT_EQ(rc, 0) << text;
+  EXPECT_NE(text.find("injected-throws=0"), std::string::npos) << text;
+}
+
 }  // namespace

@@ -1,6 +1,9 @@
 // Failure-injection tests: a throwing task body must cancel the run
 // deterministically — every worker drains, the first exception propagates
-// to the caller, and the runtime object remains usable.
+// to the caller, and the runtime object remains usable. The second half
+// covers the resilience layer: deterministic fault injection, retry with
+// write rollback, structured TaskFailure escalation and the progress
+// watchdog (docs/robustness.md).
 #include <gtest/gtest.h>
 
 #include <stdexcept>
@@ -8,6 +11,7 @@
 #include "coor/coor.hpp"
 #include "hybrid/hybrid.hpp"
 #include "rio/rio.hpp"
+#include "support/fault.hpp"
 #include "stf/stf.hpp"
 
 namespace {
@@ -126,6 +130,259 @@ TEST(Failure, FirstOfManyExceptionsWins) {
     flow.add("boom", [](stf::TaskContext&) { throw BoomError{}; }, {});
   rt::Runtime runtime(rt::Config{.num_workers = 4});
   EXPECT_THROW(runtime.run(flow, rt::mapping::round_robin(4)), BoomError);
+}
+
+// ---- Resilience layer ----------------------------------------------------
+
+/// Chain of n increments over one scalar. Injected faults fire AFTER the
+/// body ran, so a correct final value proves the rollback really restored
+/// the pre-attempt bytes before each re-run.
+stf::TaskFlow increment_chain(int n, stf::DataHandle<int>& d_out) {
+  stf::TaskFlow flow;
+  d_out = flow.create_data<int>("d");
+  auto d = d_out;
+  for (int i = 0; i < n; ++i)
+    flow.add("inc" + std::to_string(i),
+             [d](stf::TaskContext& ctx) { ctx.scalar(d) += 1; },
+             {stf::readwrite(d)});
+  return flow;
+}
+
+TEST(Resilience, RioRetryRecoversWithRollback) {
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(20, d);
+  support::FaultPlan plan;
+  plan.throw_tasks = {5, 11};
+  plan.throw_attempts = 2;  // attempts 1 and 2 throw, attempt 3 succeeds
+  support::FaultInjector injector(plan);
+  rt::Runtime runtime(rt::Config{.num_workers = 2,
+                                 .retry = {.max_attempts = 4},
+                                 .fault = &injector});
+  runtime.run(flow, rt::mapping::round_robin(2));
+  // Without rollback the two faulted tasks would each apply 3 increments.
+  EXPECT_EQ(*flow.registry().typed<int>(d), 20);
+  EXPECT_EQ(injector.injected_throws(), 4u);
+}
+
+TEST(Resilience, PrunedRetryRecoversWithRollback) {
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(24, d);
+  support::FaultPlan plan;
+  plan.throw_tasks = {3, 17};
+  plan.throw_attempts = 1;
+  support::FaultInjector injector(plan);
+  const auto mapping = rt::mapping::round_robin(2);
+  rt::PrunedPlan pplan(flow, mapping, 2);
+  rt::PrunedRuntime runtime(rt::Config{.num_workers = 2,
+                                       .retry = {.max_attempts = 3},
+                                       .fault = &injector});
+  runtime.run(flow, pplan);
+  EXPECT_EQ(*flow.registry().typed<int>(d), 24);
+  EXPECT_EQ(injector.injected_throws(), 2u);
+}
+
+TEST(Resilience, CoorRetryRecoversWithRollback) {
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(24, d);
+  support::FaultPlan plan;
+  plan.throw_tasks = {8};
+  plan.throw_attempts = 2;
+  support::FaultInjector injector(plan);
+  coor::Runtime runtime(coor::Config{.num_workers = 2,
+                                     .retry = {.max_attempts = 3},
+                                     .fault = &injector});
+  runtime.run(flow);
+  EXPECT_EQ(*flow.registry().typed<int>(d), 24);
+  EXPECT_EQ(injector.injected_throws(), 2u);
+}
+
+TEST(Resilience, RetryExhaustionThrowsTaskFailure) {
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(15, d);
+  support::FaultPlan plan;
+  plan.throw_tasks = {7};
+  plan.throw_attempts = 99;  // never stops throwing
+  support::FaultInjector injector(plan);
+  rt::Runtime runtime(rt::Config{.num_workers = 2,
+                                 .retry = {.max_attempts = 3},
+                                 .fault = &injector});
+  try {
+    runtime.run(flow, rt::mapping::round_robin(2));
+    FAIL() << "expected TaskFailure";
+  } catch (const stf::TaskFailure& f) {
+    EXPECT_EQ(f.report().task, 7u);
+    EXPECT_EQ(f.report().attempts, 3u);
+    EXPECT_EQ(f.report().name, "inc7");
+    ASSERT_TRUE(f.cause());
+    EXPECT_THROW(std::rethrow_exception(f.cause()), support::InjectedFault);
+  }
+  // The chain stops at the failed task; nothing after it ran.
+  EXPECT_EQ(*flow.registry().typed<int>(d), 7);
+}
+
+TEST(Resilience, NoRetryKeepsBareExceptionContract) {
+  // With an injector but retries DISABLED the historical contract holds:
+  // the original exception propagates unwrapped.
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(10, d);
+  support::FaultPlan plan;
+  plan.throw_tasks = {4};
+  plan.throw_attempts = 99;
+  support::FaultInjector injector(plan);
+  rt::Runtime runtime(rt::Config{.num_workers = 2, .fault = &injector});
+  EXPECT_THROW(runtime.run(flow, rt::mapping::round_robin(2)),
+               support::InjectedFault);
+}
+
+TEST(Resilience, RioWatchdogFailsStalledRun) {
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(30, d);
+  support::FaultPlan plan;
+  plan.stall_tasks = {10};
+  plan.stall_ns = 10'000'000'000ull;  // 10 s — far beyond the window
+  support::FaultInjector injector(plan);
+  rt::Runtime runtime(rt::Config{.num_workers = 2,
+                                 .fault = &injector,
+                                 .watchdog_ns = 200'000'000ull});
+  try {
+    runtime.run(flow, rt::mapping::round_robin(2));
+    FAIL() << "expected StallError";
+  } catch (const stf::StallError& e) {
+    // The diagnostic names every worker and was captured mid-stall.
+    EXPECT_NE(e.diagnostic().find("worker 0"), std::string::npos);
+    EXPECT_NE(e.diagnostic().find("worker 1"), std::string::npos);
+  }
+}
+
+TEST(Resilience, PrunedWatchdogFailsStalledRun) {
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(30, d);
+  support::FaultPlan plan;
+  plan.stall_tasks = {10};
+  plan.stall_ns = 10'000'000'000ull;
+  support::FaultInjector injector(plan);
+  const auto mapping = rt::mapping::round_robin(2);
+  rt::PrunedPlan pplan(flow, mapping, 2);
+  rt::PrunedRuntime runtime(rt::Config{.num_workers = 2,
+                                       .fault = &injector,
+                                       .watchdog_ns = 200'000'000ull});
+  EXPECT_THROW(runtime.run(flow, pplan), stf::StallError);
+}
+
+TEST(Resilience, CoorWatchdogFailsStalledRun) {
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(30, d);
+  support::FaultPlan plan;
+  plan.stall_tasks = {10};
+  plan.stall_ns = 10'000'000'000ull;
+  support::FaultInjector injector(plan);
+  coor::Runtime runtime(coor::Config{.num_workers = 2,
+                                     .fault = &injector,
+                                     .watchdog_ns = 200'000'000ull});
+  try {
+    runtime.run(flow);
+    FAIL() << "expected StallError";
+  } catch (const stf::StallError& e) {
+    EXPECT_NE(e.diagnostic().find("coor"), std::string::npos);
+    EXPECT_NE(e.diagnostic().find("worker"), std::string::npos);
+  }
+}
+
+TEST(Resilience, HybridWatchdogFailsStalledDynamicPhase) {
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(30, d);
+  support::FaultPlan plan;
+  plan.stall_tasks = {15};  // lands in the dynamic phase below
+  plan.stall_ns = 10'000'000'000ull;
+  support::FaultInjector injector(plan);
+  hybrid::Runtime runtime(hybrid::Config{.num_workers = 2,
+                                         .retry = {},
+                                         .fault = &injector,
+                                         .watchdog_ns = 200'000'000ull});
+  EXPECT_THROW(
+      runtime.run(flow,
+                  [](stf::TaskId t) -> std::optional<stf::WorkerId> {
+                    if (t < 10) return static_cast<stf::WorkerId>(t % 2);
+                    return std::nullopt;
+                  }),
+      stf::StallError);
+}
+
+TEST(Resilience, HybridPhaseFailureCancelsLaterPhases) {
+  // Three phases (static 0-9, dynamic 10-19, static 20-29); retry
+  // exhaustion in the middle phase must propagate as TaskFailure and no
+  // body of the last phase may ever run.
+  std::atomic<int> max_phase{-1};
+  stf::TaskFlow flow;
+  auto d = flow.create_data<int>("d");
+  for (int i = 0; i < 30; ++i)
+    flow.add("t" + std::to_string(i),
+             [i, &max_phase](stf::TaskContext&) {
+               int phase = i / 10;
+               int seen = max_phase.load();
+               while (phase > seen &&
+                      !max_phase.compare_exchange_weak(seen, phase)) {
+               }
+             },
+             {stf::readwrite(d)});
+
+  support::FaultPlan plan;
+  plan.throw_tasks = {12};
+  plan.throw_attempts = 99;
+  support::FaultInjector injector(plan);
+  hybrid::Runtime runtime(hybrid::Config{.num_workers = 2,
+                                         .retry = {.max_attempts = 2},
+                                         .fault = &injector});
+  EXPECT_THROW(
+      runtime.run(flow,
+                  [](stf::TaskId t) -> std::optional<stf::WorkerId> {
+                    if (t < 10 || t >= 20)
+                      return static_cast<stf::WorkerId>(t % 2);
+                    return std::nullopt;
+                  }),
+      stf::TaskFailure);
+  EXPECT_EQ(runtime.completed_phases(), 1u);  // only the first static phase
+  EXPECT_EQ(max_phase.load(), 1);             // no phase-2 body ever ran
+}
+
+TEST(Resilience, ThrowViaFlowImageRunCancels) {
+  // PR-2 replay path: a throwing body reached through run(FlowImage) must
+  // cancel exactly like the materialized path.
+  std::atomic<int> executed{0};
+  auto flow = throwing_flow(30, 9, executed);
+  const auto image = stf::FlowImage::compile(flow);
+  rt::Runtime runtime(rt::Config{.num_workers = 2});
+  EXPECT_THROW(runtime.run(image, rt::mapping::round_robin(2)), BoomError);
+  EXPECT_EQ(executed.load(), 9);
+}
+
+TEST(Resilience, PrunedCachedPlanSurvivesFailure) {
+  // A cancelled run through the cached-plan fast path must not poison the
+  // cache: the next run over the same (image, mapping) reuses the plan and
+  // completes.
+  std::atomic<bool> armed{true};
+  std::atomic<int> executed{0};
+  stf::TaskFlow flow;
+  auto d = flow.create_data<int>("d");
+  for (int i = 0; i < 20; ++i)
+    flow.add("t" + std::to_string(i),
+             [i, &armed, &executed](stf::TaskContext&) {
+               if (i == 7 && armed.load()) throw BoomError{};
+               executed.fetch_add(1);
+             },
+             {stf::readwrite(d)});
+  const auto image = stf::FlowImage::compile(flow);
+  const auto mapping = rt::mapping::round_robin(2);
+  rt::PrunedRuntime runtime(rt::Config{.num_workers = 2});
+
+  EXPECT_THROW(runtime.run(image, mapping), BoomError);
+  EXPECT_EQ(executed.load(), 7);
+
+  armed.store(false);
+  executed.store(0);
+  runtime.run(image, mapping);  // must not throw
+  EXPECT_EQ(executed.load(), 20);
+  EXPECT_EQ(runtime.plan_compiles(), 1u);  // plan compiled exactly once
 }
 
 }  // namespace

@@ -207,4 +207,79 @@ TEST_P(StreamingFuzz, StreamingMatchesMaterialized) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamingFuzz,
                          ::testing::Range<std::uint64_t>(1, 9));
 
+// Fault fuzz: the equivalence property must survive injected transient
+// faults when retry+rollback is enabled. Faults fire AFTER the body ran
+// (stf/resilience.hpp), so every retried task really did mutate its data
+// and the byte-identical outcome proves the rollback path end to end.
+class FaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultFuzz, RetriedRunsMatchSequential) {
+  FuzzSpec spec;
+  spec.seed = GetParam() * 131 + 5;
+  support::Xoshiro256 meta(spec.seed * 31 + 7);
+  spec.num_tasks = 80 + static_cast<std::uint32_t>(meta.bounded(120));
+  spec.num_data = 4 + static_cast<std::uint32_t>(meta.bounded(16));
+  spec.workers = 2 + static_cast<std::uint32_t>(meta.bounded(3));
+
+  auto oracle = make_fuzz_flow(spec);
+  stf::SequentialExecutor{}.run(oracle);
+
+  std::vector<stf::WorkerId> owners(spec.num_tasks);
+  for (auto& o : owners)
+    o = static_cast<stf::WorkerId>(meta.bounded(spec.workers));
+  const auto mapping = rt::mapping::table(owners);
+
+  support::FaultPlan plan;
+  plan.seed = spec.seed;
+  plan.throw_rate = 0.08;
+  const support::RetryPolicy retry{.max_attempts = 6};
+
+  {
+    auto flow = make_fuzz_flow(spec);
+    support::FaultInjector injector(plan);
+    rt::Runtime engine(rt::Config{.num_workers = spec.workers,
+                                  .retry = retry,
+                                  .fault = &injector});
+    engine.run(flow, mapping);
+    EXPECT_GT(injector.injected_throws(), 0u);  // the plan actually fired
+    expect_same_data(flow, oracle, "rio+faults");
+  }
+  {
+    auto flow = make_fuzz_flow(spec);
+    support::FaultInjector injector(plan);
+    rt::PrunedPlan pplan(flow, mapping, spec.workers);
+    rt::PrunedRuntime engine(rt::Config{.num_workers = spec.workers,
+                                        .retry = retry,
+                                        .fault = &injector});
+    engine.run(flow, pplan);
+    expect_same_data(flow, oracle, "rio-pruned+faults");
+  }
+  {
+    auto flow = make_fuzz_flow(spec);
+    support::FaultInjector injector(plan);
+    coor::Runtime engine(coor::Config{.num_workers = spec.workers,
+                                      .retry = retry,
+                                      .fault = &injector});
+    engine.run(flow);
+    expect_same_data(flow, oracle, "coor+faults");
+  }
+  {
+    auto flow = make_fuzz_flow(spec);
+    support::FaultInjector injector(plan);
+    const std::uint64_t segment = 1 + meta.bounded(40);
+    hybrid::Runtime engine(hybrid::Config{.num_workers = spec.workers,
+                                          .retry = retry,
+                                          .fault = &injector});
+    engine.run(flow,
+               [&owners, segment](stf::TaskId t) -> std::optional<stf::WorkerId> {
+                 if ((t / segment) % 2 == 0) return owners[t];
+                 return std::nullopt;
+               });
+    expect_same_data(flow, oracle, "hybrid+faults");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
 }  // namespace

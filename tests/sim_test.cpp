@@ -245,7 +245,6 @@ TEST(Sim, IdealMakespanBounds) {
   EXPECT_EQ(sim::ideal_makespan(flow, g, 1), 1000u);
 }
 
-}  // namespace
 
 // ------------------------------------------------- heterogeneity models ----
 
@@ -314,3 +313,55 @@ TEST(SimLatency, CentralizedPaysOnEveryEdge) {
   // Three chain edges, each + 1000.
   EXPECT_EQ(lat.makespan - base.makespan, 3000u);
 }
+
+// ------------------------------------------------------------ fault model -
+
+TEST(SimFaults, InjectedFaultsAreDeterministicAndCosted) {
+  // Same plan + seed => identical makespan and counters; a faulted run is
+  // strictly slower than a clean one (each retry pays cost + backoff, each
+  // stall pays its window in virtual time).
+  auto flow = independent_flow(400, 1000);
+  DecentralizedParams p;
+  p.workers = 4;
+  p.faults.seed = 7;
+  p.faults.throw_rate = 0.1;
+  p.faults.stall_rate = 0.05;
+  p.faults.stall_ns = 2000;
+  p.retry.max_attempts = 3;
+  p.retry.backoff_ns = 50;
+
+  const auto a = sim::simulate_decentralized(flow, rt::mapping::round_robin(4), p);
+  const auto b = sim::simulate_decentralized(flow, rt::mapping::round_robin(4), p);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.injected_throws, b.injected_throws);
+  EXPECT_EQ(a.injected_stalls, b.injected_stalls);
+  EXPECT_EQ(a.retried_tasks, b.retried_tasks);
+  EXPECT_GT(a.injected_throws, 0u);
+  EXPECT_GT(a.injected_stalls, 0u);
+  EXPECT_GT(a.retried_tasks, 0u);
+
+  DecentralizedParams clean = p;
+  clean.faults = {};
+  const auto c =
+      sim::simulate_decentralized(flow, rt::mapping::round_robin(4), clean);
+  EXPECT_GT(a.makespan, c.makespan);
+  EXPECT_EQ(c.injected_throws, 0u);
+}
+
+TEST(SimFaults, CentralizedCountsExhaustedTasks) {
+  // retry budget 1 => every injected throw is terminal in the fault model;
+  // the simulator records it and keeps simulating (virtual time has no
+  // cancellation).
+  auto flow = independent_flow(300, 500);
+  CentralizedParams p;
+  p.workers = 3;
+  p.faults.seed = 11;
+  p.faults.throw_rate = 0.2;
+  p.retry.max_attempts = 1;
+  const auto rep = sim::simulate_centralized(flow, p);
+  EXPECT_GT(rep.injected_throws, 0u);
+  EXPECT_EQ(rep.failed_tasks, rep.injected_throws);
+  EXPECT_EQ(rep.retried_tasks, 0u);
+}
+
+}  // namespace

@@ -6,9 +6,16 @@
 #   4. `rioflow lint` over every shipped workload — all must exit 0;
 #   5. `rioflow lint` over every seeded-bad fixture — all must exit non-zero;
 #   6. `rioflow check` on both runtimes plus the injected-race fixture;
-#   7. bench JSON reporters — micro_unroll and fig7_workers emit
+#   7. `rioflow chaos --quick` — the fault sweep must survive with zero
+#      oracle mismatches (docs/robustness.md);
+#   8. bench JSON reporters — micro_unroll and fig7_workers emit
 #      BENCH_*.json, both must parse; BENCH_unroll.json is kept at the
-#      repo root (committed reference numbers, see docs/perf.md).
+#      repo root (committed reference numbers, see docs/perf.md);
+#   9. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
+#      failure suite + rioflow with RIO_SANITIZE=thread and reruns the
+#      resilience tests and the quick chaos sweep under TSan — the retry /
+#      watchdog / abort machinery is exactly the kind of code TSan earns
+#      its keep on.
 #
 # Usage: tools/run_checks.sh [build-dir]   (default: build)
 set -u
@@ -43,7 +50,7 @@ if [ ! -x "$RIOFLOW" ]; then
 fi
 
 step "rioflow lint: shipped workloads must be clean"
-WORKLOADS="independent random gemm lu cholesky stencil
+WORKLOADS="independent random chain gemm lu cholesky stencil
   taskbench:trivial taskbench:no_comm taskbench:stencil_1d
   taskbench:stencil_1d_periodic taskbench:fft taskbench:tree
   taskbench:all_to_all taskbench:spread"
@@ -74,6 +81,11 @@ if "$RIOFLOW" check --workload lintfix:race >/dev/null; then
   fail "check lintfix:race (expected a reported race)"
 fi
 
+step "rioflow chaos: quick fault sweep must match the oracle"
+if ! "$RIOFLOW" chaos --quick --workers 2 >/dev/null; then
+  fail "chaos --quick (stall, oracle mismatch or unexpected error)"
+fi
+
 step "bench json reporters"
 json_ok() {  # validate without depending on a system json tool chain
   if command -v python3 >/dev/null 2>&1; then
@@ -97,6 +109,24 @@ if (cd "$ROOT" && "$BUILD/bench/fig7_workers" --quick --json >/dev/null); then
   rm -f "$ROOT/BENCH_fig7_workers.json"  # unroll stays; figures are transient
 else
   fail "fig7_workers --quick --json"
+fi
+
+step "thread sanitizer: resilience suite + quick chaos sweep"
+if [ "${RIO_SKIP_TSAN:-0}" = "1" ]; then
+  echo "RIO_SKIP_TSAN=1; skipping"
+else
+  TSAN_BUILD="$BUILD-tsan"
+  if cmake -B "$TSAN_BUILD" -S "$ROOT" -DRIO_SANITIZE=thread \
+       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
+     cmake --build "$TSAN_BUILD" -j "$(nproc)" \
+       --target failure_test rioflow >/dev/null; then
+    "$TSAN_BUILD/tests/failure_test" >/dev/null ||
+      fail "failure_test under TSan"
+    "$TSAN_BUILD/rioflow" chaos --quick --workers 2 >/dev/null ||
+      fail "chaos --quick under TSan"
+  else
+    fail "TSan build (set RIO_SKIP_TSAN=1 to skip)"
+  fi
 fi
 
 step "summary"
