@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "support/json.hpp"
+
 namespace rio::analysis {
 
 void Report::print(std::ostream& os) const {
@@ -17,6 +19,40 @@ void Report::print(std::ostream& os) const {
   for (const std::string& m : metrics_) os << "metric: " << m << '\n';
   os << errors << " error(s), " << warnings << " warning(s), " << infos
      << " info\n";
+}
+
+void Report::write_json(std::ostream& os, const std::string& schema) const {
+  std::size_t errors = 0, warnings = 0, infos = 0;
+  for (const Finding& f : findings_) {
+    switch (f.severity) {
+      case Severity::kError: ++errors; break;
+      case Severity::kWarning: ++warnings; break;
+      case Severity::kInfo: ++infos; break;
+    }
+  }
+  os << "{\n  \"schema\": " << support::json_quote(schema)
+     << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings_.size(); ++i) {
+    const Finding& f = findings_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"code\": "
+       << support::json_quote(f.code) << ", \"severity\": "
+       << support::json_quote(to_string(f.severity)) << ", \"task\": ";
+    if (f.task != stf::kInvalidTask) os << f.task;
+    else os << "null";
+    os << ", \"data\": ";
+    if (f.data != stf::kInvalidData) os << f.data;
+    else os << "null";
+    os << ", \"count\": " << f.count
+       << ", \"message\": " << support::json_quote(f.message) << "}";
+  }
+  os << (findings_.empty() ? "]" : "\n  ]") << ",\n  \"metrics\": [";
+  for (std::size_t i = 0; i < metrics_.size(); ++i)
+    os << (i == 0 ? "\n    " : ",\n    ") << support::json_quote(metrics_[i]);
+  os << (metrics_.empty() ? "]" : "\n  ]")
+     << ",\n  \"summary\": {\"errors\": " << errors
+     << ", \"warnings\": " << warnings << ", \"infos\": " << infos
+     << ", \"worst\": " << support::json_quote(to_string(worst_severity()))
+     << "}\n}\n";
 }
 
 }  // namespace rio::analysis

@@ -93,6 +93,11 @@ class Report {
   /// Prints findings (one per line), then metrics, then a summary line.
   void print(std::ostream& os) const;
 
+  /// Machine-readable variant: a versioned JSON document with the findings,
+  /// metrics and the severity summary. `schema` names the document (e.g.
+  /// "rio.lint.v1") so CI consumers can gate on the format they parsed.
+  void write_json(std::ostream& os, const std::string& schema) const;
+
  private:
   std::vector<Finding> findings_;
   std::vector<std::string> metrics_;

@@ -16,10 +16,13 @@
 #include "coor/coor.hpp"
 #include "hybrid/runtime.hpp"
 #include "metrics/efficiency.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "rio/rio.hpp"
 #include "sim/sim.hpp"
 #include "support/clock.hpp"
 #include "support/format.hpp"
+#include "support/json.hpp"
 #include "stf/stf.hpp"
 #include "workloads/workloads.hpp"
 
@@ -228,6 +231,15 @@ int run_lint(const Options& o, std::ostream& out, std::ostream& err) {
   const analysis::Report report = analysis::lint_flow(wl.flow, graph, lo);
   out << "-- lint: " << wl.name << " --\n";
   report.print(out);
+  if (!o.json_path.empty()) {
+    std::ofstream f(o.json_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.json_path << "\n";
+      return 2;
+    }
+    report.write_json(f, "rio.lint.v1");
+    out << "wrote " << o.json_path << "\n";
+  }
   return report.count_at_least(threshold) > 0 ? 3 : 0;
 }
 
@@ -303,6 +315,19 @@ int run_check(const Options& o, std::ostream& out, std::ostream& err) {
 
   const analysis::Report report = analysis::check_happens_before(wl.flow, sync);
   report.print(out);
+  if (!o.json_path.empty()) {
+    std::ofstream f(o.json_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.json_path << "\n";
+      return 2;
+    }
+    analysis::Report full = report;
+    full.add_metric(std::string("interval validation: ") +
+                    (vr.ok() ? (vr.timing_checked ? "ok" : "skipped")
+                             : "failed"));
+    full.write_json(f, "rio.check.v1");
+    out << "wrote " << o.json_path << "\n";
+  }
   if (!vr.ok()) return 2;
   return report.count_at_least(threshold) > 0 ? 3 : 0;
 }
@@ -375,6 +400,15 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
   std::uint64_t runs = 0, ok = 0, exhausted = 0, stalled = 0, mismatched = 0,
                 unexpected = 0, total_throws = 0, total_stalls = 0,
                 total_retried = 0;
+
+  // One row per (workload, engine, rate, seed) cell for the --json report.
+  struct ChaosCell {
+    std::string workload, engine, verdict;
+    double rate = 0.0;
+    std::uint64_t seed = 0, throws = 0, stalls = 0;
+    bool ok = false;
+  };
+  std::vector<ChaosCell> cells;
 
   for (const std::string& wname : wl_names) {
     Options wo = o;
@@ -493,6 +527,9 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
           if (injector.injected_throws() > 0) ++total_retried;
           total_throws += injector.injected_throws();
           total_stalls += injector.injected_stalls();
+          cells.push_back({wname, engine, verdict, rate, plan.seed,
+                           injector.injected_throws(),
+                           injector.injected_stalls(), verdict == "ok"});
 
           out << "chaos: " << wname << " engine=" << engine
               << " rate=" << rate << " seed=" << plan.seed
@@ -512,7 +549,191 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
   const bool bad = stalled > 0 || mismatched > 0 || unexpected > 0;
   out << (bad ? "chaos: FAILED\n"
               : "chaos: all surviving runs matched the sequential oracle\n");
+  if (!o.json_path.empty()) {
+    std::ofstream f(o.json_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.json_path << "\n";
+      return 2;
+    }
+    f << "{\n  \"schema\": \"rio.chaos.v1\",\n  \"runs\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const ChaosCell& c = cells[i];
+      f << (i == 0 ? "\n" : ",\n") << "    {\"workload\": "
+        << support::json_quote(c.workload)
+        << ", \"engine\": " << support::json_quote(c.engine)
+        << ", \"rate\": " << support::json_double(c.rate)
+        << ", \"seed\": " << c.seed << ", \"throws\": " << c.throws
+        << ", \"stalls\": " << c.stalls
+        << ", \"ok\": " << (c.ok ? "true" : "false")
+        << ", \"verdict\": " << support::json_quote(c.verdict) << "}";
+    }
+    f << (cells.empty() ? "]" : "\n  ]") << ",\n  \"summary\": {\"runs\": "
+      << runs << ", \"ok\": " << ok << ", \"exhausted\": " << exhausted
+      << ", \"stalled\": " << stalled << ", \"mismatched\": " << mismatched
+      << ", \"errors\": " << unexpected
+      << ", \"injected_throws\": " << total_throws
+      << ", \"injected_stalls\": " << total_stalls
+      << ", \"runs_with_faults\": " << total_retried
+      << "},\n  \"failed\": " << (bad ? "true" : "false") << "\n}\n";
+    out << "wrote " << o.json_path << "\n";
+  }
   return bad ? 3 : 0;
+}
+
+/// `rioflow profile`: execute once with the rio::obs telemetry hub attached
+/// (docs/observability.md) and report per-worker phase totals, counter
+/// totals and the e_p*e_r decomposition. --trace exports the flight
+/// recorder as a Perfetto-loadable Chrome trace; --json writes the
+/// versioned rio.obs.v1 metrics document.
+int run_profile(const Options& o, std::ostream& out, std::ostream& err) {
+  std::string error;
+  Options po = o;
+  if (o.quick) {
+    po.tasks = std::min<std::uint64_t>(po.tasks, 256);
+    po.tiles = std::min<std::uint32_t>(po.tiles, 4);
+    po.task_size = std::min<std::uint64_t>(po.task_size, 200);
+  }
+  workloads::Workload wl;
+  if (!build_workload(po, body_for_engine(po.engine), wl, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  rt::Mapping mapping;
+  support::WaitPolicy policy{};
+  coor::SchedulerKind scheduler{};
+  if (!pick_mapping(po, wl, mapping, error) ||
+      !pick_policy(po, policy, error) ||
+      !pick_scheduler(po, scheduler, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+
+  // The recorder (per-worker event rings) is only paid for when a trace
+  // will be exported; counters and phase totals are always on here.
+  obs::HubOptions ho;
+  ho.recorder = !o.trace_path.empty();
+  obs::Hub hub(ho);
+
+  const std::uint32_t workers = po.workers;
+  support::RunStats stats;
+  if (po.engine == "rio") {
+    rt::Runtime engine(rt::Config{.num_workers = workers,
+                                  .wait_policy = policy,
+                                  .collect_stats = true,
+                                  .obs = &hub});
+    stats = engine.run(wl.flow, mapping);
+  } else if (po.engine == "rio-pruned") {
+    rt::PrunedPlan plan(wl.flow, mapping, workers);
+    rt::PrunedRuntime engine(rt::Config{.num_workers = workers,
+                                        .wait_policy = policy,
+                                        .collect_stats = true,
+                                        .obs = &hub});
+    stats = engine.run(wl.flow, plan);
+  } else if (po.engine == "coor") {
+    coor::Runtime engine(coor::Config{.num_workers = workers,
+                                      .scheduler = scheduler,
+                                      .collect_stats = true,
+                                      .obs = &hub});
+    stats = engine.run(wl.flow);
+  } else if (po.engine == "hybrid") {
+    hybrid::Runtime engine(hybrid::Config{.num_workers = workers,
+                                          .wait_policy = policy,
+                                          .dynamic_scheduler = scheduler,
+                                          .collect_stats = true,
+                                          .obs = &hub});
+    // Alternate static/dynamic phases, 16 tasks each, so both engines (and
+    // both telemetry paths) appear in the profile.
+    stats = engine.run(
+        wl.flow, [workers](stf::TaskId t) -> std::optional<stf::WorkerId> {
+          if ((t / 16) % 2 == 0) return static_cast<stf::WorkerId>(t % workers);
+          return std::nullopt;
+        });
+  } else if (po.engine == "sim-rio") {
+    sim::DecentralizedParams dp;
+    dp.workers = workers;
+    dp.obs = &hub;
+    const auto rep = sim::simulate_decentralized(wl.flow, mapping, dp);
+    stats = rep.stats;
+  } else if (po.engine == "sim-coor") {
+    sim::CentralizedParams cp;
+    cp.workers = workers;
+    cp.obs = &hub;
+    const auto rep = sim::simulate_centralized(wl.flow, cp);
+    stats = rep.stats;
+  } else {
+    err << "rioflow: profile supports engines "
+           "rio|rio-pruned|coor|hybrid|sim-rio|sim-coor, not '"
+        << po.engine << "'\n";
+    return 1;
+  }
+
+  const bool ticks = hub.clock_unit() == obs::ClockUnit::kTicks;
+  auto fmt = [ticks](std::uint64_t v) {
+    return ticks ? std::to_string(v)
+                 : support::format_duration_ns(static_cast<double>(v));
+  };
+  out << "-- profile: " << wl.name << " on " << po.engine << " (" << workers
+      << " workers, clock=" << obs::to_string(hub.clock_unit()) << ") --\n";
+
+  std::vector<std::string> header{"worker"};
+  for (std::size_t p = 0; p < obs::kNumSpanPhases; ++p)
+    header.push_back(obs::to_string(static_cast<obs::Phase>(p)));
+  header.emplace_back("tasks");
+  support::Table table(header);
+  const obs::CounterSnapshot snap = hub.counter_snapshot();
+  for (std::size_t w = 0; w < hub.num_workers(); ++w) {
+    auto row = table.row();
+    row.integer(static_cast<long long>(w));
+    const auto& ph = hub.phase_totals(w);
+    for (std::size_t p = 0; p < obs::kNumSpanPhases; ++p) row.str(fmt(ph[p]));
+    row.integer(static_cast<long long>(
+        snap.worker_value(w, obs::Counter::kTasksExecuted)));
+  }
+  if (o.csv)
+    table.print_csv(out);
+  else
+    table.print(out);
+
+  out << "counters:";
+  for (std::size_t c = 0; c < obs::kNumCounters; ++c) {
+    const std::uint64_t v = snap.total(static_cast<obs::Counter>(c));
+    if (v > 0)
+      out << ' ' << obs::counter_name(static_cast<obs::Counter>(c)) << '='
+          << v;
+  }
+  out << "\n";
+
+  const auto e = metrics::decompose_synthetic(stats.cumulative());
+  out << "e_p = " << e.e_p << ", e_r = " << e.e_r
+      << ", e_p*e_r = " << e.e_p * e.e_r << "\n";
+  if (hub.recorder_enabled())
+    out << "recorder: " << hub.recorded() << " events retained, "
+        << hub.dropped() << " dropped\n";
+
+  if (!o.trace_path.empty()) {
+    std::ofstream f(o.trace_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.trace_path << "\n";
+      return 2;
+    }
+    obs::write_perfetto_trace(hub, f);
+    out << "wrote " << o.trace_path << "\n";
+  }
+  if (!o.json_path.empty()) {
+    std::ofstream f(o.json_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.json_path << "\n";
+      return 2;
+    }
+    obs::ObsJsonMeta meta;
+    meta.engine = po.engine;
+    meta.workload = wl.name;
+    meta.e_p = e.e_p;
+    meta.e_r = e.e_r;
+    obs::write_obs_json(hub, stats, meta, f);
+    out << "wrote " << o.json_path << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -530,6 +751,11 @@ usage: rioflow [command] [options]
     chaos         sweep a deterministic fault plan (seeds x rates x engines)
                   with retry+rollback and the progress watchdog enabled,
                   verifying survivors against the sequential oracle
+    profile       execute once with the rio::obs telemetry hub attached and
+                  report per-worker phase totals, counters and the e_p*e_r
+                  decomposition (engines rio|rio-pruned|coor|hybrid|
+                  sim-rio|sim-coor; --trace writes a Perfetto trace,
+                  --json the rio.obs.v1 document, --quick shrinks)
 
   --workload W    independent | random | chain | gemm | lu | cholesky |
                   stencil |
@@ -556,11 +782,13 @@ usage: rioflow [command] [options]
   --retries N     chaos: retry budget (max attempts per task)    [3]
   --watchdog-ms N chaos: progress watchdog window, 0 disables    [2000]
   --engines CSV   chaos: subset of rio,rio-pruned,coor,hybrid    [all]
-  --quick         chaos: shrunk sweep for CI gates
+  --quick         chaos/profile: shrunk run for CI gates
   --summary       print flow structure summary
   --decompose     print e_p/e_r efficiency decomposition
   --dot FILE      write the dependency DAG as Graphviz DOT
-  --trace FILE    write a Chrome trace (real engines only)
+  --trace FILE    write a Chrome trace (real engines; profile: obs trace)
+  --json FILE     machine-readable report (profile: rio.obs.v1, chaos:
+                  rio.chaos.v1, lint: rio.lint.v1, check: rio.check.v1)
   --csv           machine-readable outputs
   --help
 )";
@@ -571,8 +799,9 @@ bool parse(int argc, const char* const* argv, Options& o,
   int first = 1;
   if (argc > 1 && argv[1][0] != '-') {
     const std::string cmd = argv[1];
-    if (cmd != "lint" && cmd != "check" && cmd != "chaos") {
-      error = "unknown command '" + cmd + "' (lint|check|chaos)";
+    if (cmd != "lint" && cmd != "check" && cmd != "chaos" &&
+        cmd != "profile") {
+      error = "unknown command '" + cmd + "' (lint|check|chaos|profile)";
       return false;
     }
     o.command = cmd;
@@ -640,6 +869,10 @@ bool parse(int argc, const char* const* argv, Options& o,
       const char* v = need_value("--trace");
       if (!v) return false;
       o.trace_path = v;
+    } else if (arg == "--json") {
+      const char* v = need_value("--json");
+      if (!v) return false;
+      o.json_path = v;
     } else if (arg == "--fail-on") {
       const char* v = need_value("--fail-on");
       if (!v) return false;
@@ -701,6 +934,7 @@ int run(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.command == "lint") return run_lint(o, out, err);
   if (o.command == "check") return run_check(o, out, err);
   if (o.command == "chaos") return run_chaos(o, out, err);
+  if (o.command == "profile") return run_profile(o, out, err);
   std::string error;
   workloads::Workload wl;
   if (!build_workload(o, body_for_engine(o.engine), wl, error)) {

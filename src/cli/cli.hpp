@@ -19,7 +19,9 @@ struct Options {
   // statically analyses it without executing anything; "check" executes it
   // with sync-event recording and runs the happens-before race checker;
   // "chaos" sweeps a fault plan over engines and verifies every surviving
-  // run against the sequential oracle.
+  // run against the sequential oracle; "profile" executes with the
+  // rio::obs telemetry hub attached and reports per-worker phase totals,
+  // counters and the e_p*e_r decomposition.
   std::string command;
 
   // Workload selection.
@@ -36,7 +38,8 @@ struct Options {
 
   // Engine selection.
   std::string engine = "rio";  ///< seq | rio | rio-pruned | coor |
-                               ///< sim-rio | sim-coor
+                               ///< sim-rio | sim-coor (profile also
+                               ///< accepts hybrid)
   std::uint32_t workers = 2;
   std::string mapping = "owner";    ///< rr | block | owner
   std::string policy = "yield";     ///< spin | yield | block
@@ -61,7 +64,11 @@ struct Options {
   bool summary = false;       ///< print flow structure summary
   bool decompose = false;     ///< print e_p / e_r decomposition
   std::string dot_path;       ///< write DAG as Graphviz DOT
-  std::string trace_path;     ///< write Chrome trace JSON (real engines)
+  std::string trace_path;     ///< write Chrome trace JSON (real engines;
+                              ///< for profile: the obs Perfetto trace)
+  std::string json_path;      ///< machine-readable report: rio.obs.v1
+                              ///< (profile), rio.chaos.v1 (chaos),
+                              ///< rio.lint.v1 / rio.check.v1 (lint/check)
   bool csv = false;
 
   bool help = false;

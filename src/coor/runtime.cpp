@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/clock.hpp"
 #include "support/topology.hpp"
@@ -123,27 +124,34 @@ struct Engine {
   }
 
   /// Worker-side completion: mark finished, release registered successors.
-  void complete(std::size_t li) {
+  /// Returns the number of successors dispatched (telemetry: queue pushes).
+  std::size_t complete(std::size_t li) {
     std::vector<std::size_t> succs;
     {
       std::lock_guard lock(nodes[li].mu);
       nodes[li].finished = true;
       succs.swap(nodes[li].successors);
     }
+    std::size_t dispatched = 0;
     for (std::size_t s : succs) {
-      if (nodes[s].remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      if (nodes[s].remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         dispatch(s);
+        ++dispatched;
+      }
     }
     if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         range.size()) {
       done.store(true, std::memory_order_release);
       for (auto& q : queues) q.close();
     }
+    return dispatched;
   }
 
   /// Pops the next task for worker w, stealing if configured. Returns
-  /// nullopt when the range is fully executed.
-  std::optional<stf::TaskId> next_task(std::uint32_t w) {
+  /// nullopt when the range is fully executed; `stole` reports whether the
+  /// pop came from another worker's queue (the kSteal phase).
+  std::optional<stf::TaskId> next_task(std::uint32_t w, bool& stole) {
+    stole = false;
     if (queues.size() == 1) return queues[0].pop();
     // Locality mode: own queue first, then (optionally) steal, then block
     // briefly on the own queue again.
@@ -151,7 +159,10 @@ struct Engine {
       if (auto t = queues[w].try_pop()) return t;
       if (cfg.work_stealing) {
         for (std::size_t off = 1; off < queues.size(); ++off) {
-          if (auto t = queues[(w + off) % queues.size()].try_steal()) return t;
+          if (auto t = queues[(w + off) % queues.size()].try_steal()) {
+            stole = true;
+            return t;
+          }
         }
       }
       if (done.load(std::memory_order_acquire)) {
@@ -159,8 +170,10 @@ struct Engine {
         if (auto t = queues[w].try_pop()) return t;
         if (cfg.work_stealing) {
           for (std::size_t off = 1; off < queues.size(); ++off) {
-            if (auto t = queues[(w + off) % queues.size()].try_steal())
+            if (auto t = queues[(w + off) % queues.size()].try_steal()) {
+              stole = true;
               return t;
+            }
           }
         }
         return std::nullopt;
@@ -209,6 +222,11 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
   res_proto.abort = watched ? &eng.aborted : nullptr;
   const bool resilient = res_proto.active();
 
+  // Telemetry lenses: worker slots 0..p-1 plus the master at slot p.
+  if (cfg_.obs != nullptr) cfg_.obs->ensure_workers(p + 1);
+  std::vector<obs::WorkerObs> obses(p + 1);
+  for (std::uint32_t w = 0; w <= p; ++w) obses[w].bind(cfg_.obs, w);
+
   std::barrier start(static_cast<std::ptrdiff_t>(p) + 1);
 
   // Worker role (pool/thread indices 0..p-1).
@@ -220,18 +238,30 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
       support::WorkerProbe* probe = watched ? &probes[w] : nullptr;
       stf::ResilienceOpts res = res_proto;  // worker-private copy
       stf::DataSnapshot snapshot;
+      obs::WorkerObs& ob = obses[w];
+      res.obs = &ob;
+      const bool timed =
+          cfg_.collect_stats || cfg_.collect_trace || ob.recording();
       start.arrive_and_wait();
       const std::uint64_t begin = support::monotonic_ns();
       for (;;) {
         std::uint64_t idle0 = 0;
-        if (cfg_.collect_stats) idle0 = support::monotonic_ns();
+        if (timed) idle0 = support::monotonic_ns();
         if (probe != nullptr) probe->set_state(support::ProbeState::kWaiting);
-        auto li = eng.next_task(w);
-        if (cfg_.collect_stats) {
-          st.buckets.idle_ns += support::monotonic_ns() - idle0;
-          ++st.waits;
+        bool stole = false;
+        auto li = eng.next_task(w, stole);
+        if (timed) {
+          // Every pop — including the final empty one — is wait time; a
+          // successful steal is attributed to the kSteal phase instead.
+          const std::uint64_t id =
+              li ? static_cast<std::uint64_t>(range.task(*li).id) : obs::kNoTask;
+          ob.span(stole ? obs::Phase::kSteal : obs::Phase::kAcquireWait, id,
+                  idle0, support::monotonic_ns());
         }
+        if (cfg_.collect_stats) ++st.waits;
         if (!li) break;
+        ob.count(obs::Counter::kQueuePops);
+        if (stole) ob.count(obs::Counter::kSteals);
 
         const stf::Task& task = range.task(*li);
         if (probe != nullptr) {
@@ -250,8 +280,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
         if (cfg_.enable_guard)
           for (const stf::Access& a : task.accesses) eng.guard.acquire(a);
         std::uint64_t t0 = 0, t1 = 0;
-        if (cfg_.collect_stats || cfg_.collect_trace)
-          t0 = support::monotonic_ns();
+        if (timed) t0 = support::monotonic_ns();
         if (resilient) {
           if (!eng.cancelled.load(std::memory_order_acquire)) {
             // Rollback is race-free here: the task holds exclusive protocol
@@ -268,9 +297,9 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
             eng.record_failure(std::current_exception());
           }
         }
-        if (cfg_.collect_stats || cfg_.collect_trace) {
+        if (timed) {
           t1 = support::monotonic_ns();
-          if (cfg_.collect_stats) st.buckets.task_ns += t1 - t0;
+          ob.span(obs::Phase::kBody, task.id, t0, t1);
         }
         if (cfg_.enable_guard)
           for (const stf::Access& a : task.accesses) eng.guard.release(a);
@@ -287,7 +316,14 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
           traces[w].push_back(
               {task.id, w, t0, t1,
                eng.seq.fetch_add(1, std::memory_order_relaxed)});
-        eng.complete(*li);
+        const std::size_t dispatched = eng.complete(*li);
+        if (timed)
+          ob.span(obs::Phase::kRelease, task.id, t1, support::monotonic_ns());
+        if (dispatched > 0) {
+          ob.count(obs::Counter::kQueuePushes, dispatched);
+          ob.count(obs::Counter::kWakeups, dispatched);
+        }
+        ob.count(obs::Counter::kTasksExecuted);
         if (probe != nullptr)
           probe->progress.fetch_add(1, std::memory_order_relaxed);
         if (cfg_.collect_stats) ++st.tasks_executed;
@@ -300,6 +336,8 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
   std::uint64_t master_begin = 0, master_unroll_end = 0;
   const auto master_body = [&] {
     if (cfg_.pin_workers) support::pin_current_thread(p % cpus);
+    obs::WorkerObs& ob = obses[p];
+    std::uint64_t master_dispatches = 0;
     start.arrive_and_wait();
     master_begin = support::monotonic_ns();
     {
@@ -324,8 +362,10 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
       burn_ns(cfg_.master_overhead_ns);
       // Drop the discovery guard; dispatch if all predecessors done.
       if (eng.nodes[li].remaining.fetch_sub(1, std::memory_order_acq_rel) ==
-          1)
+          1) {
         eng.dispatch(li);
+        ++master_dispatches;
+      }
     }
     }
     if (n == 0) {
@@ -334,6 +374,14 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
       for (auto& q : eng.queues) q.close();
     }
     master_unroll_end = support::monotonic_ns();
+    // The whole unroll is one management span on the master's track.
+    if (cfg_.collect_stats || cfg_.collect_trace || ob.recording())
+      ob.span(obs::Phase::kMgmt, obs::kNoTask, master_begin,
+              master_unroll_end);
+    if (master_dispatches > 0) {
+      ob.count(obs::Counter::kQueuePushes, master_dispatches);
+      ob.count(obs::Counter::kWakeups, master_dispatches);
+    }
   };
 
   // Progress watchdog: global completion count frozen for the whole window
@@ -344,10 +392,19 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
   if (watched) {
     watchdog.emplace(
         cfg_.watchdog_ns,
-        [&eng]() noexcept {
+        [&eng, hub = cfg_.obs]() noexcept {
+          if (hub != nullptr)
+            hub->global_counters().add(obs::Counter::kWatchdogProbes);
           return eng.completed.load(std::memory_order_relaxed);
         },
         [&] {
+          if (cfg_.obs != nullptr) {
+            const std::uint64_t now = support::monotonic_ns();
+            for (std::uint32_t w = 0; w < p; ++w)
+              cfg_.obs->instant(
+                  {now, now, probes[w].task.load(std::memory_order_relaxed), w,
+                   obs::Phase::kStallSnapshot});
+          }
           std::ostringstream os;
           os << "coor: no progress for "
              << static_cast<double>(cfg_.watchdog_ns) / 1e6 << " ms\n"
@@ -386,17 +443,16 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
   if (watchdog) watchdog->stop();
 
   if (cfg_.collect_stats) {
-    for (std::uint32_t w = 0; w < p; ++w) {
-      auto& b = stats.workers[w].buckets;
-      const std::uint64_t busy = b.task_ns + b.idle_ns;
-      b.runtime_ns = worker_wall[w] > busy ? worker_wall[w] - busy : 0;
-    }
-    // The master executes no tasks: its unrolling time is pure runtime
-    // management, the tail spent waiting for workers is idle.
+    // Worker buckets derived from the obs phase accumulators.
+    for (std::uint32_t w = 0; w < p; ++w)
+      stats.workers[w].buckets = obses[w].buckets(worker_wall[w]);
+    // The master executes no tasks: its unrolling time (the kMgmt span) is
+    // pure runtime management, the tail spent waiting for workers is idle.
     auto& mb = stats.workers[p].buckets;
     mb.runtime_ns = master_unroll_end - master_begin;
     mb.idle_ns = run_end > master_unroll_end ? run_end - master_unroll_end : 0;
   }
+  for (std::uint32_t w = 0; w <= p; ++w) obses[w].commit(cfg_.obs);
 
   trace_.clear();
   if (cfg_.collect_trace) {

@@ -32,6 +32,10 @@
 #include "stf/task_flow.hpp"
 #include "stf/trace.hpp"
 
+namespace rio::obs {
+class Hub;
+}
+
 namespace rio::coor {
 
 struct Config {
@@ -55,6 +59,9 @@ struct Config {
   std::uint64_t watchdog_ns = 0;  ///< > 0: monitor thread fails the run
                                   ///< with stf::StallError after this
                                   ///< no-progress window instead of hanging
+
+  obs::Hub* obs = nullptr;  ///< telemetry hub (docs/observability.md); not
+                            ///< owned. Worker slots 0..p-1, master slot p.
 };
 
 class Runtime {

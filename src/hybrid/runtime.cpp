@@ -85,7 +85,8 @@ support::RunStats Runtime::run(const stf::TaskFlow& flow,
                                     .enable_guard = cfg_.enable_guard,
                                     .retry = cfg_.retry,
                                     .fault = cfg_.fault,
-                                    .watchdog_ns = cfg_.watchdog_ns});
+                                    .watchdog_ns = cfg_.watchdog_ns,
+                                    .obs = cfg_.obs});
   coor::Runtime coor_engine(
       coor::Config{.num_workers = p,
                    .scheduler = cfg_.dynamic_scheduler,
@@ -95,7 +96,8 @@ support::RunStats Runtime::run(const stf::TaskFlow& flow,
                    .enable_guard = cfg_.enable_guard,
                    .retry = cfg_.retry,
                    .fault = cfg_.fault,
-                   .watchdog_ns = cfg_.watchdog_ns});
+                   .watchdog_ns = cfg_.watchdog_ns,
+                   .obs = cfg_.obs});
   if (cfg_.use_pool) {
     // One persistent pool for every phase: p workers + 1 master-capable
     // thread (idle during static phases). Amortizes thread startup across

@@ -37,6 +37,10 @@
 #include "rio/runtime.hpp"
 #include "stf/task_flow.hpp"
 
+namespace rio::obs {
+class Hub;
+}
+
 namespace rio::hybrid {
 
 /// Partial mapping: nullopt = "let the dynamic scheduler place it",
@@ -78,6 +82,11 @@ struct Config {
   support::RetryPolicy retry;
   support::FaultInjector* fault = nullptr;
   std::uint64_t watchdog_ns = 0;
+
+  obs::Hub* obs = nullptr;  ///< telemetry hub (docs/observability.md); not
+                            ///< owned. Forwarded to BOTH per-phase engines:
+                            ///< worker slots 0..p-1 accumulate across every
+                            ///< phase, slot p is the dynamic phases' master.
 };
 
 class Runtime {

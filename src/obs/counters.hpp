@@ -1,0 +1,126 @@
+// Always-on per-worker counters: one padded cache line per worker,
+// relaxed-order adds, aggregated on demand into a plain-value snapshot.
+//
+// The registry heap-allocates each worker's line individually so growing
+// (hybrid adds the shared-pool slot mid-run) never moves a line another
+// thread already holds a pointer to. ensure() itself is NOT safe
+// concurrently with add() — grow only between runs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/align.hpp"
+
+namespace rio::obs {
+
+enum class Counter : std::uint8_t {
+  kTasksExecuted = 0,
+  kTasksSkipped,
+  kSteals,
+  kProtocolWaits,   ///< protocol / queue waits that actually stalled
+  kWakeups,         ///< terminate_* publications or dispatches that may wake waiters
+  kSpinIters,       ///< spin-loop iterations inside protocol waits
+  kRetries,         ///< body re-executions after rollback
+  kFaultsInjected,  ///< injector throws + stalls fired
+  kQueuePushes,     ///< coor ready-queue enqueues
+  kQueuePops,       ///< coor ready-queue dequeues (incl. steals)
+  kWatchdogProbes,  ///< watchdog progress polls (global slot)
+};
+
+inline constexpr std::size_t kNumCounters = 11;
+
+[[nodiscard]] constexpr const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kTasksExecuted: return "tasks_executed";
+    case Counter::kTasksSkipped: return "tasks_skipped";
+    case Counter::kSteals: return "steals";
+    case Counter::kProtocolWaits: return "protocol_waits";
+    case Counter::kWakeups: return "wakeups";
+    case Counter::kSpinIters: return "spin_iters";
+    case Counter::kRetries: return "retries";
+    case Counter::kFaultsInjected: return "faults_injected";
+    case Counter::kQueuePushes: return "queue_pushes";
+    case Counter::kQueuePops: return "queue_pops";
+    case Counter::kWatchdogProbes: return "watchdog_probes";
+  }
+  return "?";
+}
+
+/// One worker's counters, padded so two workers never share a line.
+struct alignas(support::kCacheLineSize) WorkerCounters {
+  std::array<std::atomic<std::uint64_t>, kNumCounters> v{};
+
+  void add(Counter c, std::uint64_t n = 1) noexcept {
+    v[static_cast<std::size_t>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t get(Counter c) const noexcept {
+    return v[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    for (auto& a : v) a.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Plain-value copy of every counter, taken after the workers joined.
+struct CounterSnapshot {
+  std::vector<std::array<std::uint64_t, kNumCounters>> workers;
+  std::array<std::uint64_t, kNumCounters> global{};  ///< non-worker threads
+  std::array<std::uint64_t, kNumCounters> totals{};  ///< workers + global
+
+  [[nodiscard]] std::uint64_t total(Counter c) const noexcept {
+    return totals[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t worker_value(std::size_t w, Counter c) const {
+    return workers[w][static_cast<std::size_t>(c)];
+  }
+};
+
+class CounterRegistry {
+ public:
+  /// Grows to at least `n` worker lines; existing lines keep their values
+  /// and their addresses.
+  void ensure(std::size_t n) {
+    while (lines_.size() < n) lines_.push_back(std::make_unique<WorkerCounters>());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return lines_.size(); }
+  [[nodiscard]] WorkerCounters& worker(std::size_t w) noexcept { return *lines_[w]; }
+  [[nodiscard]] const WorkerCounters& worker(std::size_t w) const noexcept {
+    return *lines_[w];
+  }
+  /// Shared line for threads outside the worker set (watchdog, master
+  /// bookkeeping that has no slot).
+  [[nodiscard]] WorkerCounters& global() noexcept { return global_; }
+  [[nodiscard]] const WorkerCounters& global() const noexcept { return global_; }
+
+  [[nodiscard]] CounterSnapshot snapshot() const {
+    CounterSnapshot s;
+    s.workers.resize(lines_.size());
+    for (std::size_t w = 0; w < lines_.size(); ++w)
+      for (std::size_t c = 0; c < kNumCounters; ++c) {
+        s.workers[w][c] = lines_[w]->v[c].load(std::memory_order_relaxed);
+        s.totals[c] += s.workers[w][c];
+      }
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+      s.global[c] = global_.v[c].load(std::memory_order_relaxed);
+      s.totals[c] += s.global[c];
+    }
+    return s;
+  }
+
+  void reset() noexcept {
+    for (auto& line : lines_) line->reset();
+    global_.reset();
+  }
+
+ private:
+  std::vector<std::unique_ptr<WorkerCounters>> lines_;
+  WorkerCounters global_;
+};
+
+}  // namespace rio::obs

@@ -1,0 +1,65 @@
+// Phase taxonomy for the flight recorder (docs/observability.md).
+//
+// The six span phases partition a worker's wall time the same way the
+// paper's Section 2.3 decomposition does: kBody is the task work that
+// e_p · e_r credits, kAcquireWait / kSteal are the pipeline stalls behind
+// e_p, and kRelease / kRetryRollback / kMgmt are runtime overhead behind
+// e_r. TimeBuckets (support/stats.hpp) is DERIVED from these accumulators
+// (obs::WorkerObs::buckets) — engines no longer time the buckets
+// separately, so the decomposition and the recorder can never disagree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rio::obs {
+
+enum class Phase : std::uint8_t {
+  // Span phases (begin < end): accumulated into per-worker phase totals.
+  kAcquireWait = 0,    ///< blocked on the in-order protocol counters
+  kBody = 1,           ///< user task body executing
+  kRelease = 2,        ///< terminate_* publication / successor dispatch
+  kSteal = 3,          ///< probing other workers' ready queues (coor)
+  kRetryRollback = 4,  ///< snapshot restore + backoff between attempts
+  kMgmt = 5,           ///< coor master unroll / sim discovery overhead
+  // Instant phases (begin == end): markers, never part of the totals.
+  kStallSnapshot = 6,  ///< watchdog captured a stall diagnostic
+  kFaultInjected = 7,  ///< injector fired (throw or stall) on this task
+};
+
+inline constexpr std::size_t kNumSpanPhases = 6;
+inline constexpr std::size_t kNumPhases = 8;
+
+[[nodiscard]] constexpr bool is_span(Phase p) noexcept {
+  return static_cast<std::size_t>(p) < kNumSpanPhases;
+}
+
+[[nodiscard]] constexpr const char* to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kAcquireWait: return "acquire_wait";
+    case Phase::kBody: return "body";
+    case Phase::kRelease: return "release";
+    case Phase::kSteal: return "steal";
+    case Phase::kRetryRollback: return "retry_rollback";
+    case Phase::kMgmt: return "mgmt";
+    case Phase::kStallSnapshot: return "stall_snapshot";
+    case Phase::kFaultInjected: return "fault_injected";
+  }
+  return "?";
+}
+
+/// Sentinel for events not attributed to any task.
+inline constexpr std::uint64_t kNoTask = ~0ull;
+
+/// One recorded event. begin == end marks an instant. Timestamps are
+/// nanoseconds on the real engines and virtual ticks in the simulators;
+/// the hub's clock unit says which.
+struct Event {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t task = kNoTask;
+  std::uint32_t worker = 0;
+  Phase phase = Phase::kBody;
+};
+
+}  // namespace rio::obs

@@ -73,18 +73,21 @@ inline void declare_write(LocalDataState& local, stf::TaskId task_id) noexcept {
 }
 
 /// get_read: block until every write this worker registered before the
-/// current task has been performed. Returns the number of wait rounds
-/// observed (0 = no stall), which feeds the idle-time statistics.
-/// A non-null `abort` (the progress watchdog's flag) lets the wait give up
-/// so a stalled run can drain instead of hanging.
+/// current task has been performed. Returns whether the access stalled
+/// (feeds the idle-time statistics). A non-null `abort` (the progress
+/// watchdog's flag) lets the wait give up so a stalled run can drain
+/// instead of hanging; a non-null `spins` accumulates wait rounds for the
+/// obs spin-iteration counter.
 inline bool get_read(const SharedDataState& shared, const LocalDataState& local,
                      support::WaitPolicy policy,
-                     const std::atomic<bool>* abort = nullptr) noexcept {
+                     const std::atomic<bool>* abort = nullptr,
+                     std::uint64_t* spins = nullptr) noexcept {
   const bool stalled = shared.last_executed_write.value.load(
                            std::memory_order_acquire) != local.last_registered_write;
   if (stalled)
     support::wait_until_equal_or(shared.last_executed_write.value,
-                                 local.last_registered_write, policy, abort);
+                                 local.last_registered_write, policy, abort,
+                                 spins);
   return stalled;
 }
 
@@ -93,21 +96,23 @@ inline bool get_read(const SharedDataState& shared, const LocalDataState& local,
 inline bool get_write(const SharedDataState& shared,
                       const LocalDataState& local,
                       support::WaitPolicy policy,
-                      const std::atomic<bool>* abort = nullptr) noexcept {
+                      const std::atomic<bool>* abort = nullptr,
+                      std::uint64_t* spins = nullptr) noexcept {
   bool stalled = false;
   if (shared.last_executed_write.value.load(std::memory_order_acquire) !=
       local.last_registered_write) {
     stalled = true;
     if (!support::wait_until_equal_or(shared.last_executed_write.value,
                                       local.last_registered_write, policy,
-                                      abort))
+                                      abort, spins))
       return stalled;  // aborted: skip the second wait too
   }
   if (shared.nb_reads_since_write.value.load(std::memory_order_acquire) !=
       local.nb_reads_since_write) {
     stalled = true;
     support::wait_until_equal_or(shared.nb_reads_since_write.value,
-                                 local.nb_reads_since_write, policy, abort);
+                                 local.nb_reads_since_write, policy, abort,
+                                 spins);
   }
   return stalled;
 }

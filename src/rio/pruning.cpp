@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/clock.hpp"
 #include "support/topology.hpp"
@@ -60,6 +61,9 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
   std::vector<std::uint64_t> worker_wall(p, 0);
   std::vector<std::vector<stf::TraceEvent>> traces(p);
   std::vector<std::vector<stf::SyncEvent>> syncs(p);
+  if (cfg.obs != nullptr) cfg.obs->ensure_workers(p);
+  std::vector<obs::WorkerObs> obses(p);
+  for (std::uint32_t w = 0; w < p; ++w) obses[w].bind(cfg.obs, w);
 
   const std::uint32_t cpus = support::detect_topology().logical_cpus;
   const auto body = [&](std::uint32_t w) {
@@ -71,13 +75,16 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
     const std::atomic<bool>* abort_flag = res_proto.abort;
     stf::ResilienceOpts res = res_proto;  // worker-private copy
     stf::DataSnapshot snapshot;
+    obs::WorkerObs& ob = obses[w];
+    res.obs = &ob;
+    const bool timed = cfg.collect_stats || cfg.collect_trace || ob.recording();
     start.arrive_and_wait();
     const std::uint64_t begin = support::monotonic_ns();
     for (const PrunedTask& pt : mine) {
       // Wait on the precomputed expectations — no local replica needed.
       bool stalled = false;
       std::uint64_t wait_begin = 0;
-      if (cfg.collect_stats) wait_begin = support::monotonic_ns();
+      if (timed) wait_begin = support::monotonic_ns();
       for (const PrunedAccess& pa : pt.accesses) {
         const SharedDataState& s = shared[pa.data];
         if (probe != nullptr) {
@@ -94,7 +101,7 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
           stalled = true;
           if (!support::wait_until_equal_or(s.last_executed_write.value,
                                             pa.expected_writer, policy,
-                                            abort_flag))
+                                            abort_flag, &ob.spin_iters))
             continue;  // aborted: skip the dependent read-count wait too
         }
         if (is_write(pa.mode) &&
@@ -102,13 +109,17 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
                 pa.expected_reads) {
           stalled = true;
           support::wait_until_equal_or(s.nb_reads_since_write.value,
-                                       pa.expected_reads, policy, abort_flag);
+                                       pa.expected_reads, policy, abort_flag,
+                                       &ob.spin_iters);
         }
       }
       if (probe != nullptr) probe->set_state(support::ProbeState::kExecuting);
-      if (cfg.collect_stats && stalled) {
-        st.buckets.idle_ns += support::monotonic_ns() - wait_begin;
-        ++st.waits;
+      if (stalled) {
+        if (timed)
+          ob.span(obs::Phase::kAcquireWait, pt.id, wait_begin,
+                  support::monotonic_ns());
+        ob.count(obs::Counter::kProtocolWaits);
+        if (cfg.collect_stats) ++st.waits;
       }
 
       // Acquire stamps after all waits completed — same invariant as the
@@ -122,7 +133,7 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
 
       const stf::Task& task = body_of(pt.id);
       std::uint64_t t0 = 0;
-      if (cfg.collect_stats || cfg.collect_trace) t0 = support::monotonic_ns();
+      if (timed) t0 = support::monotonic_ns();
       if (resilient) {
         if (!cancelled.load(std::memory_order_acquire)) {
           stf::BodyResult r =
@@ -144,9 +155,9 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
         }
       }
       std::uint64_t t1 = 0;
-      if (cfg.collect_stats || cfg.collect_trace) {
+      if (timed) {
         t1 = support::monotonic_ns();
-        if (cfg.collect_stats) st.buckets.task_ns += t1 - t0;
+        ob.span(obs::Phase::kBody, pt.id, t0, t1);
       }
 
       // Release stamps before anything is published.
@@ -172,6 +183,10 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
             s.nb_reads_since_write.value.notify_all();
         }
       }
+      if (timed)
+        ob.span(obs::Phase::kRelease, pt.id, t1, support::monotonic_ns());
+      ob.count(obs::Counter::kWakeups, pt.accesses.size());
+      ob.count(obs::Counter::kTasksExecuted);
       if (cfg.collect_trace)
         traces[w].push_back(
             {pt.id, w, t0, t1,
@@ -190,13 +205,22 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
   if (watched) {
     watchdog.emplace(
         cfg.watchdog_ns,
-        [&probes, p]() noexcept {
+        [&probes, p, hub = cfg.obs]() noexcept {
+          if (hub != nullptr)
+            hub->global_counters().add(obs::Counter::kWatchdogProbes);
           std::uint64_t sum = 0;
           for (std::uint32_t w = 0; w < p; ++w)
             sum += probes[w].progress.load(std::memory_order_relaxed);
           return sum;
         },
         [&] {
+          if (cfg.obs != nullptr) {
+            const std::uint64_t now = support::monotonic_ns();
+            for (std::uint32_t w = 0; w < p; ++w)
+              cfg.obs->instant(
+                  {now, now, probes[w].task.load(std::memory_order_relaxed), w,
+                   obs::Phase::kStallSnapshot});
+          }
           return stall_diagnostic("rio-pruned", cfg.watchdog_ns, probes.data(),
                                   p, shared.data(), num_data);
         },
@@ -217,10 +241,11 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
   sync_out.clear();
   for (std::uint32_t w = 0; w < p; ++w) {
     if (cfg.collect_stats) {
-      auto& b = stats.workers[w].buckets;
-      const std::uint64_t busy = b.task_ns + b.idle_ns;
-      b.runtime_ns = worker_wall[w] > busy ? worker_wall[w] - busy : 0;
+      // Buckets derived from the obs phase accumulators (same contract as
+      // the full runtime).
+      stats.workers[w].buckets = obses[w].buckets(worker_wall[w]);
     }
+    obses[w].commit(cfg.obs);
     for (const stf::TraceEvent& ev : traces[w]) trace_out.record(ev);
     for (const stf::SyncEvent& ev : syncs[w]) sync_out.record(ev);
   }

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/clock.hpp"
 #include "support/topology.hpp"
@@ -29,10 +30,14 @@ struct WorkerCtx {
   const stf::DataRegistry* registry = nullptr;
   support::WaitPolicy policy = support::WaitPolicy::kSpinYield;
 
-  // Instrumentation (all optional).
+  // Instrumentation (all optional). `timed` is the union of every consumer
+  // of the per-task clock reads: the tau buckets, the trace, and the flight
+  // recorder all draw from the SAME obs phase spans (docs/observability.md).
   bool collect_stats = false;
   bool collect_trace = false;
   bool collect_sync = false;
+  bool timed = false;
+  obs::WorkerObs obs;
   stf::AccessGuard* guard = nullptr;
   std::atomic<std::uint64_t>* seq = nullptr;  // global completion counter
   std::atomic<std::uint64_t>* sync_stamp = nullptr;  // sync-event order
@@ -68,7 +73,7 @@ void record_failure(WorkerCtx& ctx, std::exception_ptr error) {
 void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
   bool stalled = false;
   std::uint64_t wait_begin = 0;
-  if (ctx.collect_stats) wait_begin = support::monotonic_ns();
+  if (ctx.timed) wait_begin = support::monotonic_ns();
   for (const stf::Access& a : task.accesses) {
     if (ctx.probe != nullptr) {
       // Publish what we are about to wait for, so a watchdog firing
@@ -83,15 +88,18 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
     }
     if (is_write(a.mode))
       stalled |= get_write(ctx.shared[a.data], ctx.local[a.data], ctx.policy,
-                           ctx.res.abort);
+                           ctx.res.abort, &ctx.obs.spin_iters);
     else
       stalled |= get_read(ctx.shared[a.data], ctx.local[a.data], ctx.policy,
-                          ctx.res.abort);
+                          ctx.res.abort, &ctx.obs.spin_iters);
   }
   if (ctx.probe != nullptr) ctx.probe->set_state(support::ProbeState::kExecuting);
-  if (ctx.collect_stats && stalled) {
-    ctx.stats.buckets.idle_ns += support::monotonic_ns() - wait_begin;
-    ++ctx.stats.waits;
+  if (stalled) {
+    if (ctx.timed)
+      ctx.obs.span(obs::Phase::kAcquireWait, task.id, wait_begin,
+                   support::monotonic_ns());
+    ctx.obs.count(obs::Counter::kProtocolWaits);
+    if (ctx.collect_stats) ++ctx.stats.waits;
   }
 
   // Acquire stamps are drawn AFTER every get_* completed, so each observed
@@ -108,7 +116,7 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
     for (const stf::Access& a : task.accesses) ctx.guard->acquire(a);
 
   std::uint64_t t0 = 0;
-  if (ctx.collect_stats || ctx.collect_trace) t0 = support::monotonic_ns();
+  if (ctx.timed) t0 = support::monotonic_ns();
   if (ctx.resilient) {
     if (!ctx.cancelled->load(std::memory_order_acquire)) {
       stf::BodyResult r = stf::execute_body(task, *ctx.registry, ctx.self,
@@ -124,9 +132,9 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
     }
   }
   std::uint64_t t1 = 0;
-  if (ctx.collect_stats || ctx.collect_trace) {
+  if (ctx.timed) {
     t1 = support::monotonic_ns();
-    if (ctx.collect_stats) ctx.stats.buckets.task_ns += t1 - t0;
+    ctx.obs.span(obs::Phase::kBody, task.id, t0, t1);
   }
 
   if (ctx.guard)
@@ -147,6 +155,10 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
     else
       terminate_read(ctx.shared[a.data], ctx.local[a.data], ctx.policy);
   }
+  if (ctx.timed)
+    ctx.obs.span(obs::Phase::kRelease, task.id, t1, support::monotonic_ns());
+  ctx.obs.count(obs::Counter::kWakeups, task.accesses.size());
+  ctx.obs.count(obs::Counter::kTasksExecuted);
 
   if (ctx.collect_trace) {
     ctx.trace.push_back(
@@ -172,6 +184,7 @@ void process_task(const stf::Task& task, WorkerCtx& ctx) {
         declare_read(ctx.local[a.data]);
     }
     if (ctx.collect_stats) ++ctx.stats.tasks_skipped;
+    ctx.obs.count(obs::Counter::kTasksSkipped);
     return;
   }
   execute_owned(task, ctx);
@@ -251,6 +264,13 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
     c.resilient = c.res.active();
     c.probe = watched ? &probes[w] : nullptr;
   }
+  if (cfg.obs != nullptr) cfg.obs->ensure_workers(p);
+  for (std::uint32_t w = 0; w < p; ++w) {
+    WorkerCtx& c = ctxs[w];
+    c.obs.bind(cfg.obs, w);
+    c.res.obs = &c.obs;
+    c.timed = cfg.collect_stats || cfg.collect_trace || c.obs.recording();
+  }
 
   // All workers align on a start barrier so their wall times compare; the
   // makespan clock wraps the whole fork-join (spawn/wake cost included).
@@ -276,13 +296,24 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
   if (watched) {
     watchdog.emplace(
         cfg.watchdog_ns,
-        [&probes, p]() noexcept {
+        [&probes, p, hub = cfg.obs]() noexcept {
+          if (hub != nullptr)
+            hub->global_counters().add(obs::Counter::kWatchdogProbes);
           std::uint64_t sum = 0;
           for (std::uint32_t w = 0; w < p; ++w)
             sum += probes[w].progress.load(std::memory_order_relaxed);
           return sum;
         },
         [&] {
+          if (cfg.obs != nullptr) {
+            // The watchdog thread owns no ring; stall markers go through
+            // the hub's out-of-band instant list.
+            const std::uint64_t now = support::monotonic_ns();
+            for (std::uint32_t w = 0; w < p; ++w)
+              cfg.obs->instant(
+                  {now, now, probes[w].task.load(std::memory_order_relaxed), w,
+                   obs::Phase::kStallSnapshot});
+          }
           return stall_diagnostic("rio", cfg.watchdog_ns, probes.data(), p,
                                   shared.data(), num_data);
         },
@@ -306,12 +337,13 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
   for (std::uint32_t w = 0; w < p; ++w) {
     WorkerCtx& c = ctxs[w];
     if (cfg.collect_stats) {
-      // Whatever was neither task body nor dependency stall is runtime
-      // management: unrolling, declare ops, protocol publication.
-      const std::uint64_t busy = c.stats.buckets.task_ns + c.stats.buckets.idle_ns;
-      c.stats.buckets.runtime_ns =
-          worker_wall[w] > busy ? worker_wall[w] - busy : 0;
+      // The tau buckets are DERIVED from the obs phase accumulators: task
+      // time is the body phase, idle the acquire-wait stalls, and whatever
+      // was neither is runtime management — unrolling, declare ops,
+      // protocol publication.
+      c.stats.buckets = c.obs.buckets(worker_wall[w]);
     }
+    c.obs.commit(cfg.obs);
     stats.workers[w] = c.stats;
     for (const stf::TraceEvent& ev : c.trace) trace_out.record(ev);
     for (const stf::SyncEvent& ev : c.sync) sync_out.record(ev);
@@ -361,6 +393,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range,
       cfg_, pool_, range.registry(), range.num_data(), n, trace_, sync_trace_,
       mapping, [&, n, spans, acc, first](WorkerCtx& c) {
         const Mapping& map = *c.mapping;
+        std::uint64_t skipped = 0;  // batched: keeps the declare loop tight
         for (std::size_t i = 0; i < n; ++i) {
           const stf::TaskId id = first + i;
           if (map(id) != c.self) {
@@ -372,11 +405,13 @@ support::RunStats Runtime::run(const stf::ImageRange& range,
               else
                 declare_read(c.local[a.data]);
             }
-            if (c.collect_stats) ++c.stats.tasks_skipped;
+            ++skipped;
             continue;
           }
           execute_owned(range.task(i), c);
         }
+        if (c.collect_stats) c.stats.tasks_skipped += skipped;
+        if (skipped > 0) c.obs.count(obs::Counter::kTasksSkipped, skipped);
       });
 }
 

@@ -31,6 +31,10 @@
 #include "stf/task_flow.hpp"
 #include "stf/trace.hpp"
 
+namespace rio::obs {
+class Hub;
+}
+
 namespace rio::rt {
 
 /// Runtime configuration. Defaults favour correctness on any machine
@@ -38,8 +42,9 @@ namespace rio::rt {
 struct Config {
   std::uint32_t num_workers = 2;
   support::WaitPolicy wait_policy = support::WaitPolicy::kSpinYield;
-  bool collect_stats = true;   ///< fill the tau buckets (adds 2 clock reads
-                               ///< per executed task + 1 per stall)
+  bool collect_stats = true;   ///< fill the tau buckets (adds 4 clock reads
+                               ///< per executed task + 1 per stall); buckets
+                               ///< are derived from the obs phase spans
   bool collect_trace = false;  ///< record a validatable execution trace
   bool collect_sync = false;   ///< record acquire/release sync events for
                                ///< the happens-before checker (src/analysis)
@@ -54,6 +59,10 @@ struct Config {
   std::uint64_t watchdog_ns = 0;  ///< > 0: monitor thread fails the run
                                   ///< with stf::StallError after this
                                   ///< no-progress window instead of hanging
+
+  obs::Hub* obs = nullptr;  ///< telemetry hub (docs/observability.md); not
+                            ///< owned. Null = telemetry off: no counters,
+                            ///< no recorder, zero allocation on that path.
 };
 
 class Runtime {

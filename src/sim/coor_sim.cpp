@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "obs/obs.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/simulate.hpp"
 
@@ -84,6 +85,18 @@ Report simulate_centralized(const stf::ImageRange& range,
   Report rep;
   SimFaults faults(params.faults, params.retry);
 
+  // Telemetry lenses (slot p = master), virtual-tick timestamps. Phase
+  // totals reproduce the ws buckets: kBody == task, kAcquireWait == idle,
+  // kMgmt == runtime (worker pops; master unroll).
+  obs::Hub* hub = params.obs;
+  std::vector<obs::WorkerObs> obses;
+  if (hub != nullptr) {
+    hub->set_clock_unit(obs::ClockUnit::kTicks);
+    hub->ensure_workers(p + 1);
+    obses.resize(p + 1);
+    for (std::uint32_t w = 0; w <= p; ++w) obses[w].bind(hub, w);
+  }
+
   while (executed < n) {
     RIO_ASSERT_MSG(!ready.empty(), "no ready task but flow incomplete");
     const auto [ready_time, t] = ready.top();
@@ -110,6 +123,19 @@ Report simulate_centralized(const stf::ImageRange& range,
     makespan = std::max(makespan, fin);
     free_workers.emplace(fin, w);
 
+    if (hub != nullptr) {
+      obs::WorkerObs& ob = obses[w];
+      const auto id = static_cast<std::uint64_t>(range.task_id(t));
+      if (ready_time > wfree) {
+        ob.span(obs::Phase::kAcquireWait, id, wfree, ready_time);
+        ob.count(obs::Counter::kProtocolWaits);
+      }
+      ob.span(obs::Phase::kMgmt, id, start - params.worker_pop, start);
+      ob.span(obs::Phase::kBody, id, start, fin);
+      ob.count(obs::Counter::kQueuePops);
+      ob.count(obs::Counter::kTasksExecuted);
+    }
+
     for (stf::TaskId s : graph.successors(t)) {
       dep_finish[s] =
           std::max(dep_finish[s], fin + params.cross_worker_latency);
@@ -123,10 +149,28 @@ Report simulate_centralized(const stf::ImageRange& range,
     const auto [wfree, w] = free_workers.top();
     free_workers.pop();
     ws[w].buckets.idle_ns += makespan - wfree;
+    if (hub != nullptr)
+      obses[w].phase_ns[static_cast<std::size_t>(
+          obs::Phase::kAcquireWait)] += makespan - wfree;
   }
   // Master accounting: pure management, then idle until the end.
   ws[p].buckets.runtime_ns = master_total;
   ws[p].buckets.idle_ns = makespan - master_total;
+
+  if (hub != nullptr) {
+    obs::WorkerObs& mob = obses[p];
+    mob.span(obs::Phase::kMgmt, obs::kNoTask, 0, master_total);
+    mob.phase_ns[static_cast<std::size_t>(obs::Phase::kAcquireWait)] +=
+        makespan - master_total;
+    mob.count(obs::Counter::kQueuePushes, n);
+    mob.count(obs::Counter::kWakeups, n);
+    for (std::uint32_t w = 0; w <= p; ++w) obses[w].commit(hub);
+    const std::uint64_t injected = rep.injected_stalls + rep.injected_throws;
+    if (injected > 0)
+      hub->global_counters().add(obs::Counter::kFaultsInjected, injected);
+    if (rep.retried_tasks > 0)
+      hub->global_counters().add(obs::Counter::kRetries, rep.retried_tasks);
+  }
 
   rep.makespan = makespan;
   rep.total_threads = p + 1;

@@ -26,6 +26,10 @@
 
 #include "support/fault.hpp"
 
+namespace rio::obs {
+class Hub;
+}
+
 namespace rio::sim {
 
 /// Virtual time unit: 1 tick == 1 ns of modelled time. Task `cost` fields
@@ -69,6 +73,10 @@ struct DecentralizedParams {
   // attempt. Defaults (empty plan) are cost-free.
   support::FaultPlan faults;
   support::RetryPolicy retry;
+
+  obs::Hub* obs = nullptr;  ///< telemetry hub (docs/observability.md); not
+                            ///< owned. Timestamps are VIRTUAL ticks — the
+                            ///< hub's clock unit is switched to kTicks.
 };
 
 /// Centralized out-of-order (StarPU-like) model costs.
@@ -98,6 +106,9 @@ struct CentralizedParams {
   // Deterministic fault model — same semantics as DecentralizedParams.
   support::FaultPlan faults;
   support::RetryPolicy retry;
+
+  obs::Hub* obs = nullptr;  ///< telemetry hub; worker slots 0..p-1, master
+                            ///< slot p, virtual-tick timestamps (kTicks)
 };
 
 }  // namespace rio::sim

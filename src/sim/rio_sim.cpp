@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "obs/obs.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/simulate.hpp"
 
@@ -65,6 +66,18 @@ Report simulate_decentralized(const stf::ImageRange& range,
   Report rep;
   SimFaults faults(params.faults, params.retry);
 
+  // Telemetry lenses: timestamps are virtual ticks, same schema as the real
+  // runtimes (docs/observability.md). Phase totals reproduce the ws buckets
+  // exactly: kBody == task, kAcquireWait == idle, kMgmt == runtime.
+  obs::Hub* hub = params.obs;
+  std::vector<obs::WorkerObs> obses;
+  if (hub != nullptr) {
+    hub->set_clock_unit(obs::ClockUnit::kTicks);
+    hub->ensure_workers(p);
+    obses.resize(p);
+    for (std::uint32_t w = 0; w < p; ++w) obses[w].bind(hub, w);
+  }
+
   for (stf::TaskId t = 0; t < n; ++t) {
     const auto num_acc = static_cast<std::uint64_t>(range.num_accesses(t));
     const std::uint64_t skip_cost =
@@ -107,6 +120,18 @@ Report simulate_decentralized(const stf::ImageRange& range,
     ++ws[w].tasks_executed;
     own_skip[w] += skip_cost;
 
+    if (hub != nullptr) {
+      obs::WorkerObs& ob = obses[w];
+      const auto id = static_cast<std::uint64_t>(range.task_id(t));
+      ob.span(obs::Phase::kMgmt, id, arrival, after_overhead);
+      if (start > after_overhead) {
+        ob.span(obs::Phase::kAcquireWait, id, after_overhead, start);
+        ob.count(obs::Counter::kProtocolWaits);
+      }
+      ob.span(obs::Phase::kBody, id, start, fin);
+      ob.count(obs::Counter::kTasksExecuted);
+    }
+
     prefix += skip_cost;  // S(t+1)
     delta[w] = static_cast<std::int64_t>(fin) -
                static_cast<std::int64_t>(prefix);
@@ -132,6 +157,29 @@ Report simulate_decentralized(const stf::ImageRange& range,
     const auto cursor = static_cast<std::uint64_t>(
         static_cast<std::int64_t>(prefix) + delta[w]);
     ws[w].buckets.idle_ns += makespan - cursor;
+  }
+
+  if (hub != nullptr) {
+    for (std::uint32_t w = 0; w < p; ++w) {
+      obs::WorkerObs& ob = obses[w];
+      // Foreign-task skip management and trailing idle have no span of their
+      // own; fold them straight into the phase totals so the tick identity
+      // (kBody + kAcquireWait + kMgmt == makespan per worker) holds exactly.
+      const auto cursor = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(prefix) + delta[w]);
+      ob.phase_ns[static_cast<std::size_t>(obs::Phase::kMgmt)] +=
+          prefix - own_skip[w];
+      ob.phase_ns[static_cast<std::size_t>(obs::Phase::kAcquireWait)] +=
+          makespan - cursor;
+      if (ws[w].tasks_skipped > 0)
+        ob.count(obs::Counter::kTasksSkipped, ws[w].tasks_skipped);
+      ob.commit(hub);
+    }
+    const std::uint64_t injected = rep.injected_stalls + rep.injected_throws;
+    if (injected > 0)
+      hub->global_counters().add(obs::Counter::kFaultsInjected, injected);
+    if (rep.retried_tasks > 0)
+      hub->global_counters().add(obs::Counter::kRetries, rep.retried_tasks);
   }
 
   rep.makespan = makespan;

@@ -25,6 +25,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/obs.hpp"
+#include "support/clock.hpp"
 #include "support/fault.hpp"
 #include "stf/data_registry.hpp"
 #include "stf/failure.hpp"
@@ -37,6 +39,8 @@ struct ResilienceOpts {
   support::RetryPolicy retry;
   support::FaultInjector* fault = nullptr;  ///< not owned; may be shared
   const std::atomic<bool>* abort = nullptr; ///< watchdog abort flag
+  obs::WorkerObs* obs = nullptr;  ///< telemetry lens (null-safe); rollback
+                                  ///< spans + fault/retry counters land here
 
   [[nodiscard]] bool active() const noexcept {
     return fault != nullptr || retry.enabled();
@@ -59,7 +63,14 @@ inline BodyResult execute_body(const Task& task, const DataRegistry& registry,
 
   if (opts.fault != nullptr) {
     const std::uint64_t stall = opts.fault->stall_ns(task.id);
-    if (stall > 0) support::stall_for(stall, opts.abort);
+    if (stall > 0) {
+      if (opts.obs != nullptr) {
+        opts.obs->count(obs::Counter::kFaultsInjected);
+        opts.obs->instant(obs::Phase::kFaultInjected, task.id,
+                          support::monotonic_ns());
+      }
+      support::stall_for(stall, opts.abort);
+    }
   }
 
   const std::uint32_t max_attempts =
@@ -78,8 +89,14 @@ inline BodyResult execute_body(const Task& task, const DataRegistry& registry,
         TaskContext tc(task, registry, worker);
         task.fn(tc);
       }
-      if (opts.fault != nullptr && opts.fault->should_throw(task.id, attempt))
+      if (opts.fault != nullptr && opts.fault->should_throw(task.id, attempt)) {
+        if (opts.obs != nullptr) {
+          opts.obs->count(obs::Counter::kFaultsInjected);
+          opts.obs->instant(obs::Phase::kFaultInjected, task.id,
+                            support::monotonic_ns());
+        }
         throw support::InjectedFault(task.id, attempt);
+      }
       return result;  // success
     } catch (...) {
       error = std::current_exception();
@@ -88,9 +105,18 @@ inline BodyResult execute_body(const Task& task, const DataRegistry& registry,
     const bool aborted =
         opts.abort != nullptr && opts.abort->load(std::memory_order_acquire);
     if (attempt < max_attempts && !aborted) {
+      // Cold path: the two clock reads bracket rollback + backoff only when
+      // a retry actually happens.
+      const std::uint64_t rb0 =
+          opts.obs != nullptr ? support::monotonic_ns() : 0;
       snapshot.restore(registry);
       if (opts.retry.backoff_ns > 0)
         support::stall_for(opts.retry.backoff_ns, opts.abort);
+      if (opts.obs != nullptr) {
+        opts.obs->span(obs::Phase::kRetryRollback, task.id, rb0,
+                       support::monotonic_ns());
+        opts.obs->count(obs::Counter::kRetries);
+      }
       continue;
     }
 

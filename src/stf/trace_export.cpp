@@ -4,23 +4,10 @@
 #include <limits>
 #include <string>
 
+#include "support/json.hpp"
+
 namespace rio::stf {
 namespace {
-
-/// JSON string escaping for the small character set task names can hold.
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
 
 std::uint64_t earliest_start(const Trace& trace) {
   std::uint64_t t0 = std::numeric_limits<std::uint64_t>::max();
@@ -40,9 +27,10 @@ void export_chrome_trace(const Trace& trace, const TaskFlow& flow,
         ev.task < flow.num_tasks() ? flow.task(ev.task).name : std::string();
     if (!first) os << ",";
     first = false;
-    os << "{\"name\":\""
-       << escape(name.empty() ? "task " + std::to_string(ev.task) : name)
-       << "\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.worker
+    os << "{\"name\":"
+       << support::json_quote(name.empty() ? "task " + std::to_string(ev.task)
+                                           : name)
+       << ",\"cat\":\"task\",\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.worker
        << ",\"ts\":" << static_cast<double>(ev.start_ns - t0) / 1e3
        << ",\"dur\":" << static_cast<double>(ev.end_ns - ev.start_ns) / 1e3
        << ",\"args\":{\"task_id\":" << ev.task << ",\"seq\":" << ev.seq
@@ -56,7 +44,8 @@ void export_csv(const Trace& trace, const TaskFlow& flow, std::ostream& os) {
   for (const TraceEvent& ev : trace.events()) {
     const std::string& name =
         ev.task < flow.num_tasks() ? flow.task(ev.task).name : std::string();
-    os << ev.task << "," << name << "," << ev.worker << "," << ev.start_ns
+    os << ev.task << "," << support::csv_quote(name) << "," << ev.worker
+       << "," << ev.start_ns
        << "," << ev.end_ns << "," << (ev.end_ns - ev.start_ns) << ","
        << ev.seq << "\n";
   }

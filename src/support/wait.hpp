@@ -68,12 +68,20 @@ class Backoff {
 /// compare a thread-local replica against the shared state, and equality
 /// (not >=) is what keeps the protocol correct for writes that reset
 /// nb_reads_since_write to zero.
+///
+/// A non-null `spins` receives the number of wait rounds performed — the
+/// telemetry feed for the obs spin-iteration counter. The tally is
+/// accumulated in a local and flushed on exit so the hot loop stays free
+/// of extra memory traffic.
 template <typename T>
 void wait_until_equal(const std::atomic<T>& word, T expected,
-                      WaitPolicy policy) noexcept {
+                      WaitPolicy policy,
+                      std::uint64_t* spins = nullptr) noexcept {
   if (word.load(std::memory_order_acquire) == expected) return;
   Backoff backoff;
+  std::uint64_t rounds = 0;
   for (;;) {
+    ++rounds;
     switch (policy) {
       case WaitPolicy::kSpin:
         cpu_pause();
@@ -86,12 +94,18 @@ void wait_until_equal(const std::atomic<T>& word, T expected,
         // atomic::wait needs the *current* (unwanted) value; re-read it to
         // avoid a missed wakeup between the check and the park.
         T current = word.load(std::memory_order_acquire);
-        if (current == expected) return;
+        if (current == expected) {
+          if (spins != nullptr) *spins += rounds;
+          return;
+        }
         word.wait(current, std::memory_order_acquire);
         break;
       }
     }
-    if (word.load(std::memory_order_acquire) == expected) return;
+    if (word.load(std::memory_order_acquire) == expected) {
+      if (spins != nullptr) *spins += rounds;
+      return;
+    }
   }
 }
 
@@ -105,22 +119,30 @@ void wait_until_equal(const std::atomic<T>& word, T expected,
 /// able to unblock every waiter without touching the protocol words.
 template <typename T>
 bool wait_until_equal_or(const std::atomic<T>& word, T expected,
-                         WaitPolicy policy,
-                         const std::atomic<bool>* abort) noexcept {
+                         WaitPolicy policy, const std::atomic<bool>* abort,
+                         std::uint64_t* spins = nullptr) noexcept {
   if (abort == nullptr) {
-    wait_until_equal(word, expected, policy);
+    wait_until_equal(word, expected, policy, spins);
     return true;
   }
   if (word.load(std::memory_order_acquire) == expected) return true;
   Backoff backoff;
+  std::uint64_t rounds = 0;
   for (;;) {
-    if (abort->load(std::memory_order_acquire)) return false;
+    ++rounds;
+    if (abort->load(std::memory_order_acquire)) {
+      if (spins != nullptr) *spins += rounds;
+      return false;
+    }
     if (policy == WaitPolicy::kSpin) {
       cpu_pause();
     } else if (!backoff.spin()) {
       backoff.yield();
     }
-    if (word.load(std::memory_order_acquire) == expected) return true;
+    if (word.load(std::memory_order_acquire) == expected) {
+      if (spins != nullptr) *spins += rounds;
+      return true;
+    }
   }
 }
 

@@ -353,4 +353,125 @@ TEST(CliChaos, ZeroRateSweepInjectsNothing) {
   EXPECT_NE(text.find("injected-throws=0"), std::string::npos) << text;
 }
 
+// ------------------------------------------------------------- profile -----
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(CliProfile, ParsesCommandAndJsonFlag) {
+  Options o;
+  std::string error;
+  EXPECT_TRUE(parse_args({"profile", "--workload", "cholesky", "--engine",
+                          "coor", "--json", "/tmp/x.json", "--trace",
+                          "/tmp/y.json", "--quick"},
+                         o, error))
+      << error;
+  EXPECT_EQ(o.command, "profile");
+  EXPECT_EQ(o.json_path, "/tmp/x.json");
+  EXPECT_EQ(o.trace_path, "/tmp/y.json");
+  EXPECT_TRUE(o.quick);
+}
+
+TEST(CliProfile, EveryEngineProducesPhaseTableAndDecomposition) {
+  for (const char* engine :
+       {"rio", "rio-pruned", "coor", "hybrid", "sim-rio", "sim-coor"}) {
+    std::string text;
+    const int rc = run_args({"profile", "--quick", "--workload", "cholesky",
+                             "--tiles", "3", "--workers", "2", "--engine",
+                             engine},
+                            &text);
+    EXPECT_EQ(rc, 0) << engine << ": " << text;
+    EXPECT_NE(text.find("-- profile:"), std::string::npos) << engine;
+    EXPECT_NE(text.find("acquire_wait"), std::string::npos) << engine;
+    EXPECT_NE(text.find("e_p*e_r"), std::string::npos) << engine;
+    EXPECT_NE(text.find("tasks_executed="), std::string::npos) << engine;
+  }
+}
+
+TEST(CliProfile, WritesObsJsonAndPerfettoTrace) {
+  const std::string json = "/tmp/rioflow_test_obs.json";
+  const std::string trace = "/tmp/rioflow_test_obs_trace.json";
+  std::remove(json.c_str());
+  std::remove(trace.c_str());
+  std::string text;
+  const int rc = run_args({"profile", "--quick", "--workload", "cholesky",
+                           "--tiles", "3", "--workers", "2", "--engine",
+                           "rio", "--json", json.c_str(), "--trace",
+                           trace.c_str()},
+                          &text);
+  EXPECT_EQ(rc, 0) << text;
+  EXPECT_NE(slurp(json).find("\"rio.obs.v1\""), std::string::npos);
+  const std::string tr = slurp(trace);
+  EXPECT_EQ(tr.front(), '[');
+  EXPECT_NE(tr.find("thread_name"), std::string::npos);
+  std::remove(json.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(CliProfile, SimEngineReportsTickClock) {
+  std::string text;
+  const int rc = run_args({"profile", "--quick", "--workload", "chain",
+                           "--tasks", "32", "--engine", "sim-rio"},
+                          &text);
+  EXPECT_EQ(rc, 0) << text;
+  EXPECT_NE(text.find("clock=ticks"), std::string::npos) << text;
+}
+
+TEST(CliProfile, RejectsSeqEngine) {
+  std::string text;
+  EXPECT_EQ(run_args({"profile", "--engine", "seq"}, &text), 1);
+}
+
+// ------------------------------------------------------ JSON reports -------
+
+TEST(CliJson, ChaosReportIsVersionedAndConsistent) {
+  const std::string json = "/tmp/rioflow_test_chaos.json";
+  std::remove(json.c_str());
+  std::string text;
+  const int rc = run_args({"chaos", "--quick", "--workload", "chain",
+                           "--tasks", "32", "--task-size", "20", "--workers",
+                           "2", "--engines", "rio", "--json", json.c_str()},
+                          &text);
+  EXPECT_EQ(rc, 0) << text;
+  const std::string doc = slurp(json);
+  EXPECT_NE(doc.find("\"rio.chaos.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"summary\""), std::string::npos);
+  EXPECT_NE(doc.find("\"failed\": false"), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST(CliJson, LintReportCarriesFindings) {
+  const std::string json = "/tmp/rioflow_test_lint.json";
+  std::remove(json.c_str());
+  std::string text;
+  const int rc = run_args({"lint", "--workload", "lintfix:dead-write",
+                           "--json", json.c_str()},
+                          &text);
+  EXPECT_EQ(rc, 3) << text;  // the fixture is seeded-bad on purpose
+  const std::string doc = slurp(json);
+  EXPECT_NE(doc.find("\"rio.lint.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"RF002\""), std::string::npos);
+  EXPECT_NE(doc.find("\"worst\": \"warning\""), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST(CliJson, CheckReportIsVersioned) {
+  const std::string json = "/tmp/rioflow_test_check.json";
+  std::remove(json.c_str());
+  std::string text;
+  const int rc = run_args({"check", "--workload", "cholesky", "--tiles", "3",
+                           "--engine", "rio", "--workers", "2", "--json",
+                           json.c_str()},
+                          &text);
+  EXPECT_EQ(rc, 0) << text;
+  const std::string doc = slurp(json);
+  EXPECT_NE(doc.find("\"rio.check.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("interval validation"), std::string::npos);
+  std::remove(json.c_str());
+}
+
 }  // namespace

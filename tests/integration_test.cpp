@@ -116,6 +116,50 @@ TEST(TraceExport, JsonEscapesSpecialCharacters) {
   EXPECT_NE(os.str().find("quote\\\"back\\\\slash"), std::string::npos);
 }
 
+TEST(TraceExport, JsonEscapesControlCharacters) {
+  // Regression: escape() used to pass through control chars below 0x20
+  // other than '\n', producing invalid JSON for names with e.g. '\t'.
+  stf::TaskFlow flow;
+  flow.add(std::string("tab\there\x01raw\nline"), [](stf::TaskContext&) {},
+           {});
+  rt::Runtime runtime(rt::Config{.num_workers = 1, .collect_trace = true});
+  runtime.run(flow, rt::mapping::single());
+  std::ostringstream os;
+  stf::export_chrome_trace(runtime.trace(), flow, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("tab\\there\\u0001raw\\nline"), std::string::npos);
+  for (char c : json)
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control character leaked into the JSON output";
+}
+
+TEST(TraceExport, CsvQuotesNamesWithDelimiters) {
+  // Regression: export_csv wrote names unquoted, so a comma in a task name
+  // shifted every following column.
+  stf::TaskFlow flow;
+  flow.add("gemm(1,2)", [](stf::TaskContext&) {}, {});
+  flow.add("say \"hi\"", [](stf::TaskContext&) {}, {});
+  rt::Runtime runtime(rt::Config{.num_workers = 1, .collect_trace = true});
+  runtime.run(flow, rt::mapping::single());
+  std::ostringstream os;
+  stf::export_csv(runtime.trace(), flow, os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("\"gemm(1,2)\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  // Every row still has exactly 6 commas (7 columns).
+  std::istringstream lines(csv);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::size_t commas = 0;
+    bool quoted = false;
+    for (char c : line) {
+      if (c == '"') quoted = !quoted;
+      if (c == ',' && !quoted) ++commas;
+    }
+    EXPECT_EQ(commas, 6u) << line;
+  }
+}
+
 TEST(TraceExport, CsvHasHeaderAndAllRows) {
   rt::Runtime runtime(rt::Config{.num_workers = 2, .collect_trace = true});
   auto flow = traced_flow(runtime, 2);

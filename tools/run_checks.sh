@@ -8,10 +8,13 @@
 #   6. `rioflow check` on both runtimes plus the injected-race fixture;
 #   7. `rioflow chaos --quick` — the fault sweep must survive with zero
 #      oracle mismatches (docs/robustness.md);
-#   8. bench JSON reporters — micro_unroll and fig7_workers emit
+#   8. rioflow JSON reports — `profile --quick --json --trace` on two
+#      workloads x two engines, plus `chaos --json` and `lint --json`;
+#      every emitted document must parse (docs/observability.md);
+#   9. bench JSON reporters — micro_unroll and fig7_workers emit
 #      BENCH_*.json, both must parse; BENCH_unroll.json is kept at the
 #      repo root (committed reference numbers, see docs/perf.md);
-#   9. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
+#  10. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
 #      failure suite + rioflow with RIO_SANITIZE=thread and reruns the
 #      resilience tests and the quick chaos sweep under TSan — the retry /
 #      watchdog / abort machinery is exactly the kind of code TSan earns
@@ -86,7 +89,6 @@ if ! "$RIOFLOW" chaos --quick --workers 2 >/dev/null; then
   fail "chaos --quick (stall, oracle mismatch or unexpected error)"
 fi
 
-step "bench json reporters"
 json_ok() {  # validate without depending on a system json tool chain
   if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$1" >/dev/null
@@ -94,6 +96,43 @@ json_ok() {  # validate without depending on a system json tool chain
     [ -s "$1" ]  # last resort: non-empty
   fi
 }
+
+step "rioflow json reports: profile / chaos / lint (rio.*.v1 schemas)"
+OBSDIR="$BUILD/obs-check"
+mkdir -p "$OBSDIR"
+for w in cholesky stencil; do
+  for e in rio coor; do
+    OBS="$OBSDIR/$w-$e.obs.json"
+    TRACE="$OBSDIR/$w-$e.trace.json"
+    if "$RIOFLOW" profile --quick --workload "$w" --engine "$e" --workers 2 \
+         --json "$OBS" --trace "$TRACE" >/dev/null; then
+      json_ok "$OBS" || fail "profile $w/$e: obs.json does not parse"
+      json_ok "$TRACE" || fail "profile $w/$e: trace does not parse"
+      grep -q '"rio.obs.v1"' "$OBS" || fail "profile $w/$e: missing schema tag"
+    else
+      fail "profile --quick $w/$e"
+    fi
+  done
+done
+if "$RIOFLOW" chaos --quick --workers 2 --json "$OBSDIR/chaos.json" \
+     >/dev/null; then
+  json_ok "$OBSDIR/chaos.json" || fail "chaos.json does not parse"
+  grep -q '"rio.chaos.v1"' "$OBSDIR/chaos.json" ||
+    fail "chaos.json: missing schema tag"
+else
+  fail "chaos --quick --json"
+fi
+# The fixture is seeded-bad, so lint exits non-zero AND writes the report.
+"$RIOFLOW" lint --workload lintfix:dead-write --json "$OBSDIR/lint.json" \
+  >/dev/null
+if json_ok "$OBSDIR/lint.json"; then
+  grep -q '"rio.lint.v1"' "$OBSDIR/lint.json" ||
+    fail "lint.json: missing schema tag"
+else
+  fail "lint.json does not parse"
+fi
+
+step "bench json reporters"
 # Run from the repo root: the reporters write BENCH_<id>.json into $PWD.
 if (cd "$ROOT" && "$BUILD/bench/micro_unroll" --quick --json >/dev/null); then
   if ! json_ok "$ROOT/BENCH_unroll.json"; then
