@@ -19,9 +19,32 @@
 #include <utility>
 #include <vector>
 
+#include "engine/registry.hpp"
 #include "support/format.hpp"
+#include "stf/flow_image.hpp"
 
 namespace rio::bench {
+
+/// Launches registry backend `name` on `image` — the bench-side consumer of
+/// the engine seam (docs/engines.md). needs_mapping backends whose Launch
+/// carries no mapping get round-robin over launch.workers, so a bench can
+/// sweep engines by name with zero per-engine dispatch. An unknown name
+/// aborts the bench with the registry's structured error (exit 2); a knob
+/// the backend lacks propagates as engine::UnsupportedLaunch.
+inline engine::Outcome run_backend(const std::string& name,
+                                   const stf::FlowImage& image,
+                                   engine::Launch launch = {}) {
+  std::string error;
+  const engine::Backend* backend =
+      engine::Registry::instance().find_or_error(name, error);
+  if (backend == nullptr) {
+    std::cerr << error << "\n";
+    std::exit(2);
+  }
+  if (backend->caps().needs_mapping && !launch.mapping.valid())
+    launch.mapping = rt::mapping::round_robin(launch.workers);
+  return backend->run(image, launch);
+}
 
 struct Options {
   bool csv = false;

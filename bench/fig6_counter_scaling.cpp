@@ -13,10 +13,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "coor/coor.hpp"
 #include "rio/rio.hpp"
 #include "sim/sim.hpp"
-#include "stf/sequential.hpp"
 #include "support/clock.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -93,30 +91,24 @@ void real_threads(const bench::Options& opt) {
     spec.task_cost = sz;
     spec.body = workloads::BodyKind::kCounter;
 
-    auto wl_rio = workloads::make_independent(spec);
-    rt::Runtime rio_rt(rt::Config{.num_workers = workers,
-                                  .collect_stats = false});
-    support::Stopwatch sw1;
-    rio_rt.run(wl_rio.flow, rt::mapping::round_robin(workers));
-    const double rio_ms = sw1.elapsed_s() * 1e3;
-
-    auto wl_coor = workloads::make_independent(spec);
-    coor::Runtime coor_rt(coor::Config{.num_workers = workers,
-                                       .collect_stats = false});
-    support::Stopwatch sw2;
-    coor_rt.run(wl_coor.flow);
-    const double coor_ms = sw2.elapsed_s() * 1e3;
-
-    auto wl_seq = workloads::make_independent(spec);
-    support::Stopwatch sw3;
-    stf::SequentialExecutor{}.run(wl_seq.flow);
-    const double seq_ms = sw3.elapsed_s() * 1e3;
+    // One launcher for every column: the engine::Registry dispatches by
+    // name, so this bench never touches an engine-specific Config again.
+    const auto measure_ms = [&](const char* engine_name) {
+      auto wl = workloads::make_independent(spec);
+      const auto image = stf::FlowImage::compile(wl.flow);
+      engine::Launch launch;
+      launch.workers = workers;
+      launch.collect_stats = false;
+      support::Stopwatch sw;
+      (void)bench::run_backend(engine_name, image, launch);
+      return sw.elapsed_s() * 1e3;
+    };
 
     table.row()
         .integer(static_cast<long long>(sz))
-        .num(rio_ms, 2)
-        .num(coor_ms, 2)
-        .num(seq_ms, 2);
+        .num(measure_ms("rio"), 2)
+        .num(measure_ms("coor"), 2)
+        .num(measure_ms("seq"), 2);
   }
   bench::emit(table, opt);
 }

@@ -14,12 +14,11 @@
 
 #include "analysis/analysis.hpp"
 #include "coor/coor.hpp"
-#include "hybrid/runtime.hpp"
+#include "engine/registry.hpp"
 #include "metrics/efficiency.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "rio/rio.hpp"
-#include "sim/sim.hpp"
 #include "support/clock.hpp"
 #include "support/format.hpp"
 #include "support/json.hpp"
@@ -43,11 +42,11 @@ bool to_u32(const std::string& s, std::uint32_t& out) {
   return true;
 }
 
-workloads::BodyKind body_for_engine(const std::string& engine) {
-  return engine.rfind("sim-", 0) == 0 || engine == "seq"
-             ? (engine == "seq" ? workloads::BodyKind::kCounter
-                                : workloads::BodyKind::kNone)
-             : workloads::BodyKind::kCounter;
+/// Virtual-time backends never execute bodies, so building counter kernels
+/// for them would be wasted setup; every real backend gets real bodies.
+workloads::BodyKind body_for(const engine::Backend& backend) {
+  return backend.caps().virtual_time ? workloads::BodyKind::kNone
+                                     : workloads::BodyKind::kCounter;
 }
 
 /// Builds the selected workload with explicit task bodies; returns false +
@@ -193,6 +192,18 @@ bool pick_scheduler(const Options& o, coor::SchedulerKind& out,
   return true;
 }
 
+/// Assembles an engine::Launch from the CLI knobs. Only the string parsing
+/// can fail (exit 1); capability mismatches are the registry's job and
+/// surface later as one structured UnsupportedLaunch (exit 2).
+bool make_launch(const Options& o, const workloads::Workload& wl,
+                 engine::Launch& launch, std::string& error) {
+  launch.workers = o.workers;
+  if (!pick_mapping(o, wl, launch.mapping, error)) return false;
+  if (!pick_policy(o, launch.wait_policy, error)) return false;
+  if (!pick_scheduler(o, launch.scheduler, error)) return false;
+  return true;
+}
+
 bool parse_fail_on(const std::string& s, analysis::Severity& out,
                    std::string& error) {
   if (s == "error") out = analysis::Severity::kError;
@@ -214,7 +225,8 @@ int run_lint(const Options& o, std::ostream& out, std::ostream& err) {
     return 1;
   }
   workloads::Workload wl;
-  if (!build_workload(o, body_for_engine(o.engine), wl, error)) {
+  // Static analysis: bodies never run, so the kind does not matter.
+  if (!build_workload(o, workloads::BodyKind::kCounter, wl, error)) {
     err << "rioflow: " << error << "\n";
     return 1;
   }
@@ -252,8 +264,14 @@ int run_check(const Options& o, std::ostream& out, std::ostream& err) {
     err << "rioflow: " << error << "\n";
     return 1;
   }
+  const engine::Backend* backend =
+      engine::Registry::instance().find_or_error(o.engine, error);
+  if (backend == nullptr) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
   workloads::Workload wl;
-  if (!build_workload(o, body_for_engine(o.engine), wl, error)) {
+  if (!build_workload(o, body_for(*backend), wl, error)) {
     err << "rioflow: " << error << "\n";
     return 1;
   }
@@ -268,39 +286,26 @@ int run_check(const Options& o, std::ostream& out, std::ostream& err) {
     auto fx = analysis::fixtures::injected_race();
     trace = std::move(fx.trace);
     sync = std::move(fx.sync);
-  } else if (o.engine == "rio") {
-    rt::Mapping mapping;
-    support::WaitPolicy policy{};
-    if (!pick_mapping(o, wl, mapping, error) ||
-        !pick_policy(o, policy, error)) {
-      err << "rioflow: " << error << "\n";
-      return 1;
-    }
-    rt::Runtime engine(rt::Config{.num_workers = o.workers,
-                                  .wait_policy = policy,
-                                  .collect_trace = true,
-                                  .collect_sync = true});
-    engine.run(wl.flow, mapping);
-    trace = engine.trace();
-    sync = engine.sync_trace();
-    worker_in_order = true;
-  } else if (o.engine == "coor") {
-    coor::SchedulerKind scheduler{};
-    if (!pick_scheduler(o, scheduler, error)) {
-      err << "rioflow: " << error << "\n";
-      return 1;
-    }
-    coor::Runtime engine(coor::Config{.num_workers = o.workers,
-                                      .scheduler = scheduler,
-                                      .collect_trace = true,
-                                      .collect_sync = true});
-    engine.run(wl.flow);
-    trace = engine.trace();
-    sync = engine.sync_trace();
   } else {
-    err << "rioflow: check supports engines rio|coor, not '" << o.engine
-        << "'\n";
-    return 1;
+    engine::Launch launch;
+    if (!make_launch(o, wl, launch, error)) {
+      err << "rioflow: " << error << "\n";
+      return 1;
+    }
+    launch.collect_trace = true;
+    launch.collect_sync = true;
+    const stf::FlowImage image = stf::FlowImage::compile(wl.flow);
+    try {
+      engine::Outcome outcome = backend->run(image, launch);
+      trace = std::move(outcome.trace);
+      sync = std::move(outcome.sync);
+    } catch (const engine::UnsupportedLaunch& e) {
+      // One registry-generated error for every "that engine cannot record
+      // sync events" case — sims, seq, hybrid alike.
+      err << "rioflow: " << e.what() << "\n";
+      return 2;
+    }
+    worker_in_order = backend->caps().in_order;
   }
 
   out << "-- check: " << wl.name << " --\n";
@@ -370,11 +375,19 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
     return 1;
   }
   for (const std::string& e : engines) {
-    if (e != "rio" && e != "rio-pruned" && e != "coor" && e != "hybrid") {
-      err << "rioflow: chaos supports engines rio|rio-pruned|coor|hybrid, "
-             "not '"
-          << e << "'\n";
+    const engine::Backend* b =
+        engine::Registry::instance().find_or_error(e, error);
+    if (b == nullptr) {
+      err << "rioflow: " << error << "\n";
       return 1;
+    }
+    if (!b->caps().executes_bodies) {
+      // The sweep verifies data bytes against the sequential oracle, which
+      // is meaningless when task bodies never run (virtual-time backends).
+      err << "rioflow: engine '" << e
+          << "' cannot run chaos: task bodies never execute "
+             "(no executes_bodies capability)\n";
+      return 2;
     }
   }
   if (o.fault_rate < 0.0 || o.fault_rate > 1.0) {
@@ -432,7 +445,9 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
       oracle = data_image(wl.flow.registry());
     }
 
-    for (const std::string& engine : engines) {
+    for (const std::string& ename : engines) {
+      const engine::Backend& backend =
+          *engine::Registry::instance().find(ename);
       for (double rate : rates) {
         for (std::uint32_t s = 0; s < seeds; ++s) {
           // Fresh flow per run: data starts from zero again.
@@ -441,8 +456,8 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
             err << "rioflow: " << error << "\n";
             return 1;
           }
-          rt::Mapping mapping;
-          if (!pick_mapping(wo, wl, mapping, error)) {
+          engine::Launch launch;
+          if (!pick_mapping(wo, wl, launch.mapping, error)) {
             err << "rioflow: " << error << "\n";
             return 1;
           }
@@ -451,59 +466,26 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
           plan.seed = o.seed + s;
           plan.throw_rate = rate;
           support::FaultInjector injector(plan);
-          const support::RetryPolicy retry{.max_attempts = o.retries};
-          const std::uint64_t wd = o.watchdog_ms * 1'000'000ull;
+
+          launch.workers = o.workers;
+          launch.wait_policy = policy;
+          launch.scheduler = scheduler;
+          launch.collect_stats = false;
+          launch.retry = support::RetryPolicy{.max_attempts = o.retries};
+          launch.fault = &injector;
+          launch.watchdog_ns = o.watchdog_ms * 1'000'000ull;
+          const stf::FlowImage image = stf::FlowImage::compile(wl.flow);
 
           ++runs;
           bool survived = false;
           std::string verdict;
           try {
-            if (engine == "rio") {
-              rt::Runtime eng(rt::Config{.num_workers = o.workers,
-                                         .wait_policy = policy,
-                                         .collect_stats = false,
-                                         .retry = retry,
-                                         .fault = &injector,
-                                         .watchdog_ns = wd});
-              eng.run(wl.flow, mapping);
-            } else if (engine == "rio-pruned") {
-              rt::PrunedPlan pplan(wl.flow, mapping, o.workers);
-              rt::PrunedRuntime eng(rt::Config{.num_workers = o.workers,
-                                               .wait_policy = policy,
-                                               .collect_stats = false,
-                                               .retry = retry,
-                                               .fault = &injector,
-                                               .watchdog_ns = wd});
-              eng.run(wl.flow, pplan);
-            } else if (engine == "coor") {
-              coor::Runtime eng(coor::Config{.num_workers = o.workers,
-                                             .scheduler = scheduler,
-                                             .collect_stats = false,
-                                             .retry = retry,
-                                             .fault = &injector,
-                                             .watchdog_ns = wd});
-              eng.run(wl.flow);
-            } else {  // hybrid
-              hybrid::Runtime eng(
-                  hybrid::Config{.num_workers = o.workers,
-                                 .wait_policy = policy,
-                                 .dynamic_scheduler = scheduler,
-                                 .collect_stats = false,
-                                 .retry = retry,
-                                 .fault = &injector,
-                                 .watchdog_ns = wd});
-              const std::uint32_t workers = o.workers;
-              eng.run(wl.flow,
-                      [workers](stf::TaskId t) -> std::optional<stf::WorkerId> {
-                        // Alternate static/dynamic phases, 16 tasks each, so
-                        // BOTH engines see faults in every hybrid run.
-                        if ((t / 16) % 2 == 0)
-                          return static_cast<stf::WorkerId>(t % workers);
-                        return std::nullopt;
-                      });
-            }
+            (void)backend.run(image, launch);
             survived = true;
             verdict = "ok";
+          } catch (const engine::UnsupportedLaunch& e) {
+            err << "rioflow: " << e.what() << "\n";
+            return 2;
           } catch (const stf::StallError&) {
             ++stalled;
             verdict = "STALLED";
@@ -527,11 +509,11 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
           if (injector.injected_throws() > 0) ++total_retried;
           total_throws += injector.injected_throws();
           total_stalls += injector.injected_stalls();
-          cells.push_back({wname, engine, verdict, rate, plan.seed,
+          cells.push_back({wname, ename, verdict, rate, plan.seed,
                            injector.injected_throws(),
                            injector.injected_stalls(), verdict == "ok"});
 
-          out << "chaos: " << wname << " engine=" << engine
+          out << "chaos: " << wname << " engine=" << ename
               << " rate=" << rate << " seed=" << plan.seed
               << " throws=" << injector.injected_throws() << " -> " << verdict
               << "\n";
@@ -593,17 +575,19 @@ int run_profile(const Options& o, std::ostream& out, std::ostream& err) {
     po.tiles = std::min<std::uint32_t>(po.tiles, 4);
     po.task_size = std::min<std::uint64_t>(po.task_size, 200);
   }
-  workloads::Workload wl;
-  if (!build_workload(po, body_for_engine(po.engine), wl, error)) {
+  const engine::Backend* backend =
+      engine::Registry::instance().find_or_error(po.engine, error);
+  if (backend == nullptr) {
     err << "rioflow: " << error << "\n";
     return 1;
   }
-  rt::Mapping mapping;
-  support::WaitPolicy policy{};
-  coor::SchedulerKind scheduler{};
-  if (!pick_mapping(po, wl, mapping, error) ||
-      !pick_policy(po, policy, error) ||
-      !pick_scheduler(po, scheduler, error)) {
+  workloads::Workload wl;
+  if (!build_workload(po, body_for(*backend), wl, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  engine::Launch launch;
+  if (!make_launch(po, wl, launch, error)) {
     err << "rioflow: " << error << "\n";
     return 1;
   }
@@ -615,56 +599,13 @@ int run_profile(const Options& o, std::ostream& out, std::ostream& err) {
   obs::Hub hub(ho);
 
   const std::uint32_t workers = po.workers;
+  launch.obs = &hub;
   support::RunStats stats;
-  if (po.engine == "rio") {
-    rt::Runtime engine(rt::Config{.num_workers = workers,
-                                  .wait_policy = policy,
-                                  .collect_stats = true,
-                                  .obs = &hub});
-    stats = engine.run(wl.flow, mapping);
-  } else if (po.engine == "rio-pruned") {
-    rt::PrunedPlan plan(wl.flow, mapping, workers);
-    rt::PrunedRuntime engine(rt::Config{.num_workers = workers,
-                                        .wait_policy = policy,
-                                        .collect_stats = true,
-                                        .obs = &hub});
-    stats = engine.run(wl.flow, plan);
-  } else if (po.engine == "coor") {
-    coor::Runtime engine(coor::Config{.num_workers = workers,
-                                      .scheduler = scheduler,
-                                      .collect_stats = true,
-                                      .obs = &hub});
-    stats = engine.run(wl.flow);
-  } else if (po.engine == "hybrid") {
-    hybrid::Runtime engine(hybrid::Config{.num_workers = workers,
-                                          .wait_policy = policy,
-                                          .dynamic_scheduler = scheduler,
-                                          .collect_stats = true,
-                                          .obs = &hub});
-    // Alternate static/dynamic phases, 16 tasks each, so both engines (and
-    // both telemetry paths) appear in the profile.
-    stats = engine.run(
-        wl.flow, [workers](stf::TaskId t) -> std::optional<stf::WorkerId> {
-          if ((t / 16) % 2 == 0) return static_cast<stf::WorkerId>(t % workers);
-          return std::nullopt;
-        });
-  } else if (po.engine == "sim-rio") {
-    sim::DecentralizedParams dp;
-    dp.workers = workers;
-    dp.obs = &hub;
-    const auto rep = sim::simulate_decentralized(wl.flow, mapping, dp);
-    stats = rep.stats;
-  } else if (po.engine == "sim-coor") {
-    sim::CentralizedParams cp;
-    cp.workers = workers;
-    cp.obs = &hub;
-    const auto rep = sim::simulate_centralized(wl.flow, cp);
-    stats = rep.stats;
-  } else {
-    err << "rioflow: profile supports engines "
-           "rio|rio-pruned|coor|hybrid|sim-rio|sim-coor, not '"
-        << po.engine << "'\n";
-    return 1;
+  try {
+    stats = backend->run(stf::FlowImage::compile(wl.flow), launch).stats;
+  } catch (const engine::UnsupportedLaunch& e) {
+    err << "rioflow: " << e.what() << "\n";
+    return 2;
   }
 
   const bool ticks = hub.clock_unit() == obs::ClockUnit::kTicks;
@@ -736,9 +677,66 @@ int run_profile(const Options& o, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `rioflow engines`: list the registered backends with their capability
+/// flags. --json writes the versioned rio.engines.v1 document the
+/// run_checks.sh smoke gate iterates over.
+int run_engines(const Options& o, std::ostream& out, std::ostream& err) {
+  const std::vector<const engine::Backend*> backends =
+      engine::Registry::instance().all();
+
+  out << "-- engines (" << backends.size() << " registered) --\n";
+  support::Table table({"engine", "capabilities", "description"});
+  for (const engine::Backend* b : backends) {
+    std::string caps;
+    for (const auto& [flag, on] : engine::capability_list(b->caps())) {
+      if (!on) continue;
+      if (!caps.empty()) caps += ' ';
+      caps += flag;
+    }
+    table.row()
+        .str(std::string(b->name()))
+        .str(caps)
+        .str(std::string(b->description()));
+  }
+  if (o.csv)
+    table.print_csv(out);
+  else
+    table.print(out);
+
+  if (!o.json_path.empty()) {
+    std::ofstream f(o.json_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.json_path << "\n";
+      return 2;
+    }
+    f << "{\n  \"schema\": \"rio.engines.v1\",\n  \"engines\": [";
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      const engine::Backend* b = backends[i];
+      f << (i == 0 ? "\n" : ",\n") << "    {\"name\": "
+        << support::json_quote(std::string(b->name())) << ", \"description\": "
+        << support::json_quote(std::string(b->description()))
+        << ", \"capabilities\": {";
+      bool first = true;
+      for (const auto& [flag, on] : engine::capability_list(b->caps())) {
+        f << (first ? "" : ", ") << '"' << flag
+          << "\": " << (on ? "true" : "false");
+        first = false;
+      }
+      f << "}}";
+    }
+    f << (backends.empty() ? "]" : "\n  ]") << "\n}\n";
+    out << "wrote " << o.json_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::string usage() {
+  // The engine list is derived from the registry so it can never drift
+  // from the code; `rioflow engines` prints the capability matrix.
+  const std::string engines =
+      engine::Registry::instance().names_csv(" | ");
   return R"(rioflow — run STF workloads on the RIO execution models
 
 usage: rioflow [command] [options]
@@ -746,16 +744,18 @@ usage: rioflow [command] [options]
     (none)        generate the workload and execute it on --engine
     lint          static flow analysis only — nothing executes (RF/RM/RP
                   finding codes; see docs/analysis.md)
-    check         execute on rio|coor recording sync events, then run the
-                  happens-before race checker (RC codes)
+    check         execute a supports_sync engine recording sync events, then
+                  run the happens-before race checker (RC codes)
     chaos         sweep a deterministic fault plan (seeds x rates x engines)
                   with retry+rollback and the progress watchdog enabled,
                   verifying survivors against the sequential oracle
     profile       execute once with the rio::obs telemetry hub attached and
                   report per-worker phase totals, counters and the e_p*e_r
-                  decomposition (engines rio|rio-pruned|coor|hybrid|
-                  sim-rio|sim-coor; --trace writes a Perfetto trace,
-                  --json the rio.obs.v1 document, --quick shrinks)
+                  decomposition (any supports_obs engine; --trace writes a
+                  Perfetto trace, --json the rio.obs.v1 document, --quick
+                  shrinks)
+    engines       list registered backends with their capability flags
+                  (--json writes the rio.engines.v1 document)
 
   --workload W    independent | random | chain | gemm | lu | cholesky |
                   stencil |
@@ -763,8 +763,10 @@ usage: rioflow [command] [options]
                              fft|tree|all_to_all|spread> |
                   lintfix:<uninit-read|dead-write|unused-handle|
                            redundant-edge|race>                 [independent]
-  --engine E      seq | rio | rio-pruned | coor | sim-rio | sim-coor  [rio]
-  --workers N     worker threads / virtual cores                [2]
+  --engine E      )" +
+         engines + R"(  [rio]
+  --workers N     worker threads / virtual cores                [2])" +
+         R"(
   --tasks N       synthetic workloads: task count               [4096]
   --tiles N       tiled workloads: grid dimension               [8]
   --width N       taskbench/stencil width                       [24]
@@ -781,7 +783,8 @@ usage: rioflow [command] [options]
   --fault-seeds N chaos: fault-plan seeds per (engine, rate)     [3]
   --retries N     chaos: retry budget (max attempts per task)    [3]
   --watchdog-ms N chaos: progress watchdog window, 0 disables    [2000]
-  --engines CSV   chaos: subset of rio,rio-pruned,coor,hybrid    [all]
+  --engines CSV   chaos: executes_bodies engines to sweep
+                  (see `rioflow engines`)      [rio,rio-pruned,coor,hybrid]
   --quick         chaos/profile: shrunk run for CI gates
   --summary       print flow structure summary
   --decompose     print e_p/e_r efficiency decomposition
@@ -800,8 +803,9 @@ bool parse(int argc, const char* const* argv, Options& o,
   if (argc > 1 && argv[1][0] != '-') {
     const std::string cmd = argv[1];
     if (cmd != "lint" && cmd != "check" && cmd != "chaos" &&
-        cmd != "profile") {
-      error = "unknown command '" + cmd + "' (lint|check|chaos|profile)";
+        cmd != "profile" && cmd != "engines") {
+      error =
+          "unknown command '" + cmd + "' (lint|check|chaos|profile|engines)";
       return false;
     }
     o.command = cmd;
@@ -935,9 +939,16 @@ int run(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.command == "check") return run_check(o, out, err);
   if (o.command == "chaos") return run_chaos(o, out, err);
   if (o.command == "profile") return run_profile(o, out, err);
+  if (o.command == "engines") return run_engines(o, out, err);
   std::string error;
+  const engine::Backend* backend =
+      engine::Registry::instance().find_or_error(o.engine, error);
+  if (backend == nullptr) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
   workloads::Workload wl;
-  if (!build_workload(o, body_for_engine(o.engine), wl, error)) {
+  if (!build_workload(o, body_for(*backend), wl, error)) {
     err << "rioflow: " << error << "\n";
     return 1;
   }
@@ -957,77 +968,50 @@ int run(const Options& o, std::ostream& out, std::ostream& err) {
     out << "wrote " << o.dot_path << "\n";
   }
 
-  rt::Mapping mapping;
-  support::WaitPolicy policy{};
-  coor::SchedulerKind scheduler{};
-  if (!pick_mapping(o, wl, mapping, error) ||
-      !pick_policy(o, policy, error) ||
-      !pick_scheduler(o, scheduler, error)) {
+  engine::Launch launch;
+  if (!make_launch(o, wl, launch, error)) {
     err << "rioflow: " << error << "\n";
     return 1;
   }
-
   const bool want_trace = !o.trace_path.empty();
-  double best_s = 1e300;
-  support::RunStats stats;
-  std::uint64_t sim_makespan = 0;
-  stf::Trace trace;
+  launch.collect_trace = want_trace;
 
+  // A priority scheduler needs priorities: derive them from the dependency
+  // graph's bottom levels for any backend that honours a scheduler. Must
+  // happen before the image is compiled (the image snapshots priorities).
+  if (backend->caps().uses_scheduler &&
+      launch.scheduler == coor::SchedulerKind::kPriority) {
+    const auto levels = graph.bottom_levels(wl.flow);
+    for (stf::TaskId t = 0; t < wl.flow.num_tasks(); ++t)
+      wl.flow.set_priority(t, static_cast<std::int32_t>(levels[t]));
+  }
+  const stf::FlowImage image = stf::FlowImage::compile(wl.flow);
+
+  double best_s = 1e300;
+  engine::Outcome outcome;
   for (int rep = 0; rep < o.repeat; ++rep) {
     support::Stopwatch sw;
-    if (o.engine == "seq") {
-      stats = stf::SequentialExecutor{}.run(wl.flow);
-    } else if (o.engine == "rio") {
-      rt::Runtime engine(rt::Config{.num_workers = o.workers,
-                                    .wait_policy = policy,
-                                    .collect_trace = want_trace});
-      stats = engine.run(wl.flow, mapping);
-      if (want_trace) trace = engine.trace();
-    } else if (o.engine == "rio-pruned") {
-      rt::PrunedPlan plan(wl.flow, mapping, o.workers);
-      rt::PrunedRuntime engine(
-          rt::Config{.num_workers = o.workers, .wait_policy = policy});
-      stats = engine.run(wl.flow, plan);
-    } else if (o.engine == "coor") {
-      if (scheduler == coor::SchedulerKind::kPriority) {
-        const auto levels = graph.bottom_levels(wl.flow);
-        for (stf::TaskId t = 0; t < wl.flow.num_tasks(); ++t)
-          wl.flow.set_priority(t, static_cast<std::int32_t>(levels[t]));
-      }
-      coor::Runtime engine(coor::Config{.num_workers = o.workers,
-                                        .scheduler = scheduler,
-                                        .collect_trace = want_trace});
-      stats = engine.run(wl.flow);
-      if (want_trace) trace = engine.trace();
-    } else if (o.engine == "sim-rio") {
-      sim::DecentralizedParams dp;
-      dp.workers = o.workers;
-      const auto rep_r = sim::simulate_decentralized(wl.flow, mapping, dp);
-      stats = rep_r.stats;
-      sim_makespan = rep_r.makespan;
-    } else if (o.engine == "sim-coor") {
-      sim::CentralizedParams cp;
-      cp.workers = o.workers;
-      const auto rep_r = sim::simulate_centralized(wl.flow, cp);
-      stats = rep_r.stats;
-      sim_makespan = rep_r.makespan;
-    } else {
-      err << "rioflow: unknown engine '" << o.engine << "'\n";
-      return 1;
+    try {
+      outcome = backend->run(image, launch);
+    } catch (const engine::UnsupportedLaunch& e) {
+      err << "rioflow: " << e.what() << "\n";
+      return 2;
     }
     best_s = std::min(best_s, sw.elapsed_s());
   }
+  const support::RunStats& stats = outcome.stats;
+  const stf::Trace& trace = outcome.trace;
 
   // ---- report -------------------------------------------------------------
   support::Table table({"engine", "workload", "tasks", "workers", "time"});
-  const bool simulated = o.engine.rfind("sim-", 0) == 0;
   table.row()
       .str(o.engine)
       .str(wl.name)
       .integer(static_cast<long long>(wl.flow.num_tasks()))
       .integer(o.workers)
-      .str(simulated
-               ? support::format_duration_ns(static_cast<double>(sim_makespan)) +
+      .str(outcome.virtual_time
+               ? support::format_duration_ns(
+                     static_cast<double>(outcome.makespan)) +
                      " (virtual)"
                : support::format_duration_ns(best_s * 1e9));
   if (o.csv)

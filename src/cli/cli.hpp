@@ -21,7 +21,8 @@ struct Options {
   // "chaos" sweeps a fault plan over engines and verifies every surviving
   // run against the sequential oracle; "profile" executes with the
   // rio::obs telemetry hub attached and reports per-worker phase totals,
-  // counters and the e_p*e_r decomposition.
+  // counters and the e_p*e_r decomposition; "engines" lists the registered
+  // backends with their capability flags (engine::Registry).
   std::string command;
 
   // Workload selection.
@@ -37,9 +38,8 @@ struct Options {
   std::uint64_t seed = 42;
 
   // Engine selection.
-  std::string engine = "rio";  ///< seq | rio | rio-pruned | coor |
-                               ///< sim-rio | sim-coor (profile also
-                               ///< accepts hybrid)
+  std::string engine = "rio";  ///< any engine::Registry name — see
+                               ///< `rioflow engines` (docs/engines.md)
   std::uint32_t workers = 2;
   std::string mapping = "owner";    ///< rr | block | owner
   std::string policy = "yield";     ///< spin | yield | block
@@ -68,7 +68,8 @@ struct Options {
                               ///< for profile: the obs Perfetto trace)
   std::string json_path;      ///< machine-readable report: rio.obs.v1
                               ///< (profile), rio.chaos.v1 (chaos),
-                              ///< rio.lint.v1 / rio.check.v1 (lint/check)
+                              ///< rio.lint.v1 / rio.check.v1 (lint/check),
+                              ///< rio.engines.v1 (engines)
   bool csv = false;
 
   bool help = false;
@@ -82,7 +83,9 @@ bool parse(int argc, const char* const* argv, Options& out,
 std::string usage();
 
 /// Executes per the options; prints results to `out`. Returns process exit
-/// code (0 ok, 1 bad configuration, 2 execution problem, 3 analysis
+/// code (0 ok, 1 bad configuration — unknown engine/workload/option, 2
+/// execution problem — including a structured engine::UnsupportedLaunch
+/// when a knob exceeds the backend's capabilities, 3 analysis
 /// findings at or above the --fail-on severity — or, for chaos, any stall,
 /// oracle mismatch or unexpected error in the sweep).
 int run(const Options& options, std::ostream& out, std::ostream& err);

@@ -1,0 +1,169 @@
+// engine:: — the uniform backend seam every consumer launches through.
+//
+// The paper's whole argument is a controlled comparison of execution models
+// (RIO vs. centralized out-of-order, Fig. 1 / Section 5). Before this layer
+// every consumer — rioflow run/profile/chaos, the bench suite, the
+// fuzz/failure/obs tests — re-implemented its own `if (engine == "rio") …`
+// dispatch over five divergent Config structs. Now there is exactly one
+// seam:
+//
+//   * Backend   — `run(const stf::FlowImage&, const Launch&) -> Outcome`;
+//   * Launch    — one struct unifying the knobs of rt::Config, coor::Config,
+//                 hybrid::Config and sim::*Params;
+//   * Capabilities — per-backend flags consumers branch on instead of name
+//                 strings; a Launch asking for more than a backend offers is
+//                 rejected with ONE structured UnsupportedLaunch error;
+//   * Registry  — the process-wide directory (registry.hpp) where seq, rio,
+//                 rio-pruned, coor, hybrid, sim-rio, sim-coor and sim-hybrid
+//                 self-register by name.
+//
+// Adding a backend = implement Backend + one registration line in
+// src/engine/backends.cpp. See docs/engines.md for the recipe.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/fault.hpp"
+#include "support/stats.hpp"
+#include "support/wait.hpp"
+#include "coor/ready_queue.hpp"
+#include "hybrid/runtime.hpp"
+#include "rio/mapping.hpp"
+#include "stf/flow_image.hpp"
+#include "stf/trace.hpp"
+
+namespace rio::obs {
+class Hub;
+}
+
+namespace rio::engine {
+
+/// What a backend can do. Consumers branch on these flags instead of on
+/// engine-name strings; `validate()` turns a Launch that asks for more than
+/// the backend offers into one structured error (CLI exit code 2).
+struct Capabilities {
+  bool executes_bodies = false;  ///< task bodies really run — results are
+                                 ///< byte-comparable to the sequential oracle
+  bool virtual_time = false;     ///< makespan/buckets are virtual ticks, not
+                                 ///< wall-clock ns (discrete-event simulator)
+  bool supports_faults = false;  ///< fault injection + retry policy honoured
+  bool supports_watchdog = false;  ///< progress watchdog (real-time engines)
+  bool supports_trace = false;   ///< records a validatable execution trace
+  bool supports_sync = false;    ///< records acquire/release sync events for
+                                 ///< the happens-before checker (src/analysis)
+  bool supports_obs = false;     ///< obs::Hub telemetry (docs/observability.md)
+  bool supports_guard = false;   ///< dynamic access-guard race detection
+  bool supports_streaming = false;  ///< has a run_program streaming front end
+                                    ///< (outside this interface; rio only)
+  bool needs_mapping = false;    ///< requires a full static Launch::mapping
+  bool partial_mapping = false;  ///< consumes a hybrid::PartialMapping
+  bool uses_wait_policy = false;  ///< honours Launch::wait_policy
+  bool uses_scheduler = false;    ///< honours Launch::scheduler/work_stealing
+  bool in_order = false;   ///< per-worker in-order execution (what
+                           ///< Trace::validate's worker_in_order checks)
+  bool has_master = false;  ///< RunStats carries an extra master slot (p)
+};
+
+/// The flags as a stable (name, value) list — one place feeds the `rioflow
+/// engines` table, the rio.engines.v1 JSON and docs/engines.md.
+[[nodiscard]] std::vector<std::pair<std::string_view, bool>> capability_list(
+    const Capabilities& caps);
+
+/// One launch request — the union of the knobs that used to be threaded
+/// through rt::Config / coor::Config / hybrid::Config / sim::*Params at six
+/// call sites per feature. Knobs a backend lacks the capability for must be
+/// left at their defaults or run() refuses (UnsupportedLaunch).
+struct Launch {
+  std::uint32_t workers = 2;
+  support::WaitPolicy wait_policy = support::WaitPolicy::kSpinYield;
+  coor::SchedulerKind scheduler = coor::SchedulerKind::kFifo;
+  bool work_stealing = false;      ///< uses_scheduler backends only
+  rt::Mapping mapping;             ///< full static mapping (needs_mapping)
+  hybrid::PartialMapping partial;  ///< partial mapping (partial_mapping
+                                   ///< backends); empty = the backend's
+                                   ///< default 16-task alternation
+  bool collect_stats = true;
+  bool collect_trace = false;  ///< supports_trace backends only
+  bool collect_sync = false;   ///< supports_sync backends only
+  bool enable_guard = false;   ///< supports_guard backends only
+  bool pin_workers = false;
+  support::RetryPolicy retry;               ///< supports_faults backends only
+  support::FaultInjector* fault = nullptr;  ///< not owned; supports_faults
+  std::uint64_t watchdog_ns = 0;            ///< supports_watchdog backends
+  obs::Hub* obs = nullptr;  ///< not owned; supports_obs backends only
+};
+
+/// What one run produced. `stats` is always filled; the extras are only
+/// meaningful when the corresponding capability is set (and cheap/empty
+/// otherwise), so generic consumers can carry one Outcome type around.
+struct Outcome {
+  support::RunStats stats;
+  bool virtual_time = false;   ///< copied from the backend's capabilities
+  std::uint64_t makespan = 0;  ///< wall ns, or virtual ticks for simulators
+
+  stf::Trace trace;     ///< filled when Launch::collect_trace
+  stf::SyncTrace sync;  ///< filled when Launch::collect_sync
+
+  // Simulator resilience counters (sim::Report); real engines count via the
+  // FaultInjector the caller passed in.
+  std::uint64_t injected_throws = 0;
+  std::uint64_t injected_stalls = 0;
+  std::uint64_t retried_tasks = 0;
+  std::uint64_t failed_tasks = 0;
+
+  // Hybrid extras.
+  std::size_t phases = 0;
+  std::size_t completed_phases = 0;
+
+  // rio-pruned extra: plan-cache misses paid by this run.
+  std::uint64_t plan_compiles = 0;
+};
+
+/// The one structured "that knob is not supported here" error (satellite of
+/// docs/engines.md): lists every offending Launch knob at once. The CLI maps
+/// it to exit code 2; unknown engine NAMES are a different error (exit 1).
+class UnsupportedLaunch : public std::runtime_error {
+ public:
+  UnsupportedLaunch(std::string_view backend, const std::string& detail)
+      : std::runtime_error("engine '" + std::string(backend) +
+                           "' cannot run this launch: " + detail) {}
+};
+
+/// A registered execution backend. Implementations are stateless facades:
+/// run() builds a fresh underlying runtime per call, so backends are safe to
+/// share and re-enter from different tests/commands.
+class Backend {
+ public:
+  Backend() = default;
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+  [[nodiscard]] virtual const Capabilities& caps() const noexcept = 0;
+
+  /// Validates `launch` against caps() — throws UnsupportedLaunch naming
+  /// every unsupported knob — then executes the whole image to completion.
+  /// Failure semantics are the underlying engine's: stf::TaskFailure on
+  /// retry exhaustion, stf::StallError on watchdog fire, first body
+  /// exception otherwise.
+  [[nodiscard]] virtual Outcome run(const stf::FlowImage& image,
+                                    const Launch& launch) const = 0;
+};
+
+/// Every Launch knob `caps` cannot honour, as human-readable fragments
+/// (empty = launchable). Shared by validate() and the CLI's pre-flight.
+[[nodiscard]] std::vector<std::string> unsupported_knobs(
+    const Capabilities& caps, const Launch& launch);
+
+/// Throws UnsupportedLaunch listing every offending knob; no-op when the
+/// launch fits the backend's capabilities.
+void validate(const Backend& backend, const Launch& launch);
+
+}  // namespace rio::engine

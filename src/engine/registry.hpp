@@ -1,0 +1,52 @@
+// engine::Registry — the process-wide backend directory.
+//
+// The registry is the ONE place the engine list lives: usage strings, error
+// messages, the `rioflow engines` report, the test matrices and the
+// run_checks.sh smoke gate all derive from Registry::names(), so the list
+// can never drift from the code again. Built-in backends are registered on
+// first use (src/engine/backends.cpp) — a function call, not a static
+// initializer, so static-library linking cannot drop them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace rio::engine {
+
+class Registry {
+ public:
+  /// The singleton. First access registers the built-in backends (seq, rio,
+  /// rio-pruned, coor, hybrid, sim-rio, sim-coor, sim-hybrid) in that
+  /// order. Thread-safe initialization (magic static).
+  static Registry& instance();
+
+  /// Registers a backend. The name must be non-empty and unique; tests may
+  /// add experimental backends on top of the built-ins.
+  void add(std::unique_ptr<Backend> backend);
+
+  /// nullptr when no backend carries `name`.
+  [[nodiscard]] const Backend* find(std::string_view name) const noexcept;
+
+  /// find() with the structured unknown-name error every consumer prints:
+  /// "unknown engine 'x' (choices: seq, rio, ...)". CLI exit code 1.
+  [[nodiscard]] const Backend* find_or_error(std::string_view name,
+                                             std::string& error) const;
+
+  /// All backends in registration order.
+  [[nodiscard]] std::vector<const Backend*> all() const;
+
+  /// Registered names, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Names joined with `sep` — feeds usage strings and error messages.
+  [[nodiscard]] std::string names_csv(std::string_view sep = ", ") const;
+
+ private:
+  std::vector<std::unique_ptr<Backend>> backends_;
+};
+
+}  // namespace rio::engine

@@ -7,11 +7,10 @@
 
 namespace rio::hybrid {
 
-std::vector<Phase> partition(const stf::TaskFlow& flow,
-                             const PartialMapping& pm,
+std::vector<Phase> partition(std::size_t num_tasks, const PartialMapping& pm,
                              std::uint32_t num_workers) {
   RIO_ASSERT(pm && num_workers > 0);
-  const std::size_t n = flow.num_tasks();
+  const std::size_t n = num_tasks;
 
   // One shared owner table: static phases index into it by global id.
   auto owners = std::make_shared<std::vector<stf::WorkerId>>(
@@ -52,11 +51,25 @@ std::vector<Phase> partition(const stf::TaskFlow& flow,
   return phases;
 }
 
+std::vector<Phase> partition(const stf::TaskFlow& flow,
+                             const PartialMapping& pm,
+                             std::uint32_t num_workers) {
+  return partition(flow.num_tasks(), pm, num_workers);
+}
+
 Runtime::Runtime(Config cfg) : cfg_(cfg) {
   RIO_ASSERT_MSG(cfg_.num_workers > 0, "need at least one worker");
 }
 
 support::RunStats Runtime::run(const stf::TaskFlow& flow,
+                               const std::vector<Phase>& phases) {
+  // One compilation serves every phase: each phase executes an ImageRange
+  // slice, so neither engine ever walks the AoS Task array while unrolling.
+  const stf::FlowImage image = stf::FlowImage::compile(flow);
+  return run(image, phases);
+}
+
+support::RunStats Runtime::run(const stf::FlowImage& image,
                                const std::vector<Phase>& phases) {
   // Validate the tiling before touching anything.
   std::size_t expect = 0;
@@ -66,11 +79,7 @@ support::RunStats Runtime::run(const stf::TaskFlow& flow,
     if (ph.kind == Phase::Kind::kStatic)
       RIO_ASSERT_MSG(ph.mapping.valid(), "static phase without a mapping");
   }
-  RIO_ASSERT_MSG(expect == flow.num_tasks(), "phases must cover the flow");
-
-  // One compilation serves every phase: each phase executes an ImageRange
-  // slice, so neither engine ever walks the AoS Task array while unrolling.
-  const stf::FlowImage image = stf::FlowImage::compile(flow);
+  RIO_ASSERT_MSG(expect == image.size(), "phases must cover the flow");
 
   const std::uint32_t p = cfg_.num_workers;
   support::RunStats total;
@@ -144,6 +153,11 @@ support::RunStats Runtime::run(const stf::TaskFlow& flow,
 support::RunStats Runtime::run(const stf::TaskFlow& flow,
                                const PartialMapping& pm) {
   return run(flow, partition(flow, pm, cfg_.num_workers));
+}
+
+support::RunStats Runtime::run(const stf::FlowImage& image,
+                               const PartialMapping& pm) {
+  return run(image, partition(image.size(), pm, cfg_.num_workers));
 }
 
 }  // namespace rio::hybrid

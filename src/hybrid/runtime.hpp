@@ -57,8 +57,12 @@ struct Phase {
   rt::Mapping mapping;  ///< valid for static phases only
 };
 
-/// Cuts `flow` into maximal runs of mapped / unmapped tasks under `pm`.
-/// The returned phases cover the flow exactly, in order.
+/// Cuts tasks [0, num_tasks) into maximal runs of mapped / unmapped tasks
+/// under `pm`. The returned phases cover the range exactly, in order.
+std::vector<Phase> partition(std::size_t num_tasks, const PartialMapping& pm,
+                             std::uint32_t num_workers);
+
+/// Convenience overload on a materialized flow.
 std::vector<Phase> partition(const stf::TaskFlow& flow,
                              const PartialMapping& pm,
                              std::uint32_t num_workers);
@@ -100,6 +104,13 @@ class Runtime {
 
   /// Convenience: partition by a partial mapping, then run.
   support::RunStats run(const stf::TaskFlow& flow, const PartialMapping& pm);
+
+  /// Replay from a compiled image (stf/flow_image.hpp): phases execute
+  /// ImageRange slices directly — compile once, run many times. The TaskFlow
+  /// overloads compile a throwaway image and forward here.
+  support::RunStats run(const stf::FlowImage& image,
+                        const std::vector<Phase>& phases);
+  support::RunStats run(const stf::FlowImage& image, const PartialMapping& pm);
 
   /// Phase count of the last run (observability for tests/benches).
   [[nodiscard]] std::size_t last_phase_count() const noexcept {

@@ -3,16 +3,22 @@
 #include "support/clock.hpp"
 
 namespace rio::stf {
+namespace {
 
-support::RunStats SequentialExecutor::run(const TaskFlow& flow) const {
+/// Shared in-order walk: `get_task(i)` yields task i of `n`, bodies run on
+/// the calling thread against `registry`.
+template <typename GetTask>
+support::RunStats run_in_order(std::size_t n, const DataRegistry& registry,
+                               GetTask&& get_task) {
   support::RunStats stats;
   stats.workers.resize(1);
   support::WorkerStats& w = stats.workers[0];
 
   const std::uint64_t begin = support::monotonic_ns();
-  for (const Task& task : flow.tasks()) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& task = get_task(i);
     if (!task.fn) continue;  // cost-only task: nothing to execute
-    TaskContext ctx(task, flow.registry(), /*worker=*/0);
+    TaskContext ctx(task, registry, /*worker=*/0);
     const std::uint64_t t0 = support::monotonic_ns();
     task.fn(ctx);
     w.buckets.task_ns += support::monotonic_ns() - t0;
@@ -24,6 +30,21 @@ support::RunStats SequentialExecutor::run(const TaskFlow& flow) const {
   w.buckets.runtime_ns =
       stats.wall_ns > w.buckets.task_ns ? stats.wall_ns - w.buckets.task_ns : 0;
   return stats;
+}
+
+}  // namespace
+
+support::RunStats SequentialExecutor::run(const TaskFlow& flow) const {
+  const auto& tasks = flow.tasks();
+  return run_in_order(tasks.size(), flow.registry(),
+                      [&](std::size_t i) -> const Task& { return tasks[i]; });
+}
+
+support::RunStats SequentialExecutor::run(const FlowImage& image) const {
+  return run_in_order(image.size(), image.registry(),
+                      [&](std::size_t i) -> const Task& {
+                        return image.task(i);
+                      });
 }
 
 }  // namespace rio::stf

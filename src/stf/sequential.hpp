@@ -9,6 +9,7 @@
 #pragma once
 
 #include "support/stats.hpp"
+#include "stf/flow_image.hpp"
 #include "stf/task_flow.hpp"
 
 namespace rio::stf {
@@ -18,6 +19,10 @@ class SequentialExecutor {
   /// Runs every task of `flow` in order on the calling thread. Returns
   /// single-worker RunStats (all time is either task or runtime bucket).
   support::RunStats run(const TaskFlow& flow) const;
+
+  /// Image replay (stf/flow_image.hpp): same in-order walk over a compiled
+  /// image — what the engine::Registry's "seq" backend executes.
+  support::RunStats run(const FlowImage& image) const;
 };
 
 }  // namespace rio::stf

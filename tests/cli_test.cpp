@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "cli/cli.hpp"
+#include "engine/registry.hpp"
 
 namespace {
 
@@ -102,17 +104,19 @@ TEST(CliParse, HelpShortCircuits) {
 
 // -------------------------------------------------------------- running ----
 
-TEST(CliRun, EveryEngineRunsEveryCompatibleWorkload) {
-  for (const char* engine :
-       {"seq", "rio", "rio-pruned", "coor", "sim-rio", "sim-coor"}) {
+TEST(CliRun, EveryRegisteredEngineRunsEveryCompatibleWorkload) {
+  // Driven by the registry, not a hand-kept list: a newly registered
+  // backend is swept automatically (and must be runnable from the CLI with
+  // default knobs — that is the point of the registry seam).
+  for (const std::string& engine : rio::engine::Registry::instance().names()) {
     for (const char* workload :
          {"independent", "random", "gemm", "lu", "cholesky", "stencil",
           "taskbench:fft"}) {
       std::string text;
-      const int rc = run_args({"--engine", engine, "--workload", workload,
-                               "--tasks", "200", "--tiles", "3", "--width",
-                               "6", "--steps", "4", "--task-size", "50",
-                               "--workers", "2"},
+      const int rc = run_args({"--engine", engine.c_str(), "--workload",
+                               workload, "--tasks", "200", "--tiles", "3",
+                               "--width", "6", "--steps", "4", "--task-size",
+                               "50", "--workers", "2"},
                               &text);
       EXPECT_EQ(rc, 0) << engine << " x " << workload << ": " << text;
       EXPECT_NE(text.find(engine), std::string::npos);
@@ -292,9 +296,16 @@ TEST(CliCheck, InjectedRaceFixtureFails) {
   EXPECT_NE(text.find("RC301"), std::string::npos) << text;
 }
 
-TEST(CliCheck, RejectsSimEngines) {
+TEST(CliCheck, RejectsSimEnginesWithStructuredCapabilityError) {
+  // Satellite of docs/engines.md: a knob the backend cannot honour is ONE
+  // registry-generated UnsupportedLaunch error and exit code 2 — distinct
+  // from exit 1 (unknown engine name).
   std::string text;
-  EXPECT_EQ(run_args({"check", "--engine", "sim-rio"}, &text), 1);
+  EXPECT_EQ(run_args({"check", "--engine", "sim-rio"}, &text), 2);
+  EXPECT_NE(text.find("engine 'sim-rio' cannot run this launch"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("collect_trace"), std::string::npos) << text;
 }
 
 TEST(CliChaos, ParsesFlags) {
@@ -376,13 +387,17 @@ TEST(CliProfile, ParsesCommandAndJsonFlag) {
   EXPECT_TRUE(o.quick);
 }
 
-TEST(CliProfile, EveryEngineProducesPhaseTableAndDecomposition) {
-  for (const char* engine :
-       {"rio", "rio-pruned", "coor", "hybrid", "sim-rio", "sim-coor"}) {
+TEST(CliProfile, EveryObsEngineProducesPhaseTableAndDecomposition) {
+  // Capability-driven: profile must work for exactly the supports_obs
+  // backends in the registry (the others are covered by RejectsSeqEngine).
+  for (const rio::engine::Backend* b :
+       rio::engine::Registry::instance().all()) {
+    if (!b->caps().supports_obs) continue;
+    const std::string engine(b->name());
     std::string text;
     const int rc = run_args({"profile", "--quick", "--workload", "cholesky",
                              "--tiles", "3", "--workers", "2", "--engine",
-                             engine},
+                             engine.c_str()},
                             &text);
     EXPECT_EQ(rc, 0) << engine << ": " << text;
     EXPECT_NE(text.find("-- profile:"), std::string::npos) << engine;
@@ -422,8 +437,48 @@ TEST(CliProfile, SimEngineReportsTickClock) {
 }
 
 TEST(CliProfile, RejectsSeqEngine) {
+  // seq lacks supports_obs: the capability validator rejects the hub knob
+  // with the structured UnsupportedLaunch error (exit 2, not 1).
   std::string text;
-  EXPECT_EQ(run_args({"profile", "--engine", "seq"}, &text), 1);
+  EXPECT_EQ(run_args({"profile", "--engine", "seq"}, &text), 2);
+  EXPECT_NE(text.find("engine 'seq' cannot run this launch"),
+            std::string::npos)
+      << text;
+}
+
+TEST(CliChaos, RejectsVirtualTimeEngineWithExitTwo) {
+  // Chaos verifies bytes against the oracle; a simulator never executes
+  // bodies, so the pre-flight rejects it with the capability vocabulary.
+  std::string text;
+  EXPECT_EQ(run_args({"chaos", "--engines", "sim-rio"}, &text), 2);
+  EXPECT_NE(text.find("executes_bodies"), std::string::npos) << text;
+}
+
+// ------------------------------------------------------------- engines -----
+
+TEST(CliEngines, ListsEveryRegisteredBackend) {
+  std::string text;
+  EXPECT_EQ(run_args({"engines"}, &text), 0);
+  for (const std::string& name : rio::engine::Registry::instance().names())
+    EXPECT_NE(text.find(name), std::string::npos) << name << ":\n" << text;
+  EXPECT_NE(text.find("executes_bodies"), std::string::npos);
+  EXPECT_NE(text.find("virtual_time"), std::string::npos);
+}
+
+TEST(CliEngines, JsonReportIsVersionedAndComplete) {
+  const std::string json = "/tmp/rioflow_test_engines.json";
+  std::remove(json.c_str());
+  std::string text;
+  EXPECT_EQ(run_args({"engines", "--json", json.c_str()}, &text), 0);
+  std::ifstream f(json);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_NE(doc.find("\"rio.engines.v1\""), std::string::npos);
+  for (const std::string& name : rio::engine::Registry::instance().names())
+    EXPECT_NE(doc.find("\"" + name + "\""), std::string::npos) << name;
+  EXPECT_NE(doc.find("\"capabilities\""), std::string::npos);
+  std::remove(json.c_str());
 }
 
 // ------------------------------------------------------ JSON reports -------

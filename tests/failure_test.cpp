@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "coor/coor.hpp"
+#include "engine/registry.hpp"
 #include "hybrid/hybrid.hpp"
 #include "rio/rio.hpp"
 #include "support/fault.hpp"
@@ -37,13 +39,24 @@ stf::TaskFlow throwing_flow(int n, int throw_at, std::atomic<int>& executed) {
   return flow;
 }
 
-TEST(Failure, RioPropagatesFirstException) {
-  std::atomic<int> executed{0};
-  auto flow = throwing_flow(40, 10, executed);
-  rt::Runtime runtime(rt::Config{.num_workers = 3});
-  EXPECT_THROW(runtime.run(flow, rt::mapping::round_robin(3)), BoomError);
-  // Tasks strictly after the throwing one on the chain never ran.
-  EXPECT_EQ(executed.load(), 10);
+TEST(Failure, EveryBackendPropagatesBodyException) {
+  // Registry matrix: every backend that really executes task bodies must
+  // propagate the first body exception, and — the tasks forming a chain —
+  // must never have run a body past the throwing task.
+  for (const engine::Backend* backend : engine::Registry::instance().all()) {
+    if (!backend->caps().executes_bodies) continue;
+    SCOPED_TRACE(std::string(backend->name()));
+    std::atomic<int> executed{0};
+    auto flow = throwing_flow(40, 10, executed);
+    engine::Launch launch;
+    launch.workers = 3;
+    if (backend->caps().needs_mapping)
+      launch.mapping = rt::mapping::round_robin(3);
+    EXPECT_THROW((void)backend->run(stf::FlowImage::compile(flow), launch),
+                 BoomError);
+    // Tasks strictly after the throwing one on the chain never ran.
+    EXPECT_EQ(executed.load(), 10);
+  }
 }
 
 TEST(Failure, RioRuntimeUsableAfterFailure) {
@@ -59,24 +72,6 @@ TEST(Failure, RioRuntimeUsableAfterFailure) {
              {stf::readwrite(d)});
   runtime.run(good, rt::mapping::round_robin(2));
   EXPECT_EQ(*good.registry().typed<int>(d), 10);
-}
-
-TEST(Failure, CoorPropagatesException) {
-  std::atomic<int> executed{0};
-  auto flow = throwing_flow(30, 5, executed);
-  coor::Runtime runtime(coor::Config{.num_workers = 3});
-  EXPECT_THROW(runtime.run(flow), BoomError);
-  EXPECT_EQ(executed.load(), 5);
-}
-
-TEST(Failure, PrunedRioPropagatesException) {
-  std::atomic<int> executed{0};
-  auto flow = throwing_flow(30, 7, executed);
-  const auto mapping = rt::mapping::round_robin(2);
-  rt::PrunedPlan plan(flow, mapping, 2);
-  rt::PrunedRuntime runtime(rt::Config{.num_workers = 2});
-  EXPECT_THROW(runtime.run(flow, plan), BoomError);
-  EXPECT_EQ(executed.load(), 7);
 }
 
 TEST(Failure, StreamingModePropagates) {
@@ -148,52 +143,32 @@ stf::TaskFlow increment_chain(int n, stf::DataHandle<int>& d_out) {
   return flow;
 }
 
-TEST(Resilience, RioRetryRecoversWithRollback) {
-  stf::DataHandle<int> d;
-  auto flow = increment_chain(20, d);
-  support::FaultPlan plan;
-  plan.throw_tasks = {5, 11};
-  plan.throw_attempts = 2;  // attempts 1 and 2 throw, attempt 3 succeeds
-  support::FaultInjector injector(plan);
-  rt::Runtime runtime(rt::Config{.num_workers = 2,
-                                 .retry = {.max_attempts = 4},
-                                 .fault = &injector});
-  runtime.run(flow, rt::mapping::round_robin(2));
-  // Without rollback the two faulted tasks would each apply 3 increments.
-  EXPECT_EQ(*flow.registry().typed<int>(d), 20);
-  EXPECT_EQ(injector.injected_throws(), 4u);
-}
+TEST(Resilience, RetryRecoversWithRollbackOnEveryFaultBackend) {
+  // Registry matrix: every executes_bodies backend with the supports_faults
+  // capability (rio, rio-pruned, coor, hybrid) must recover an increment
+  // chain via retry + rollback. Faults fire AFTER the body ran, so without
+  // rollback each faulted task would over-apply its increment.
+  for (const engine::Backend* backend : engine::Registry::instance().all()) {
+    const engine::Capabilities& caps = backend->caps();
+    if (!caps.executes_bodies || !caps.supports_faults) continue;
+    SCOPED_TRACE(std::string(backend->name()));
 
-TEST(Resilience, PrunedRetryRecoversWithRollback) {
-  stf::DataHandle<int> d;
-  auto flow = increment_chain(24, d);
-  support::FaultPlan plan;
-  plan.throw_tasks = {3, 17};
-  plan.throw_attempts = 1;
-  support::FaultInjector injector(plan);
-  const auto mapping = rt::mapping::round_robin(2);
-  rt::PrunedPlan pplan(flow, mapping, 2);
-  rt::PrunedRuntime runtime(rt::Config{.num_workers = 2,
-                                       .retry = {.max_attempts = 3},
-                                       .fault = &injector});
-  runtime.run(flow, pplan);
-  EXPECT_EQ(*flow.registry().typed<int>(d), 24);
-  EXPECT_EQ(injector.injected_throws(), 2u);
-}
+    stf::DataHandle<int> d;
+    auto flow = increment_chain(24, d);
+    support::FaultPlan plan;
+    plan.throw_tasks = {5, 18};  // one per default-partial hybrid phase kind
+    plan.throw_attempts = 2;     // attempts 1 and 2 throw, attempt 3 succeeds
+    support::FaultInjector injector(plan);
 
-TEST(Resilience, CoorRetryRecoversWithRollback) {
-  stf::DataHandle<int> d;
-  auto flow = increment_chain(24, d);
-  support::FaultPlan plan;
-  plan.throw_tasks = {8};
-  plan.throw_attempts = 2;
-  support::FaultInjector injector(plan);
-  coor::Runtime runtime(coor::Config{.num_workers = 2,
-                                     .retry = {.max_attempts = 3},
-                                     .fault = &injector});
-  runtime.run(flow);
-  EXPECT_EQ(*flow.registry().typed<int>(d), 24);
-  EXPECT_EQ(injector.injected_throws(), 2u);
+    engine::Launch launch;
+    launch.workers = 2;
+    launch.retry = {.max_attempts = 4};
+    launch.fault = &injector;
+    if (caps.needs_mapping) launch.mapping = rt::mapping::round_robin(2);
+    (void)backend->run(stf::FlowImage::compile(flow), launch);
+    EXPECT_EQ(*flow.registry().typed<int>(d), 24);
+    EXPECT_EQ(injector.injected_throws(), 4u);
+  }
 }
 
 TEST(Resilience, RetryExhaustionThrowsTaskFailure) {
@@ -254,19 +229,31 @@ TEST(Resilience, RioWatchdogFailsStalledRun) {
   }
 }
 
-TEST(Resilience, PrunedWatchdogFailsStalledRun) {
-  stf::DataHandle<int> d;
-  auto flow = increment_chain(30, d);
-  support::FaultPlan plan;
-  plan.stall_tasks = {10};
-  plan.stall_ns = 10'000'000'000ull;
-  support::FaultInjector injector(plan);
-  const auto mapping = rt::mapping::round_robin(2);
-  rt::PrunedPlan pplan(flow, mapping, 2);
-  rt::PrunedRuntime runtime(rt::Config{.num_workers = 2,
-                                       .fault = &injector,
-                                       .watchdog_ns = 200'000'000ull});
-  EXPECT_THROW(runtime.run(flow, pplan), stf::StallError);
+TEST(Resilience, WatchdogFailsStalledRunOnEveryWatchdogBackend) {
+  // Registry matrix: every executes_bodies backend with supports_watchdog
+  // (rio, rio-pruned, coor, hybrid) escalates a hung task to StallError.
+  // Task 20 lands in the hybrid default partial's dynamic phase, so the
+  // hybrid row exercises the coor-side watchdog behind the phase barrier.
+  for (const engine::Backend* backend : engine::Registry::instance().all()) {
+    const engine::Capabilities& caps = backend->caps();
+    if (!caps.executes_bodies || !caps.supports_watchdog) continue;
+    SCOPED_TRACE(std::string(backend->name()));
+
+    stf::DataHandle<int> d;
+    auto flow = increment_chain(30, d);
+    support::FaultPlan plan;
+    plan.stall_tasks = {20};
+    plan.stall_ns = 10'000'000'000ull;  // 10 s — far beyond the window
+    support::FaultInjector injector(plan);
+
+    engine::Launch launch;
+    launch.workers = 2;
+    launch.fault = &injector;
+    launch.watchdog_ns = 200'000'000ull;
+    if (caps.needs_mapping) launch.mapping = rt::mapping::round_robin(2);
+    EXPECT_THROW((void)backend->run(stf::FlowImage::compile(flow), launch),
+                 stf::StallError);
+  }
 }
 
 TEST(Resilience, CoorWatchdogFailsStalledRun) {
@@ -286,26 +273,6 @@ TEST(Resilience, CoorWatchdogFailsStalledRun) {
     EXPECT_NE(e.diagnostic().find("coor"), std::string::npos);
     EXPECT_NE(e.diagnostic().find("worker"), std::string::npos);
   }
-}
-
-TEST(Resilience, HybridWatchdogFailsStalledDynamicPhase) {
-  stf::DataHandle<int> d;
-  auto flow = increment_chain(30, d);
-  support::FaultPlan plan;
-  plan.stall_tasks = {15};  // lands in the dynamic phase below
-  plan.stall_ns = 10'000'000'000ull;
-  support::FaultInjector injector(plan);
-  hybrid::Runtime runtime(hybrid::Config{.num_workers = 2,
-                                         .retry = {},
-                                         .fault = &injector,
-                                         .watchdog_ns = 200'000'000ull});
-  EXPECT_THROW(
-      runtime.run(flow,
-                  [](stf::TaskId t) -> std::optional<stf::WorkerId> {
-                    if (t < 10) return static_cast<stf::WorkerId>(t % 2);
-                    return std::nullopt;
-                  }),
-      stf::StallError);
 }
 
 TEST(Resilience, HybridPhaseFailureCancelsLaterPhases) {

@@ -4,15 +4,17 @@
 // task flow, every execution engine leaves the data objects bitwise
 // identical to the sequential executor. This suite generates arbitrary
 // random flows (random access counts, modes, shapes — a superset of the
-// paper's workloads) and checks that property for the in-order runtime,
-// the pruned runtime, the centralized OoO runtime and the hybrid runtime,
-// under randomized mappings, phase splits and worker counts.
+// paper's workloads) and checks that property for every executes_bodies
+// backend in the engine::Registry, under randomized mappings, phase splits,
+// schedulers and worker counts. New backends join the sweep just by
+// registering.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <optional>
 
 #include "coor/coor.hpp"
+#include "engine/registry.hpp"
 #include "hybrid/hybrid.hpp"
 #include "rio/rio.hpp"
 #include "support/rng.hpp"
@@ -115,46 +117,41 @@ TEST_P(EngineFuzz, AllEnginesMatchSequential) {
     o = static_cast<stf::WorkerId>(meta.bounded(spec.workers));
   const auto mapping = rt::mapping::table(owners);
 
-  {
+  // Every backend that really runs task bodies must reproduce the oracle's
+  // bytes, whatever optional capabilities we switch on for it.
+  for (const engine::Backend* backend : engine::Registry::instance().all()) {
+    const engine::Capabilities& caps = backend->caps();
+    if (!caps.executes_bodies) continue;
+    const std::string label(backend->name());
+    SCOPED_TRACE(label);
+
     auto flow = make_fuzz_flow(spec);
-    rt::Runtime engine(rt::Config{.num_workers = spec.workers,
-                                  .collect_trace = true,
-                                  .enable_guard = true});
-    engine.run(flow, mapping);
-    stf::DependencyGraph graph(flow);
-    const auto v = engine.trace().validate(flow, graph, true);
-    EXPECT_TRUE(v.ok()) << v.reason;
-    expect_same_data(flow, oracle, "rio");
-  }
-  {
-    auto flow = make_fuzz_flow(spec);
-    rt::PrunedPlan plan(flow, mapping, spec.workers);
-    rt::PrunedRuntime engine(rt::Config{.num_workers = spec.workers});
-    engine.run(flow, plan);
-    expect_same_data(flow, oracle, "rio-pruned");
-  }
-  {
-    auto flow = make_fuzz_flow(spec);
-    const auto sched = static_cast<coor::SchedulerKind>(meta.bounded(3));
-    coor::Runtime engine(coor::Config{
-        .num_workers = spec.workers,
-        .scheduler = sched,
-        .work_stealing = meta.bounded(2) == 1,
-        .enable_guard = true});
-    engine.run(flow);
-    expect_same_data(flow, oracle, "coor");
-  }
-  {
-    auto flow = make_fuzz_flow(spec);
-    const std::uint64_t segment = 1 + meta.bounded(40);
-    hybrid::Runtime engine(
-        hybrid::Config{.num_workers = spec.workers, .enable_guard = true});
-    engine.run(flow,
-               [&owners, segment](stf::TaskId t) -> std::optional<stf::WorkerId> {
-                 if ((t / segment) % 2 == 0) return owners[t];
-                 return std::nullopt;
-               });
-    expect_same_data(flow, oracle, "hybrid");
+    engine::Launch launch;
+    launch.workers = spec.workers;
+    launch.enable_guard = caps.supports_guard;
+    launch.collect_trace = caps.supports_trace;
+    if (caps.needs_mapping) launch.mapping = mapping;
+    if (caps.partial_mapping) {
+      const std::uint64_t segment = 1 + meta.bounded(40);
+      launch.partial = [&owners, segment](
+                           stf::TaskId t) -> std::optional<stf::WorkerId> {
+        if ((t / segment) % 2 == 0) return owners[t];
+        return std::nullopt;
+      };
+    }
+    if (caps.uses_scheduler) {
+      launch.scheduler = static_cast<coor::SchedulerKind>(meta.bounded(3));
+      launch.work_stealing = meta.bounded(2) == 1;
+    }
+
+    const auto outcome =
+        backend->run(stf::FlowImage::compile(flow), launch);
+    if (launch.collect_trace) {
+      stf::DependencyGraph graph(flow);
+      const auto v = outcome.trace.validate(flow, graph, caps.in_order);
+      EXPECT_TRUE(v.ok()) << label << ": " << v.reason;
+    }
+    expect_same_data(flow, oracle, label.c_str());
   }
 }
 
@@ -234,48 +231,35 @@ TEST_P(FaultFuzz, RetriedRunsMatchSequential) {
   plan.throw_rate = 0.08;
   const support::RetryPolicy retry{.max_attempts = 6};
 
-  {
+  // Fault decisions are pure functions of (seed, task, attempt), so every
+  // supports_faults backend sees the same injected throws and must still
+  // reproduce the oracle via retry + rollback.
+  for (const engine::Backend* backend : engine::Registry::instance().all()) {
+    const engine::Capabilities& caps = backend->caps();
+    if (!caps.executes_bodies || !caps.supports_faults) continue;
+    const std::string label(backend->name());
+    SCOPED_TRACE(label);
+
     auto flow = make_fuzz_flow(spec);
     support::FaultInjector injector(plan);
-    rt::Runtime engine(rt::Config{.num_workers = spec.workers,
-                                  .retry = retry,
-                                  .fault = &injector});
-    engine.run(flow, mapping);
-    EXPECT_GT(injector.injected_throws(), 0u);  // the plan actually fired
-    expect_same_data(flow, oracle, "rio+faults");
-  }
-  {
-    auto flow = make_fuzz_flow(spec);
-    support::FaultInjector injector(plan);
-    rt::PrunedPlan pplan(flow, mapping, spec.workers);
-    rt::PrunedRuntime engine(rt::Config{.num_workers = spec.workers,
-                                        .retry = retry,
-                                        .fault = &injector});
-    engine.run(flow, pplan);
-    expect_same_data(flow, oracle, "rio-pruned+faults");
-  }
-  {
-    auto flow = make_fuzz_flow(spec);
-    support::FaultInjector injector(plan);
-    coor::Runtime engine(coor::Config{.num_workers = spec.workers,
-                                      .retry = retry,
-                                      .fault = &injector});
-    engine.run(flow);
-    expect_same_data(flow, oracle, "coor+faults");
-  }
-  {
-    auto flow = make_fuzz_flow(spec);
-    support::FaultInjector injector(plan);
-    const std::uint64_t segment = 1 + meta.bounded(40);
-    hybrid::Runtime engine(hybrid::Config{.num_workers = spec.workers,
-                                          .retry = retry,
-                                          .fault = &injector});
-    engine.run(flow,
-               [&owners, segment](stf::TaskId t) -> std::optional<stf::WorkerId> {
-                 if ((t / segment) % 2 == 0) return owners[t];
-                 return std::nullopt;
-               });
-    expect_same_data(flow, oracle, "hybrid+faults");
+    engine::Launch launch;
+    launch.workers = spec.workers;
+    launch.retry = retry;
+    launch.fault = &injector;
+    if (caps.needs_mapping) launch.mapping = mapping;
+    if (caps.partial_mapping) {
+      const std::uint64_t segment = 1 + meta.bounded(40);
+      launch.partial = [&owners, segment](
+                           stf::TaskId t) -> std::optional<stf::WorkerId> {
+        if ((t / segment) % 2 == 0) return owners[t];
+        return std::nullopt;
+      };
+    }
+
+    (void)backend->run(stf::FlowImage::compile(flow), launch);
+    EXPECT_GT(injector.injected_throws(), 0u)
+        << label << ": the plan never fired";
+    expect_same_data(flow, oracle, (label + "+faults").c_str());
   }
 }
 

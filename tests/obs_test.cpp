@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "coor/coor.hpp"
+#include "engine/registry.hpp"
 #include "hybrid/runtime.hpp"
 #include "metrics/efficiency.hpp"
 #include "obs/export.hpp"
@@ -311,6 +312,35 @@ TEST(ObsReconcile, RetryCountersMatchInjector) {
             injector.injected_throws());
   EXPECT_EQ(snap.total(obs::Counter::kRetries), injector.injected_throws());
   EXPECT_EQ(snap.total(obs::Counter::kFaultsInjected), 2u);
+}
+
+// ------------------------------------------------------- registry matrix ---
+
+TEST(ObsMatrix, EverySupportsObsBackendPopulatesTheHub) {
+  // Capability-driven sweep: any backend advertising supports_obs — real or
+  // virtual-time, present or future — must wire a Launch's hub through to
+  // its workers. Catches a backend that registers the flag but drops the
+  // obs pointer on the floor when translating Launch to its native config.
+  for (const engine::Backend* backend : engine::Registry::instance().all()) {
+    const engine::Capabilities& caps = backend->caps();
+    if (!caps.supports_obs) continue;
+    SCOPED_TRACE(std::string(backend->name()));
+
+    const std::uint32_t p = 2;
+    auto wl = cholesky(4, p);
+    obs::Hub hub(obs::HubOptions{.recorder = true});
+    engine::Launch launch;
+    launch.workers = p;
+    launch.obs = &hub;
+    if (caps.needs_mapping) launch.mapping = wl.mapping(p);
+    (void)backend->run(stf::FlowImage::compile(wl.flow), launch);
+
+    EXPECT_EQ(hub.num_workers(), caps.has_master ? p + 1 : p);
+    if (caps.virtual_time)
+      EXPECT_EQ(hub.clock_unit(), obs::ClockUnit::kTicks);
+    EXPECT_EQ(hub.counter_snapshot().total(obs::Counter::kTasksExecuted),
+              wl.flow.num_tasks());
+  }
 }
 
 // ------------------------------------------------------------ simulators ---

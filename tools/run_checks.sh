@@ -11,10 +11,14 @@
 #   8. rioflow JSON reports — `profile --quick --json --trace` on two
 #      workloads x two engines, plus `chaos --json` and `lint --json`;
 #      every emitted document must parse (docs/observability.md);
-#   9. bench JSON reporters — micro_unroll and fig7_workers emit
+#   9. engine registry sweep — `rioflow engines --json` must emit a parsing
+#      rio.engines.v1 report, every backend it lists must smoke-run
+#      (`rioflow run`), and every supports_obs backend must also
+#      `rioflow profile` (docs/engines.md);
+#  10. bench JSON reporters — micro_unroll and fig7_workers emit
 #      BENCH_*.json, both must parse; BENCH_unroll.json is kept at the
 #      repo root (committed reference numbers, see docs/perf.md);
-#  10. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
+#  11. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
 #      failure suite + rioflow with RIO_SANITIZE=thread and reruns the
 #      resilience tests and the quick chaos sweep under TSan — the retry /
 #      watchdog / abort machinery is exactly the kind of code TSan earns
@@ -130,6 +134,38 @@ if json_ok "$OBSDIR/lint.json"; then
     fail "lint.json: missing schema tag"
 else
   fail "lint.json does not parse"
+fi
+
+step "rioflow engines: registry-driven smoke of every backend"
+ENGJSON="$OBSDIR/engines.json"
+if "$RIOFLOW" engines --json "$ENGJSON" >/dev/null; then
+  json_ok "$ENGJSON" || fail "engines.json does not parse"
+  grep -q '"rio.engines.v1"' "$ENGJSON" ||
+    fail "engines.json: missing schema tag"
+  if command -v python3 >/dev/null 2>&1; then
+    ENGINES="$(python3 -c 'import json,sys
+d = json.load(open(sys.argv[1]))
+print(" ".join(e["name"] for e in d["engines"]))' "$ENGJSON")"
+    OBS_ENGINES="$(python3 -c 'import json,sys
+d = json.load(open(sys.argv[1]))
+print(" ".join(e["name"] for e in d["engines"]
+               if e["capabilities"]["supports_obs"]))' "$ENGJSON")"
+  else
+    # Degraded extraction without python3: names only, skip the obs sweep.
+    ENGINES="$(grep -o '"name": "[^"]*"' "$ENGJSON" | cut -d'"' -f4)"
+    OBS_ENGINES=""
+  fi
+  [ -n "$ENGINES" ] || fail "engines.json lists no backends"
+  for e in $ENGINES; do
+    "$RIOFLOW" --engine "$e" --workload cholesky --tiles 3 --task-size 50 \
+      --workers 2 >/dev/null || fail "run --engine $e"
+  done
+  for e in $OBS_ENGINES; do
+    "$RIOFLOW" profile --quick --workload cholesky --tiles 3 --workers 2 \
+      --engine "$e" >/dev/null || fail "profile --engine $e"
+  done
+else
+  fail "engines --json"
 fi
 
 step "bench json reporters"
