@@ -49,6 +49,70 @@ stf::TaskFlow bad_redundant_edge() {
   return flow;
 }
 
+namespace {
+
+/// Two-phase body shared by the phase fixtures: producer tasks in a static
+/// phase, consumers in a dynamic one, with a real data dependency between
+/// the halves.
+PhaseFixture two_phase_base() {
+  PhaseFixture fx;
+  auto x = fx.flow.create_data<double>("x", 4);
+  auto y = fx.flow.create_data<double>("y", 4);
+  fx.flow.add_virtual(1, {write(x)}, "p0");
+  fx.flow.add_virtual(1, {write(y)}, "p1");
+  fx.flow.add_virtual(1, {read(x), read(y)}, "c0");
+  fx.flow.add_virtual(1, {readwrite(y)}, "c1");
+  return fx;
+}
+
+}  // namespace
+
+PhaseFixture bad_phase_mapping() {
+  PhaseFixture fx = two_phase_base();
+  LintPhase st;
+  st.first = 0;
+  st.count = 2;
+  st.is_static = true;
+  // Sends task 1 to worker 7 — beyond any sane --workers for this fixture.
+  st.mapping = rt::mapping::table({0, 7}, "bad-static");
+  LintPhase dyn;
+  dyn.first = 2;
+  dyn.count = 2;
+  fx.phases = {st, dyn};
+  return fx;
+}
+
+PhaseFixture bad_empty_phase() {
+  PhaseFixture fx = two_phase_base();
+  LintPhase a;
+  a.first = 0;
+  a.count = 2;
+  a.is_static = true;
+  a.mapping = rt::mapping::round_robin(2);
+  LintPhase hole;  // zero tasks: two barriers back to back
+  hole.first = 2;
+  hole.count = 0;
+  LintPhase b;
+  b.first = 2;
+  b.count = 2;
+  fx.phases = {a, hole, b};
+  return fx;
+}
+
+PhaseFixture cross_phase_dep() {
+  PhaseFixture fx = two_phase_base();
+  LintPhase a;
+  a.first = 0;
+  a.count = 2;
+  a.is_static = true;
+  a.mapping = rt::mapping::round_robin(2);
+  LintPhase b;
+  b.first = 2;
+  b.count = 2;
+  fx.phases = {a, b};  // c0/c1 read what p0/p1 wrote: edges cross the cut
+  return fx;
+}
+
 RaceFixture injected_race() {
   RaceFixture fx;
   auto d = fx.flow.create_data<double>("shared", 4);

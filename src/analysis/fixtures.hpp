@@ -8,6 +8,9 @@
 // checker must still report the race.
 #pragma once
 
+#include <vector>
+
+#include "analysis/flow_lint.hpp"
 #include "stf/task_flow.hpp"
 #include "stf/trace.hpp"
 
@@ -34,5 +37,21 @@ struct RaceFixture {
   stf::SyncTrace sync;
 };
 [[nodiscard]] RaceFixture injected_race();
+
+/// RH4xx material: a flow plus the hybrid phase partition to lint it under.
+struct PhaseFixture {
+  stf::TaskFlow flow;
+  std::vector<LintPhase> phases;
+};
+
+/// RH401: a static phase whose mapping sends a task beyond the worker set.
+[[nodiscard]] PhaseFixture bad_phase_mapping();
+
+/// RH402: a partition containing a zero-task phase (barrier-only overhead).
+[[nodiscard]] PhaseFixture bad_empty_phase();
+
+/// RH403: a dependency edge crossing a phase boundary — serialized by the
+/// barrier, not by any runtime protocol. Info, not a bug.
+[[nodiscard]] PhaseFixture cross_phase_dep();
 
 }  // namespace rio::analysis::fixtures

@@ -250,6 +250,99 @@ void lint_mapping(const stf::TaskFlow& flow, const stf::DependencyGraph& graph,
                    "; some workers can never be busy");
 }
 
+/// RH4xx — hybrid phase-boundary diagnostics. A phase boundary is a
+/// barrier: tasks of later phases start only after every earlier phase
+/// drained, so the structure of the partition itself (not the protocol)
+/// decides how much concurrency survives.
+void lint_phases(const stf::TaskFlow& flow, const stf::DependencyGraph& graph,
+                 const LintOptions& opts, Report& report) {
+  const std::vector<LintPhase>& phases = *opts.phases;
+  const std::size_t n = flow.num_tasks();
+
+  // task -> phase index (tasks outside every phase keep kNone).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> phase_of(n, kNone);
+  std::uint64_t empty = 0;
+  std::size_t first_empty = 0;
+  for (std::size_t pi = 0; pi < phases.size(); ++pi) {
+    const LintPhase& ph = phases[pi];
+    if (ph.count == 0) {
+      if (empty == 0) first_empty = pi;
+      ++empty;
+      continue;
+    }
+    for (std::size_t k = 0; k < ph.count; ++k) {
+      const stf::TaskId t = ph.first + k;
+      if (t < n) phase_of[t] = pi;
+    }
+  }
+  if (empty > 0)
+    report.add("RH402", Severity::kWarning,
+               std::to_string(empty) + " empty phase(s) (first: phase " +
+                   std::to_string(first_empty) +
+                   "); their barriers are pure overhead",
+               stf::kInvalidTask, stf::kInvalidData, empty);
+
+  // RH401: a static phase whose mapping sends a task outside the worker
+  // set. Same hazard as RM101, but scoped to the phase that would crash.
+  if (opts.num_workers > 0) {
+    std::uint64_t bad = 0;
+    stf::TaskId first_bad = stf::kInvalidTask;
+    std::size_t first_bad_phase = 0;
+    for (std::size_t pi = 0; pi < phases.size(); ++pi) {
+      const LintPhase& ph = phases[pi];
+      if (!ph.is_static || !ph.mapping.valid()) continue;
+      for (std::size_t k = 0; k < ph.count; ++k) {
+        const stf::TaskId t = ph.first + k;
+        if (t >= n) continue;
+        if (ph.mapping(t) >= opts.num_workers) {
+          if (bad == 0) {
+            first_bad = t;
+            first_bad_phase = pi;
+          }
+          ++bad;
+        }
+      }
+    }
+    if (bad > 0)
+      report.add("RH401", Severity::kError,
+                 "static phase mapping sends " + std::to_string(bad) +
+                     " task(s) to workers >= " +
+                     std::to_string(opts.num_workers) + " (first: " +
+                     task_ref(flow, first_bad) + " in phase " +
+                     std::to_string(first_bad_phase) + ")",
+                 first_bad, stf::kInvalidData, bad);
+  }
+
+  // RH403: dependency edges whose endpoints sit in different phases. Each
+  // one is satisfied by the barrier rather than by any runtime protocol —
+  // a count of how load-bearing the partition's serialization is.
+  std::uint64_t crossing = 0;
+  stf::TaskId first_src = stf::kInvalidTask, first_dst = stf::kInvalidTask;
+  for (stf::TaskId t = 0; t < n; ++t) {
+    for (stf::TaskId p : graph.predecessors(t)) {
+      if (phase_of[p] == kNone || phase_of[t] == kNone) continue;
+      if (phase_of[p] != phase_of[t]) {
+        if (crossing == 0) {
+          first_src = p;
+          first_dst = t;
+        }
+        ++crossing;
+      }
+    }
+  }
+  if (crossing > 0)
+    report.add("RH403", Severity::kInfo,
+               std::to_string(crossing) +
+                   " dependency edge(s) cross phase boundaries and are "
+                   "serialized by the barrier (first: " +
+                   task_ref(flow, first_src) + " -> " +
+                   task_ref(flow, first_dst) + ")",
+               first_dst, stf::kInvalidData, crossing);
+  report.add_metric(std::to_string(phases.size()) + " phases, " +
+                    std::to_string(crossing) + " cross-phase edge(s)");
+}
+
 }  // namespace
 
 Report lint_flow(const stf::TaskFlow& flow, const stf::DependencyGraph& graph,
@@ -259,6 +352,8 @@ Report lint_flow(const stf::TaskFlow& flow, const stf::DependencyGraph& graph,
   lint_redundant_edges(flow, graph, opts, report);
   if (opts.mapping != nullptr && opts.mapping->valid() && opts.num_workers > 0)
     lint_mapping(flow, graph, opts, report);
+  if (opts.phases != nullptr && !opts.phases->empty())
+    lint_phases(flow, graph, opts, report);
 
   const std::uint64_t cp = graph.critical_path_cost(flow);
   std::uint64_t total = 0;

@@ -18,9 +18,16 @@
 //   RM103  excess workers         info     workers > max ready width
 //   RP201  task counter overflow  warning  tasks >= 2^counter_bits
 //   RP202  read counter overflow  warning  reads between writes >= 2^bits
+//   RH401  phase mapping range    error    static phase mapping(t) >= workers
+//   RH402  empty phase            warning  a phase containing no tasks (its
+//                                          barrier is pure overhead)
+//   RH403  cross-phase deps       info     dependency edges crossing a phase
+//                                          boundary (each is serialized by
+//                                          the barrier, not by the protocol)
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "analysis/finding.hpp"
 #include "rio/mapping.hpp"
@@ -28,6 +35,17 @@
 #include "stf/task_flow.hpp"
 
 namespace rio::analysis {
+
+/// One phase of a hybrid partition, described structurally so the linter
+/// does not depend on the hybrid runtime: a contiguous task slice
+/// [first, first + count) and, for static phases, the mapping it runs
+/// under. Mirrors hybrid::Phase (src/hybrid/runtime.hpp).
+struct LintPhase {
+  stf::TaskId first = 0;
+  std::size_t count = 0;
+  bool is_static = false;
+  rt::Mapping mapping;  ///< checked only when is_static and valid()
+};
 
 struct LintOptions {
   /// Optional deterministic mapping to diagnose (RM1xx). Requires
@@ -47,6 +65,10 @@ struct LintOptions {
 
   /// RM102 threshold on (max per-worker cost) / (mean per-worker cost).
   double imbalance_threshold = 2.0;
+
+  /// Optional hybrid phase partition to diagnose (RH4xx). Phases must be
+  /// in flow order; RH401 additionally needs num_workers > 0.
+  const std::vector<LintPhase>* phases = nullptr;
 };
 
 /// Lints `flow` against `graph` (which must have been built from the same

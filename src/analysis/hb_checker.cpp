@@ -5,8 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/vector_clock.hpp"
+
 namespace rio::analysis {
 namespace {
+
+using Clocks = VectorClocks;
 
 std::string task_ref(const stf::TaskFlow& flow, stf::TaskId t) {
   std::string s = "task " + std::to_string(t);
@@ -20,26 +24,6 @@ std::string data_ref(const stf::TaskFlow& flow, stf::DataId d) {
   if (!name.empty()) return "'" + name + "'";
   return "data " + std::to_string(d);
 }
-
-/// Flat W-wide vector clocks stored in one buffer.
-class Clocks {
- public:
-  Clocks(std::size_t rows, std::size_t width)
-      : width_(width), v_(rows * width, 0) {}
-  std::uint64_t* row(std::size_t r) { return &v_[r * width_]; }
-  const std::uint64_t* row(std::size_t r) const { return &v_[r * width_]; }
-  void join(std::size_t dst, const std::uint64_t* src) {
-    std::uint64_t* d = row(dst);
-    for (std::size_t i = 0; i < width_; ++i) d[i] = std::max(d[i], src[i]);
-  }
-  void assign(std::size_t dst, const std::uint64_t* src) {
-    std::copy(src, src + width_, row(dst));
-  }
-
- private:
-  std::size_t width_;
-  std::vector<std::uint64_t> v_;
-};
 
 }  // namespace
 

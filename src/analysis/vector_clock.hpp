@@ -1,0 +1,55 @@
+// Flat W-wide vector clocks stored in one buffer.
+//
+// Shared by the happens-before race checker (analysis/hb_checker.cpp) and
+// the implementation-level model checker's dynamic partial-order reduction
+// (modelcheck/impl.cpp): both need "rows of W logical clocks" with join
+// (component-wise max) and assign, and both want the rows contiguous so a
+// whole table is one allocation.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rio::analysis {
+
+class VectorClocks {
+ public:
+  VectorClocks(std::size_t rows, std::size_t width)
+      : width_(width), v_(rows * width, 0) {}
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+
+  std::uint64_t* row(std::size_t r) { return &v_[r * width_]; }
+  [[nodiscard]] const std::uint64_t* row(std::size_t r) const {
+    return &v_[r * width_];
+  }
+
+  /// dst := component-wise max(dst, src).
+  void join(std::size_t dst, const std::uint64_t* src) {
+    std::uint64_t* d = row(dst);
+    for (std::size_t i = 0; i < width_; ++i) d[i] = std::max(d[i], src[i]);
+  }
+
+  void assign(std::size_t dst, const std::uint64_t* src) {
+    std::copy(src, src + width_, row(dst));
+  }
+
+  /// Does row `r` dominate (>= component-wise) the clock `src`? The
+  /// happens-before test the DPOR backtrack rule is built on.
+  [[nodiscard]] bool dominates(std::size_t r, const std::uint64_t* src) const {
+    const std::uint64_t* d = row(r);
+    for (std::size_t i = 0; i < width_; ++i)
+      if (d[i] < src[i]) return false;
+    return true;
+  }
+
+  void reset() { std::fill(v_.begin(), v_.end(), 0); }
+
+ private:
+  std::size_t width_;
+  std::vector<std::uint64_t> v_;
+};
+
+}  // namespace rio::analysis

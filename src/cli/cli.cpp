@@ -16,6 +16,7 @@
 #include "coor/coor.hpp"
 #include "engine/registry.hpp"
 #include "metrics/efficiency.hpp"
+#include "modelcheck/impl.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "rio/rio.hpp"
@@ -139,9 +140,16 @@ bool build_workload(const Options& o, workloads::BodyKind body,
       out.flow = analysis::fixtures::bad_redundant_edge();
     } else if (name == "race") {
       out.flow = analysis::fixtures::injected_race().flow;
+    } else if (name == "phase-mapping") {
+      out.flow = analysis::fixtures::bad_phase_mapping().flow;
+    } else if (name == "empty-phase") {
+      out.flow = analysis::fixtures::bad_empty_phase().flow;
+    } else if (name == "cross-phase-dep") {
+      out.flow = analysis::fixtures::cross_phase_dep().flow;
     } else {
       error = "unknown lint fixture '" + name +
-              "' (uninit-read|dead-write|unused-handle|redundant-edge|race)";
+              "' (uninit-read|dead-write|unused-handle|redundant-edge|race|"
+              "phase-mapping|empty-phase|cross-phase-dep)";
       return false;
     }
     out.name = o.workload;
@@ -240,6 +248,16 @@ int run_lint(const Options& o, std::ostream& out, std::ostream& err) {
   lo.mapping = &mapping;
   lo.num_workers = o.workers;
   lo.counter_bits = o.counter_bits;
+  // The phase fixtures carry their hybrid partition with them; regular
+  // workloads have no phase structure to lint (RH4xx needs a partition).
+  std::vector<analysis::LintPhase> phases;
+  if (o.workload == "lintfix:phase-mapping")
+    phases = analysis::fixtures::bad_phase_mapping().phases;
+  else if (o.workload == "lintfix:empty-phase")
+    phases = analysis::fixtures::bad_empty_phase().phases;
+  else if (o.workload == "lintfix:cross-phase-dep")
+    phases = analysis::fixtures::cross_phase_dep().phases;
+  if (!phases.empty()) lo.phases = &phases;
   const analysis::Report report = analysis::lint_flow(wl.flow, graph, lo);
   out << "-- lint: " << wl.name << " --\n";
   report.print(out);
@@ -730,6 +748,149 @@ int run_engines(const Options& o, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `rioflow verify`: model-check the engine's REAL synchronization code on
+/// a small flow (mc::impl). Explores every interleaving of the protocol's
+/// shared-word operations (DPOR-reduced unless --naive) and checks STFSpec
+/// refinement, the in-order window invariants, deadlock freedom and — under
+/// --policy block — lost-wakeup freedom. Violations come with a replayable
+/// schedule witness.
+int run_verify(const Options& o, std::ostream& out, std::ostream& err) {
+  std::string error;
+
+  mc::impl::Options mo;
+  if (o.engine == "rio") mo.engine = mc::impl::EngineKind::kRio;
+  else if (o.engine == "rio-pruned") mo.engine = mc::impl::EngineKind::kRioPruned;
+  else if (o.engine == "coor") mo.engine = mc::impl::EngineKind::kCoor;
+  else {
+    err << "rioflow: verify supports engines rio|rio-pruned|coor, not '"
+        << o.engine << "'\n";
+    return 1;
+  }
+
+  // The state space is exponential in flow size; default to a flow the
+  // checker can exhaust instead of the execution-sized defaults.
+  Options wo = o;
+  if (!wo.workload_given) wo.workload = "chain";
+  if (o.quick) {
+    wo.tasks = std::min<std::uint64_t>(wo.tasks, 6);
+    wo.tiles = std::min<std::uint32_t>(wo.tiles, 2);
+    wo.width = std::min<std::uint32_t>(wo.width, 3);
+    wo.steps = std::min<std::uint32_t>(wo.steps, 2);
+    wo.workers = std::min<std::uint32_t>(wo.workers, 2);
+    mo.max_interleavings = 2'000;
+  } else if (wo.workload == "chain" || wo.workload == "independent" ||
+             wo.workload == "random") {
+    // Synthetic workloads keep their execution-sized default (4096); snap
+    // it to the checker's ceiling rather than rejecting the default.
+    wo.tasks = std::min<std::uint64_t>(wo.tasks, 16);
+  }
+  workloads::Workload wl;
+  if (!build_workload(wo, workloads::BodyKind::kNone, wl, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  if (wl.flow.num_tasks() > 64) {
+    err << "rioflow: verify explores interleavings exhaustively and handles "
+           "at most 64 tasks ("
+        << wl.flow.num_tasks()
+        << " generated; shrink with --tasks/--tiles or --quick)\n";
+    return 1;
+  }
+  if (wo.workers > 4) {
+    err << "rioflow: verify handles at most 4 workers\n";
+    return 1;
+  }
+  for (const stf::Task& t : wl.flow.tasks())
+    for (const stf::Access& a : t.accesses)
+      if (stf::is_reduction(a.mode)) {
+        err << "rioflow: verify does not support reduction accesses (task "
+            << t.id << ")\n";
+        return 1;
+      }
+
+  rt::Mapping mapping;
+  if (!pick_mapping(wo, wl, mapping, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  support::WaitPolicy policy{};
+  if (!pick_policy(wo, policy, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  mo.workers = wo.workers;
+  mo.policy = policy;
+  mo.dpor = !o.naive;
+  mo.max_preemptions = o.max_preemptions;
+
+  const mc::impl::Result r = mc::impl::verify(wl.flow, mapping, mo);
+
+  out << "-- verify: " << wl.name << " on " << o.engine << " ("
+      << mo.workers << " workers, " << o.policy << " policy, "
+      << (mo.dpor ? "dpor" : "naive");
+  if (mo.max_preemptions >= 0)
+    out << ", <=" << mo.max_preemptions << " preemptions";
+  out << ") --\n";
+  out << "interleavings: " << r.explored << " explored, " << r.pruned
+      << " pruned, " << r.steps << " scheduling steps, "
+      << support::format_duration_ns(r.seconds * 1e9) << "\n";
+  if (r.truncated)
+    out << "NOTE: exploration truncated (budget reached); the verdict "
+           "covers only the explored prefix\n";
+  out << "refines-stf:      " << (r.refines_stf ? "ok" : "VIOLATED") << "\n";
+  out << "in-order windows: " << (r.in_order ? "ok" : "VIOLATED") << "\n";
+  out << "deadlock-free:    " << (r.deadlock_free ? "ok" : "VIOLATED") << "\n";
+  out << "lost-wakeup-free: " << (r.lost_wakeup_free ? "ok" : "VIOLATED")
+      << "\n";
+  if (!r.ok()) {
+    out << "violation [" << r.violation_kind << "]: " << r.violation << "\n";
+    out << "witness schedule (" << r.witness.size() << " steps):";
+    for (std::uint32_t w : r.witness) out << ' ' << w;
+    out << "\n";
+    if (mo.engine == mc::impl::EngineKind::kCoor)
+      out << "(worker " << mo.workers << " is the master)\n";
+  }
+
+  if (!o.json_path.empty()) {
+    std::ofstream f(o.json_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.json_path << "\n";
+      return 2;
+    }
+    f << "{\n  \"schema\": \"rio.verify.v1\",\n"
+      << "  \"engine\": " << support::json_quote(o.engine) << ",\n"
+      << "  \"workload\": " << support::json_quote(wl.name) << ",\n"
+      << "  \"workers\": " << mo.workers << ",\n"
+      << "  \"policy\": " << support::json_quote(o.policy) << ",\n"
+      << "  \"dpor\": " << (mo.dpor ? "true" : "false") << ",\n"
+      << "  \"max_preemptions\": " << mo.max_preemptions << ",\n"
+      << "  \"explored\": " << r.explored << ",\n"
+      << "  \"pruned\": " << r.pruned << ",\n"
+      << "  \"steps\": " << r.steps << ",\n"
+      << "  \"truncated\": " << (r.truncated ? "true" : "false") << ",\n"
+      << "  \"seconds\": " << r.seconds << ",\n"
+      << "  \"ok\": " << (r.ok() ? "true" : "false") << ",\n"
+      << "  \"properties\": {\"refines_stf\": "
+      << (r.refines_stf ? "true" : "false") << ", \"in_order\": "
+      << (r.in_order ? "true" : "false") << ", \"deadlock_free\": "
+      << (r.deadlock_free ? "true" : "false") << ", \"lost_wakeup_free\": "
+      << (r.lost_wakeup_free ? "true" : "false") << "},\n";
+    if (r.ok()) {
+      f << "  \"violation\": null\n";
+    } else {
+      f << "  \"violation\": {\"kind\": "
+        << support::json_quote(r.violation_kind) << ", \"message\": "
+        << support::json_quote(r.violation) << ", \"witness\": [";
+      for (std::size_t i = 0; i < r.witness.size(); ++i)
+        f << (i == 0 ? "" : ", ") << r.witness[i];
+      f << "]}\n";
+    }
+    f << "}\n";
+    out << "wrote " << o.json_path << "\n";
+  }
+  return r.ok() ? 0 : 3;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -756,13 +917,20 @@ usage: rioflow [command] [options]
                   shrinks)
     engines       list registered backends with their capability flags
                   (--json writes the rio.engines.v1 document)
+    verify        model-check the REAL protocol code of rio|rio-pruned|coor
+                  on a small flow: explore every interleaving of its
+                  shared-word operations (DPOR) and check STF refinement,
+                  in-order windows, deadlock and lost-wakeup freedom
+                  (--json writes the rio.verify.v1 document; violations
+                  come with a replayable schedule witness)
 
   --workload W    independent | random | chain | gemm | lu | cholesky |
                   stencil |
                   taskbench:<trivial|no_comm|stencil_1d|stencil_1d_periodic|
                              fft|tree|all_to_all|spread> |
                   lintfix:<uninit-read|dead-write|unused-handle|
-                           redundant-edge|race>                 [independent]
+                           redundant-edge|race|phase-mapping|
+                           empty-phase|cross-phase-dep>         [independent]
   --engine E      )" +
          engines + R"(  [rio]
   --workers N     worker threads / virtual cores                [2])" +
@@ -785,7 +953,9 @@ usage: rioflow [command] [options]
   --watchdog-ms N chaos: progress watchdog window, 0 disables    [2000]
   --engines CSV   chaos: executes_bodies engines to sweep
                   (see `rioflow engines`)      [rio,rio-pruned,coor,hybrid]
-  --quick         chaos/profile: shrunk run for CI gates
+  --max-preemptions N  verify: bound scheduler preemptions     [unbounded]
+  --naive         verify: disable DPOR (full naive enumeration)
+  --quick         chaos/profile/verify: shrunk run for CI gates
   --summary       print flow structure summary
   --decompose     print e_p/e_r efficiency decomposition
   --dot FILE      write the dependency DAG as Graphviz DOT
@@ -803,9 +973,9 @@ bool parse(int argc, const char* const* argv, Options& o,
   if (argc > 1 && argv[1][0] != '-') {
     const std::string cmd = argv[1];
     if (cmd != "lint" && cmd != "check" && cmd != "chaos" &&
-        cmd != "profile" && cmd != "engines") {
-      error =
-          "unknown command '" + cmd + "' (lint|check|chaos|profile|engines)";
+        cmd != "profile" && cmd != "engines" && cmd != "verify") {
+      error = "unknown command '" + cmd +
+              "' (lint|check|chaos|profile|engines|verify)";
       return false;
     }
     o.command = cmd;
@@ -831,6 +1001,18 @@ bool parse(int argc, const char* const* argv, Options& o,
       o.csv = true;
     } else if (arg == "--quick") {
       o.quick = true;
+    } else if (arg == "--naive") {
+      o.naive = true;
+    } else if (arg == "--max-preemptions") {
+      const char* v = need_value("--max-preemptions");
+      if (!v) return false;
+      std::uint32_t n = 0;
+      if (!to_u32(std::string(v), n)) {
+        error = std::string("bad numeric value for --max-preemptions: '") +
+                v + "'";
+        return false;
+      }
+      o.max_preemptions = static_cast<int>(n);
     } else if (arg == "--workload") {
       const char* v = need_value("--workload");
       if (!v) return false;
@@ -940,6 +1122,7 @@ int run(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.command == "chaos") return run_chaos(o, out, err);
   if (o.command == "profile") return run_profile(o, out, err);
   if (o.command == "engines") return run_engines(o, out, err);
+  if (o.command == "verify") return run_verify(o, out, err);
   std::string error;
   const engine::Backend* backend =
       engine::Registry::instance().find_or_error(o.engine, error);

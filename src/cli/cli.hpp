@@ -22,7 +22,10 @@ struct Options {
   // run against the sequential oracle; "profile" executes with the
   // rio::obs telemetry hub attached and reports per-worker phase totals,
   // counters and the e_p*e_r decomposition; "engines" lists the registered
-  // backends with their capability flags (engine::Registry).
+  // backends with their capability flags (engine::Registry); "verify"
+  // model-checks the engine's real synchronization code on a small flow
+  // (mc::impl: DPOR over every interleaving of the protocol's shared-word
+  // operations).
   std::string command;
 
   // Workload selection.
@@ -51,6 +54,10 @@ struct Options {
   std::string fail_on = "warning";  ///< exit non-zero at this severity:
                                     ///< error | warning | info
 
+  // Model checking (verify).
+  int max_preemptions = -1;  ///< bound context switches; < 0 = unbounded
+  bool naive = false;        ///< disable DPOR (full naive enumeration)
+
   // Chaos sweep (docs/robustness.md).
   double fault_rate = 0.05;         ///< base P(throw) per (task, attempt)
   std::uint32_t fault_seeds = 3;    ///< fault-plan seeds per (engine, rate)
@@ -69,7 +76,8 @@ struct Options {
   std::string json_path;      ///< machine-readable report: rio.obs.v1
                               ///< (profile), rio.chaos.v1 (chaos),
                               ///< rio.lint.v1 / rio.check.v1 (lint/check),
-                              ///< rio.engines.v1 (engines)
+                              ///< rio.engines.v1 (engines),
+                              ///< rio.verify.v1 (verify)
   bool csv = false;
 
   bool help = false;

@@ -18,6 +18,7 @@
 #include "support/topology.hpp"
 #include "support/align.hpp"
 #include "support/watchdog.hpp"
+#include "coor/sync_ops.hpp"
 #include "stf/access_guard.hpp"
 #include "stf/dep_scanner.hpp"
 #include "stf/failure.hpp"
@@ -134,7 +135,7 @@ struct Engine {
     }
     std::size_t dispatched = 0;
     for (std::size_t s : succs) {
-      if (nodes[s].remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (dep_release(nodes[s].remaining)) {
         dispatch(s);
         ++dispatched;
       }
@@ -356,13 +357,12 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
         std::lock_guard lock(eng.nodes[prev].mu);
         if (!eng.nodes[prev].finished) {
           eng.nodes[prev].successors.push_back(li);
-          eng.nodes[li].remaining.fetch_add(1, std::memory_order_acq_rel);
+          dep_retain(eng.nodes[li].remaining);
         }
       }
       burn_ns(cfg_.master_overhead_ns);
       // Drop the discovery guard; dispatch if all predecessors done.
-      if (eng.nodes[li].remaining.fetch_sub(1, std::memory_order_acq_rel) ==
-          1) {
+      if (dep_release(eng.nodes[li].remaining)) {
         eng.dispatch(li);
         ++master_dispatches;
       }

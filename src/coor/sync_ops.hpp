@@ -1,0 +1,43 @@
+// COOR's dependency-counter protocol, expressed through the proto:: seam.
+//
+// A task node carries one counter: the number of unresolved predecessor
+// edges plus a discovery guard the master holds while it registers edges.
+// Three operations touch it concurrently (master registering edges and
+// dropping the guard, workers completing predecessors), and a task becomes
+// ready exactly when the counter hits zero — the decentralized analogue of
+// a dependency-graph runtime's "release" step.
+//
+// Like the Algorithm 2 routines in src/rio/data_object.hpp, these are
+// templates over the counter type: production code instantiates them with
+// std::atomic<int32_t> (proto:: inlines to the raw acq_rel RMWs used
+// before the seam), and mc::impl instantiates them with its instrumented
+// Word<int32_t> to model-check the same functions. The ready QUEUE itself
+// (mutex + condition variable, src/coor/ready_queue.hpp) is not a word
+// protocol; mc::impl models it at scheduler level (docs/protocol.md).
+#pragma once
+
+#include <cstdint>
+
+#include "rio/proto.hpp"
+
+namespace rio::coor {
+
+/// dep_retain: register one more unresolved predecessor edge (master only,
+/// always while the counter is still > 0 thanks to the discovery guard).
+template <typename Counter>
+inline void dep_retain(Counter& remaining) {
+  using proto::fetch_add;
+  fetch_add(remaining, std::int32_t{1});
+}
+
+/// dep_release: drop one predecessor edge — or the discovery guard.
+/// Returns true when this release was the last one, i.e. the task just
+/// became ready and the caller must dispatch it (exactly once: the acq_rel
+/// RMW makes one releaser observe the 1 -> 0 transition).
+template <typename Counter>
+[[nodiscard]] inline bool dep_release(Counter& remaining) {
+  using proto::fetch_add;
+  return fetch_add(remaining, std::int32_t{-1}) == 1;
+}
+
+}  // namespace rio::coor

@@ -21,6 +21,11 @@
 //
 // Space: 2 shared words per data object + 2 words per (worker, data) pair,
 // independent of the number of tasks.
+// All shared-word traffic goes through the proto:: seam (src/rio/proto.hpp):
+// the routines below are templates over the shared-state type and call the
+// seam operations unqualified, so mc::impl can substitute an instrumented
+// word type and model-check these exact functions. For the production
+// SharedDataState they inline to the same atomics as before the seam.
 #pragma once
 
 #include <atomic>
@@ -28,6 +33,7 @@
 
 #include "support/align.hpp"
 #include "support/wait.hpp"
+#include "rio/proto.hpp"
 #include "stf/types.hpp"
 
 namespace rio::rt {
@@ -72,71 +78,107 @@ inline void declare_write(LocalDataState& local, stf::TaskId task_id) noexcept {
   local.last_registered_write = task_id;
 }
 
-/// get_read: block until every write this worker registered before the
-/// current task has been performed. Returns whether the access stalled
-/// (feeds the idle-time statistics). A non-null `abort` (the progress
-/// watchdog's flag) lets the wait give up so a stalled run can drain
-/// instead of hanging; a non-null `spins` accumulates wait rounds for the
-/// obs spin-iteration counter.
-inline bool get_read(const SharedDataState& shared, const LocalDataState& local,
-                     support::WaitPolicy policy,
-                     const std::atomic<bool>* abort = nullptr,
-                     std::uint64_t* spins = nullptr) noexcept {
-  const bool stalled = shared.last_executed_write.value.load(
-                           std::memory_order_acquire) != local.last_registered_write;
-  if (stalled)
-    support::wait_until_equal_or(shared.last_executed_write.value,
-                                 local.last_registered_write, policy, abort,
-                                 spins);
+/// acquire_for: the protocol wait both executors share. Blocks until the
+/// shared last-executed write equals `expected_writer`; a write access
+/// additionally waits until the shared read count equals `expected_reads`
+/// (write-after-read ordering). The full runtime passes the worker's local
+/// replica; the pruned executor passes precomputed expectations — same
+/// waits, same seam. Returns whether the access stalled (feeds the
+/// idle-time statistics). A non-null `abort` (the progress watchdog's flag)
+/// lets the wait give up so a stalled run can drain instead of hanging; a
+/// non-null `spins` accumulates wait rounds for the obs spin-iteration
+/// counter.
+template <typename Shared>
+inline bool acquire_for(const Shared& shared, stf::TaskId expected_writer,
+                        std::uint64_t expected_reads, bool for_write,
+                        support::WaitPolicy policy,
+                        const std::atomic<bool>* abort = nullptr,
+                        std::uint64_t* spins = nullptr) {
+  using proto::load_acq;
+  using proto::wait_equal;
+  bool stalled = false;
+  if (load_acq(shared.last_executed_write.value) != expected_writer) {
+    stalled = true;
+    if (!wait_equal(shared.last_executed_write.value, expected_writer, policy,
+                    abort, spins))
+      return stalled;  // aborted: skip the dependent read-count wait too
+  }
+  if (for_write &&
+      load_acq(shared.nb_reads_since_write.value) != expected_reads) {
+    stalled = true;
+    wait_equal(shared.nb_reads_since_write.value, expected_reads, policy,
+               abort, spins);
+  }
   return stalled;
 }
 
+/// get_read: block until every write this worker registered before the
+/// current task has been performed.
+template <typename Shared>
+inline bool get_read(const Shared& shared, const LocalDataState& local,
+                     support::WaitPolicy policy,
+                     const std::atomic<bool>* abort = nullptr,
+                     std::uint64_t* spins = nullptr) {
+  return acquire_for(shared, local.last_registered_write,
+                     local.nb_reads_since_write, /*for_write=*/false, policy,
+                     abort, spins);
+}
+
 /// get_write: additionally block until all reads since that write have been
-/// performed (write-after-read ordering).
-inline bool get_write(const SharedDataState& shared,
-                      const LocalDataState& local,
+/// performed.
+template <typename Shared>
+inline bool get_write(const Shared& shared, const LocalDataState& local,
                       support::WaitPolicy policy,
                       const std::atomic<bool>* abort = nullptr,
-                      std::uint64_t* spins = nullptr) noexcept {
-  bool stalled = false;
-  if (shared.last_executed_write.value.load(std::memory_order_acquire) !=
-      local.last_registered_write) {
-    stalled = true;
-    if (!support::wait_until_equal_or(shared.last_executed_write.value,
-                                      local.last_registered_write, policy,
-                                      abort, spins))
-      return stalled;  // aborted: skip the second wait too
-  }
-  if (shared.nb_reads_since_write.value.load(std::memory_order_acquire) !=
-      local.nb_reads_since_write) {
-    stalled = true;
-    support::wait_until_equal_or(shared.nb_reads_since_write.value,
-                                 local.nb_reads_since_write, policy, abort,
-                                 spins);
-  }
-  return stalled;
+                      std::uint64_t* spins = nullptr) {
+  return acquire_for(shared, local.last_registered_write,
+                     local.nb_reads_since_write, /*for_write=*/true, policy,
+                     abort, spins);
+}
+
+/// publish_read: the shared half of terminate_read — one more read
+/// performed. The read counter is a wait target under kBlock, so waiters
+/// are notified after the increment.
+template <typename Shared>
+inline void publish_read(Shared& shared, support::WaitPolicy policy) {
+  using proto::fetch_add;
+  using proto::notify;
+  fetch_add(shared.nb_reads_since_write.value, std::uint64_t{1});
+  notify(shared.nb_reads_since_write.value, policy);
+}
+
+/// publish_write: the shared half of terminate_write — reset the shared
+/// read counter BEFORE publishing the new write id. A successor passes its
+/// first wait only after observing the new id (acquire), so it can never
+/// see the stale pre-reset read count. Both words are wait targets under
+/// kBlock; notify both.
+template <typename Shared>
+inline void publish_write(Shared& shared, stf::TaskId task_id,
+                          support::WaitPolicy policy) {
+  using proto::notify;
+  using proto::store_rel;
+  using proto::store_rlx;
+  store_rlx(shared.nb_reads_since_write.value, std::uint64_t{0});
+  store_rel(shared.last_executed_write.value, task_id);
+  notify(shared.last_executed_write.value, policy);
+  notify(shared.nb_reads_since_write.value, policy);
 }
 
 /// terminate_read: publish that one more read was performed, then register
 /// it locally like any other worker would.
-inline void terminate_read(SharedDataState& shared, LocalDataState& local,
-                           support::WaitPolicy policy) noexcept {
-  shared.nb_reads_since_write.value.fetch_add(1, std::memory_order_acq_rel);
-  if (policy == support::WaitPolicy::kBlock)
-    shared.nb_reads_since_write.value.notify_all();
+template <typename Shared>
+inline void terminate_read(Shared& shared, LocalDataState& local,
+                           support::WaitPolicy policy) {
+  publish_read(shared, policy);
   declare_read(local);
 }
 
-/// terminate_write: reset the shared read counter BEFORE publishing the new
-/// write id. A successor passes its first wait only after observing the new
-/// id (acquire), so it can never see the stale pre-reset read count.
-inline void terminate_write(SharedDataState& shared, LocalDataState& local,
+/// terminate_write: publish the new write, then register it locally.
+template <typename Shared>
+inline void terminate_write(Shared& shared, LocalDataState& local,
                             stf::TaskId task_id,
-                            support::WaitPolicy policy) noexcept {
-  shared.nb_reads_since_write.value.store(0, std::memory_order_relaxed);
-  support::store_and_notify(shared.last_executed_write.value, task_id, policy);
-  if (policy == support::WaitPolicy::kBlock)
-    shared.nb_reads_since_write.value.notify_all();
+                            support::WaitPolicy policy) {
+  publish_write(shared, task_id, policy);
   declare_write(local, task_id);
 }
 

@@ -96,22 +96,12 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
                                       std::memory_order_relaxed);
           probe->set_state(support::ProbeState::kWaiting);
         }
-        if (s.last_executed_write.value.load(std::memory_order_acquire) !=
-            pa.expected_writer) {
-          stalled = true;
-          if (!support::wait_until_equal_or(s.last_executed_write.value,
-                                            pa.expected_writer, policy,
-                                            abort_flag, &ob.spin_iters))
-            continue;  // aborted: skip the dependent read-count wait too
-        }
-        if (is_write(pa.mode) &&
-            s.nb_reads_since_write.value.load(std::memory_order_acquire) !=
-                pa.expected_reads) {
-          stalled = true;
-          support::wait_until_equal_or(s.nb_reads_since_write.value,
-                                       pa.expected_reads, policy, abort_flag,
-                                       &ob.spin_iters);
-        }
+        // Same protocol wait as the full runtime (acquire_for through the
+        // proto:: seam), with precomputed expectations in place of the
+        // local replica.
+        stalled |= acquire_for(s, pa.expected_writer, pa.expected_reads,
+                               is_write(pa.mode), policy, abort_flag,
+                               &ob.spin_iters);
       }
       if (probe != nullptr) probe->set_state(support::ProbeState::kExecuting);
       if (stalled) {
@@ -170,18 +160,10 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
 
       for (const PrunedAccess& pa : pt.accesses) {
         SharedDataState& s = shared[pa.data];
-        if (is_write(pa.mode)) {
-          s.nb_reads_since_write.value.store(0, std::memory_order_relaxed);
-          support::store_and_notify(s.last_executed_write.value, pt.id,
-                                    policy);
-          if (policy == support::WaitPolicy::kBlock)
-            s.nb_reads_since_write.value.notify_all();
-        } else {
-          s.nb_reads_since_write.value.fetch_add(1,
-                                                 std::memory_order_acq_rel);
-          if (policy == support::WaitPolicy::kBlock)
-            s.nb_reads_since_write.value.notify_all();
-        }
+        if (is_write(pa.mode))
+          publish_write(s, pt.id, policy);
+        else
+          publish_read(s, policy);
       }
       if (timed)
         ob.span(obs::Phase::kRelease, pt.id, t1, support::monotonic_ns());

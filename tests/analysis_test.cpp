@@ -164,6 +164,62 @@ TEST(FlowLint, NarrowCounterOverflowFires) {
   EXPECT_FALSE(lint(flow).has("RP202"));  // 64-bit counters never overflow
 }
 
+// ---- phase-boundary lint (RH4xx) -----------------------------------------
+
+analysis::Report lint_phases(const analysis::fixtures::PhaseFixture& fx,
+                             std::uint32_t workers) {
+  analysis::LintOptions opts;
+  opts.phases = &fx.phases;
+  opts.num_workers = workers;
+  return lint(fx.flow, opts);
+}
+
+TEST(FlowLint, PhaseMappingOutOfRangeIsError) {
+  const auto fx = analysis::fixtures::bad_phase_mapping();
+  const analysis::Report r = lint_phases(fx, 2);
+  EXPECT_TRUE(r.has("RH401"));
+  EXPECT_EQ(r.worst_severity(), analysis::Severity::kError);
+  // With enough workers the static mapping is in range again.
+  EXPECT_FALSE(lint_phases(fx, 8).has("RH401"));
+}
+
+TEST(FlowLint, EmptyPhaseWarns) {
+  const auto fx = analysis::fixtures::bad_empty_phase();
+  const analysis::Report r = lint_phases(fx, 2);
+  EXPECT_TRUE(r.has("RH402"));
+  EXPECT_FALSE(r.has("RH401"));
+  EXPECT_EQ(r.worst_severity(), analysis::Severity::kWarning);
+}
+
+TEST(FlowLint, CrossPhaseDependencyIsInfoOnly) {
+  const auto fx = analysis::fixtures::cross_phase_dep();
+  const analysis::Report r = lint_phases(fx, 2);
+  EXPECT_TRUE(r.has("RH403"));
+  EXPECT_FALSE(r.has("RH401"));
+  EXPECT_FALSE(r.has("RH402"));
+  // RH403 alone must not raise severity past info.
+  bool phase_worse_than_info = false;
+  for (const auto& f : r.findings())
+    if (f.code.rfind("RH4", 0) == 0 && f.severity > analysis::Severity::kInfo)
+      phase_worse_than_info = true;
+  EXPECT_FALSE(phase_worse_than_info);
+}
+
+TEST(FlowLint, SinglePhaseCoveringFlowIsCleanOfPhaseFindings) {
+  const auto base = analysis::fixtures::cross_phase_dep();
+  analysis::LintPhase all;
+  all.first = 0;
+  all.count = base.flow.num_tasks();
+  std::vector<analysis::LintPhase> phases{all};
+  analysis::LintOptions opts;
+  opts.phases = &phases;
+  opts.num_workers = 2;
+  const analysis::Report r = lint(base.flow, opts);
+  EXPECT_FALSE(r.has("RH401"));
+  EXPECT_FALSE(r.has("RH402"));
+  EXPECT_FALSE(r.has("RH403"));
+}
+
 // ---- shipped workloads must lint clean (no warnings or errors) -----------
 
 void expect_clean(const workloads::Workload& wl, std::uint32_t workers) {

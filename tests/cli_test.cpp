@@ -274,8 +274,11 @@ TEST(CliLint, NarrowCountersAreDiagnosed) {
   EXPECT_NE(text.find("RP201"), std::string::npos);
 }
 
-TEST(CliCheck, CleanRunPassesOnBothEngines) {
-  for (const char* engine : {"rio", "coor"}) {
+TEST(CliCheck, CleanRunPassesOnAllSyncEngines) {
+  // rio-pruned included: PrunedRuntime records the same acquire/release
+  // sync events as the full runtime, so the happens-before checker must
+  // find a populated trace (no RC302 "no events" escape hatch).
+  for (const char* engine : {"rio", "rio-pruned", "coor"}) {
     std::string text;
     const int rc = run_args({"check", "--engine", engine, "--workload",
                              "stencil", "--width", "4", "--steps", "4",
@@ -283,6 +286,8 @@ TEST(CliCheck, CleanRunPassesOnBothEngines) {
                             &text);
     EXPECT_EQ(rc, 0) << engine << ":\n" << text;
     EXPECT_NE(text.find("0 race(s)"), std::string::npos) << text;
+    EXPECT_EQ(text.find("RC302"), std::string::npos) << engine << ":\n"
+                                                     << text;
   }
 }
 

@@ -5,7 +5,8 @@
 #   3. clang-tidy over src/ (skipped with a notice when not installed);
 #   4. `rioflow lint` over every shipped workload — all must exit 0;
 #   5. `rioflow lint` over every seeded-bad fixture — all must exit non-zero;
-#   6. `rioflow check` on both runtimes plus the injected-race fixture;
+#   6. `rioflow check` on every sync-capable engine (rio, rio-pruned, coor)
+#      plus the injected-race fixture;
 #   7. `rioflow chaos --quick` — the fault sweep must survive with zero
 #      oracle mismatches (docs/robustness.md);
 #   8. rioflow JSON reports — `profile --quick --json --trace` on two
@@ -18,11 +19,15 @@
 #  10. bench JSON reporters — micro_unroll and fig7_workers emit
 #      BENCH_*.json, both must parse; BENCH_unroll.json is kept at the
 #      repo root (committed reference numbers, see docs/perf.md);
-#  11. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
-#      failure suite + rioflow with RIO_SANITIZE=thread and reruns the
-#      resilience tests and the quick chaos sweep under TSan — the retry /
-#      watchdog / abort machinery is exactly the kind of code TSan earns
-#      its keep on.
+#  11. `rioflow verify --quick` — the implementation-level model checker
+#      must exhaust its reduced interleaving space with zero violations and
+#      emit a parsing rio.verify.v1 report (docs/analysis.md);
+#  12. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
+#      failure suite + model checker + rioflow with RIO_SANITIZE=thread and
+#      reruns the resilience tests, the modelcheck suite and the quick chaos
+#      sweep under TSan — the retry / watchdog / abort machinery and the
+#      controlled scheduler are exactly the kind of code TSan earns its
+#      keep on.
 #
 # Usage: tools/run_checks.sh [build-dir]   (default: build)
 set -u
@@ -70,7 +75,9 @@ done
 
 step "rioflow lint: seeded-bad fixtures must be caught"
 for f in "lintfix:uninit-read warning" "lintfix:dead-write warning" \
-         "lintfix:unused-handle warning" "lintfix:redundant-edge info"; do
+         "lintfix:unused-handle warning" "lintfix:redundant-edge info" \
+         "lintfix:phase-mapping error" "lintfix:empty-phase warning" \
+         "lintfix:cross-phase-dep info"; do
   set -- $f
   if "$RIOFLOW" lint --workload "$1" --fail-on "$2" >/dev/null; then
     fail "lint $1 (expected findings)"
@@ -78,7 +85,7 @@ for f in "lintfix:uninit-read warning" "lintfix:dead-write warning" \
 done
 
 step "rioflow check: clean runs + injected race"
-for e in rio coor; do
+for e in rio rio-pruned coor; do
   if ! "$RIOFLOW" check --engine "$e" --workload stencil --width 6 --steps 4 \
        --task-size 50 --workers 2 >/dev/null; then
     fail "check engine $e (expected clean)"
@@ -186,7 +193,24 @@ else
   fail "fig7_workers --quick --json"
 fi
 
-step "thread sanitizer: resilience suite + quick chaos sweep"
+step "rioflow verify: model-check the real protocol (rio.verify.v1)"
+VERJSON="$OBSDIR/verify.json"
+for e in rio rio-pruned coor; do
+  if ! "$RIOFLOW" verify --engine "$e" --workload chain --quick \
+       >/dev/null; then
+    fail "verify --engine $e --quick (expected zero violations)"
+  fi
+done
+if "$RIOFLOW" verify --engine rio --workload chain --quick \
+     --json "$VERJSON" >/dev/null; then
+  json_ok "$VERJSON" || fail "verify.json does not parse"
+  grep -q '"rio.verify.v1"' "$VERJSON" ||
+    fail "verify.json: missing schema tag"
+else
+  fail "verify --quick --json"
+fi
+
+step "thread sanitizer: resilience + modelcheck suites + quick chaos sweep"
 if [ "${RIO_SKIP_TSAN:-0}" = "1" ]; then
   echo "RIO_SKIP_TSAN=1; skipping"
 else
@@ -194,9 +218,11 @@ else
   if cmake -B "$TSAN_BUILD" -S "$ROOT" -DRIO_SANITIZE=thread \
        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null &&
      cmake --build "$TSAN_BUILD" -j "$(nproc)" \
-       --target failure_test rioflow >/dev/null; then
+       --target failure_test modelcheck_test rioflow >/dev/null; then
     "$TSAN_BUILD/tests/failure_test" >/dev/null ||
       fail "failure_test under TSan"
+    "$TSAN_BUILD/tests/modelcheck_test" >/dev/null ||
+      fail "modelcheck_test under TSan"
     "$TSAN_BUILD/rioflow" chaos --quick --workers 2 >/dev/null ||
       fail "chaos --quick under TSan"
   else
