@@ -1,163 +1,234 @@
-// Micro-benchmarks (google-benchmark) of the primitives whose costs the
-// paper's argument rests on:
+// micro_protocol — wait/notify hot-path cost of both runtimes.
 //
-//   * RIO's declare path (the cost of SKIPPING a task: one or two private
-//     writes per access — Section 3.4);
-//   * RIO's get/terminate path (the cost of executing an owned task);
-//   * the centralized runtime's per-task dispatch cost (queue round trip);
-//   * end-to-end per-task overhead of both runtimes on empty tasks;
-//   * dependency-graph and pruned-plan construction throughput.
+// Two stall-free workload shapes (round-robin mapping keeps every chain on
+// one worker, so wall time is pure unroll + protocol publication cost):
 //
-// These measured numbers are also how one calibrates sim::*Params for this
-// host (see EXPERIMENTS.md).
-#include <benchmark/benchmark.h>
+//   * section "protocol" — the micro_unroll shape (1 write/task, 64
+//     chains), swept across workers x policy x engine, so spin rows are
+//     directly comparable with BENCH_unroll.json;
+//   * section "fan" — 8 writes/task (8 chain groups x 8 chains), where
+//     per-word notify cost dominates the block policy: the shape that
+//     shows the doorbell-batching win.
+//
+// Engines:
+//   * rio / rio-pruned — Algorithm 2 publications; under kBlock the
+//     per-worker doorbells batch wakeups (src/rio/doorbell.hpp);
+//   * rio-wordnotify / rio-pruned-wordnotify (block rows only) — the same
+//     runtimes with Config::doorbells off: the legacy per-word notify_all
+//     path, i.e. the measured pre-change baseline;
+//   * coor-locked — centralized runtime, mutex+condvar ReadyQueue;
+//   * coor-ring — centralized runtime, wait-free MPMC ready ring
+//     (coor/ready_ring.hpp).
+//
+// Each configuration is timed cold (no telemetry, collect_stats off), then
+// re-run once with an obs::Hub attached to count wakeups: wakeups/task is
+// the notify-attempt rate, issued/task the real syscall rate, elided/task
+// the batching/elision win. BENCH_protocol.json is the trend file
+// tools/run_checks.sh refreshes and validates (docs/perf.md).
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "coor/coor.hpp"
-#include "rio/rio.hpp"
-#include "stf/stf.hpp"
-#include "workloads/workloads.hpp"
+#include "bench_common.hpp"
+#include "coor/runtime.hpp"
+#include "obs/obs.hpp"
+#include "rio/mapping.hpp"
+#include "rio/pruning.hpp"
+#include "rio/runtime.hpp"
+#include "support/clock.hpp"
+#include "support/thread_pool.hpp"
+#include "stf/flow_image.hpp"
+#include "stf/task_flow.hpp"
 
 using namespace rio;
 
 namespace {
 
-// --------------------------------------------------------- protocol ops ----
+constexpr std::size_t kChains = 64;
 
-void BM_DeclareRead(benchmark::State& state) {
-  rt::LocalDataState local;
-  for (auto _ : state) {
-    rt::declare_read(local);
-    benchmark::DoNotOptimize(local);
+// micro_unroll shape: task i writes chain i mod kChains; kChains is
+// divisible by every tested worker count, so round-robin keeps each chain
+// worker-local and the run is stall-free by construction.
+stf::TaskFlow make_chains(std::size_t n) {
+  stf::TaskFlow flow;
+  std::vector<stf::DataHandle<std::uint64_t>> chain;
+  chain.reserve(kChains);
+  for (std::size_t c = 0; c < kChains; ++c)
+    chain.push_back(
+        flow.create_data<std::uint64_t>("chain" + std::to_string(c)));
+  for (std::size_t i = 0; i < n; ++i)
+    flow.add_virtual(0, {stf::write(chain[i % kChains])});
+  return flow;
+}
+
+// Fan shape: task i writes all kFan chains of group i mod kGroups. Still
+// stall-free (group g tasks stay on worker g mod w for every tested w),
+// but each task makes kFan publications — the per-word notify multiplier.
+constexpr std::size_t kGroups = 8;
+constexpr std::size_t kFan = kChains / kGroups;
+
+stf::TaskFlow make_fans(std::size_t n) {
+  stf::TaskFlow flow;
+  std::vector<stf::DataHandle<std::uint64_t>> chain;
+  chain.reserve(kChains);
+  for (std::size_t c = 0; c < kChains; ++c)
+    chain.push_back(
+        flow.create_data<std::uint64_t>("chain" + std::to_string(c)));
+  for (std::size_t i = 0; i < n; ++i) {
+    stf::AccessList acc;
+    for (std::size_t j = 0; j < kFan; ++j)
+      acc.push_back(stf::write(chain[(i % kGroups) * kFan + j]));
+    flow.add_virtual(0, acc);
   }
+  return flow;
 }
-BENCHMARK(BM_DeclareRead);
 
-void BM_DeclareWrite(benchmark::State& state) {
-  rt::LocalDataState local;
-  stf::TaskId id = 0;
-  for (auto _ : state) {
-    rt::declare_write(local, id++);
-    benchmark::DoNotOptimize(local);
+template <typename RunFn>
+double min_wall_ms(int reps, RunFn&& run) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    support::Stopwatch sw;
+    run();
+    best = std::min(best, static_cast<double>(sw.elapsed_ns()) * 1e-6);
   }
+  return best;
 }
-BENCHMARK(BM_DeclareWrite);
 
-void BM_GetReadUncontended(benchmark::State& state) {
-  rt::SharedDataState shared;
-  rt::LocalDataState local;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        rt::get_read(shared, local, support::WaitPolicy::kSpin));
+struct Sweep {
+  bench::JsonReporter* json = nullptr;
+  const bench::Options* opt = nullptr;
+  support::ThreadPool* pool = nullptr;
+  std::size_t n = 0;
+  int reps = 0;
+  bool with_coor = false;  ///< coor rows only where comparable (1 write/task)
+};
+
+void run_section(const Sweep& s, const char* section,
+                 const stf::FlowImage& image) {
+  support::Table table({"workers", "policy", "engine", "wall_ms",
+                        "ns_per_task", "wakeups_per_task", "issued_per_task",
+                        "elided_per_task"});
+  const double dn = static_cast<double>(s.n);
+
+  for (const std::uint32_t w : {1u, 2u, 4u}) {
+    const rt::Mapping mapping = rt::mapping::round_robin(w);
+    for (const support::WaitPolicy policy :
+         {support::WaitPolicy::kSpin, support::WaitPolicy::kSpinYield,
+          support::WaitPolicy::kBlock}) {
+      // One timed (telemetry-free) + one counted (obs-attached) engine per
+      // configuration; the counted run never contributes to wall_ms.
+      // make_run constructs the engine eagerly (outside the stopwatch, as
+      // micro_unroll does) and returns the per-rep run closure, so reps
+      // after the first measure steady state: cached pruned plan, recycled
+      // sync-word arenas.
+      const auto measure = [&](const char* engine, auto&& make_run) {
+        const double ms = min_wall_ms(s.reps, make_run(nullptr));
+        obs::Hub hub;
+        make_run(&hub)();
+        const obs::CounterSnapshot snap = hub.counter_snapshot();
+        const auto per_task = [&](obs::Counter c) {
+          return static_cast<double>(snap.total(c)) / dn;
+        };
+        table.row()
+            .integer(w)
+            .str(support::to_string(policy))
+            .str(engine)
+            .num(ms, 3)
+            .num(ms * 1e6 / dn, 1)
+            .num(per_task(obs::Counter::kWakeups), 3)
+            .num(per_task(obs::Counter::kWakeupsIssued), 3)
+            .num(per_task(obs::Counter::kWakeupsElided), 3);
+      };
+
+      const auto rio_cfg = [&](obs::Hub* hub, bool doorbells) {
+        rt::Config cfg;
+        cfg.num_workers = w;
+        cfg.wait_policy = policy;
+        cfg.collect_stats = false;
+        cfg.doorbells = doorbells;
+        cfg.obs = hub;
+        return cfg;
+      };
+      const auto rio_run = [&](bool doorbells) {
+        return [&, doorbells](obs::Hub* hub) {
+          auto eng = std::make_shared<rt::Runtime>(rio_cfg(hub, doorbells));
+          eng->attach_pool(s.pool);
+          return [&, eng] { eng->run(image, mapping); };
+        };
+      };
+      const auto pruned_run = [&](bool doorbells) {
+        return [&, doorbells](obs::Hub* hub) {
+          auto eng =
+              std::make_shared<rt::PrunedRuntime>(rio_cfg(hub, doorbells));
+          eng->attach_pool(s.pool);
+          return [&, eng] { eng->run(image, mapping); };
+        };
+      };
+
+      measure("rio", rio_run(true));
+      measure("rio-pruned", pruned_run(true));
+      if (policy == support::WaitPolicy::kBlock) {
+        // Legacy per-word notify path = the pre-change block baseline,
+        // measured in the same binary for an honest A/B.
+        measure("rio-wordnotify", rio_run(false));
+        measure("rio-pruned-wordnotify", pruned_run(false));
+      }
+      if (s.with_coor) {
+        const auto coor_run = [&](coor::QueueKind queue) {
+          return [&, queue](obs::Hub* hub) {
+            coor::Config cfg;
+            cfg.num_workers = w;
+            cfg.queue = queue;
+            cfg.wait_policy = policy;
+            cfg.collect_stats = false;
+            cfg.obs = hub;
+            auto eng = std::make_shared<coor::Runtime>(cfg);
+            eng->attach_pool(s.pool);
+            return [&, eng] { eng->run(image); };
+          };
+        };
+        measure("coor-locked", coor_run(coor::QueueKind::kLocked));
+        measure("coor-ring", coor_run(coor::QueueKind::kRing));
+      }
+    }
   }
+  bench::emit(table, *s.opt, *s.json, section);
 }
-BENCHMARK(BM_GetReadUncontended);
-
-void BM_TerminateReadPlusWrite(benchmark::State& state) {
-  rt::SharedDataState shared;
-  rt::LocalDataState local;
-  stf::TaskId id = 0;
-  for (auto _ : state) {
-    rt::terminate_read(shared, local, support::WaitPolicy::kSpinYield);
-    rt::terminate_write(shared, local, id++, support::WaitPolicy::kSpinYield);
-  }
-}
-BENCHMARK(BM_TerminateReadPlusWrite);
-
-// ------------------------------------------------------- queue round trip --
-
-void BM_ReadyQueuePushPop(benchmark::State& state) {
-  coor::ReadyQueue q;
-  for (auto _ : state) {
-    q.push(1);
-    benchmark::DoNotOptimize(q.try_pop());
-  }
-}
-BENCHMARK(BM_ReadyQueuePushPop);
-
-// ----------------------------------------------- end-to-end per-task cost --
-
-void BM_RioPerTaskOverhead(benchmark::State& state) {
-  const auto workers = static_cast<std::uint32_t>(state.range(0));
-  workloads::IndependentSpec spec;
-  spec.num_tasks = 4096;
-  spec.task_cost = 0;
-  spec.body = workloads::BodyKind::kNone;
-  auto wl = workloads::make_independent(spec);
-  rt::Runtime runtime(
-      rt::Config{.num_workers = workers, .collect_stats = false});
-  const auto mapping = rt::mapping::round_robin(workers);
-  for (auto _ : state) runtime.run(wl.flow, mapping);
-  state.SetItemsProcessed(state.iterations() * 4096);
-}
-BENCHMARK(BM_RioPerTaskOverhead)->Arg(1)->Arg(2)->Arg(4);
-
-void BM_RioPrunedPerTaskOverhead(benchmark::State& state) {
-  const auto workers = static_cast<std::uint32_t>(state.range(0));
-  workloads::IndependentSpec spec;
-  spec.num_tasks = 4096;
-  spec.task_cost = 0;
-  spec.body = workloads::BodyKind::kNone;
-  auto wl = workloads::make_independent(spec);
-  rt::PrunedPlan plan(wl.flow, rt::mapping::round_robin(workers), workers);
-  rt::PrunedRuntime runtime(
-      rt::Config{.num_workers = workers, .collect_stats = false});
-  for (auto _ : state) runtime.run(wl.flow, plan);
-  state.SetItemsProcessed(state.iterations() * 4096);
-}
-BENCHMARK(BM_RioPrunedPerTaskOverhead)->Arg(1)->Arg(2)->Arg(4);
-
-void BM_CoorPerTaskOverhead(benchmark::State& state) {
-  const auto workers = static_cast<std::uint32_t>(state.range(0));
-  workloads::IndependentSpec spec;
-  spec.num_tasks = 4096;
-  spec.task_cost = 0;
-  spec.body = workloads::BodyKind::kNone;
-  auto wl = workloads::make_independent(spec);
-  coor::Runtime runtime(
-      coor::Config{.num_workers = workers, .collect_stats = false});
-  for (auto _ : state) runtime.run(wl.flow);
-  state.SetItemsProcessed(state.iterations() * 4096);
-}
-BENCHMARK(BM_CoorPerTaskOverhead)->Arg(1)->Arg(2)->Arg(4);
-
-// ------------------------------------------------------- analysis builds ---
-
-void BM_DependencyGraphBuild(benchmark::State& state) {
-  workloads::RandomDepsSpec spec;
-  spec.num_tasks = static_cast<std::uint64_t>(state.range(0));
-  spec.body = workloads::BodyKind::kNone;
-  auto wl = workloads::make_random_deps(spec);
-  for (auto _ : state) {
-    stf::DependencyGraph g(wl.flow);
-    benchmark::DoNotOptimize(g.num_edges());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_DependencyGraphBuild)->Arg(1024)->Arg(16384);
-
-void BM_PrunedPlanBuild(benchmark::State& state) {
-  workloads::RandomDepsSpec spec;
-  spec.num_tasks = static_cast<std::uint64_t>(state.range(0));
-  spec.body = workloads::BodyKind::kNone;
-  auto wl = workloads::make_random_deps(spec);
-  const auto mapping = rt::mapping::round_robin(8);
-  for (auto _ : state) {
-    rt::PrunedPlan plan(wl.flow, mapping, 8);
-    benchmark::DoNotOptimize(plan.total_tasks());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_PrunedPlanBuild)->Arg(1024)->Arg(16384);
-
-// --------------------------------------------------- counter calibration ---
-
-void BM_CounterKernel(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  for (auto _ : state) workloads::counter_kernel(n);
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
-}
-BENCHMARK(BM_CounterKernel)->Arg(1000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::JsonReporter json("protocol", opt);
+
+  const std::size_t n = opt.quick ? (1u << 13) : (1u << 16);
+  const int reps = opt.quick ? 3 : 7;
+
+  bench::header("micro_protocol",
+                std::to_string(n) +
+                    " stall-free virtual tasks; wait/notify hot-path cost "
+                    "per engine x policy (1-write and 8-write shapes)");
+
+  json.note("tasks", std::to_string(n));
+  json.note("fan_writes", std::to_string(kFan));
+
+  support::ThreadPool pool(5);  // max workers (4) + coor master
+
+  Sweep sweep{&json, &opt, &pool, n, reps, /*with_coor=*/true};
+  run_section(sweep, "protocol", stf::FlowImage::compile(make_chains(n)));
+  sweep.with_coor = false;  // coor pays per-access master cost; rio A/B only
+  run_section(sweep, "fan", stf::FlowImage::compile(make_fans(n)));
+
+  std::cout
+      << "Expected shape: block-policy rio within noise of spin/yield "
+         "(doorbell batching elides per-word notifies on stall-free "
+         "workloads: issued_per_task ~ 0), rio-wordnotify paying one "
+         "notify per write (the \"fan\" section multiplies it by "
+      << kFan
+      << "); coor-ring at or below coor-locked (wait-free push/pop, "
+         "wakeups only when a consumer is parked).\n";
+  bench::finish(json);
+  return 0;
+}

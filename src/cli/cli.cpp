@@ -200,6 +200,16 @@ bool pick_scheduler(const Options& o, coor::SchedulerKind& out,
   return true;
 }
 
+bool pick_queue(const Options& o, coor::QueueKind& out, std::string& error) {
+  if (o.queue == "locked") out = coor::QueueKind::kLocked;
+  else if (o.queue == "ring") out = coor::QueueKind::kRing;
+  else {
+    error = "unknown queue '" + o.queue + "' (locked|ring)";
+    return false;
+  }
+  return true;
+}
+
 /// Assembles an engine::Launch from the CLI knobs. Only the string parsing
 /// can fail (exit 1); capability mismatches are the registry's job and
 /// surface later as one structured UnsupportedLaunch (exit 2).
@@ -209,6 +219,7 @@ bool make_launch(const Options& o, const workloads::Workload& wl,
   if (!pick_mapping(o, wl, launch.mapping, error)) return false;
   if (!pick_policy(o, launch.wait_policy, error)) return false;
   if (!pick_scheduler(o, launch.scheduler, error)) return false;
+  if (!pick_queue(o, launch.queue, error)) return false;
   return true;
 }
 
@@ -818,8 +829,18 @@ int run_verify(const Options& o, std::ostream& out, std::ostream& err) {
     err << "rioflow: " << error << "\n";
     return 1;
   }
+  coor::QueueKind queue{};
+  if (!pick_queue(wo, queue, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  if (queue != coor::QueueKind::kLocked && o.engine != "coor") {
+    err << "rioflow: --queue applies to the coor engine only\n";
+    return 1;
+  }
   mo.workers = wo.workers;
   mo.policy = policy;
+  mo.queue = queue;
   mo.dpor = !o.naive;
   mo.max_preemptions = o.max_preemptions;
 
@@ -827,6 +848,9 @@ int run_verify(const Options& o, std::ostream& out, std::ostream& err) {
 
   out << "-- verify: " << wl.name << " on " << o.engine << " ("
       << mo.workers << " workers, " << o.policy << " policy, "
+      << (mo.engine == mc::impl::EngineKind::kCoor
+              ? std::string(coor::to_string(mo.queue)) + " queue, "
+              : std::string())
       << (mo.dpor ? "dpor" : "naive");
   if (mo.max_preemptions >= 0)
     out << ", <=" << mo.max_preemptions << " preemptions";
@@ -862,6 +886,8 @@ int run_verify(const Options& o, std::ostream& out, std::ostream& err) {
       << "  \"workload\": " << support::json_quote(wl.name) << ",\n"
       << "  \"workers\": " << mo.workers << ",\n"
       << "  \"policy\": " << support::json_quote(o.policy) << ",\n"
+      << "  \"queue\": " << support::json_quote(coor::to_string(mo.queue))
+      << ",\n"
       << "  \"dpor\": " << (mo.dpor ? "true" : "false") << ",\n"
       << "  \"max_preemptions\": " << mo.max_preemptions << ",\n"
       << "  \"explored\": " << r.explored << ",\n"
@@ -943,6 +969,8 @@ usage: rioflow [command] [options]
   --mapping M     rr | block | owner                            [owner]
   --policy P      spin | yield | block (RIO wait policy)        [yield]
   --scheduler S   fifo | lifo | locality | priority (coor)      [fifo]
+  --queue Q       locked | ring (coor central ready queue;
+                  ring = wait-free MPMC, fifo/lifo only)        [locked]
   --repeat N      repetitions (best time reported)              [1]
   --seed N        workload seed                                 [42]
   --counter-bits N  lint: protocol counter width for RP2xx       [64]
@@ -1047,6 +1075,10 @@ bool parse(int argc, const char* const* argv, Options& o,
       const char* v = need_value("--scheduler");
       if (!v) return false;
       o.scheduler = v;
+    } else if (arg == "--queue") {
+      const char* v = need_value("--queue");
+      if (!v) return false;
+      o.queue = v;
     } else if (arg == "--dot") {
       const char* v = need_value("--dot");
       if (!v) return false;

@@ -47,6 +47,7 @@ struct Options {
   std::string mapping = "owner";    ///< rr | block | owner
   std::string policy = "yield";     ///< spin | yield | block
   std::string scheduler = "fifo";   ///< fifo | lifo | locality | priority
+  std::string queue = "locked";     ///< locked | ring (coor ready queue)
   int repeat = 1;
 
   // Analysis (lint / check).

@@ -2,4 +2,5 @@
 #pragma once
 
 #include "coor/ready_queue.hpp"  // IWYU pragma: export
+#include "coor/ready_ring.hpp"   // IWYU pragma: export
 #include "coor/runtime.hpp"      // IWYU pragma: export

@@ -4,7 +4,9 @@
 // deque: the serialization it causes under fine-grained load is not an
 // implementation accident but the phenomenon the paper attributes to
 // centralized execution models (Section 3.3, cost model (1)). A per-worker
-// variant with stealing implements the locality scheduler ablation.
+// variant with stealing implements the locality scheduler ablation. The
+// wait-free alternative for central fifo/lifo modes lives in
+// ready_ring.hpp and is selected with the engine::Launch queue knob.
 #pragma once
 
 #include <condition_variable>
@@ -43,7 +45,13 @@ class ReadyQueue {
  public:
   explicit ReadyQueue(bool prioritized = false) : prioritized_(prioritized) {}
 
-  void push(stf::TaskId t, bool lifo = false, std::int32_t priority = 0) {
+  /// Returns true when a waiter was actually notified. The syscall is
+  /// skipped when nobody is parked: `waiters_` is maintained under `mu_`,
+  /// so a consumer that is about to wait either (a) incremented it before
+  /// we took the lock — we see it and notify — or (b) takes the lock after
+  /// us, sees the pushed item, and never blocks.
+  bool push(stf::TaskId t, bool lifo = false, std::int32_t priority = 0) {
+    bool wake = false;
     {
       std::lock_guard lock(mu_);
       if (prioritized_) {
@@ -53,15 +61,19 @@ class ReadyQueue {
       } else {
         items_.push_back(t);
       }
+      wake = waiters_ > 0;
     }
-    cv_.notify_one();
+    if (wake) cv_.notify_one();
+    return wake;
   }
 
   /// Pops the next task; blocks while the queue is open and empty.
   /// Returns nullopt once closed and drained.
   std::optional<stf::TaskId> pop() {
     std::unique_lock lock(mu_);
+    ++waiters_;
     cv_.wait(lock, [&] { return !empty_locked() || closed_; });
+    --waiters_;
     return take_locked();
   }
 
@@ -133,6 +145,7 @@ class ReadyQueue {
   std::deque<stf::TaskId> items_;
   std::priority_queue<Entry> heap_;
   std::uint64_t next_seq_ = 0;
+  std::uint32_t waiters_ = 0;  // guarded by mu_
   bool prioritized_ = false;
   bool closed_ = false;
 };

@@ -25,7 +25,7 @@
 #include "stf/resilience.hpp"
 
 namespace rio::coor {
-namespace {
+namespace detail {
 
 /// Per-task dependency bookkeeping. One node per task for the whole range —
 /// the linear-space structure the paper contrasts with RIO's O(data)
@@ -39,6 +39,20 @@ struct TaskNode {
   bool finished = false;
 };
 
+}  // namespace detail
+
+/// Recycled across runs of one Runtime: TaskNode holds a std::mutex, so the
+/// pool is a deque (grows in place, no moves) and entries are reset rather
+/// than reconstructed.
+struct Runtime::NodeArena {
+  std::deque<detail::TaskNode> nodes;
+  std::vector<support::AlignedAtomic<std::uint32_t>> reduction_locks;
+};
+
+namespace {
+
+using detail::TaskNode;
+
 /// Burns approximately `ns` nanoseconds — the artificial master-overhead
 /// knob used to calibrate COOR's dispatch cost against heavier runtimes.
 void burn_ns(std::uint64_t ns) {
@@ -50,8 +64,13 @@ void burn_ns(std::uint64_t ns) {
 struct Engine {
   stf::ImageRange range;  // cheap view; the backing FlowImage outlives us
   const Config& cfg;
-  std::vector<TaskNode> nodes;
+  std::deque<TaskNode>& nodes;  // arena-backed, reset for this run
   std::deque<ReadyQueue> queues;  // 1 (central) or num_workers (locality)
+  // Wait-free central queue (ready_ring.hpp), engaged for queue == kRing in
+  // the central fifo/lifo modes. A ring pop is FIFO regardless of the lifo
+  // flag — OoO correctness is order-independent, so kLifo + kRing degrades
+  // to FIFO order (documented in docs/perf.md).
+  std::optional<ReadyRing> ring;
   std::atomic<std::uint64_t> completed{0};
   std::atomic<bool> done{false};
   std::atomic<std::uint64_t> seq{0};
@@ -74,15 +93,53 @@ struct Engine {
   // Per-data exclusivity locks for commuting reductions: the dependency
   // scanner puts NO edges between members of a reduction run, so the OoO
   // workers may pick them in any order — but one at a time per object.
-  std::vector<support::AlignedAtomic<std::uint32_t>> reduction_locks;
+  std::vector<support::AlignedAtomic<std::uint32_t>>& reduction_locks;
 
-  Engine(const stf::ImageRange& r, const Config& c)
-      : range(r), cfg(c), nodes(r.size()), reduction_locks(r.num_data()) {
-    const std::size_t nq =
-        c.scheduler == SchedulerKind::kLocality ? c.num_workers : 1;
-    const bool prioritized = c.scheduler == SchedulerKind::kPriority;
-    for (std::size_t q = 0; q < nq; ++q) queues.emplace_back(prioritized);
+  Engine(const stf::ImageRange& r, const Config& c, Runtime::NodeArena& arena)
+      : range(r),
+        cfg(c),
+        nodes(arena.nodes),
+        reduction_locks(arena.reduction_locks) {
+    const std::size_t n = r.size();
+    while (nodes.size() < n) nodes.emplace_back();
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes[i].remaining.store(1, std::memory_order_relaxed);
+      nodes[i].finished = false;
+      nodes[i].successors.clear();
+    }
+    const std::size_t nd = r.num_data();
+    if (reduction_locks.size() < nd) {
+      reduction_locks =
+          std::vector<support::AlignedAtomic<std::uint32_t>>(nd);
+    } else {
+      for (std::size_t d = 0; d < nd; ++d)
+        reduction_locks[d].value.store(0, std::memory_order_relaxed);
+    }
+    if (c.queue == QueueKind::kRing &&
+        (c.scheduler == SchedulerKind::kFifo ||
+         c.scheduler == SchedulerKind::kLifo)) {
+      ring.emplace(std::max<std::size_t>(n, 1),
+                   [](std::atomic<std::uint64_t>& w, std::uint64_t v) {
+                     w.store(v, std::memory_order_relaxed);
+                   });
+    } else {
+      const std::size_t nq =
+          c.scheduler == SchedulerKind::kLocality ? c.num_workers : 1;
+      const bool prioritized = c.scheduler == SchedulerKind::kPriority;
+      for (std::size_t q = 0; q < nq; ++q) queues.emplace_back(prioritized);
+    }
     if (cfg.enable_guard) guard.enable(r.num_data());
+  }
+
+  /// Watchdog abort flag for ring pops (nullptr when unwatched, so the
+  /// block policy may park; see pop_blocking's degradation contract).
+  [[nodiscard]] const std::atomic<bool>* pop_abort() const noexcept {
+    return cfg.watchdog_ns > 0 ? &aborted : nullptr;
+  }
+
+  void close_queues() {
+    if (ring) ring->close(cfg.wait_policy);
+    for (auto& q : queues) q.close();
   }
 
   /// Acquires the reduction locks of `task` in ascending data order (no
@@ -119,40 +176,50 @@ struct Engine {
     return range.acc_begin(li)->data % queues.size();
   }
 
-  void dispatch(std::size_t li) {
-    queues[home_queue(li)].push(li, cfg.scheduler == SchedulerKind::kLifo,
-                                range.priority(li));
+  /// Returns true when the push actually woke a parked/blocked consumer
+  /// (a syscall was issued) — the kWakeupsIssued / kWakeupsElided feed.
+  bool dispatch(std::size_t li) {
+    if (ring) return ring->push(li, cfg.wait_policy);
+    return queues[home_queue(li)].push(li,
+                                       cfg.scheduler == SchedulerKind::kLifo,
+                                       range.priority(li));
   }
 
+  struct DispatchTally {
+    std::size_t dispatched = 0;  ///< successors made ready (queue pushes)
+    std::size_t woke = 0;        ///< of those, pushes that issued a wake
+  };
+
   /// Worker-side completion: mark finished, release registered successors.
-  /// Returns the number of successors dispatched (telemetry: queue pushes).
-  std::size_t complete(std::size_t li) {
+  DispatchTally complete(std::size_t li) {
     std::vector<std::size_t> succs;
     {
       std::lock_guard lock(nodes[li].mu);
       nodes[li].finished = true;
       succs.swap(nodes[li].successors);
     }
-    std::size_t dispatched = 0;
+    DispatchTally tally;
     for (std::size_t s : succs) {
       if (dep_release(nodes[s].remaining)) {
-        dispatch(s);
-        ++dispatched;
+        if (dispatch(s)) ++tally.woke;
+        ++tally.dispatched;
       }
     }
     if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         range.size()) {
       done.store(true, std::memory_order_release);
-      for (auto& q : queues) q.close();
+      close_queues();
     }
-    return dispatched;
+    return tally;
   }
 
   /// Pops the next task for worker w, stealing if configured. Returns
   /// nullopt when the range is fully executed; `stole` reports whether the
   /// pop came from another worker's queue (the kSteal phase).
-  std::optional<stf::TaskId> next_task(std::uint32_t w, bool& stole) {
+  std::optional<stf::TaskId> next_task(std::uint32_t w, bool& stole,
+                                       std::uint64_t* spins) {
     stole = false;
+    if (ring) return ring->pop_blocking(cfg.wait_policy, pop_abort(), spins);
     if (queues.size() == 1) return queues[0].pop();
     // Locality mode: own queue first, then (optionally) steal, then block
     // briefly on the own queue again.
@@ -186,9 +253,12 @@ struct Engine {
 
 }  // namespace
 
-Runtime::Runtime(Config cfg) : cfg_(cfg) {
+Runtime::Runtime(Config cfg)
+    : cfg_(cfg), arena_(std::make_unique<NodeArena>()) {
   RIO_ASSERT_MSG(cfg_.num_workers > 0, "need at least one worker");
 }
+
+Runtime::~Runtime() = default;
 
 support::RunStats Runtime::run(const stf::TaskFlow& flow) {
   const stf::FlowImage image = stf::FlowImage::compile(flow);
@@ -205,7 +275,7 @@ support::RunStats Runtime::run(const stf::FlowImage& image) {
 }
 
 support::RunStats Runtime::run(const stf::ImageRange& range) {
-  Engine eng(range, cfg_);
+  Engine eng(range, cfg_, *arena_);
   const std::uint32_t p = cfg_.num_workers;
   const std::size_t n = range.size();
 
@@ -250,7 +320,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
         if (timed) idle0 = support::monotonic_ns();
         if (probe != nullptr) probe->set_state(support::ProbeState::kWaiting);
         bool stole = false;
-        auto li = eng.next_task(w, stole);
+        auto li = eng.next_task(w, stole, &ob.spin_iters);
         if (timed) {
           // Every pop — including the final empty one — is wait time; a
           // successful steal is attributed to the kSteal phase instead.
@@ -317,12 +387,14 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
           traces[w].push_back(
               {task.id, w, t0, t1,
                eng.seq.fetch_add(1, std::memory_order_relaxed)});
-        const std::size_t dispatched = eng.complete(*li);
+        const Engine::DispatchTally tally = eng.complete(*li);
         if (timed)
           ob.span(obs::Phase::kRelease, task.id, t1, support::monotonic_ns());
-        if (dispatched > 0) {
-          ob.count(obs::Counter::kQueuePushes, dispatched);
-          ob.count(obs::Counter::kWakeups, dispatched);
+        if (tally.dispatched > 0) {
+          ob.count(obs::Counter::kQueuePushes, tally.dispatched);
+          ob.count(obs::Counter::kWakeups, tally.dispatched);
+          ob.count(obs::Counter::kWakeupsIssued, tally.woke);
+          ob.count(obs::Counter::kWakeupsElided, tally.dispatched - tally.woke);
         }
         ob.count(obs::Counter::kTasksExecuted);
         if (probe != nullptr)
@@ -339,6 +411,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
     if (cfg_.pin_workers) support::pin_current_thread(p % cpus);
     obs::WorkerObs& ob = obses[p];
     std::uint64_t master_dispatches = 0;
+    std::uint64_t master_wakes = 0;
     start.arrive_and_wait();
     master_begin = support::monotonic_ns();
     {
@@ -363,7 +436,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
       burn_ns(cfg_.master_overhead_ns);
       // Drop the discovery guard; dispatch if all predecessors done.
       if (dep_release(eng.nodes[li].remaining)) {
-        eng.dispatch(li);
+        if (eng.dispatch(li)) ++master_wakes;
         ++master_dispatches;
       }
     }
@@ -371,7 +444,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
     if (n == 0) {
       // Nothing will ever complete: release the workers directly.
       eng.done.store(true, std::memory_order_release);
-      for (auto& q : eng.queues) q.close();
+      eng.close_queues();
     }
     master_unroll_end = support::monotonic_ns();
     // The whole unroll is one management span on the master's track.
@@ -381,6 +454,9 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
     if (master_dispatches > 0) {
       ob.count(obs::Counter::kQueuePushes, master_dispatches);
       ob.count(obs::Counter::kWakeups, master_dispatches);
+      ob.count(obs::Counter::kWakeupsIssued, master_wakes);
+      ob.count(obs::Counter::kWakeupsElided,
+               master_dispatches - master_wakes);
     }
   };
 
@@ -410,6 +486,8 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
              << static_cast<double>(cfg_.watchdog_ns) / 1e6 << " ms\n"
              << "  completed " << eng.completed.load(std::memory_order_relaxed)
              << " of " << n << " tasks\n";
+          if (eng.ring)
+            os << "  ring: depth=" << eng.ring->size() << "\n";
           for (std::size_t q = 0; q < eng.queues.size(); ++q)
             os << "  queue " << q << ": depth=" << eng.queues[q].size() << "\n";
           for (std::uint32_t w = 0; w < p; ++w) {
@@ -427,7 +505,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
           eng.cancelled.store(true, std::memory_order_release);
           eng.aborted.store(true, std::memory_order_release);
           eng.done.store(true, std::memory_order_release);
-          for (auto& q : eng.queues) q.close();
+          eng.close_queues();
         });
   }
 

@@ -22,11 +22,14 @@
 
 #include <cstdint>
 
+#include <memory>
+
 #include "support/fault.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 #include "support/wait.hpp"
 #include "coor/ready_queue.hpp"
+#include "coor/ready_ring.hpp"
 #include "stf/flow_image.hpp"
 #include "stf/flow_range.hpp"
 #include "stf/task_flow.hpp"
@@ -41,6 +44,12 @@ namespace rio::coor {
 struct Config {
   std::uint32_t num_workers = 2;  ///< task-executing threads (master extra)
   SchedulerKind scheduler = SchedulerKind::kFifo;
+  QueueKind queue = QueueKind::kLocked;  ///< central ready-queue impl;
+                                         ///< kRing applies to fifo/lifo
+                                         ///< only (locked fallback else)
+  support::WaitPolicy wait_policy = support::WaitPolicy::kSpinYield;
+  ///< how ring consumers wait when idle (ignored by the locked queue,
+  ///< whose condvar always blocks)
   bool work_stealing = false;     ///< locality mode: steal from siblings
   std::uint64_t master_overhead_ns = 0;  ///< artificial per-task master cost
                                          ///< (0 = just our real cost)
@@ -67,6 +76,9 @@ struct Config {
 class Runtime {
  public:
   explicit Runtime(Config cfg);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
 
   /// Runs `flow` to completion. The calling thread becomes the master;
   /// stats.workers holds num_workers entries followed by one entry for the
@@ -101,11 +113,18 @@ class Runtime {
   /// subsequent runs instead of spawning threads per run.
   void attach_pool(support::ThreadPool* pool) noexcept { pool_ = pool; }
 
+  // Recycled per-run task-node pool + reduction-lock array (pimpl: the node
+  // type is internal to runtime.cpp, which defines and uses the struct).
+  // Repeated runs on the same Runtime reuse the arena instead of
+  // reallocating linear-in-tasks bookkeeping.
+  struct NodeArena;
+
  private:
   Config cfg_;
   stf::Trace trace_;
   stf::SyncTrace sync_trace_;
   support::ThreadPool* pool_ = nullptr;
+  std::unique_ptr<NodeArena> arena_;
 };
 
 }  // namespace rio::coor

@@ -149,7 +149,9 @@ class CoorBackend final : public Backend {
                                 .supports_sync = true,
                                 .supports_obs = true,
                                 .supports_guard = true,
+                                .uses_wait_policy = true,
                                 .uses_scheduler = true,
+                                .uses_queue = true,
                                 .has_master = true};
     return c;
   }
@@ -158,6 +160,8 @@ class CoorBackend final : public Backend {
     validate(*this, launch);
     coor::Runtime eng(coor::Config{.num_workers = launch.workers,
                                    .scheduler = launch.scheduler,
+                                   .queue = launch.queue,
+                                   .wait_policy = launch.wait_policy,
                                    .work_stealing = launch.work_stealing,
                                    .collect_stats = launch.collect_stats,
                                    .collect_trace = launch.collect_trace,

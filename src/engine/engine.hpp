@@ -32,6 +32,7 @@
 #include "support/stats.hpp"
 #include "support/wait.hpp"
 #include "coor/ready_queue.hpp"
+#include "coor/ready_ring.hpp"
 #include "hybrid/runtime.hpp"
 #include "rio/mapping.hpp"
 #include "stf/flow_image.hpp"
@@ -64,6 +65,8 @@ struct Capabilities {
   bool partial_mapping = false;  ///< consumes a hybrid::PartialMapping
   bool uses_wait_policy = false;  ///< honours Launch::wait_policy
   bool uses_scheduler = false;    ///< honours Launch::scheduler/work_stealing
+  bool uses_queue = false;        ///< honours Launch::queue (central
+                                  ///< ready-queue implementation; coor only)
   bool in_order = false;   ///< per-worker in-order execution (what
                            ///< Trace::validate's worker_in_order checks)
   bool has_master = false;  ///< RunStats carries an extra master slot (p)
@@ -82,6 +85,10 @@ struct Launch {
   std::uint32_t workers = 2;
   support::WaitPolicy wait_policy = support::WaitPolicy::kSpinYield;
   coor::SchedulerKind scheduler = coor::SchedulerKind::kFifo;
+  coor::QueueKind queue = coor::QueueKind::kLocked;
+  ///< uses_queue backends only. kRing selects the wait-free MPMC ready
+  ///< ring for fifo/lifo scheduling (kPriority/kLocality keep the locked
+  ///< queues — see coor/ready_ring.hpp).
   bool work_stealing = false;      ///< uses_scheduler backends only
   rt::Mapping mapping;             ///< full static mapping (needs_mapping)
   hybrid::PartialMapping partial;  ///< partial mapping (partial_mapping

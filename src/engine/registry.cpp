@@ -82,6 +82,7 @@ std::vector<std::pair<std::string_view, bool>> capability_list(
           {"partial_mapping", c.partial_mapping},
           {"uses_wait_policy", c.uses_wait_policy},
           {"uses_scheduler", c.uses_scheduler},
+          {"uses_queue", c.uses_queue},
           {"in_order", c.in_order},
           {"has_master", c.has_master}};
 }
@@ -109,6 +110,8 @@ std::vector<std::string> unsupported_knobs(const Capabilities& caps,
     bad.emplace_back("watchdog (backend lacks supports_watchdog)");
   if (launch.work_stealing && !caps.uses_scheduler)
     bad.emplace_back("work_stealing (backend lacks uses_scheduler)");
+  if (launch.queue != coor::QueueKind::kLocked && !caps.uses_queue)
+    bad.emplace_back("queue (backend lacks uses_queue)");
   return bad;
 }
 

@@ -39,8 +39,10 @@ enum class OpKind : std::uint8_t {
   kLoad,      ///< acquire load (also the kBlock wait's probe read)
   kStore,     ///< release/relaxed store (SC interleaving model)
   kRmw,       ///< fetch_add
+  kCas,       ///< compare_exchange: store operand2 iff word == operand
   kNotify,    ///< wake every worker parked on the word
   kWaitTest,  ///< spin-policy wait: enabled only when word == operand
+  kWaitDiff,  ///< spin-policy wait: enabled only when word != operand
   kPark,      ///< kBlock wait: park iff word still == operand
   kPush,      ///< model ready-queue push (coor)
   kPop,       ///< model ready-queue pop (coor)
@@ -55,6 +57,7 @@ struct Op {
   OpKind kind = OpKind::kLoad;
   int word = -1;
   std::uint64_t operand = 0;  ///< store value / rmw delta / expected value
+  std::uint64_t operand2 = 0;  ///< kCas: the desired value
   std::uint64_t mask = ~std::uint64_t{0};  ///< value width of the word type
   bool write_like = false;
 };
@@ -72,8 +75,10 @@ const char* kind_name(OpKind k) {
     case OpKind::kLoad: return "load";
     case OpKind::kStore: return "store";
     case OpKind::kRmw: return "fetch_add";
+    case OpKind::kCas: return "cas";
     case OpKind::kNotify: return "notify";
     case OpKind::kWaitTest: return "wait";
+    case OpKind::kWaitDiff: return "wait-diff";
     case OpKind::kPark: return "park";
     case OpKind::kPush: return "push";
     case OpKind::kPop: return "pop";
@@ -158,6 +163,7 @@ class Controlled {
     switch (op.kind) {
       case OpKind::kLoad:
       case OpKind::kWaitTest:
+      case OpKind::kWaitDiff:
         result = words_[op.word];
         break;
       case OpKind::kStore:
@@ -166,6 +172,10 @@ class Controlled {
       case OpKind::kRmw:
         result = words_[op.word];
         words_[op.word] = (result + op.operand) & op.mask;
+        break;
+      case OpKind::kCas:
+        result = words_[op.word];
+        if (result == op.operand) words_[op.word] = op.operand2 & op.mask;
         break;
       case OpKind::kNotify:
         if (!drop_notify_) {
@@ -337,6 +347,9 @@ class Controlled {
       if (s.op.kind == OpKind::kWaitTest &&
           words_[s.op.word] != s.op.operand)
         continue;  // spin wait: disabled until the word reaches the value
+      if (s.op.kind == OpKind::kWaitDiff &&
+          words_[s.op.word] == s.op.operand)
+        continue;  // spin wait-for-change: disabled while unchanged
       if (s.op.kind == OpKind::kLock && words_[s.op.word] != 0)
         continue;  // mutex held
       if (s.op.kind == OpKind::kPop && ready_.empty() &&
@@ -502,6 +515,21 @@ T fetch_add(Word<T>& w, T delta) {
 }
 
 template <typename T>
+bool cas(Word<T>& w, T& expected, T desired) {
+  Op op;
+  op.kind = OpKind::kCas;
+  op.word = w.id;
+  op.operand = enc(expected);
+  op.operand2 = enc(desired);
+  op.mask = width_mask<T>();
+  op.write_like = true;
+  const std::uint64_t old = w.c->perform(op);
+  if (old == enc(expected)) return true;
+  expected = dec<T>(old);
+  return false;
+}
+
+template <typename T>
 void notify(Word<T>& w, WaitPolicy policy) {
   if (policy != WaitPolicy::kBlock) return;  // production makes no syscall
   Op op;
@@ -544,6 +572,40 @@ bool wait_equal(const Word<T>& w, T expected, WaitPolicy policy,
     park.operand = v;
     park.mask = width_mask<T>();
     w.c->perform(park);  // blocks while parked; returns woken or failed
+  }
+}
+
+/// Waits until the word no longer holds `old` — the doorbell-parking
+/// primitive (rio bells, ready-ring version word). Same futex-faithful
+/// probe/park structure as wait_equal, with the inverted condition.
+template <typename T>
+bool wait_changed(const Word<T>& w, T old, WaitPolicy policy,
+                  const std::atomic<bool>* /*abort*/ = nullptr,
+                  std::uint64_t* /*spins*/ = nullptr) {
+  if (policy != WaitPolicy::kBlock) {
+    // Spin model: one await step, enabled only once the word moved (fair
+    // abstraction of a pure inequality spin).
+    Op op;
+    op.kind = OpKind::kWaitDiff;
+    op.word = w.id;
+    op.operand = enc(old);
+    op.mask = width_mask<T>();
+    w.c->perform(op);
+    return true;
+  }
+  for (;;) {
+    Op probe;
+    probe.kind = OpKind::kLoad;
+    probe.word = w.id;
+    probe.mask = width_mask<T>();
+    const std::uint64_t v = w.c->perform(probe);
+    if (v != enc(old)) return true;
+    Op park;
+    park.kind = OpKind::kPark;
+    park.word = w.id;
+    park.operand = v;
+    park.mask = width_mask<T>();
+    w.c->perform(park);
   }
 }
 
@@ -671,6 +733,7 @@ class Explorer {
     const std::size_t n_data = flow_.num_data();
 
     // ---- engine state + bodies (real protocol code) ----------------------
+    const WaitPolicy policy = opts_.policy;
     std::vector<ModelShared> shared;
     struct CoorNode {
       Word<std::int32_t> remaining;
@@ -681,6 +744,16 @@ class Explorer {
     std::vector<CoorNode> nodes;
     Word<std::uint64_t> completed;
     std::shared_ptr<const rt::PrunedPlan> pruned;
+    // Per-worker doorbells: the rio engines' kBlock path parks on bells
+    // (word_notify = false + release-boundary ring_doorbell), exactly as
+    // the production launch() gates it for unwatched block runs.
+    std::vector<Word<std::uint64_t>> bells;
+    const bool use_bells =
+        opts_.engine != EngineKind::kCoor && policy == WaitPolicy::kBlock;
+    // kCoor + kRing: the REAL ReadyRingT code instantiated on the
+    // instrumented word type — CAS slot claims, version/waiters doorbell
+    // pair and all. kLocked keeps the one-step queue abstraction.
+    std::optional<coor::ReadyRingT<Word<std::uint64_t>>> ring;
 
     if (opts_.engine != EngineKind::kCoor) {
       shared.resize(n_data);
@@ -692,6 +765,10 @@ class Explorer {
         shared[d].nb_reads_since_write.value = {&ctl, rw};
         ctl.data_words_[d] = {ww, rw};
       }
+      if (use_bells) {
+        bells.resize(opts_.workers);
+        for (auto& b : bells) b = {&ctl, ctl.new_word(0)};
+      }
       if (opts_.engine == EngineKind::kRioPruned)
         pruned = std::make_shared<const rt::PrunedPlan>(flow_, mapping_,
                                                         opts_.workers);
@@ -702,33 +779,50 @@ class Explorer {
         node.mu = ctl.new_word(0);
       }
       completed = {&ctl, ctl.new_word(0)};
-      ctl.configure_pop_exit(completed.id, n_tasks);
+      if (opts_.queue == coor::QueueKind::kRing) {
+        ring.emplace(std::max<std::size_t>(n_tasks, 1),
+                     [&](Word<std::uint64_t>& wd, std::uint64_t v) {
+                       wd = {&ctl, ctl.new_word(v)};
+                     });
+      } else {
+        ctl.configure_pop_exit(completed.id, n_tasks);
+      }
     }
 
-    const WaitPolicy policy = opts_.policy;
     auto body = [&](std::uint32_t w) {
       switch (opts_.engine) {
         case EngineKind::kRio: {
           // Algorithm 1: unroll the whole flow, execute own tasks through
-          // the real Algorithm 2 routines, declare the rest.
+          // the real Algorithm 2 routines, declare the rest. Under kBlock
+          // the waits park on the worker's bell and publishes skip the
+          // per-word notify — the production doorbell configuration.
           std::vector<rt::LocalDataState> local(n_data);
+          Word<std::uint64_t>* bell = use_bells ? &bells[w] : nullptr;
+          const bool word_notify = !use_bells;
           for (stf::TaskId t = 0; t < n_tasks; ++t) {
             const stf::Task& task = flow_.task(t);
             if (mapping_(t) == w) {
               for (const stf::Access& a : task.accesses) {
                 if (stf::is_write(a.mode))
-                  rt::get_write(shared[a.data], local[a.data], policy);
+                  rt::get_write(shared[a.data], local[a.data], policy,
+                                nullptr, nullptr, bell);
                 else
-                  rt::get_read(shared[a.data], local[a.data], policy);
+                  rt::get_read(shared[a.data], local[a.data], policy,
+                               nullptr, nullptr, bell);
               }
               ctl.task_started(t);
               ctl.task_finished(t);
               for (const stf::Access& a : task.accesses) {
                 if (stf::is_write(a.mode))
                   rt::terminate_write(shared[a.data], local[a.data], t,
-                                      policy);
+                                      policy, word_notify);
                 else
-                  rt::terminate_read(shared[a.data], local[a.data], policy);
+                  rt::terminate_read(shared[a.data], local[a.data], policy,
+                                     word_notify);
+              }
+              if (use_bells) {
+                for (std::uint32_t peer = 0; peer < opts_.workers; ++peer)
+                  if (peer != w) rt::ring_doorbell(bells[peer], policy);
               }
             } else {
               for (const stf::Access& a : task.accesses) {
@@ -744,19 +838,26 @@ class Explorer {
         case EngineKind::kRioPruned: {
           // Pruned executor: wait on the plan's precomputed expectations,
           // publish through the same terminate halves — the production
-          // run_pruned loop minus telemetry.
+          // run_pruned loop minus telemetry (incl. its doorbell gate).
+          Word<std::uint64_t>* bell = use_bells ? &bells[w] : nullptr;
+          const bool word_notify = !use_bells;
           for (const rt::PrunedTask& pt : pruned->tasks_for(w)) {
             for (const rt::PrunedAccess& pa : pt.accesses)
               rt::acquire_for(shared[pa.data], pa.expected_writer,
                               pa.expected_reads, stf::is_write(pa.mode),
-                              policy);
+                              policy, nullptr, nullptr, bell);
             ctl.task_started(pt.id);
             ctl.task_finished(pt.id);
             for (const rt::PrunedAccess& pa : pt.accesses) {
               if (stf::is_write(pa.mode))
-                rt::publish_write(shared[pa.data], pt.id, policy);
+                rt::publish_write(shared[pa.data], pt.id, policy,
+                                  word_notify);
               else
-                rt::publish_read(shared[pa.data], policy);
+                rt::publish_read(shared[pa.data], policy, word_notify);
+            }
+            if (use_bells) {
+              for (std::uint32_t peer = 0; peer < opts_.workers; ++peer)
+                if (peer != w) rt::ring_doorbell(bells[peer], policy);
             }
           }
           break;
@@ -779,11 +880,20 @@ class Explorer {
                 }
                 ctl.unlock(nodes[prev].mu);
               }
-              if (coor::dep_release(nodes[li].remaining)) ctl.queue_push(li);
+              if (coor::dep_release(nodes[li].remaining)) {
+                if (ring)
+                  ring->push(li, policy);
+                else
+                  ctl.queue_push(li);
+              }
             }
+            // Empty flow: nobody completes a task, so the master closes.
+            if (ring && n_tasks == 0) ring->close(policy);
           } else {
             for (;;) {
-              const std::optional<std::uint64_t> li = ctl.queue_pop();
+              const std::optional<std::uint64_t> li =
+                  ring ? ring->pop_blocking(policy, nullptr, nullptr)
+                       : ctl.queue_pop();
               if (!li) break;
               ctl.task_started(*li);
               ctl.task_finished(*li);
@@ -796,8 +906,17 @@ class Explorer {
               nodes[*li].succs.clear();
               ctl.unlock(nodes[*li].mu);
               for (std::uint64_t s : succs)
-                if (coor::dep_release(nodes[s].remaining)) ctl.queue_push(s);
-              fetch_add(completed, std::uint64_t{1});
+                if (coor::dep_release(nodes[s].remaining)) {
+                  if (ring)
+                    ring->push(s, policy);
+                  else
+                    ctl.queue_push(s);
+                }
+              // The last completer closes the ring — the production
+              // Engine::complete's done transition.
+              if (fetch_add(completed, std::uint64_t{1}) + 1 == n_tasks &&
+                  ring)
+                ring->close(policy);
             }
           }
           break;

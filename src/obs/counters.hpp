@@ -30,9 +30,12 @@ enum class Counter : std::uint8_t {
   kQueuePushes,     ///< coor ready-queue enqueues
   kQueuePops,       ///< coor ready-queue dequeues (incl. steals)
   kWatchdogProbes,  ///< watchdog progress polls (global slot)
+  kWakeupsIssued,   ///< wakeups that issued a real syscall (futex/condvar)
+  kWakeupsElided,   ///< wakeups skipped because no waiter was parked —
+                    ///< batching/elision effectiveness (docs/perf.md)
 };
 
-inline constexpr std::size_t kNumCounters = 11;
+inline constexpr std::size_t kNumCounters = 13;
 
 [[nodiscard]] constexpr const char* counter_name(Counter c) noexcept {
   switch (c) {
@@ -47,6 +50,8 @@ inline constexpr std::size_t kNumCounters = 11;
     case Counter::kQueuePushes: return "queue_pushes";
     case Counter::kQueuePops: return "queue_pops";
     case Counter::kWatchdogProbes: return "watchdog_probes";
+    case Counter::kWakeupsIssued: return "wakeups_issued";
+    case Counter::kWakeupsElided: return "wakeups_elided";
   }
   return "?";
 }

@@ -1,0 +1,93 @@
+// Per-worker doorbells: batched block-policy wakeups for Algorithm 2.
+//
+// Before PR 7 every publish under the kBlock policy paid a notify per sync
+// word — up to two futex-wake syscalls per access even when nobody was
+// parked. The doorbell scheme moves parking off the protocol words
+// entirely: each worker owns ONE doorbell word, and a stalled worker parks
+// on its own bell instead of the sync word it is waiting for. Producers
+// then publish a whole task's accesses with plain release stores
+// (word_notify = false) and ring every other worker's bell ONCE at the
+// task's release boundary — one RMW per peer per task instead of one
+// syscall per word, and the futex wake itself is issued only when the
+// bell's owner is actually parked.
+//
+// The bell is a single 64-bit word combining the two doorbell roles:
+//   * low 32 bits  — waiter count. Only the OWNER ever touches these
+//     (register/deregister around its park), which is what makes one
+//     combined word safe here: the value a parked owner waits on can only
+//     move by producer version bumps. (The multi-waiter ready ring needs
+//     the two words split — see coor/ready_ring.hpp.)
+//   * high 32 bits — version. Bumped by any producer's ring_doorbell();
+//     the single fetch_add doubles as the waiter probe since it returns
+//     the old value.
+//
+// Missed-wakeup argument (same RMW-Dekker shape as the ready ring): the
+// owner registers with an RMW on the bell and THEN re-checks the sync
+// word; a producer publishes the sync word and THEN bumps the bell with an
+// RMW. Whichever RMW lands second in the bell's modification order
+// observes the other side's first operation, so either the owner sees the
+// published value and never parks, or the producer sees the waiter bit and
+// issues the wake. The park itself is futex-faithful (wait on the sampled
+// bell value), so mc::impl explores exactly this protocol and drop_notify
+// on the bell path is caught as a lost wakeup.
+//
+// Bells are only engaged for kBlock runs WITHOUT a watchdog: abort-aware
+// waits must poll (a futex park cannot observe the abort flag), so watched
+// runs keep the classic per-word path and its degradation semantics.
+#pragma once
+
+#include <cstdint>
+
+#include "rio/proto.hpp"
+#include "support/wait.hpp"
+
+namespace rio::rt {
+
+inline constexpr std::uint64_t kBellWaiter = 1;
+inline constexpr std::uint64_t kBellWaiterMask = 0xffffffffull;
+inline constexpr std::uint64_t kBellVersion = std::uint64_t{1} << 32;
+
+/// Waits until `word == expected`, parking on the caller's own doorbell.
+/// Only the bell's owner may call this (single-registrant invariant).
+/// Producers must ring_doorbell() after publishing, so every version bump
+/// is a "something you may be waiting for changed" hint; spurious bumps
+/// simply re-check the word and park again.
+template <typename Word, typename Bell, typename T>
+void bell_wait_equal(const Word& word, T expected, Bell& bell,
+                     std::uint64_t* spins) {
+  using proto::fetch_add;
+  using proto::load_acq;
+  using proto::wait_changed;
+  std::uint64_t rounds = 0;
+  for (;;) {
+    if (load_acq(word) == expected) break;
+    ++rounds;
+    // Register, then re-check: the fetch_add returns the pre-registration
+    // bell value, so `seen` is exactly the value we may park against.
+    const std::uint64_t seen = fetch_add(bell, kBellWaiter) + kBellWaiter;
+    if (load_acq(word) == expected) {
+      fetch_add(bell, std::uint64_t{0} - kBellWaiter);
+      break;
+    }
+    wait_changed(bell, seen, support::WaitPolicy::kBlock, nullptr, spins);
+    fetch_add(bell, std::uint64_t{0} - kBellWaiter);
+  }
+  if (spins != nullptr) *spins += rounds;
+}
+
+/// Bumps one peer's bell at a release boundary. Returns true when a futex
+/// wake was issued (the owner was parked), false when it was elided — the
+/// kWakeupsIssued / kWakeupsElided telemetry feed.
+template <typename Bell>
+bool ring_doorbell(Bell& bell, support::WaitPolicy policy) {
+  using proto::fetch_add;
+  using proto::notify;
+  const std::uint64_t old = fetch_add(bell, kBellVersion);
+  if ((old & kBellWaiterMask) != 0) {
+    notify(bell, policy);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rio::rt

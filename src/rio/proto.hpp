@@ -1,15 +1,19 @@
 // proto:: — the sync-word seam between shipped and verified code.
 //
 // Algorithm 2 (src/rio/data_object.hpp), the pruned executor
-// (src/rio/pruning.cpp) and COOR's dependency counters (src/coor) all
-// reduce to five tiny operations on a shared machine word:
+// (src/rio/pruning.cpp), COOR's dependency counters (src/coor), the
+// wait-free ready ring (src/coor/ready_ring.hpp) and the per-worker
+// doorbells (src/rio/doorbell.hpp) all reduce to a handful of tiny
+// operations on a shared machine word:
 //
-//   load_acq    acquire load
-//   store_rel   release store
-//   store_rlx   relaxed store (the nb_reads reset inside terminate_write)
-//   fetch_add   acq_rel read-modify-write
-//   wait_equal  block until the word equals a local replica value
-//   notify      wake parked waiters (kBlock policy)
+//   load_acq     acquire load
+//   store_rel    release store
+//   store_rlx    relaxed store (the nb_reads reset inside terminate_write)
+//   fetch_add    acq_rel read-modify-write
+//   cas          acq_rel compare-exchange (ring slot/cursor claims)
+//   wait_equal   block until the word equals a local replica value
+//   wait_changed block until the word differs from a sampled value
+//   notify       wake parked waiters (kBlock policy)
 //
 // This header defines those operations for plain std::atomic<T> — they
 // compile to exactly the loads/stores/futex calls the code used before the
@@ -29,11 +33,21 @@
 //                                           before a store_rel on another
 //                                           word of the same object)
 //   * fetch_add(W<T>&, T) -> T              acq_rel, returns the OLD value
+//   * cas(W<T>&, T& expected, T desired)
+//       -> bool                             acq_rel strong compare-exchange;
+//                                           on failure loads the observed
+//                                           value into `expected`
 //   * wait_equal(const W<T>&, T expected, WaitPolicy,
 //                const std::atomic<bool>* abort, std::uint64_t* spins)
 //       -> bool                             true when equality was reached,
 //                                           false on abort; must re-check
 //                                           the value before parking
+//   * wait_changed(const W<T>&, T old, WaitPolicy,
+//                  const std::atomic<bool>* abort, std::uint64_t* spins)
+//       -> bool                             true when the word moved away
+//                                           from `old`, false on abort;
+//                                           kBlock parks futex-style on the
+//                                           sampled value
 //   * notify(W<T>&, WaitPolicy)             wake all waiters iff kBlock
 #pragma once
 
@@ -65,11 +79,26 @@ inline T fetch_add(std::atomic<T>& word, T delta) noexcept {
 }
 
 template <typename T>
+inline bool cas(std::atomic<T>& word, T& expected, T desired) noexcept {
+  return word.compare_exchange_strong(expected, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+}
+
+template <typename T>
 inline bool wait_equal(const std::atomic<T>& word, T expected,
                        support::WaitPolicy policy,
                        const std::atomic<bool>* abort = nullptr,
                        std::uint64_t* spins = nullptr) noexcept {
   return support::wait_until_equal_or(word, expected, policy, abort, spins);
+}
+
+template <typename T>
+inline bool wait_changed(const std::atomic<T>& word, T old,
+                         support::WaitPolicy policy,
+                         const std::atomic<bool>* abort = nullptr,
+                         std::uint64_t* spins = nullptr) noexcept {
+  return support::wait_until_changed_or(word, old, policy, abort, spins);
 }
 
 template <typename T>

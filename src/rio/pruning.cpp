@@ -35,12 +35,36 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
                              const stf::DataRegistry& registry,
                              std::size_t num_data, const PrunedPlan& plan,
                              stf::Trace& trace_out, stf::SyncTrace& sync_out,
-                             BodyOf&& body_of) {
+                             RunArenas& arenas, BodyOf&& body_of) {
   RIO_ASSERT_MSG(plan.num_workers() == cfg.num_workers,
                  "plan built for a different worker count");
   const std::uint32_t p = cfg.num_workers;
+  const bool watched_pre = cfg.watchdog_ns > 0;
+  // Doorbell batching replaces per-word notifies for unwatched kBlock runs
+  // (same gate as the full runtime's launch()).
+  const bool use_bells = cfg.wait_policy == support::WaitPolicy::kBlock &&
+                         !watched_pre && cfg.doorbells;
 
-  std::vector<SharedDataState> shared(num_data);
+  // Recycled sync-word arena: reset in place when it already fits (the
+  // replay loop `while (...) prt.run(image, mapping)` is the hot consumer).
+  std::vector<SharedDataState>& shared = arenas.shared;
+  if (shared.size() < num_data) {
+    shared = std::vector<SharedDataState>(num_data);
+  } else {
+    for (std::size_t d = 0; d < num_data; ++d) {
+      shared[d].last_executed_write.value.store(kNoWrite,
+                                                std::memory_order_relaxed);
+      shared[d].nb_reads_since_write.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  if (use_bells) {
+    if (arenas.bells.size() < p) {
+      arenas.bells = std::vector<support::AlignedAtomic<std::uint64_t>>(p);
+    } else {
+      for (std::uint32_t w = 0; w < p; ++w)
+        arenas.bells[w].value.store(0, std::memory_order_relaxed);
+    }
+  }
   std::atomic<std::uint64_t> seq{0};
   std::atomic<std::uint64_t> sync_stamp{0};
   std::atomic<bool> cancelled{false};
@@ -71,6 +95,9 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
     const auto& mine = plan.tasks_for(w);
     support::WorkerStats& st = wstats[w];
     const auto policy = cfg.wait_policy;
+    std::atomic<std::uint64_t>* bell =
+        use_bells ? &arenas.bells[w].value : nullptr;
+    const bool word_notify = !use_bells;
     support::WorkerProbe* probe = watched ? &probes[w] : nullptr;
     const std::atomic<bool>* abort_flag = res_proto.abort;
     stf::ResilienceOpts res = res_proto;  // worker-private copy
@@ -101,7 +128,7 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
         // local replica.
         stalled |= acquire_for(s, pa.expected_writer, pa.expected_reads,
                                is_write(pa.mode), policy, abort_flag,
-                               &ob.spin_iters);
+                               &ob.spin_iters, bell);
       }
       if (probe != nullptr) probe->set_state(support::ProbeState::kExecuting);
       if (stalled) {
@@ -161,13 +188,26 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
       for (const PrunedAccess& pa : pt.accesses) {
         SharedDataState& s = shared[pa.data];
         if (is_write(pa.mode))
-          publish_write(s, pt.id, policy);
+          publish_write(s, pt.id, policy, word_notify);
         else
-          publish_read(s, policy);
+          publish_read(s, policy, word_notify);
+      }
+      if (use_bells) {
+        // Release boundary: one doorbell ring per parked peer instead of
+        // one notify per published word (see docs/perf.md).
+        std::uint64_t issued = 0;
+        for (std::uint32_t peer = 0; peer < p; ++peer) {
+          if (peer == w) continue;
+          if (ring_doorbell(arenas.bells[peer].value, policy)) ++issued;
+        }
+        ob.count(obs::Counter::kWakeups, p - 1);
+        ob.count(obs::Counter::kWakeupsIssued, issued);
+        ob.count(obs::Counter::kWakeupsElided, (p - 1) - issued);
+      } else {
+        ob.count(obs::Counter::kWakeups, pt.accesses.size());
       }
       if (timed)
         ob.span(obs::Phase::kRelease, pt.id, t1, support::monotonic_ns());
-      ob.count(obs::Counter::kWakeups, pt.accesses.size());
       ob.count(obs::Counter::kTasksExecuted);
       if (cfg.collect_trace)
         traces[w].push_back(
@@ -345,7 +385,7 @@ PrunedRuntime::PrunedRuntime(Config cfg) : cfg_(cfg) {
 support::RunStats PrunedRuntime::run(const stf::TaskFlow& flow,
                                      const PrunedPlan& plan) {
   return run_pruned(cfg_, pool_, flow.registry(), flow.num_data(), plan,
-                    trace_, sync_trace_,
+                    trace_, sync_trace_, arenas_,
                     [&](stf::TaskId id) -> const stf::Task& {
                       return flow.task(id);
                     });
@@ -355,7 +395,7 @@ support::RunStats PrunedRuntime::run(const stf::FlowImage& image,
                                      const PrunedPlan& plan) {
   const stf::TaskId first = image.first_id();
   return run_pruned(cfg_, pool_, image.registry(), image.num_data(), plan,
-                    trace_, sync_trace_,
+                    trace_, sync_trace_, arenas_,
                     [&, first](stf::TaskId id) -> const stf::Task& {
                       return image.task(id - first);
                     });

@@ -154,6 +154,7 @@ class PrunedRuntime {
   stf::SyncTrace sync_trace_;
   PrunedPlanCache cache_;
   support::ThreadPool* pool_ = nullptr;
+  RunArenas arenas_;  ///< recycled across runs (never shrinks)
 };
 
 }  // namespace rio::rt

@@ -26,9 +26,17 @@ struct WorkerCtx {
   stf::WorkerId self = 0;
   const Mapping* mapping = nullptr;
   SharedDataState* shared = nullptr;  // array indexed by DataId
-  std::vector<LocalDataState> local;  // worker-private mirror
+  LocalDataState* local = nullptr;    // worker-private mirror (arena-backed)
   const stf::DataRegistry* registry = nullptr;
   support::WaitPolicy policy = support::WaitPolicy::kSpinYield;
+
+  // Doorbell batching (src/rio/doorbell.hpp), engaged for kBlock runs
+  // without a watchdog: this worker parks on bells[self] instead of sync
+  // words, publishes with word_notify = false, and rings every peer's bell
+  // once per completed task.
+  support::AlignedAtomic<std::uint64_t>* bells = nullptr;
+  std::uint32_t num_workers = 1;
+  bool use_bells = false;
 
   // Instrumentation (all optional). `timed` is the union of every consumer
   // of the per-task clock reads: the tau buckets, the trace, and the flight
@@ -74,6 +82,8 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
   bool stalled = false;
   std::uint64_t wait_begin = 0;
   if (ctx.timed) wait_begin = support::monotonic_ns();
+  std::atomic<std::uint64_t>* bell =
+      ctx.use_bells ? &ctx.bells[ctx.self].value : nullptr;
   for (const stf::Access& a : task.accesses) {
     if (ctx.probe != nullptr) {
       // Publish what we are about to wait for, so a watchdog firing
@@ -88,10 +98,10 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
     }
     if (is_write(a.mode))
       stalled |= get_write(ctx.shared[a.data], ctx.local[a.data], ctx.policy,
-                           ctx.res.abort, &ctx.obs.spin_iters);
+                           ctx.res.abort, &ctx.obs.spin_iters, bell);
     else
       stalled |= get_read(ctx.shared[a.data], ctx.local[a.data], ctx.policy,
-                          ctx.res.abort, &ctx.obs.spin_iters);
+                          ctx.res.abort, &ctx.obs.spin_iters, bell);
   }
   if (ctx.probe != nullptr) ctx.probe->set_state(support::ProbeState::kExecuting);
   if (stalled) {
@@ -148,16 +158,32 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
            ctx.sync_stamp->fetch_add(1, std::memory_order_acq_rel)});
   }
 
+  const bool word_notify = !ctx.use_bells;
   for (const stf::Access& a : task.accesses) {
     if (is_write(a.mode))
       terminate_write(ctx.shared[a.data], ctx.local[a.data], task.id,
-                      ctx.policy);
+                      ctx.policy, word_notify);
     else
-      terminate_read(ctx.shared[a.data], ctx.local[a.data], ctx.policy);
+      terminate_read(ctx.shared[a.data], ctx.local[a.data], ctx.policy,
+                     word_notify);
+  }
+  if (ctx.use_bells) {
+    // One bump per peer per task — the whole release boundary batched into
+    // (p - 1) RMWs, with the futex syscall only when a peer is parked.
+    std::uint64_t issued = 0;
+    for (std::uint32_t w = 0; w < ctx.num_workers; ++w) {
+      if (w == ctx.self) continue;
+      if (ring_doorbell(ctx.bells[w].value, ctx.policy)) ++issued;
+    }
+    ctx.obs.count(obs::Counter::kWakeups, ctx.num_workers - 1);
+    ctx.obs.count(obs::Counter::kWakeupsIssued, issued);
+    ctx.obs.count(obs::Counter::kWakeupsElided,
+                  (ctx.num_workers - 1) - issued);
+  } else {
+    ctx.obs.count(obs::Counter::kWakeups, task.accesses.size());
   }
   if (ctx.timed)
     ctx.obs.span(obs::Phase::kRelease, task.id, t1, support::monotonic_ns());
-  ctx.obs.count(obs::Counter::kWakeups, task.accesses.size());
   ctx.obs.count(obs::Counter::kTasksExecuted);
 
   if (ctx.collect_trace) {
@@ -223,11 +249,37 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
                          const stf::DataRegistry& registry,
                          std::size_t num_data, std::size_t trace_reserve,
                          stf::Trace& trace_out, stf::SyncTrace& sync_out,
-                         const Mapping& mapping, UnrollFn&& unroll) {
+                         const Mapping& mapping, RunArenas& arenas,
+                         UnrollFn&& unroll) {
   RIO_ASSERT(mapping.valid());
   const std::uint32_t p = cfg.num_workers;
+  const bool watched_early = cfg.watchdog_ns > 0;
+  // Doorbell batching replaces per-word notifies for unwatched kBlock runs;
+  // watched runs keep the classic path so abort-aware waits can poll.
+  const bool use_bells = cfg.wait_policy == support::WaitPolicy::kBlock &&
+                         !watched_early && cfg.doorbells;
 
-  std::vector<SharedDataState> shared(num_data);
+  // Recycled sync-word arena: reset in place when it already fits.
+  // SharedDataState holds atomics (not copyable), so growth recreates.
+  std::vector<SharedDataState>& shared = arenas.shared;
+  if (shared.size() < num_data) {
+    shared = std::vector<SharedDataState>(num_data);
+  } else {
+    for (std::size_t d = 0; d < num_data; ++d) {
+      shared[d].last_executed_write.value.store(kNoWrite,
+                                                std::memory_order_relaxed);
+      shared[d].nb_reads_since_write.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  if (use_bells) {
+    if (arenas.bells.size() < p) {
+      arenas.bells =
+          std::vector<support::AlignedAtomic<std::uint64_t>>(p);
+    } else {
+      for (std::uint32_t w = 0; w < p; ++w)
+        arenas.bells[w].value.store(0, std::memory_order_relaxed);
+    }
+  }
   stf::AccessGuard guard;
   if (cfg.enable_guard) guard.enable(num_data);
   std::atomic<std::uint64_t> seq{0};
@@ -241,14 +293,20 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
   std::vector<support::WorkerProbe> probes(watched ? p : 0);
 
   std::vector<WorkerCtx> ctxs(p);
+  arenas.locals.resize(p);
   for (std::uint32_t w = 0; w < p; ++w) {
     WorkerCtx& c = ctxs[w];
     c.self = w;
     c.mapping = &mapping;
     c.shared = shared.data();
-    c.local.resize(num_data);
+    // Recycled worker-private replica array (assign keeps capacity).
+    arenas.locals[w].assign(num_data, LocalDataState{});
+    c.local = arenas.locals[w].data();
     c.registry = &registry;
     c.policy = cfg.wait_policy;
+    c.bells = use_bells ? arenas.bells.data() : nullptr;
+    c.num_workers = p;
+    c.use_bells = use_bells;
     c.collect_stats = cfg.collect_stats;
     c.collect_trace = cfg.collect_trace;
     c.collect_sync = cfg.collect_sync;
@@ -369,7 +427,7 @@ support::RunStats Runtime::run(const stf::TaskFlow& flow,
 support::RunStats Runtime::run(const stf::FlowRange& range,
                                const Mapping& mapping) {
   return launch(cfg_, pool_, range.registry(), range.num_data(), range.size(),
-                trace_, sync_trace_, mapping, [&](WorkerCtx& c) {
+                trace_, sync_trace_, mapping, arenas_, [&](WorkerCtx& c) {
                   for (const stf::Task& task : range) process_task(task, c);
                 });
 }
@@ -391,7 +449,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range,
   const stf::TaskId first = n > 0 ? range.first_id() : 0;
   return launch(
       cfg_, pool_, range.registry(), range.num_data(), n, trace_, sync_trace_,
-      mapping, [&, n, spans, acc, first](WorkerCtx& c) {
+      mapping, arenas_, [&, n, spans, acc, first](WorkerCtx& c) {
         const Mapping& map = *c.mapping;
         std::uint64_t skipped = 0;  // batched: keeps the declare loop tight
         for (std::size_t i = 0; i < n; ++i) {
@@ -419,7 +477,7 @@ support::RunStats Runtime::run_program(const stf::DataRegistry& registry,
                                        const stf::ProgramFn& program,
                                        const Mapping& mapping) {
   return launch(cfg_, pool_, registry, registry.size(), 0, trace_, sync_trace_,
-                mapping, [&](WorkerCtx& c) {
+                mapping, arenas_, [&](WorkerCtx& c) {
                   ReplaySink sink(c);
                   program(sink);  // the worker IS the unroller
                 });

@@ -37,6 +37,17 @@ class Hub;
 
 namespace rio::rt {
 
+/// Per-run allocations recycled across runs of one Runtime: the per-handle
+/// sync-word array, each worker's private replica array, and the per-worker
+/// doorbells. Repeat runs (benches, hybrid phases, the pruned-plan replay
+/// path) reset these in place instead of reallocating — the task-pool
+/// recycling half of the wait/notify hot-path work (docs/perf.md).
+struct RunArenas {
+  std::vector<SharedDataState> shared;
+  std::vector<std::vector<LocalDataState>> locals;
+  std::vector<support::AlignedAtomic<std::uint64_t>> bells;
+};
+
 /// Runtime configuration. Defaults favour correctness on any machine
 /// (yielding waits survive oversubscription); benches flip the knobs.
 struct Config {
@@ -50,6 +61,10 @@ struct Config {
                                ///< the happens-before checker (src/analysis)
   bool enable_guard = false;   ///< dynamic data-race detection (tests)
   bool pin_workers = false;    ///< pin worker w to logical CPU w mod #cpus
+  bool doorbells = true;       ///< kBlock: batch wakeups through per-worker
+                               ///< doorbells (src/rio/doorbell.hpp); false
+                               ///< keeps the legacy per-word notify_all —
+                               ///< the A/B knob bench/micro_protocol flips
 
   // Resilience (docs/robustness.md). All default-off: the fast path is
   // byte-identical to the pre-resilience runtime.
@@ -117,6 +132,7 @@ class Runtime {
   stf::Trace trace_;
   stf::SyncTrace sync_trace_;
   support::ThreadPool* pool_ = nullptr;
+  RunArenas arenas_;  ///< recycled across runs (never shrinks)
 };
 
 }  // namespace rio::rt

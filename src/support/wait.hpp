@@ -146,6 +146,75 @@ bool wait_until_equal_or(const std::atomic<T>& word, T expected,
   }
 }
 
+/// Blocks until `word.load(acquire) != old`, following `policy`.
+///
+/// The inequality predicate is the doorbell/version shape: producers only
+/// ever *bump* the word (monotone fetch_add), so "changed since I sampled
+/// it" is exactly "something was published after my sample". Unlike the
+/// equality wait, kBlock can park directly on the sampled value —
+/// std::atomic::wait(old) already returns when the word differs from old,
+/// so there is no check/park re-read gap to close.
+template <typename T>
+void wait_until_changed(const std::atomic<T>& word, T old, WaitPolicy policy,
+                        std::uint64_t* spins = nullptr) noexcept {
+  if (word.load(std::memory_order_acquire) != old) return;
+  Backoff backoff;
+  std::uint64_t rounds = 0;
+  for (;;) {
+    ++rounds;
+    switch (policy) {
+      case WaitPolicy::kSpin:
+        cpu_pause();
+        break;
+      case WaitPolicy::kSpinYield:
+        if (!backoff.spin()) backoff.yield();
+        break;
+      case WaitPolicy::kBlock:
+        if (backoff.spin()) break;
+        word.wait(old, std::memory_order_acquire);
+        break;
+    }
+    if (word.load(std::memory_order_acquire) != old) {
+      if (spins != nullptr) *spins += rounds;
+      return;
+    }
+  }
+}
+
+/// Abortable variant of wait_until_changed, mirroring wait_until_equal_or:
+/// returns true when the word moved, false on abort. With a non-null abort
+/// the kBlock policy degrades to a spin/yield poll — a futex park cannot
+/// observe the abort flag, and the watchdog must be able to unblock every
+/// waiter without touching the protocol words.
+template <typename T>
+bool wait_until_changed_or(const std::atomic<T>& word, T old,
+                           WaitPolicy policy, const std::atomic<bool>* abort,
+                           std::uint64_t* spins = nullptr) noexcept {
+  if (abort == nullptr) {
+    wait_until_changed(word, old, policy, spins);
+    return true;
+  }
+  if (word.load(std::memory_order_acquire) != old) return true;
+  Backoff backoff;
+  std::uint64_t rounds = 0;
+  for (;;) {
+    ++rounds;
+    if (abort->load(std::memory_order_acquire)) {
+      if (spins != nullptr) *spins += rounds;
+      return false;
+    }
+    if (policy == WaitPolicy::kSpin) {
+      cpu_pause();
+    } else if (!backoff.spin()) {
+      backoff.yield();
+    }
+    if (word.load(std::memory_order_acquire) != old) {
+      if (spins != nullptr) *spins += rounds;
+      return true;
+    }
+  }
+}
+
 /// Store + wake for the kBlock policy. Release ordering publishes all task
 /// side effects before dependents are allowed through.
 template <typename T>

@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "coor/coor.hpp"
 #include "stf/stf.hpp"
@@ -51,6 +53,88 @@ TEST(ReadyQueue, CloseDrainsThenEnds) {
   q.close();
   EXPECT_EQ(q.pop().value(), 5u);
   EXPECT_FALSE(q.pop().has_value());
+}
+
+// ------------------------------------------------------------- ReadyRing ---
+
+coor::ReadyRing make_ring(std::size_t capacity) {
+  return coor::ReadyRing(capacity, [](std::atomic<std::uint64_t>& w,
+                                      std::uint64_t v) {
+    w.store(v, std::memory_order_relaxed);
+  });
+}
+
+TEST(ReadyRing, FifoOrderAndEmpty) {
+  auto ring = make_ring(8);
+  EXPECT_FALSE(ring.try_pop().has_value());
+  EXPECT_FALSE(ring.push(1, support::WaitPolicy::kSpin));  // nobody parked
+  ring.push(2, support::WaitPolicy::kSpin);
+  ring.push(3, support::WaitPolicy::kSpin);
+  EXPECT_EQ(ring.try_pop().value(), 1u);
+  EXPECT_EQ(ring.try_pop().value(), 2u);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.try_pop().value(), 3u);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(ReadyRing, CapacityRoundsUpToPowerOfTwo) {
+  auto ring = make_ring(5);  // rounds to 8
+  for (std::uint64_t i = 0; i < 8; ++i)
+    ring.push(i, support::WaitPolicy::kSpin);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_EQ(ring.try_pop().value(), i);
+}
+
+TEST(ReadyRing, CloseDrainsThenEnds) {
+  auto ring = make_ring(4);
+  ring.push(5, support::WaitPolicy::kBlock);
+  ring.close(support::WaitPolicy::kBlock);
+  EXPECT_EQ(
+      ring.pop_blocking(support::WaitPolicy::kBlock, nullptr, nullptr).value(),
+      5u);
+  EXPECT_FALSE(
+      ring.pop_blocking(support::WaitPolicy::kBlock, nullptr, nullptr)
+          .has_value());
+}
+
+TEST(ReadyRing, AbortUnblocksWithoutNotify) {
+  // Watchdog degradation: an armed abort flag must unblock a parked
+  // consumer with no producer push — the abort-aware polling path.
+  auto ring = make_ring(4);
+  std::atomic<bool> abort{true};  // pre-aborted: the pop must return fast
+  EXPECT_FALSE(
+      ring.pop_blocking(support::WaitPolicy::kBlock, &abort, nullptr)
+          .has_value());
+}
+
+TEST(ReadyRing, MpmcDeliversEveryValueExactlyOnce) {
+  // 2 producers x 2 consumers under the block policy: every id arrives
+  // exactly once, parked consumers are woken by pushes and by close().
+  constexpr std::uint64_t kPerProducer = 2000;
+  auto ring = make_ring(2 * kPerProducer);
+  std::vector<std::atomic<std::uint32_t>> seen(2 * kPerProducer);
+  for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint32_t> producers_left{2};
+
+  auto produce = [&](std::uint64_t base) {
+    for (std::uint64_t i = 0; i < kPerProducer; ++i)
+      ring.push(base + i, support::WaitPolicy::kBlock);
+    if (producers_left.fetch_sub(1) == 1)
+      ring.close(support::WaitPolicy::kBlock);
+  };
+  auto consume = [&] {
+    while (auto v =
+               ring.pop_blocking(support::WaitPolicy::kBlock, nullptr, nullptr))
+      seen[*v].fetch_add(1);
+  };
+  std::thread p0(produce, 0), p1(produce, kPerProducer);
+  std::thread c0(consume), c1(consume);
+  p0.join();
+  p1.join();
+  c0.join();
+  c1.join();
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i].load(), 1u) << "value " << i;
 }
 
 // --------------------------------------------------------------- runtime ---

@@ -101,7 +101,7 @@ TEST(EngineRegistry, FindAndStructuredUnknownNameError) {
 TEST(EngineRegistry, CapabilityListIsStableAndComplete) {
   const engine::Capabilities caps{.executes_bodies = true, .in_order = true};
   const auto list = engine::capability_list(caps);
-  EXPECT_EQ(list.size(), 15u);  // one entry per Capabilities flag
+  EXPECT_EQ(list.size(), 16u);  // one entry per Capabilities flag
   bool saw_exec = false, saw_virtual = false;
   for (const auto& [name, value] : list) {
     if (name == "executes_bodies") saw_exec = value;
@@ -183,6 +183,36 @@ TEST(EngineValidate, RejectsEveryUnsupportedKnobAtOnce) {
     for (const char* frag :
          {"collect_trace", "enable_guard", "fault", "watchdog", "obs"})
       EXPECT_NE(what.find(frag), std::string::npos) << what << "\n" << frag;
+  }
+}
+
+TEST(EngineValidate, RingQueueRejectedWithoutUsesQueue) {
+  // The queue knob is coor-only today; every backend that does not declare
+  // uses_queue must reject a kRing launch with the structured error, and
+  // every backend that does declare it must run the ring to the oracle.
+  auto oracle = make_fold_chain(60, 6);
+  stf::SequentialExecutor{}.run(oracle);
+  for (const engine::Backend* backend : engine::Registry::instance().all()) {
+    SCOPED_TRACE(std::string(backend->name()));
+    engine::Launch launch;
+    launch.workers = 2;
+    launch.queue = coor::QueueKind::kRing;
+    if (backend->caps().needs_mapping)
+      launch.mapping = rt::mapping::round_robin(2);
+    auto flow = make_fold_chain(60, 6);
+    if (!backend->caps().uses_queue) {
+      try {
+        (void)backend->run(stf::FlowImage::compile(flow), launch);
+        FAIL() << "expected UnsupportedLaunch for queue=ring";
+      } catch (const engine::UnsupportedLaunch& e) {
+        EXPECT_NE(std::string(e.what()).find("queue"), std::string::npos)
+            << e.what();
+      }
+    } else {
+      (void)backend->run(stf::FlowImage::compile(flow), launch);
+      if (backend->caps().executes_bodies)
+        expect_same_data(flow, oracle, std::string(backend->name()) + "+ring");
+    }
   }
 }
 

@@ -143,6 +143,11 @@ TEST_P(EngineFuzz, AllEnginesMatchSequential) {
       launch.scheduler = static_cast<coor::SchedulerKind>(meta.bounded(3));
       launch.work_stealing = meta.bounded(2) == 1;
     }
+    if (caps.uses_queue && meta.bounded(2) == 1) {
+      // Wait-free MPMC ready ring (fifo/lifo; the runtime falls back to
+      // the locked deque for other scheduler modes).
+      launch.queue = coor::QueueKind::kRing;
+    }
 
     const auto outcome =
         backend->run(stf::FlowImage::compile(flow), launch);
@@ -157,6 +162,45 @@ TEST_P(EngineFuzz, AllEnginesMatchSequential) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+// Wait-free ready ring fuzz: the byte-oracle property must hold with the
+// MPMC ring enabled explicitly, across the schedulers it serves (fifo,
+// lifo — the ring itself pops FIFO; lifo degrades to submission order) and
+// all wait policies including parked (block) consumers.
+class RingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingFuzz, RingQueueMatchesSequential) {
+  FuzzSpec spec;
+  spec.seed = GetParam() * 211 + 17;
+  support::Xoshiro256 meta(spec.seed * 31 + 7);
+  spec.num_tasks = 80 + static_cast<std::uint32_t>(meta.bounded(120));
+  spec.num_data = 4 + static_cast<std::uint32_t>(meta.bounded(16));
+  spec.workers = 2 + static_cast<std::uint32_t>(meta.bounded(3));
+
+  auto oracle = make_fuzz_flow(spec);
+  stf::SequentialExecutor{}.run(oracle);
+
+  for (auto scheduler :
+       {coor::SchedulerKind::kFifo, coor::SchedulerKind::kLifo}) {
+    for (auto policy :
+         {support::WaitPolicy::kSpin, support::WaitPolicy::kSpinYield,
+          support::WaitPolicy::kBlock}) {
+      auto flow = make_fuzz_flow(spec);
+      coor::Config cfg;
+      cfg.num_workers = spec.workers;
+      cfg.scheduler = scheduler;
+      cfg.queue = coor::QueueKind::kRing;
+      cfg.wait_policy = policy;
+      coor::Runtime(cfg).run(flow);
+      expect_same_data(flow, oracle,
+                       (std::string("coor-ring/") + support::to_string(policy))
+                           .c_str());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingFuzz,
+                         ::testing::Range<std::uint64_t>(1, 6));
 
 // Streaming replay fuzz: the same flow driven through run_program must
 // agree with the materialized execution.

@@ -274,11 +274,75 @@ TEST(ImplModel, PreemptionBoundShrinksExploration) {
   EXPECT_LE(bounded.explored, unbounded.explored);
 }
 
+TEST(ImplModel, WaitFreeRingVerifiesOnCoor) {
+  // --queue ring swaps the one-step locked-queue abstraction for the real
+  // ReadyRingT code (CAS slot claims, per-slot sequence words, the
+  // version+waiters doorbell pair) instantiated on the instrumented word
+  // type. Small flows + one worker keep the space exhaustible.
+  const auto mapping = rt::mapping::round_robin(1);
+  const stf::TaskFlow flows[] = {chain_flow(2), independent_flow(2)};
+  for (const auto& flow : flows) {
+    for (auto policy :
+         {support::WaitPolicy::kSpin, support::WaitPolicy::kBlock}) {
+      auto opts = impl_opts(mc::impl::EngineKind::kCoor, policy);
+      opts.workers = 1;
+      opts.queue = coor::QueueKind::kRing;
+      const auto r = mc::impl::verify(flow, mapping, opts);
+      EXPECT_TRUE(r.ok()) << support::to_string(policy) << ": ["
+                          << r.violation_kind << "] " << r.violation;
+      EXPECT_GE(r.explored, 1u);
+      EXPECT_FALSE(r.truncated);
+    }
+  }
+}
+
+TEST(ImplModel, WaitFreeRingTwoWorkersWithinBudget) {
+  // Two consumers racing CAS claims on the same ring: bounded exploration
+  // must stay violation-free (ok() holds even if the budget truncates).
+  const auto flow = independent_flow(2);
+  const auto mapping = rt::mapping::round_robin(2);
+  auto opts = impl_opts(mc::impl::EngineKind::kCoor,
+                        support::WaitPolicy::kBlock);
+  opts.queue = coor::QueueKind::kRing;
+  opts.max_interleavings = 300;
+  const auto r = mc::impl::verify(flow, mapping, opts);
+  EXPECT_TRUE(r.ok()) << "[" << r.violation_kind << "] " << r.violation;
+  EXPECT_GE(r.explored, 1u);
+}
+
+TEST(ImplModel, DroppedNotifyOnRingIsCaughtAsLostWakeup) {
+  // Ring doorbell pair: push bumps the version word and must notify a
+  // parked consumer. With notifies dropped, a consumer that parks before
+  // the push never wakes — the checker must catch it and the witness must
+  // replay to the identical violation.
+  const auto flow = chain_flow(2);
+  const auto mapping = rt::mapping::round_robin(1);
+  auto opts = impl_opts(mc::impl::EngineKind::kCoor,
+                        support::WaitPolicy::kBlock);
+  opts.workers = 1;
+  opts.queue = coor::QueueKind::kRing;
+  opts.drop_notify = true;
+  const auto r = mc::impl::verify(flow, mapping, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.lost_wakeup_free);
+  EXPECT_EQ(r.violation_kind, "lost-wakeup");
+  ASSERT_FALSE(r.witness.empty());
+
+  const auto replay1 = mc::impl::replay(flow, mapping, opts, r.witness);
+  const auto replay2 = mc::impl::replay(flow, mapping, opts, r.witness);
+  EXPECT_EQ(replay1.violation_kind, "lost-wakeup");
+  EXPECT_EQ(replay1.violation, r.violation);
+  EXPECT_EQ(replay2.violation, replay1.violation);
+  EXPECT_EQ(replay2.steps, replay1.steps);
+}
+
 TEST(ImplModel, DroppedNotifyIsCaughtWithReplayableWitness) {
   // Broken shim: proto::notify becomes a no-op, so under the block policy
-  // a waiter that parks before the publish never wakes. The checker must
-  // find the lost wakeup and hand back a schedule that replays to the
-  // same violation, deterministically.
+  // a waiter that parks before the publish never wakes. Since the doorbell
+  // rewrite kRio+kBlock parks on per-worker bells, so this pins the
+  // doorbell path: a completer whose ring_doorbell wake is dropped leaves
+  // the parked peer stuck. The checker must find the lost wakeup and hand
+  // back a schedule that replays to the same violation, deterministically.
   const auto flow = chain_flow(3);
   const auto mapping = rt::mapping::round_robin(2);
   auto opts = impl_opts(mc::impl::EngineKind::kRio,

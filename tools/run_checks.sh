@@ -16,18 +16,23 @@
 #      rio.engines.v1 report, every backend it lists must smoke-run
 #      (`rioflow run`), and every supports_obs backend must also
 #      `rioflow profile` (docs/engines.md);
-#  10. bench JSON reporters — micro_unroll and fig7_workers emit
-#      BENCH_*.json, both must parse; BENCH_unroll.json is kept at the
-#      repo root (committed reference numbers, see docs/perf.md);
+#  10. bench JSON reporters — micro_unroll, micro_protocol and fig7_workers
+#      emit BENCH_*.json, all must parse; BENCH_unroll.json and
+#      BENCH_protocol.json are kept at the repo root (committed reference
+#      numbers, see docs/perf.md);
 #  11. `rioflow verify --quick` — the implementation-level model checker
 #      must exhaust its reduced interleaving space with zero violations and
-#      emit a parsing rio.verify.v1 report (docs/analysis.md);
+#      emit a parsing rio.verify.v1 report (docs/analysis.md). Every sync
+#      engine is checked under the default policy AND --policy block (the
+#      doorbell/parking rewrite), and coor additionally with --queue ring
+#      (the wait-free MPMC ready ring);
 #  12. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
 #      failure suite + model checker + rioflow with RIO_SANITIZE=thread and
-#      reruns the resilience tests, the modelcheck suite and the quick chaos
-#      sweep under TSan — the retry / watchdog / abort machinery and the
-#      controlled scheduler are exactly the kind of code TSan earns its
-#      keep on.
+#      reruns the resilience tests, the modelcheck suite, the quick chaos
+#      sweep and the new wait/notify configurations (block-policy doorbells,
+#      coor --queue ring) under TSan — the retry / watchdog / abort
+#      machinery, the controlled scheduler and the new lock-free primitives
+#      are exactly the kind of code TSan earns its keep on.
 #
 # Usage: tools/run_checks.sh [build-dir]   (default: build)
 set -u
@@ -184,6 +189,13 @@ if (cd "$ROOT" && "$BUILD/bench/micro_unroll" --quick --json >/dev/null); then
 else
   fail "micro_unroll --quick --json"
 fi
+if (cd "$ROOT" && "$BUILD/bench/micro_protocol" --quick --json >/dev/null); then
+  if ! json_ok "$ROOT/BENCH_protocol.json"; then
+    fail "BENCH_protocol.json does not parse"
+  fi
+else
+  fail "micro_protocol --quick --json"
+fi
 if (cd "$ROOT" && "$BUILD/bench/fig7_workers" --quick --json >/dev/null); then
   if ! json_ok "$ROOT/BENCH_fig7_workers.json"; then
     fail "BENCH_fig7_workers.json does not parse"
@@ -199,6 +211,18 @@ for e in rio rio-pruned coor; do
   if ! "$RIOFLOW" verify --engine "$e" --workload chain --quick \
        >/dev/null; then
     fail "verify --engine $e --quick (expected zero violations)"
+  fi
+  # The parking rewrite: block-policy waits (doorbells on rio engines,
+  # parked ring consumers on coor) must stay lost-wakeup free.
+  if ! "$RIOFLOW" verify --engine "$e" --workload chain --quick \
+       --policy block >/dev/null; then
+    fail "verify --engine $e --policy block --quick"
+  fi
+done
+for p in yield block; do
+  if ! "$RIOFLOW" verify --engine coor --workload chain --quick \
+       --queue ring --policy "$p" >/dev/null; then
+    fail "verify --engine coor --queue ring --policy $p --quick"
   fi
 done
 if "$RIOFLOW" verify --engine rio --workload chain --quick \
@@ -225,6 +249,18 @@ else
       fail "modelcheck_test under TSan"
     "$TSAN_BUILD/rioflow" chaos --quick --workers 2 >/dev/null ||
       fail "chaos --quick under TSan"
+    # New wait/notify configurations: doorbell-batched block wakeups on the
+    # rio engines, the wait-free MPMC ring (spin + parked consumers) on coor.
+    for e in rio rio-pruned; do
+      "$TSAN_BUILD/rioflow" --engine "$e" --workload cholesky --tiles 3 \
+        --task-size 50 --workers 2 --policy block >/dev/null ||
+        fail "$e --policy block under TSan"
+    done
+    for p in spin block; do
+      "$TSAN_BUILD/rioflow" --engine coor --workload cholesky --tiles 3 \
+        --task-size 50 --workers 2 --queue ring --policy "$p" >/dev/null ||
+        fail "coor --queue ring --policy $p under TSan"
+    done
   else
     fail "TSan build (set RIO_SKIP_TSAN=1 to skip)"
   fi
