@@ -15,6 +15,7 @@
 #include "analysis/analysis.hpp"
 #include "coor/coor.hpp"
 #include "engine/registry.hpp"
+#include "engine/supervisor.hpp"
 #include "metrics/efficiency.hpp"
 #include "modelcheck/impl.hpp"
 #include "obs/export.hpp"
@@ -381,6 +382,24 @@ std::vector<std::string> split_csv(const std::string& s) {
   return parts;
 }
 
+/// Parses the "--retry-tasks id=N,id=N" override list into the policy's
+/// per-task attempt budgets (support::RetryPolicy::task_attempts).
+bool parse_retry_tasks(const std::string& spec, support::RetryPolicy& retry,
+                       std::string& error) {
+  for (const std::string& part : split_csv(spec)) {
+    const auto eq = part.find('=');
+    std::uint64_t task = 0;
+    std::uint32_t attempts = 0;
+    if (eq == std::string::npos || !to_u64(part.substr(0, eq), task) ||
+        !to_u32(part.substr(eq + 1), attempts) || attempts == 0) {
+      error = "bad --retry-tasks entry '" + part + "' (want id=N, N >= 1)";
+      return false;
+    }
+    retry.task_attempts.emplace_back(task, attempts);
+  }
+  return true;
+}
+
 /// Byte image of every data object in a registry — the oracle comparand.
 std::vector<std::vector<std::byte>> data_image(const stf::DataRegistry& reg) {
   std::vector<std::vector<std::byte>> img(reg.size());
@@ -393,14 +412,33 @@ std::vector<std::vector<std::byte>> data_image(const stf::DataRegistry& reg) {
 }
 
 /// `rioflow chaos`: run the selected workloads under a deterministic
-/// fault-plan sweep (seeds x rates x engines) with retry+rollback and the
-/// progress watchdog enabled, verifying every surviving run byte-for-byte
-/// against the sequential oracle.
+/// fault-plan sweep (kinds x seeds x rates x engines) with retry+rollback
+/// and the progress watchdog enabled, verifying every surviving run
+/// byte-for-byte against the sequential oracle. Crash cells kill workers
+/// permanently and run under engine::run_supervised, so the oracle check
+/// additionally covers evict-and-remap recovery.
 int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
   std::string error;
   const std::vector<std::string> engines = split_csv(o.engines);
   if (engines.empty()) {
     err << "rioflow: --engines is empty\n";
+    return 1;
+  }
+  std::vector<std::string> kinds;
+  if (o.faults == "all") kinds = {"transient", "stall", "crash"};
+  else if (o.faults == "transient" || o.faults == "stall" ||
+           o.faults == "crash")
+    kinds = {o.faults};
+  else {
+    err << "rioflow: unknown --faults '" << o.faults
+        << "' (transient|stall|crash|all)\n";
+    return 1;
+  }
+  const bool crashes =
+      std::find(kinds.begin(), kinds.end(), "crash") != kinds.end();
+  if (crashes && o.workers < 2) {
+    err << "rioflow: --faults crash needs --workers >= 2 (the survivors "
+           "absorb the evicted worker's tasks)\n";
     return 1;
   }
   for (const std::string& e : engines) {
@@ -418,9 +456,21 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
              "(no executes_bodies capability)\n";
       return 2;
     }
+    if (crashes && !b->caps().supports_recovery) {
+      err << "rioflow: engine '" << e
+          << "' cannot run crash chaos: no supports_recovery capability "
+             "(see `rioflow engines`)\n";
+      return 2;
+    }
   }
   if (o.fault_rate < 0.0 || o.fault_rate > 1.0) {
     err << "rioflow: --fault-rate must be in [0, 1]\n";
+    return 1;
+  }
+  support::RetryPolicy retry{.max_attempts = o.retries};
+  if (!o.retry_tasks.empty() &&
+      !parse_retry_tasks(o.retry_tasks, retry, error)) {
+    err << "rioflow: " << error << "\n";
     return 1;
   }
   support::WaitPolicy policy{};
@@ -440,14 +490,16 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
       o.quick ? std::min<std::uint32_t>(o.fault_seeds, 2) : o.fault_seeds;
 
   std::uint64_t runs = 0, ok = 0, exhausted = 0, stalled = 0, mismatched = 0,
-                unexpected = 0, total_throws = 0, total_stalls = 0,
+                lost = 0, unexpected = 0, total_throws = 0, total_stalls = 0,
+                total_crashes = 0, total_evictions = 0, total_replayed = 0,
                 total_retried = 0;
 
-  // One row per (workload, engine, rate, seed) cell for the --json report.
+  // One row per (workload, engine, kind, rate, seed) cell for --json.
   struct ChaosCell {
-    std::string workload, engine, verdict;
+    std::string workload, engine, kind, verdict;
     double rate = 0.0;
-    std::uint64_t seed = 0, throws = 0, stalls = 0;
+    std::uint64_t seed = 0, throws = 0, stalls = 0, crashes = 0,
+                  evictions = 0, replayed = 0;
     bool ok = false;
   };
   std::vector<ChaosCell> cells;
@@ -477,75 +529,115 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
     for (const std::string& ename : engines) {
       const engine::Backend& backend =
           *engine::Registry::instance().find(ename);
-      for (double rate : rates) {
-        for (std::uint32_t s = 0; s < seeds; ++s) {
-          // Fresh flow per run: data starts from zero again.
-          workloads::Workload wl;
-          if (!build_workload(wo, workloads::BodyKind::kFold, wl, error)) {
-            err << "rioflow: " << error << "\n";
-            return 1;
-          }
-          engine::Launch launch;
-          if (!pick_mapping(wo, wl, launch.mapping, error)) {
-            err << "rioflow: " << error << "\n";
-            return 1;
-          }
-
-          support::FaultPlan plan;
-          plan.seed = o.seed + s;
-          plan.throw_rate = rate;
-          support::FaultInjector injector(plan);
-
-          launch.workers = o.workers;
-          launch.wait_policy = policy;
-          launch.scheduler = scheduler;
-          launch.collect_stats = false;
-          launch.retry = support::RetryPolicy{.max_attempts = o.retries};
-          launch.fault = &injector;
-          launch.watchdog_ns = o.watchdog_ms * 1'000'000ull;
-          const stf::FlowImage image = stf::FlowImage::compile(wl.flow);
-
-          ++runs;
-          bool survived = false;
-          std::string verdict;
-          try {
-            (void)backend.run(image, launch);
-            survived = true;
-            verdict = "ok";
-          } catch (const engine::UnsupportedLaunch& e) {
-            err << "rioflow: " << e.what() << "\n";
-            return 2;
-          } catch (const stf::StallError&) {
-            ++stalled;
-            verdict = "STALLED";
-          } catch (const stf::TaskFailure& f) {
-            ++exhausted;
-            verdict = "exhausted (task " + std::to_string(f.report().task) +
-                      " after " + std::to_string(f.report().attempts) +
-                      " attempts)";
-          } catch (const std::exception& e) {
-            ++unexpected;
-            verdict = std::string("ERROR: ") + e.what();
-          }
-          if (survived) {
-            if (data_image(wl.flow.registry()) == oracle) {
-              ++ok;
-            } else {
-              ++mismatched;
-              verdict = "ORACLE MISMATCH";
+      for (const std::string& kind : kinds) {
+        for (double rate : rates) {
+          for (std::uint32_t s = 0; s < seeds; ++s) {
+            // Fresh flow per run: data starts from zero again.
+            workloads::Workload wl;
+            if (!build_workload(wo, workloads::BodyKind::kFold, wl, error)) {
+              err << "rioflow: " << error << "\n";
+              return 1;
             }
-          }
-          if (injector.injected_throws() > 0) ++total_retried;
-          total_throws += injector.injected_throws();
-          total_stalls += injector.injected_stalls();
-          cells.push_back({wname, ename, verdict, rate, plan.seed,
-                           injector.injected_throws(),
-                           injector.injected_stalls(), verdict == "ok"});
+            engine::Launch launch;
+            if (!pick_mapping(wo, wl, launch.mapping, error)) {
+              err << "rioflow: " << error << "\n";
+              return 1;
+            }
 
-          out << "chaos: " << wname << " engine=" << ename
-              << " rate=" << rate << " seed=" << plan.seed
-              << " throws=" << injector.injected_throws() << " -> " << verdict
-              << "\n";
+            support::FaultPlan plan;
+            plan.seed = o.seed + s;
+            if (kind == "transient") {
+              plan.throw_rate = rate;
+            } else if (kind == "stall") {
+              // Bounded stall windows well inside the watchdog budget: the
+              // run must survive them, not trip the tripwire.
+              plan.stall_rate = rate;
+              plan.stall_ns = 2'000'000;
+              plan.max_stalls = 4;
+            } else {
+              // Permanent worker deaths, capped so the supervisor always
+              // has a survivor left to absorb the evicted worker's tasks.
+              plan.crash_rate = rate;
+              plan.max_crashes = std::min<std::uint32_t>(o.workers - 1, 2);
+            }
+            support::FaultInjector injector(plan);
+
+            launch.workers = o.workers;
+            launch.wait_policy = policy;
+            launch.scheduler = scheduler;
+            launch.collect_stats = false;
+            launch.retry = retry;
+            launch.fault = &injector;
+            launch.watchdog_ns = o.watchdog_ms * 1'000'000ull;
+            const stf::FlowImage image = stf::FlowImage::compile(wl.flow);
+
+            ++runs;
+            bool survived = false;
+            std::string verdict;
+            engine::Outcome outcome;
+            try {
+              // Crash cells go through the supervisor: worker loss becomes
+              // evict-and-remap + resume instead of a run abort.
+              outcome = kind == "crash"
+                            ? engine::run_supervised(backend, image, launch)
+                            : backend.run(image, launch);
+              survived = true;
+              verdict = "ok";
+            } catch (const engine::UnsupportedLaunch& e) {
+              err << "rioflow: " << e.what() << "\n";
+              return 2;
+            } catch (const stf::WorkerLost& l) {
+              ++lost;
+              verdict = "WORKER LOST (task " +
+                        std::to_string(l.deaths().empty()
+                                           ? 0
+                                           : l.deaths().front().task) +
+                        ", unrecovered)";
+            } catch (const stf::StallError&) {
+              ++stalled;
+              verdict = "STALLED";
+            } catch (const stf::TaskFailure& f) {
+              ++exhausted;
+              verdict = "exhausted (task " + std::to_string(f.report().task) +
+                        " after " + std::to_string(f.report().attempts) +
+                        " attempts)";
+            } catch (const std::exception& e) {
+              ++unexpected;
+              verdict = std::string("ERROR: ") + e.what();
+            }
+            if (survived) {
+              if (data_image(wl.flow.registry()) == oracle) {
+                ++ok;
+              } else {
+                ++mismatched;
+                verdict = "ORACLE MISMATCH";
+              }
+            }
+            const std::uint64_t injected = injector.injected_throws() +
+                                           injector.injected_stalls() +
+                                           injector.injected_crashes();
+            if (injected > 0) ++total_retried;
+            total_throws += injector.injected_throws();
+            total_stalls += injector.injected_stalls();
+            total_crashes += injector.injected_crashes();
+            total_evictions += outcome.evictions;
+            total_replayed += outcome.tasks_replayed;
+            cells.push_back({wname, ename, kind, verdict, rate, plan.seed,
+                             injector.injected_throws(),
+                             injector.injected_stalls(),
+                             injector.injected_crashes(), outcome.evictions,
+                             outcome.tasks_replayed, verdict == "ok"});
+
+            out << "chaos: " << wname << " engine=" << ename
+                << " kind=" << kind << " rate=" << rate
+                << " seed=" << plan.seed
+                << " throws=" << injector.injected_throws()
+                << " crashes=" << injector.injected_crashes();
+            if (outcome.evictions > 0)
+              out << " evicted=" << outcome.evictions
+                  << " replayed=" << outcome.tasks_replayed;
+            out << " -> " << verdict << "\n";
+          }
         }
       }
     }
@@ -554,10 +646,14 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
   out << "-- chaos summary --\n"
       << "runs=" << runs << " ok=" << ok << " exhausted=" << exhausted
       << " stalled=" << stalled << " mismatched=" << mismatched
-      << " errors=" << unexpected << " injected-throws=" << total_throws
+      << " worker-lost=" << lost << " errors=" << unexpected
+      << " injected-throws=" << total_throws
       << " injected-stalls=" << total_stalls
+      << " injected-crashes=" << total_crashes
+      << " evictions=" << total_evictions
+      << " tasks-replayed=" << total_replayed
       << " runs-with-faults=" << total_retried << "\n";
-  const bool bad = stalled > 0 || mismatched > 0 || unexpected > 0;
+  const bool bad = stalled > 0 || mismatched > 0 || lost > 0 || unexpected > 0;
   out << (bad ? "chaos: FAILED\n"
               : "chaos: all surviving runs matched the sequential oracle\n");
   if (!o.json_path.empty()) {
@@ -566,24 +662,30 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
       err << "rioflow: cannot write " << o.json_path << "\n";
       return 2;
     }
-    f << "{\n  \"schema\": \"rio.chaos.v1\",\n  \"runs\": [";
+    f << "{\n  \"schema\": \"rio.chaos.v2\",\n  \"runs\": [";
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const ChaosCell& c = cells[i];
       f << (i == 0 ? "\n" : ",\n") << "    {\"workload\": "
         << support::json_quote(c.workload)
         << ", \"engine\": " << support::json_quote(c.engine)
+        << ", \"kind\": " << support::json_quote(c.kind)
         << ", \"rate\": " << support::json_double(c.rate)
         << ", \"seed\": " << c.seed << ", \"throws\": " << c.throws
-        << ", \"stalls\": " << c.stalls
+        << ", \"stalls\": " << c.stalls << ", \"crashes\": " << c.crashes
+        << ", \"evictions\": " << c.evictions
+        << ", \"replayed\": " << c.replayed
         << ", \"ok\": " << (c.ok ? "true" : "false")
         << ", \"verdict\": " << support::json_quote(c.verdict) << "}";
     }
     f << (cells.empty() ? "]" : "\n  ]") << ",\n  \"summary\": {\"runs\": "
       << runs << ", \"ok\": " << ok << ", \"exhausted\": " << exhausted
       << ", \"stalled\": " << stalled << ", \"mismatched\": " << mismatched
-      << ", \"errors\": " << unexpected
+      << ", \"worker_lost\": " << lost << ", \"errors\": " << unexpected
       << ", \"injected_throws\": " << total_throws
       << ", \"injected_stalls\": " << total_stalls
+      << ", \"injected_crashes\": " << total_crashes
+      << ", \"evictions\": " << total_evictions
+      << ", \"tasks_replayed\": " << total_replayed
       << ", \"runs_with_faults\": " << total_retried
       << "},\n  \"failed\": " << (bad ? "true" : "false") << "\n}\n";
     out << "wrote " << o.json_path << "\n";
@@ -843,6 +945,20 @@ int run_verify(const Options& o, std::ostream& out, std::ostream& err) {
   mo.queue = queue;
   mo.dpor = !o.naive;
   mo.max_preemptions = o.max_preemptions;
+  if (o.recover) {
+    if (wo.workers < 2) {
+      err << "rioflow: verify --recover needs --workers >= 2 (one worker "
+             "dies and is evicted)\n";
+      return 1;
+    }
+    if (wl.flow.num_tasks() == 0) {
+      err << "rioflow: verify --recover needs a non-empty flow\n";
+      return 1;
+    }
+    // Mid-flow crash: deepest frontier variety for the phase-1 sweep.
+    mo.recover = true;
+    mo.crash_task = wl.flow.num_tasks() / 2;
+  }
 
   const mc::impl::Result r = mc::impl::verify(wl.flow, mapping, mo);
 
@@ -855,6 +971,11 @@ int run_verify(const Options& o, std::ostream& out, std::ostream& err) {
   if (mo.max_preemptions >= 0)
     out << ", <=" << mo.max_preemptions << " preemptions";
   out << ") --\n";
+  if (mo.recover)
+    out << "recovery: worker executing task " << mo.crash_task
+        << " dies after its body; phase 1 explores the loss ("
+        << r.frontiers << " completion frontiers), phase 2 the resumed "
+        << (mo.workers - 1) << "-worker evicted configuration\n";
   out << "interleavings: " << r.explored << " explored, " << r.pruned
       << " pruned, " << r.steps << " scheduling steps, "
       << support::format_duration_ns(r.seconds * 1e9) << "\n";
@@ -890,6 +1011,11 @@ int run_verify(const Options& o, std::ostream& out, std::ostream& err) {
       << ",\n"
       << "  \"dpor\": " << (mo.dpor ? "true" : "false") << ",\n"
       << "  \"max_preemptions\": " << mo.max_preemptions << ",\n"
+      << "  \"recover\": " << (mo.recover ? "true" : "false") << ",\n"
+      << "  \"crash_task\": " << (mo.recover
+                                      ? std::to_string(mo.crash_task)
+                                      : std::string("null")) << ",\n"
+      << "  \"frontiers\": " << r.frontiers << ",\n"
       << "  \"explored\": " << r.explored << ",\n"
       << "  \"pruned\": " << r.pruned << ",\n"
       << "  \"steps\": " << r.steps << ",\n"
@@ -933,9 +1059,11 @@ usage: rioflow [command] [options]
                   finding codes; see docs/analysis.md)
     check         execute a supports_sync engine recording sync events, then
                   run the happens-before race checker (RC codes)
-    chaos         sweep a deterministic fault plan (seeds x rates x engines)
-                  with retry+rollback and the progress watchdog enabled,
-                  verifying survivors against the sequential oracle
+    chaos         sweep a deterministic fault plan (kinds x seeds x rates x
+                  engines) with retry+rollback and the progress watchdog
+                  enabled, verifying survivors against the sequential
+                  oracle; --faults crash kills workers permanently and
+                  recovers by evict-and-remap (engine::run_supervised)
     profile       execute once with the rio::obs telemetry hub attached and
                   report per-worker phase totals, counters and the e_p*e_r
                   decomposition (any supports_obs engine; --trace writes a
@@ -975,12 +1103,22 @@ usage: rioflow [command] [options]
   --seed N        workload seed                                 [42]
   --counter-bits N  lint: protocol counter width for RP2xx       [64]
   --fail-on S     lint/check: exit 3 at error|warning|info       [warning]
-  --fault-rate R  chaos: P(injected throw) per (task, attempt)   [0.05]
+  --fault-rate R  chaos: P(injected fault) per (task, attempt)   [0.05]
+  --faults K      chaos: fault kinds to sweep — transient | stall |
+                  crash (permanent worker death; the run recovers
+                  by evict-and-remap + resume) | all        [transient]
   --fault-seeds N chaos: fault-plan seeds per (engine, rate)     [3]
   --retries N     chaos: retry budget (max attempts per task)    [3]
+  --retry-tasks S per-task retry overrides "id=N,id=N"           []
   --watchdog-ms N chaos: progress watchdog window, 0 disables    [2000]
   --engines CSV   chaos: executes_bodies engines to sweep
                   (see `rioflow engines`)      [rio,rio-pruned,coor,hybrid]
+  --recover       run: supervise the execution — checkpoint the
+                  completion frontier and, on worker loss, evict,
+                  remap and resume (supports_recovery engines)
+                  verify: model the recovery protocol — phase 1
+                  explores a mid-flow worker death, phase 2 the
+                  resumed evicted configuration
   --max-preemptions N  verify: bound scheduler preemptions     [unbounded]
   --naive         verify: disable DPOR (full naive enumeration)
   --quick         chaos/profile/verify: shrunk run for CI gates
@@ -989,7 +1127,7 @@ usage: rioflow [command] [options]
   --dot FILE      write the dependency DAG as Graphviz DOT
   --trace FILE    write a Chrome trace (real engines; profile: obs trace)
   --json FILE     machine-readable report (profile: rio.obs.v1, chaos:
-                  rio.chaos.v1, lint: rio.lint.v1, check: rio.check.v1)
+                  rio.chaos.v2, lint: rio.lint.v1, check: rio.check.v1)
   --csv           machine-readable outputs
   --help
 )";
@@ -1029,6 +1167,8 @@ bool parse(int argc, const char* const* argv, Options& o,
       o.csv = true;
     } else if (arg == "--quick") {
       o.quick = true;
+    } else if (arg == "--recover") {
+      o.recover = true;
     } else if (arg == "--naive") {
       o.naive = true;
     } else if (arg == "--max-preemptions") {
@@ -1059,6 +1199,14 @@ bool parse(int argc, const char* const* argv, Options& o,
       const char* v = need_value("--engines");
       if (!v) return false;
       o.engines = v;
+    } else if (arg == "--faults") {
+      const char* v = need_value("--faults");
+      if (!v) return false;
+      o.faults = v;
+    } else if (arg == "--retry-tasks") {
+      const char* v = need_value("--retry-tasks");
+      if (!v) return false;
+      o.retry_tasks = v;
     } else if (arg == "--engine") {
       const char* v = need_value("--engine");
       if (!v) return false;
@@ -1188,6 +1336,11 @@ int run(const Options& o, std::ostream& out, std::ostream& err) {
     err << "rioflow: " << error << "\n";
     return 1;
   }
+  if (!o.retry_tasks.empty() &&
+      !parse_retry_tasks(o.retry_tasks, launch.retry, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
   const bool want_trace = !o.trace_path.empty();
   launch.collect_trace = want_trace;
 
@@ -1207,7 +1360,10 @@ int run(const Options& o, std::ostream& out, std::ostream& err) {
   for (int rep = 0; rep < o.repeat; ++rep) {
     support::Stopwatch sw;
     try {
-      outcome = backend->run(image, launch);
+      // --recover runs under the supervisor: a checkpointed completion
+      // frontier plus evict-and-remap + resume on permanent worker loss.
+      outcome = o.recover ? engine::run_supervised(*backend, image, launch)
+                          : backend->run(image, launch);
     } catch (const engine::UnsupportedLaunch& e) {
       err << "rioflow: " << e.what() << "\n";
       return 2;
@@ -1233,6 +1389,16 @@ int run(const Options& o, std::ostream& out, std::ostream& err) {
     table.print_csv(out);
   else
     table.print(out);
+
+  if (o.recover)
+    out << "recovery: " << outcome.evictions << " evictions, "
+        << outcome.tasks_replayed << " tasks replayed"
+        << (outcome.evictions > 0
+                ? ", " + support::format_duration_ns(
+                      static_cast<double>(outcome.recovery_wall_ns)) +
+                      " recovering"
+                : std::string())
+        << "\n";
 
   if (o.decompose) {
     const auto e = metrics::decompose_synthetic(stats.cumulative());

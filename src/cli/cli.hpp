@@ -65,8 +65,16 @@ struct Options {
   std::uint32_t retries = 3;        ///< RetryPolicy::max_attempts
   std::uint64_t watchdog_ms = 2000; ///< progress watchdog window
   std::string engines = "rio,rio-pruned,coor,hybrid";  ///< sweep targets
+  std::string faults = "transient"; ///< fault kinds to sweep:
+                                    ///< transient | stall | crash | all
+  std::string retry_tasks;          ///< per-task retry overrides "id=N,..."
   bool quick = false;               ///< shrink the sweep for CI gates
   bool workload_given = false;      ///< --workload was passed explicitly
+
+  // Recovery (run command): wrap the execution in engine::run_supervised so
+  // a permanent worker loss is survived by evict-and-remap + resume from
+  // the checkpointed completion frontier instead of aborting the run.
+  bool recover = false;
 
   // Outputs.
   bool summary = false;       ///< print flow structure summary
@@ -75,7 +83,7 @@ struct Options {
   std::string trace_path;     ///< write Chrome trace JSON (real engines;
                               ///< for profile: the obs Perfetto trace)
   std::string json_path;      ///< machine-readable report: rio.obs.v1
-                              ///< (profile), rio.chaos.v1 (chaos),
+                              ///< (profile), rio.chaos.v2 (chaos),
                               ///< rio.lint.v1 / rio.check.v1 (lint/check),
                               ///< rio.engines.v1 (engines),
                               ///< rio.verify.v1 (verify)

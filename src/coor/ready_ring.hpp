@@ -44,6 +44,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "rio/proto.hpp"
@@ -66,6 +68,33 @@ constexpr const char* to_string(QueueKind k) noexcept {
   }
   return "?";
 }
+
+/// The structured "ring sized too small" error: the capacity contract
+/// (>= total pushes over the ring's lifetime) was violated and a push was
+/// about to wrap a full lap onto an unconsumed slot. Carries the sizing
+/// facts the caller needs to fix the launch; throwing beats the silent
+/// value loss (or livelock) the wrap would otherwise degenerate to.
+class RingOverflow : public std::logic_error {
+ public:
+  RingOverflow(std::size_t capacity, std::uint64_t position,
+               std::uint64_t high_watermark)
+      : std::logic_error(
+            "ready ring overflow: push position " + std::to_string(position) +
+            " wraps capacity " + std::to_string(capacity) +
+            " (high watermark " + std::to_string(high_watermark) +
+            "); size the ring to the total task count"),
+        capacity_(capacity),
+        high_watermark_(high_watermark) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t high_watermark() const noexcept {
+    return high_watermark_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t high_watermark_;
+};
 
 /// Bounded MPMC ring of task ids. `Word64` is std::atomic<std::uint64_t>
 /// in production and mc::impl::Word<std::uint64_t> under the checker.
@@ -111,6 +140,16 @@ class ReadyRingT {
         if (cas(tail_, pos, pos + 1)) {
           slot.value = value;
           store_rel(slot.seq, pos + 1);
+          // Telemetry-only high watermark (relaxed CAS-max, off the
+          // protocol seam): feeds the overflow diagnostic and lets sizing
+          // be audited after a run.
+          const std::uint64_t h = load_acq(head_);
+          const std::uint64_t occ = pos + 1 > h ? pos + 1 - h : 0;
+          std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
+          while (occ > hw &&
+                 !high_water_.compare_exchange_weak(
+                     hw, occ, std::memory_order_relaxed)) {
+          }
           break;
         }
         // cas loaded the observed tail into pos; retry against it.
@@ -118,11 +157,13 @@ class ReadyRingT {
         // Another producer claimed this position; chase the cursor.
         pos = load_acq(tail_);
       } else {
-        // seq < pos would mean the ring wrapped a full lap — unreachable
-        // by construction (capacity >= total pushes). Chase anyway so a
-        // misuse degenerates to livelock under TSan instead of silent
-        // value loss.
-        pos = load_acq(tail_);
+        // seq < pos means the ring wrapped a full lap: the capacity
+        // contract (>= total pushes) was violated. In correct use this
+        // state is unreachable even transiently — slot sequence words
+        // never trail the claimed position — so fail loudly with the
+        // sizing facts instead of losing the value or livelocking.
+        throw RingOverflow(mask_ + 1, pos,
+                           high_water_.load(std::memory_order_relaxed));
       }
     }
     fetch_add(version_, std::uint64_t{1});
@@ -208,6 +249,11 @@ class ReadyRingT {
     }
   }
 
+  /// Highest observed occupancy (racy by nature; telemetry/sizing audit).
+  [[nodiscard]] std::uint64_t high_watermark() const noexcept {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
   /// Approximate occupancy (racy by nature; watchdog diagnostics only).
   [[nodiscard]] std::size_t size() {
     using proto::load_acq;
@@ -229,6 +275,7 @@ class ReadyRingT {
   alignas(support::kCacheLineSize) Word64 version_;
   alignas(support::kCacheLineSize) Word64 waiters_;
   Word64 closed_;
+  std::atomic<std::uint64_t> high_water_{0};  // telemetry, not protocol
 };
 
 /// Production instantiation.

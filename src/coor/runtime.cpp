@@ -84,6 +84,8 @@ struct Engine {
   std::atomic<bool> aborted{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
+  stf::DeathBoard deaths;  // crash blotter; observed by the tripwire
+  bool watched = false;    // effective (crash-armed forces a watchdog)
 
   void record_failure(std::exception_ptr error) {
     std::lock_guard lock(error_mu);
@@ -134,7 +136,7 @@ struct Engine {
   /// Watchdog abort flag for ring pops (nullptr when unwatched, so the
   /// block policy may park; see pop_blocking's degradation contract).
   [[nodiscard]] const std::atomic<bool>* pop_abort() const noexcept {
-    return cfg.watchdog_ns > 0 ? &aborted : nullptr;
+    return watched ? &aborted : nullptr;
   }
 
   void close_queues() {
@@ -285,7 +287,15 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
   std::vector<std::vector<stf::SyncEvent>> syncs(p);
   std::vector<std::uint64_t> worker_wall(p, 0);
 
-  const bool watched = cfg_.watchdog_ns > 0;
+  // Crash-armed plans force a watchdog (same contract as rt::launch): a
+  // worker death must escalate as stf::WorkerLost, never hang the run.
+  const bool crash_armed =
+      cfg_.fault != nullptr && cfg_.fault->plan().crash_armed();
+  const std::uint64_t watchdog_ns =
+      cfg_.watchdog_ns > 0 ? cfg_.watchdog_ns
+                           : (crash_armed ? 100'000'000ULL : 0);
+  const bool watched = watchdog_ns > 0;
+  eng.watched = watched;
   std::vector<support::WorkerProbe> probes(watched ? p : 0);
   stf::ResilienceOpts res_proto;
   res_proto.retry = cfg_.retry;
@@ -309,6 +319,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
       support::WorkerProbe* probe = watched ? &probes[w] : nullptr;
       stf::ResilienceOpts res = res_proto;  // worker-private copy
       stf::DataSnapshot snapshot;
+      std::uint32_t checkpoint_pending = 0;
       obs::WorkerObs& ob = obses[w];
       res.obs = &ob;
       const bool timed =
@@ -350,23 +361,42 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
         }
         if (cfg_.enable_guard)
           for (const stf::Access& a : task.accesses) eng.guard.acquire(a);
+        // Resume replay: the task completed in a previous attempt — keep
+        // the dependency bookkeeping (complete() below) but skip the body,
+        // fault injection and checkpoint mark.
+        const bool replay =
+            cfg_.resume != nullptr && cfg_.resume->done(task.id);
+        bool body_ok = !replay;
+        bool crashed = false;
         std::uint64_t t0 = 0, t1 = 0;
         if (timed) t0 = support::monotonic_ns();
-        if (resilient) {
+        if (replay) {
+          ob.count(obs::Counter::kTasksReplayed);
+        } else if (resilient) {
           if (!eng.cancelled.load(std::memory_order_acquire)) {
             // Rollback is race-free here: the task holds exclusive protocol
             // ownership of its written data between the pop and complete().
             stf::BodyResult r =
                 stf::execute_body(task, range.registry(), w, res, snapshot);
-            if (!r.ok) eng.record_failure(std::move(r.error));
+            if (r.crashed) {
+              crashed = true;
+            } else if (!r.ok) {
+              body_ok = false;
+              eng.record_failure(std::move(r.error));
+            }
+          } else {
+            body_ok = false;
           }
         } else if (task.fn && !eng.cancelled.load(std::memory_order_acquire)) {
           stf::TaskContext ctx(task, range.registry(), w);
           try {
             task.fn(ctx);
           } catch (...) {
+            body_ok = false;
             eng.record_failure(std::current_exception());
           }
+        } else if (eng.cancelled.load(std::memory_order_acquire)) {
+          body_ok = false;
         }
         if (timed) {
           t1 = support::monotonic_ns();
@@ -374,6 +404,27 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
         }
         if (cfg_.enable_guard)
           for (const stf::Access& a : task.accesses) eng.guard.release(a);
+
+        if (crashed) {
+          // Permanent worker death: release the reduction locks (a peer
+          // spinning on one has no abort path), record the dirty spans, and
+          // never call complete() — the task's successors stay blocked
+          // until the tripwire aborts the run.
+          eng.unlock_reductions(locked_reductions);
+          stf::DeathRecord d;
+          d.worker = w;
+          d.task = task.id;
+          d.dirty = std::move(snapshot);
+          eng.deaths.record(std::move(d));
+          break;
+        }
+
+        // Checkpoint mark: after the body succeeded, before complete()
+        // publishes the task to its successors.
+        if (cfg_.checkpoint != nullptr && body_ok) {
+          cfg_.checkpoint->mark(task.id);
+          cfg_.checkpoint->note_completion(checkpoint_pending);
+        }
         // Release stamps precede both the reduction unlock and complete(),
         // the two publications that can admit a successor.
         if (cfg_.collect_sync) {
@@ -467,7 +518,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
   std::optional<support::Watchdog> watchdog;
   if (watched) {
     watchdog.emplace(
-        cfg_.watchdog_ns,
+        watchdog_ns,
         [&eng, hub = cfg_.obs]() noexcept {
           if (hub != nullptr)
             hub->global_counters().add(obs::Counter::kWatchdogProbes);
@@ -483,7 +534,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
           }
           std::ostringstream os;
           os << "coor: no progress for "
-             << static_cast<double>(cfg_.watchdog_ns) / 1e6 << " ms\n"
+             << static_cast<double>(watchdog_ns) / 1e6 << " ms\n"
              << "  completed " << eng.completed.load(std::memory_order_relaxed)
              << " of " << n << " tasks\n";
           if (eng.ring)
@@ -506,7 +557,11 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
           eng.aborted.store(true, std::memory_order_release);
           eng.done.store(true, std::memory_order_release);
           eng.close_queues();
-        });
+        },
+        crash_armed ? std::function<bool()>([&eng] {
+          return eng.deaths.any_death();
+        })
+                    : std::function<bool()>());
   }
 
   const std::uint64_t run_begin = support::monotonic_ns();
@@ -543,6 +598,11 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
     for (auto& sy : syncs)
       for (const auto& ev : sy) sync_trace_.record(ev);
   }
+  // Worker loss outranks a stall outranks a task failure.
+  if (eng.deaths.any_death())
+    throw stf::WorkerLost(eng.deaths.take(), watchdog && watchdog->fired()
+                                                 ? watchdog->diagnostic()
+                                                 : std::string());
   if (watchdog && watchdog->fired())
     throw stf::StallError(watchdog->diagnostic());
   // Only an aborted run may finish with completed < n.

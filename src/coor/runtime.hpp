@@ -32,6 +32,7 @@
 #include "coor/ready_ring.hpp"
 #include "stf/flow_image.hpp"
 #include "stf/flow_range.hpp"
+#include "stf/frontier.hpp"
 #include "stf/task_flow.hpp"
 #include "stf/trace.hpp"
 
@@ -68,6 +69,12 @@ struct Config {
   std::uint64_t watchdog_ns = 0;  ///< > 0: monitor thread fails the run
                                   ///< with stf::StallError after this
                                   ///< no-progress window instead of hanging
+
+  // Recovery (docs/robustness.md "worker loss"): same contract as
+  // rt::Config — `resume` replays frontier-done tasks as completions
+  // without re-running bodies, `checkpoint` is the live done bitmap.
+  const stf::Frontier* resume = nullptr;
+  stf::CompletionBoard* checkpoint = nullptr;
 
   obs::Hub* obs = nullptr;  ///< telemetry hub (docs/observability.md); not
                             ///< owned. Worker slots 0..p-1, master slot p.

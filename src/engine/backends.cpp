@@ -46,6 +46,8 @@ rt::Config make_rio_config(const Launch& l) {
                     .retry = l.retry,
                     .fault = l.fault,
                     .watchdog_ns = l.watchdog_ns,
+                    .resume = l.resume,
+                    .checkpoint = l.checkpoint,
                     .obs = l.obs};
 }
 
@@ -87,7 +89,8 @@ class RioBackend final : public Backend {
                                 .supports_streaming = true,
                                 .needs_mapping = true,
                                 .uses_wait_policy = true,
-                                .in_order = true};
+                                .in_order = true,
+                                .supports_recovery = true};
     return c;
   }
   [[nodiscard]] Outcome run(const stf::FlowImage& image,
@@ -118,7 +121,8 @@ class PrunedBackend final : public Backend {
                                 .supports_obs = true,
                                 .needs_mapping = true,
                                 .uses_wait_policy = true,
-                                .in_order = true};
+                                .in_order = true,
+                                .supports_recovery = true};
     return c;
   }
   [[nodiscard]] Outcome run(const stf::FlowImage& image,
@@ -152,7 +156,8 @@ class CoorBackend final : public Backend {
                                 .uses_wait_policy = true,
                                 .uses_scheduler = true,
                                 .uses_queue = true,
-                                .has_master = true};
+                                .has_master = true,
+                                .supports_recovery = true};
     return c;
   }
   [[nodiscard]] Outcome run(const stf::FlowImage& image,
@@ -171,6 +176,8 @@ class CoorBackend final : public Backend {
                                    .retry = launch.retry,
                                    .fault = launch.fault,
                                    .watchdog_ns = launch.watchdog_ns,
+                                   .resume = launch.resume,
+                                   .checkpoint = launch.checkpoint,
                                    .obs = launch.obs});
     Outcome out = base_outcome(eng.run(image), caps());
     out.trace = eng.trace();
@@ -196,7 +203,8 @@ class HybridBackend final : public Backend {
                                 .partial_mapping = true,
                                 .uses_wait_policy = true,
                                 .uses_scheduler = true,
-                                .has_master = true};
+                                .has_master = true,
+                                .supports_recovery = true};
     return c;
   }
   [[nodiscard]] Outcome run(const stf::FlowImage& image,
@@ -212,6 +220,8 @@ class HybridBackend final : public Backend {
                        .retry = launch.retry,
                        .fault = launch.fault,
                        .watchdog_ns = launch.watchdog_ns,
+                       .resume = launch.resume,
+                       .checkpoint = launch.checkpoint,
                        .obs = launch.obs});
     const hybrid::PartialMapping& pm =
         launch.partial ? launch.partial : default_partial(launch.workers);
@@ -247,6 +257,8 @@ Outcome sim_outcome(sim::Report rep, const Capabilities& caps) {
   out.injected_stalls = rep.injected_stalls;
   out.retried_tasks = rep.retried_tasks;
   out.failed_tasks = rep.failed_tasks;
+  out.evictions = rep.evictions;
+  out.tasks_replayed = rep.tasks_replayed;
   return out;
 }
 

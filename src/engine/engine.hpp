@@ -36,6 +36,7 @@
 #include "hybrid/runtime.hpp"
 #include "rio/mapping.hpp"
 #include "stf/flow_image.hpp"
+#include "stf/frontier.hpp"
 #include "stf/trace.hpp"
 
 namespace rio::obs {
@@ -70,6 +71,10 @@ struct Capabilities {
   bool in_order = false;   ///< per-worker in-order execution (what
                            ///< Trace::validate's worker_in_order checks)
   bool has_master = false;  ///< RunStats carries an extra master slot (p)
+  bool supports_recovery = false;  ///< honours Launch::resume/checkpoint and
+                                   ///< escalates worker death as
+                                   ///< stf::WorkerLost — the Supervisor's
+                                   ///< evict-and-remap loop works here
 };
 
 /// The flags as a stable (name, value) list — one place feeds the `rioflow
@@ -102,6 +107,10 @@ struct Launch {
   support::RetryPolicy retry;               ///< supports_faults backends only
   support::FaultInjector* fault = nullptr;  ///< not owned; supports_faults
   std::uint64_t watchdog_ns = 0;            ///< supports_watchdog backends
+  const stf::Frontier* resume = nullptr;  ///< supports_recovery: replay
+                                          ///< frontier-done tasks as no-ops
+  stf::CompletionBoard* checkpoint = nullptr;  ///< supports_recovery: live
+                                               ///< done bitmap (not owned)
   obs::Hub* obs = nullptr;  ///< not owned; supports_obs backends only
 };
 
@@ -129,6 +138,15 @@ struct Outcome {
 
   // rio-pruned extra: plan-cache misses paid by this run.
   std::uint64_t plan_compiles = 0;
+
+  // Recovery extras (filled by engine::run_supervised, or by simulators
+  // modelling eviction): how many workers died and were evicted, how many
+  // tasks the resumed attempts walked again, and the wall time spent in
+  // recovery (restore + remap + resumed attempts) beyond the first run.
+  std::uint64_t evictions = 0;
+  std::uint64_t tasks_replayed = 0;
+  std::uint64_t recovery_wall_ns = 0;
+  std::vector<stf::WorkerId> evicted_workers;
 };
 
 /// The one structured "that knob is not supported here" error (satellite of

@@ -84,7 +84,8 @@ std::vector<std::pair<std::string_view, bool>> capability_list(
           {"uses_scheduler", c.uses_scheduler},
           {"uses_queue", c.uses_queue},
           {"in_order", c.in_order},
-          {"has_master", c.has_master}};
+          {"has_master", c.has_master},
+          {"supports_recovery", c.supports_recovery}};
 }
 
 std::vector<std::string> unsupported_knobs(const Capabilities& caps,
@@ -112,6 +113,12 @@ std::vector<std::string> unsupported_knobs(const Capabilities& caps,
     bad.emplace_back("work_stealing (backend lacks uses_scheduler)");
   if (launch.queue != coor::QueueKind::kLocked && !caps.uses_queue)
     bad.emplace_back("queue (backend lacks uses_queue)");
+  if ((launch.resume != nullptr || launch.checkpoint != nullptr) &&
+      !caps.supports_recovery)
+    bad.emplace_back("resume/checkpoint (backend lacks supports_recovery)");
+  if (launch.fault != nullptr && launch.fault->plan().crash_armed() &&
+      !caps.supports_recovery && !caps.virtual_time)
+    bad.emplace_back("crash faults (backend lacks supports_recovery)");
   return bad;
 }
 

@@ -1,0 +1,51 @@
+// engine::run_supervised — evict-and-remap recovery over the backend seam.
+//
+// A permanent worker loss (support::FaultPlan crash faults, or a real stuck
+// thread surfacing as stf::WorkerLost) would otherwise abort the whole run
+// and lose every completed task body. The supervisor turns that into a
+// bounded-loss restart:
+//
+//   1. run the backend with a live stf::CompletionBoard checkpoint;
+//   2. on stf::WorkerLost: restore the dead workers' dirty write spans
+//      (DeathRecord::dirty), EVICT each dead worker id from the Launch
+//      (mapping rewritten via rt::mapping::evict, partial mappings wrapped,
+//      workers decremented), capture the completion Frontier;
+//   3. resume the SAME FlowImage with Launch::resume set — completed tasks
+//      replay as protocol no-ops, everything else re-executes;
+//   4. repeat until the run finishes or the eviction budget / worker pool
+//      is exhausted (then the WorkerLost escalates to the caller).
+//
+// The Outcome reports evictions, evicted worker ids (original numbering),
+// tasks replayed across resumed attempts and the recovery wall time.
+// Backends without supports_recovery pass through untouched.
+// See docs/robustness.md ("Worker loss and recovery").
+#pragma once
+
+#include <cstdint>
+
+#include "engine/engine.hpp"
+#include "stf/frontier.hpp"
+
+namespace rio::engine {
+
+struct SupervisorOptions {
+  /// Evictions allowed across the whole supervised run; 0 = no explicit
+  /// cap (still bounded by the worker pool — the last worker is never
+  /// evicted, the loss escalates instead).
+  std::uint32_t max_evictions = 0;
+  /// CompletionBoard sampling stride for the board the supervisor owns
+  /// (ignored when the caller supplies Launch::checkpoint).
+  std::uint32_t checkpoint_every = stf::CompletionBoard::kDefaultSampleEvery;
+};
+
+/// Runs `image` on `backend` under the recovery loop above. `launch` is
+/// taken by value: the supervisor rewrites workers/mapping/partial/resume
+/// across attempts. Throws whatever the backend throws for non-recoverable
+/// failures (TaskFailure, StallError, body exceptions); rethrows the final
+/// stf::WorkerLost when recovery is impossible or the budget is spent.
+[[nodiscard]] Outcome run_supervised(const Backend& backend,
+                                     const stf::FlowImage& image,
+                                     Launch launch,
+                                     const SupervisorOptions& opts = {});
+
+}  // namespace rio::engine

@@ -95,6 +95,8 @@ support::RunStats Runtime::run(const stf::FlowImage& image,
                                     .retry = cfg_.retry,
                                     .fault = cfg_.fault,
                                     .watchdog_ns = cfg_.watchdog_ns,
+                                    .resume = cfg_.resume,
+                                    .checkpoint = cfg_.checkpoint,
                                     .obs = cfg_.obs});
   coor::Runtime coor_engine(
       coor::Config{.num_workers = p,
@@ -106,6 +108,8 @@ support::RunStats Runtime::run(const stf::FlowImage& image,
                    .retry = cfg_.retry,
                    .fault = cfg_.fault,
                    .watchdog_ns = cfg_.watchdog_ns,
+                   .resume = cfg_.resume,
+                   .checkpoint = cfg_.checkpoint,
                    .obs = cfg_.obs});
   if (cfg_.use_pool) {
     // One persistent pool for every phase: p workers + 1 master-capable

@@ -87,6 +87,14 @@ struct Config {
   support::FaultInjector* fault = nullptr;
   std::uint64_t watchdog_ns = 0;
 
+  // Recovery (docs/robustness.md "worker loss"), forwarded to BOTH
+  // per-phase engines. The frontier/checkpoint bitmaps are indexed by
+  // GLOBAL task id, so a mid-phase worker death resumes correctly: earlier
+  // phases replay as no-ops, the interrupted phase replays its completed
+  // prefix and re-executes the rest.
+  const stf::Frontier* resume = nullptr;
+  stf::CompletionBoard* checkpoint = nullptr;
+
   obs::Hub* obs = nullptr;  ///< telemetry hub (docs/observability.md); not
                             ///< owned. Forwarded to BOTH per-phase engines:
                             ///< worker slots 0..p-1 accumulate across every

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <type_traits>
@@ -410,6 +411,13 @@ class Controlled {
     return (terminated_ & all_mask) == all_mask;
   }
 
+  /// Completion frontier right now — what a supervisor capture at this
+  /// scheduling point would checkpoint (recovery mode).
+  [[nodiscard]] std::uint64_t terminated_mask() {
+    std::unique_lock lk(mu_);
+    return terminated_;
+  }
+
   [[nodiscard]] std::optional<Violation> violation() {
     std::unique_lock lk(mu_);
     return violation_;
@@ -634,6 +642,17 @@ class Explorer {
     build_check_plan();
   }
 
+  /// Recovery phase 1: the thread executing `crash_task` dies right after
+  /// that task's body (terminate never published). Crash-induced quiescent
+  /// states become accepted run ends instead of deadlock violations, and
+  /// every completion frontier passed through — any of which the
+  /// supervisor could capture — lands in `frontiers`.
+  void set_crash(stf::TaskId crash_task, std::set<std::uint64_t>* frontiers) {
+    crash_mode_ = true;
+    crash_task_ = crash_task;
+    frontiers_ = frontiers;
+  }
+
   Result explore() {
     support::Stopwatch sw;
     Result res;
@@ -811,6 +830,7 @@ class Explorer {
                                nullptr, nullptr, bell);
               }
               ctl.task_started(t);
+              if (crash_mode_ && t == crash_task_) return;  // worker dies
               ctl.task_finished(t);
               for (const stf::Access& a : task.accesses) {
                 if (stf::is_write(a.mode))
@@ -847,6 +867,7 @@ class Explorer {
                               pa.expected_reads, stf::is_write(pa.mode),
                               policy, nullptr, nullptr, bell);
             ctl.task_started(pt.id);
+            if (crash_mode_ && pt.id == crash_task_) return;  // worker dies
             ctl.task_finished(pt.id);
             for (const rt::PrunedAccess& pa : pt.accesses) {
               if (stf::is_write(pa.mode))
@@ -896,6 +917,10 @@ class Explorer {
                        : ctl.queue_pop();
               if (!li) break;
               ctl.task_started(*li);
+              // Crash: the worker that popped the task dies before
+              // complete() — no finished mark, no successor releases, no
+              // completed bump, no ring close.
+              if (crash_mode_ && *li == crash_task_) return;
               ctl.task_finished(*li);
               // Engine::complete: mark finished + take the successor list
               // under the node mutex, then release each successor outside
@@ -965,6 +990,11 @@ class Explorer {
 
     for (;;) {
       const Controlled::Phase phase = ctl.wait_quiescent(enabled, ops);
+      // Recovery phase 1: every quiescent point's completion frontier is a
+      // state the supervisor could capture — the watchdog aborts survivors
+      // mid-flight, so intermediate frontiers matter, not just final ones.
+      if (crash_mode_ && forced == nullptr && frontiers_ != nullptr)
+        frontiers_->insert(ctl.terminated_mask());
       if (phase == Controlled::Phase::kViolation) {
         const Violation v = *ctl.violation();
         record_violation(res, v, schedule);
@@ -972,7 +1002,7 @@ class Explorer {
         break;
       }
       if (phase == Controlled::Phase::kAllDone) {
-        if (!ctl.all_tasks_terminated(all_mask)) {
+        if (!crash_mode_ && !ctl.all_tasks_terminated(all_mask)) {
           record_violation(
               res,
               {"deadlock",
@@ -983,7 +1013,15 @@ class Explorer {
         break;
       }
       if (phase == Controlled::Phase::kStuck) {
-        record_violation(res, ctl.classify_stuck(), schedule);
+        const Violation v = ctl.classify_stuck();
+        if (crash_mode_ && v.kind != "lost-wakeup") {
+          // Expected worker-loss quiescence: survivors blocked on the dead
+          // worker's never-published terminates (or an empty queue). The
+          // supervisor's job starts here; lost wakeups stay violations —
+          // a dropped notify is a protocol bug with or without a crash.
+          break;
+        }
+        record_violation(res, v, schedule);
         end = RunEnd::kViolation;
         break;
       }
@@ -1191,6 +1229,9 @@ class Explorer {
   CheckPlan plan_;
   std::vector<Frame> stack_;
   std::vector<std::uint64_t> clock_at_;  ///< own-clock value per step
+  bool crash_mode_ = false;              ///< recovery phase 1
+  stf::TaskId crash_task_ = 0;
+  std::set<std::uint64_t>* frontiers_ = nullptr;
 };
 
 }  // namespace
@@ -1201,8 +1242,70 @@ Result verify(const stf::TaskFlow& flow, const rt::Mapping& mapping,
                  "mc::impl handles flows of at most 64 tasks");
   RIO_ASSERT_MSG(opts.workers >= 1 && opts.workers <= 4,
                  "mc::impl handles 1..4 virtual workers");
-  Explorer ex(flow, mapping, opts);
-  return ex.explore();
+  if (!opts.recover) {
+    Explorer ex(flow, mapping, opts);
+    return ex.explore();
+  }
+
+  // Recovery verification — the two-phase model of engine::run_supervised.
+  RIO_ASSERT_MSG(opts.workers >= 2,
+                 "recovery verification needs >= 2 workers (one dies)");
+  RIO_ASSERT_MSG(opts.crash_task < flow.num_tasks(),
+                 "crash_task must name a task of the flow");
+  support::Stopwatch sw;
+
+  // Phase 1: crash exploration. The worker executing crash_task dies right
+  // after the body; refinement / window / lost-wakeup checks stay armed,
+  // and every reachable completion frontier is collected.
+  Options o1 = opts;
+  o1.recover = false;
+  Explorer ex1(flow, mapping, o1);
+  std::set<std::uint64_t> frontiers;
+  ex1.set_crash(static_cast<stf::TaskId>(opts.crash_task), &frontiers);
+  Result r = ex1.explore();
+  r.frontiers = frontiers.size();
+  if (!r.ok()) {
+    r.seconds = sw.elapsed_s();
+    return r;
+  }
+
+  // Phase 2: the resumed configuration — workers-1 threads under the
+  // eviction rewrite. The real resume walks completed tasks through the
+  // full acquire/terminate protocol (only bodies are skipped), so one
+  // exhaustive exploration of this configuration covers the resumed run
+  // for EVERY frontier phase 1 collected: the protocol state machine is
+  // frontier-independent, only which bodies re-execute differs, and the
+  // exact CompletionBoard bitmap makes that exactly-once by construction.
+  Options o2 = opts;
+  o2.recover = false;
+  o2.workers = opts.workers - 1;
+  rt::Mapping evicted;
+  const rt::Mapping* m2 = &mapping;
+  if (opts.engine != EngineKind::kCoor) {
+    const stf::WorkerId dead =
+        mapping(static_cast<stf::TaskId>(opts.crash_task));
+    evicted = rt::mapping::evict(mapping, dead, opts.workers);
+    m2 = &evicted;
+  }
+  Explorer ex2(flow, *m2, o2);
+  const Result r2 = ex2.explore();
+  r.explored += r2.explored;
+  r.pruned += r2.pruned;
+  r.steps += r2.steps;
+  r.truncated |= r2.truncated;
+  if (!r2.ok()) {
+    r.deadlock_free = r2.deadlock_free;
+    r.lost_wakeup_free = r2.lost_wakeup_free;
+    r.refines_stf = r2.refines_stf;
+    r.in_order = r2.in_order;
+    r.violation = "resumed configuration (" +
+                  std::to_string(o2.workers) + " workers, evicted): " +
+                  r2.violation;
+    r.violation_kind = r2.violation_kind;
+    r.witness = r2.witness;
+  }
+  r.seconds = sw.elapsed_s();
+  return r;
 }
 
 Result replay(const stf::TaskFlow& flow, const rt::Mapping& mapping,

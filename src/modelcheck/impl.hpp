@@ -74,6 +74,22 @@ struct Options {
   /// proto::notify becomes a no-op, so a kBlock waiter that parks before
   /// the publish is never woken.
   bool drop_notify = false;
+
+  /// Recovery verification (rioflow verify --recover): model the eviction
+  /// protocol of engine::run_supervised. Phase 1 explores the run with the
+  /// worker executing `crash_task` dying right after that task's body —
+  /// its terminate is never published, exactly the production crash fault
+  /// — accepting the resulting quiescent states (the loss the supervisor
+  /// detects) while still checking refinement, the window invariants and
+  /// lost-wakeup freedom up to the loss, and collecting every reachable
+  /// completion frontier. Phase 2 then exhaustively explores the RESUMED
+  /// configuration — workers-1 threads under the rt::mapping::evict
+  /// rewrite — which is protocol-identical to the real resume (replayed
+  /// tasks walk the full acquire/terminate ops, only their bodies are
+  /// skipped), proving the evicted run refines STF and is deadlock-free
+  /// for ANY captured frontier. Requires workers >= 2.
+  bool recover = false;
+  std::uint64_t crash_task = 0;  ///< the task whose executor dies
 };
 
 /// One verification outcome. `witness` is a schedule — the thread index
@@ -94,6 +110,10 @@ struct Result {
   std::string violation_kind;   ///< deadlock|lost-wakeup|refinement|in-order
   std::vector<std::uint32_t> witness;  ///< schedule reaching the violation
   double seconds = 0.0;
+  /// Recovery mode: distinct completion frontiers observed across every
+  /// explored crash interleaving (each one a supervisor capture point the
+  /// resumed configuration was verified against).
+  std::uint64_t frontiers = 0;
 
   [[nodiscard]] bool ok() const noexcept {
     return deadlock_free && lost_wakeup_free && refines_stf && in_order;

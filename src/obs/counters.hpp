@@ -33,9 +33,12 @@ enum class Counter : std::uint8_t {
   kWakeupsIssued,   ///< wakeups that issued a real syscall (futex/condvar)
   kWakeupsElided,   ///< wakeups skipped because no waiter was parked —
                     ///< batching/elision effectiveness (docs/perf.md)
+  kEvictions,       ///< dead workers evicted by the supervisor (global slot)
+  kTasksReplayed,   ///< tasks re-run (body skipped or re-executed) during
+                    ///< recovery resume (global slot)
 };
 
-inline constexpr std::size_t kNumCounters = 13;
+inline constexpr std::size_t kNumCounters = 15;
 
 [[nodiscard]] constexpr const char* counter_name(Counter c) noexcept {
   switch (c) {
@@ -52,6 +55,8 @@ inline constexpr std::size_t kNumCounters = 13;
     case Counter::kWatchdogProbes: return "watchdog_probes";
     case Counter::kWakeupsIssued: return "wakeups_issued";
     case Counter::kWakeupsElided: return "wakeups_elided";
+    case Counter::kEvictions: return "evictions";
+    case Counter::kTasksReplayed: return "tasks_replayed";
   }
   return "?";
 }

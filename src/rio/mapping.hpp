@@ -94,5 +94,24 @@ inline Mapping custom(std::string name, Mapping::Fn fn) {
   return Mapping(std::move(name), std::move(fn));
 }
 
+/// Eviction rewrite (docs/robustness.md "worker loss"): the assignment for
+/// a run that lost worker `dead` out of `old_workers`. Surviving owners
+/// keep their tasks but ids above `dead` shift down by one (the engine's
+/// worker array compacts); the victim's tasks are respread round-robin
+/// over the survivors. A fresh Mapping construction — the new identity()
+/// makes PrunedPlanCache recompile plans naturally.
+inline Mapping evict(const Mapping& old, stf::WorkerId dead,
+                     std::uint32_t old_workers) {
+  RIO_ASSERT(old.valid() && old_workers > 1 && dead < old_workers);
+  const std::uint32_t survivors = old_workers - 1;
+  return Mapping(
+      old.name() + "/evict-" + std::to_string(dead),
+      [old, dead, survivors](stf::TaskId t) {
+        const stf::WorkerId w = old(t);
+        if (w == dead) return static_cast<stf::WorkerId>(t % survivors);
+        return w > dead ? static_cast<stf::WorkerId>(w - 1) : w;
+      });
+}
+
 }  // namespace mapping
 }  // namespace rio::rt

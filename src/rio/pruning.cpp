@@ -39,7 +39,14 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
   RIO_ASSERT_MSG(plan.num_workers() == cfg.num_workers,
                  "plan built for a different worker count");
   const std::uint32_t p = cfg.num_workers;
-  const bool watched_pre = cfg.watchdog_ns > 0;
+  // Crash-armed plans force a watchdog, same contract as the full
+  // runtime's launch(): a worker death escalates as stf::WorkerLost.
+  const bool crash_armed =
+      cfg.fault != nullptr && cfg.fault->plan().crash_armed();
+  const std::uint64_t watchdog_ns =
+      cfg.watchdog_ns > 0 ? cfg.watchdog_ns
+                          : (crash_armed ? 100'000'000ULL : 0);
+  const bool watched_pre = watchdog_ns > 0;
   // Doorbell batching replaces per-word notifies for unwatched kBlock runs
   // (same gate as the full runtime's launch()).
   const bool use_bells = cfg.wait_policy == support::WaitPolicy::kBlock &&
@@ -71,8 +78,9 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
   std::atomic<bool> abort{false};  // set only by a firing watchdog
   std::exception_ptr first_error;
   std::mutex error_mu;
+  stf::DeathBoard deaths;
 
-  const bool watched = cfg.watchdog_ns > 0;
+  const bool watched = watchdog_ns > 0;
   std::vector<support::WorkerProbe> probes(watched ? p : 0);
   stf::ResilienceOpts res_proto;
   res_proto.retry = cfg.retry;
@@ -102,6 +110,7 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
     const std::atomic<bool>* abort_flag = res_proto.abort;
     stf::ResilienceOpts res = res_proto;  // worker-private copy
     stf::DataSnapshot snapshot;
+    std::uint32_t checkpoint_pending = 0;
     obs::WorkerObs& ob = obses[w];
     res.obs = &ob;
     const bool timed = cfg.collect_stats || cfg.collect_trace || ob.recording();
@@ -148,33 +157,64 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
                sync_stamp.fetch_add(1, std::memory_order_acq_rel)});
       }
 
+      // Resume replay: protocol ops only, body/faults/mark skipped — same
+      // contract as the full runtime (runtime.cpp execute_owned).
+      const bool replay = cfg.resume != nullptr && cfg.resume->done(pt.id);
+      bool body_ok = !replay;
+      bool crashed = false;
       const stf::Task& task = body_of(pt.id);
       std::uint64_t t0 = 0;
       if (timed) t0 = support::monotonic_ns();
-      if (resilient) {
+      if (replay) {
+        ob.count(obs::Counter::kTasksReplayed);
+      } else if (resilient) {
         if (!cancelled.load(std::memory_order_acquire)) {
           stf::BodyResult r =
               stf::execute_body(task, registry, w, res, snapshot);
-          if (!r.ok) {
+          if (r.crashed) {
+            crashed = true;
+          } else if (!r.ok) {
+            body_ok = false;
             std::lock_guard lock(error_mu);
             if (!first_error) first_error = std::move(r.error);
             cancelled.store(true, std::memory_order_release);
           }
+        } else {
+          body_ok = false;
         }
       } else if (task.fn && !cancelled.load(std::memory_order_acquire)) {
         stf::TaskContext tc(task, registry, w);
         try {
           task.fn(tc);
         } catch (...) {
+          body_ok = false;
           std::lock_guard lock(error_mu);
           if (!first_error) first_error = std::current_exception();
           cancelled.store(true, std::memory_order_release);
         }
+      } else if (cancelled.load(std::memory_order_acquire)) {
+        body_ok = false;
       }
       std::uint64_t t1 = 0;
       if (timed) {
         t1 = support::monotonic_ns();
         ob.span(obs::Phase::kBody, pt.id, t0, t1);
+      }
+
+      if (crashed) {
+        // Permanent worker death: record the dirty spans, publish nothing,
+        // and stop walking this worker's plan slice (see runtime.cpp).
+        stf::DeathRecord d;
+        d.worker = w;
+        d.task = pt.id;
+        d.dirty = std::move(snapshot);
+        deaths.record(std::move(d));
+        break;
+      }
+
+      if (cfg.checkpoint != nullptr && body_ok) {
+        cfg.checkpoint->mark(pt.id);
+        cfg.checkpoint->note_completion(checkpoint_pending);
       }
 
       // Release stamps before anything is published.
@@ -226,7 +266,7 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
   std::optional<support::Watchdog> watchdog;
   if (watched) {
     watchdog.emplace(
-        cfg.watchdog_ns,
+        watchdog_ns,
         [&probes, p, hub = cfg.obs]() noexcept {
           if (hub != nullptr)
             hub->global_counters().add(obs::Counter::kWatchdogProbes);
@@ -243,13 +283,17 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
                   {now, now, probes[w].task.load(std::memory_order_relaxed), w,
                    obs::Phase::kStallSnapshot});
           }
-          return stall_diagnostic("rio-pruned", cfg.watchdog_ns, probes.data(),
+          return stall_diagnostic("rio-pruned", watchdog_ns, probes.data(),
                                   p, shared.data(), num_data);
         },
         [&] {
           cancelled.store(true, std::memory_order_release);
           abort.store(true, std::memory_order_release);
-        });
+        },
+        crash_armed ? std::function<bool()>([&deaths] {
+          return deaths.any_death();
+        })
+                    : std::function<bool()>());
   }
 
   const std::uint64_t t0 = support::monotonic_ns();
@@ -271,6 +315,11 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
     for (const stf::TraceEvent& ev : traces[w]) trace_out.record(ev);
     for (const stf::SyncEvent& ev : syncs[w]) sync_out.record(ev);
   }
+  // Worker loss outranks a stall outranks a task failure (runtime.cpp).
+  if (deaths.any_death())
+    throw stf::WorkerLost(deaths.take(), watchdog && watchdog->fired()
+                                             ? watchdog->diagnostic()
+                                             : std::string());
   if (watchdog && watchdog->fired()) throw stf::StallError(watchdog->diagnostic());
   if (first_error) std::rethrow_exception(first_error);
   return stats;

@@ -20,6 +20,11 @@
 namespace rio::rt {
 namespace {
 
+/// Watchdog window auto-armed for crash-capable fault plans: the tripwire
+/// detects a recorded death within one poll (~window/8), so recovery
+/// latency is bounded by ~12ms, not by task-flow drain time.
+constexpr std::uint64_t kDefaultCrashWatchdogNs = 100'000'000;  // 100ms
+
 /// Everything one worker needs while unrolling the flow. Lives on the
 /// worker's stack; the vectors are worker-private by construction.
 struct WorkerCtx {
@@ -65,6 +70,13 @@ struct WorkerCtx {
   bool resilient = false;              ///< res.active(), hoisted
   stf::DataSnapshot snapshot;          ///< rollback arena, worker-private
   support::WorkerProbe* probe = nullptr;  ///< watchdog observability slot
+
+  // Recovery (docs/robustness.md "worker loss").
+  const stf::Frontier* resume = nullptr;    ///< replay done tasks as no-ops
+  stf::CompletionBoard* checkpoint = nullptr;  ///< live done bitmap
+  std::uint32_t checkpoint_pending = 0;     ///< sampled-progress local count
+  stf::DeathBoard* deaths = nullptr;        ///< crash blotter (crash-armed)
+  bool dead = false;  ///< this worker crashed: exit the unroll loop
 };
 
 /// Records the first error and flips the cancellation flag.
@@ -125,21 +137,41 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
   if (ctx.guard)
     for (const stf::Access& a : task.accesses) ctx.guard->acquire(a);
 
+  // Resume replay: a task already inside the completion frontier re-runs
+  // ONLY its protocol ops (the acquires above were pre-satisfied no-ops on
+  // a fresh protocol state in flow order) — its data effects are already
+  // in the registry, so the body, fault injection and checkpoint mark are
+  // all skipped.
+  const bool replay = ctx.resume != nullptr && ctx.resume->done(task.id);
+  bool body_ok = !replay;
+  bool crashed = false;
   std::uint64_t t0 = 0;
   if (ctx.timed) t0 = support::monotonic_ns();
-  if (ctx.resilient) {
+  if (replay) {
+    ctx.obs.count(obs::Counter::kTasksReplayed);
+  } else if (ctx.resilient) {
     if (!ctx.cancelled->load(std::memory_order_acquire)) {
       stf::BodyResult r = stf::execute_body(task, *ctx.registry, ctx.self,
                                             ctx.res, ctx.snapshot);
-      if (!r.ok) record_failure(ctx, std::move(r.error));
+      if (r.crashed) {
+        crashed = true;
+      } else if (!r.ok) {
+        body_ok = false;
+        record_failure(ctx, std::move(r.error));
+      }
+    } else {
+      body_ok = false;  // skipped under cancellation: not done, not marked
     }
   } else if (task.fn && !ctx.cancelled->load(std::memory_order_acquire)) {
     stf::TaskContext tc(task, *ctx.registry, ctx.self);
     try {
       task.fn(tc);
     } catch (...) {
+      body_ok = false;
       record_failure(ctx, std::current_exception());
     }
+  } else if (ctx.cancelled->load(std::memory_order_acquire)) {
+    body_ok = false;
   }
   std::uint64_t t1 = 0;
   if (ctx.timed) {
@@ -149,6 +181,28 @@ void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
 
   if (ctx.guard)
     for (const stf::Access& a : task.accesses) ctx.guard->release(a);
+
+  if (crashed) {
+    // Permanent worker death: record the dirty write spans (the body DID
+    // run) and leave without publishing the terminate — dependents block
+    // until the watchdog tripwire aborts the run, and the supervisor
+    // restores `dirty` before replaying this task on a survivor.
+    stf::DeathRecord d;
+    d.worker = ctx.self;
+    d.task = task.id;
+    d.dirty = std::move(ctx.snapshot);
+    ctx.deaths->record(std::move(d));
+    ctx.dead = true;
+    if (ctx.probe != nullptr) ctx.probe->set_state(support::ProbeState::kDone);
+    return;
+  }
+
+  // Checkpoint mark: after the body succeeded, before the terminate
+  // publish — a set bit guarantees the task's effects are present.
+  if (ctx.checkpoint != nullptr && body_ok) {
+    ctx.checkpoint->mark(task.id);
+    ctx.checkpoint->note_completion(ctx.checkpoint_pending);
+  }
 
   // Release stamps are drawn BEFORE terminate_* publishes anything.
   if (ctx.collect_sync) {
@@ -225,6 +279,10 @@ class ReplaySink final : public stf::SubmitSink {
 
   void submit(stf::TaskFn fn, stf::AccessList accesses, std::uint64_t cost,
               std::string name) override {
+    if (ctx_.dead) {
+      ++next_id_;  // a dead worker ignores the rest of the program
+      return;
+    }
     stf::Task t;
     t.id = next_id_++;
     t.fn = std::move(fn);
@@ -253,7 +311,15 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
                          UnrollFn&& unroll) {
   RIO_ASSERT(mapping.valid());
   const std::uint32_t p = cfg.num_workers;
-  const bool watched_early = cfg.watchdog_ns > 0;
+  // Crash-armed plans force a watchdog (default window when unset): a
+  // worker death must escalate as stf::WorkerLost, never hang the run —
+  // and watched waits are abort-pollable, which the drain relies on.
+  const bool crash_armed =
+      cfg.fault != nullptr && cfg.fault->plan().crash_armed();
+  const std::uint64_t watchdog_ns =
+      cfg.watchdog_ns > 0 ? cfg.watchdog_ns
+                          : (crash_armed ? kDefaultCrashWatchdogNs : 0);
+  const bool watched_early = watchdog_ns > 0;
   // Doorbell batching replaces per-word notifies for unwatched kBlock runs;
   // watched runs keep the classic path so abort-aware waits can poll.
   const bool use_bells = cfg.wait_policy == support::WaitPolicy::kBlock &&
@@ -288,8 +354,9 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
   std::atomic<bool> abort{false};  // set only by a firing watchdog
   std::exception_ptr first_error;
   std::mutex error_mu;
+  stf::DeathBoard deaths;  // crash blotter; observed by the tripwire
 
-  const bool watched = cfg.watchdog_ns > 0;
+  const bool watched = watchdog_ns > 0;
   std::vector<support::WorkerProbe> probes(watched ? p : 0);
 
   std::vector<WorkerCtx> ctxs(p);
@@ -321,6 +388,9 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
     c.res.abort = watched ? &abort : nullptr;
     c.resilient = c.res.active();
     c.probe = watched ? &probes[w] : nullptr;
+    c.resume = cfg.resume;
+    c.checkpoint = cfg.checkpoint;
+    c.deaths = crash_armed ? &deaths : nullptr;
   }
   if (cfg.obs != nullptr) cfg.obs->ensure_workers(p);
   for (std::uint32_t w = 0; w < p; ++w) {
@@ -353,7 +423,7 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
   std::optional<support::Watchdog> watchdog;
   if (watched) {
     watchdog.emplace(
-        cfg.watchdog_ns,
+        watchdog_ns,
         [&probes, p, hub = cfg.obs]() noexcept {
           if (hub != nullptr)
             hub->global_counters().add(obs::Counter::kWatchdogProbes);
@@ -372,13 +442,19 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
                   {now, now, probes[w].task.load(std::memory_order_relaxed), w,
                    obs::Phase::kStallSnapshot});
           }
-          return stall_diagnostic("rio", cfg.watchdog_ns, probes.data(), p,
+          return stall_diagnostic("rio", watchdog_ns, probes.data(), p,
                                   shared.data(), num_data);
         },
         [&] {
           cancelled.store(true, std::memory_order_release);
           abort.store(true, std::memory_order_release);
-        });
+        },
+        // Tripwire: a recorded worker death aborts the run at the next
+        // poll even while survivors still make progress elsewhere.
+        crash_armed ? std::function<bool()>([&deaths] {
+          return deaths.any_death();
+        })
+                    : std::function<bool()>());
   }
 
   const std::uint64_t t0 = support::monotonic_ns();
@@ -406,8 +482,13 @@ support::RunStats launch(const Config& cfg, support::ThreadPool* pool,
     for (const stf::TraceEvent& ev : c.trace) trace_out.record(ev);
     for (const stf::SyncEvent& ev : c.sync) sync_out.record(ev);
   }
-  // A stall outranks any task failure: the StallError diagnostic is the
-  // evidence of WHY the run could not finish.
+  // Escalation order: worker loss outranks a stall (the stall IS the
+  // death's symptom — dependents of the unpublished task blocked), and a
+  // stall outranks any task failure.
+  if (deaths.any_death())
+    throw stf::WorkerLost(deaths.take(), watchdog && watchdog->fired()
+                                             ? watchdog->diagnostic()
+                                             : std::string());
   if (watchdog && watchdog->fired()) throw stf::StallError(watchdog->diagnostic());
   if (first_error) std::rethrow_exception(first_error);
   return stats;
@@ -428,7 +509,10 @@ support::RunStats Runtime::run(const stf::FlowRange& range,
                                const Mapping& mapping) {
   return launch(cfg_, pool_, range.registry(), range.num_data(), range.size(),
                 trace_, sync_trace_, mapping, arenas_, [&](WorkerCtx& c) {
-                  for (const stf::Task& task : range) process_task(task, c);
+                  for (const stf::Task& task : range) {
+                    process_task(task, c);
+                    if (c.dead) break;
+                  }
                 });
 }
 
@@ -467,6 +551,7 @@ support::RunStats Runtime::run(const stf::ImageRange& range,
             continue;
           }
           execute_owned(range.task(i), c);
+          if (c.dead) break;
         }
         if (c.collect_stats) c.stats.tasks_skipped += skipped;
         if (skipped > 0) c.obs.count(obs::Counter::kTasksSkipped, skipped);

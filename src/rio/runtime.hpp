@@ -28,6 +28,7 @@
 #include "stf/access_guard.hpp"
 #include "stf/flow_image.hpp"
 #include "stf/flow_range.hpp"
+#include "stf/frontier.hpp"
 #include "stf/task_flow.hpp"
 #include "stf/trace.hpp"
 
@@ -74,6 +75,16 @@ struct Config {
   std::uint64_t watchdog_ns = 0;  ///< > 0: monitor thread fails the run
                                   ///< with stf::StallError after this
                                   ///< no-progress window instead of hanging
+
+  // Recovery (docs/robustness.md "worker loss"). Both borrowed, both
+  // optional. `resume`: tasks marked done in the frontier replay as
+  // protocol no-ops — every acquire is already satisfied, the body is
+  // skipped. `checkpoint`: live completion board this run marks into
+  // (caller sizes it via reset()); a later attempt resumes from its
+  // capture(). Crash-armed fault plans auto-arm a default watchdog so a
+  // worker death always escalates as stf::WorkerLost instead of hanging.
+  const stf::Frontier* resume = nullptr;
+  stf::CompletionBoard* checkpoint = nullptr;
 
   obs::Hub* obs = nullptr;  ///< telemetry hub (docs/observability.md); not
                             ///< owned. Null = telemetry off: no counters,

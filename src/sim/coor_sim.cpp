@@ -114,9 +114,16 @@ Report simulate_centralized(const stf::ImageRange& range,
           static_cast<double>(cost) / params.worker_speed[w]);
     }
     cost += faults.extra_ticks(range.task_id(t), cost, rep);
-    const std::uint64_t fin = start + cost;
+    // A crash fault on this task: the wasted attempt + watchdog detection
+    // + frontier replay extend its finish time; dependents (and the
+    // makespan) wait behind it, which is how the global abort-and-resume
+    // shows up in an event-driven schedule.
+    const std::uint64_t recovery = faults.crash_recovery_ticks(
+        range.task_id(t), cost, executed, params.crash_detect_ticks,
+        params.replay_per_task, rep);
+    const std::uint64_t fin = start + cost + recovery;
     finish[t] = fin;
-    ws[w].buckets.runtime_ns += params.worker_pop;
+    ws[w].buckets.runtime_ns += params.worker_pop + recovery;
     ws[w].buckets.task_ns += cost;
     ++ws[w].tasks_executed;
     ++executed;
@@ -131,7 +138,9 @@ Report simulate_centralized(const stf::ImageRange& range,
         ob.count(obs::Counter::kProtocolWaits);
       }
       ob.span(obs::Phase::kMgmt, id, start - params.worker_pop, start);
-      ob.span(obs::Phase::kBody, id, start, fin);
+      ob.span(obs::Phase::kBody, id, start, start + cost);
+      if (recovery > 0)
+        ob.span(obs::Phase::kMgmt, id, start + cost, fin);
       ob.count(obs::Counter::kQueuePops);
       ob.count(obs::Counter::kTasksExecuted);
     }
@@ -170,6 +179,11 @@ Report simulate_centralized(const stf::ImageRange& range,
       hub->global_counters().add(obs::Counter::kFaultsInjected, injected);
     if (rep.retried_tasks > 0)
       hub->global_counters().add(obs::Counter::kRetries, rep.retried_tasks);
+    if (rep.evictions > 0)
+      hub->global_counters().add(obs::Counter::kEvictions, rep.evictions);
+    if (rep.tasks_replayed > 0)
+      hub->global_counters().add(obs::Counter::kTasksReplayed,
+                                 rep.tasks_replayed);
   }
 
   rep.makespan = makespan;

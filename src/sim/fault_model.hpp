@@ -62,6 +62,24 @@ class SimFaults {
     return extra;
   }
 
+  /// Extra virtual ticks a crash fault on task `id` costs when
+  /// `tasks_done` tasks completed before it: the crashed attempt's body
+  /// (`cost`) is wasted, the watchdog burns `detect_ticks` before the
+  /// supervisor evicts, and the resumed attempt replays every completed
+  /// task at `replay_per_task` ticks. Returns 0 when the plan does not
+  /// select this task (or the crash budget is spent). The caller decides
+  /// how the charge is distributed over the virtual workers.
+  std::uint64_t crash_recovery_ticks(std::uint64_t id, std::uint64_t cost,
+                                     std::uint64_t tasks_done,
+                                     std::uint64_t detect_ticks,
+                                     std::uint64_t replay_per_task,
+                                     Report& rep) {
+    if (!active_ || !injector_.should_crash(id)) return 0;
+    ++rep.evictions;
+    rep.tasks_replayed += tasks_done;
+    return cost + detect_ticks + replay_per_task * tasks_done;
+  }
+
  private:
   support::FaultInjector injector_;
   support::RetryPolicy retry_;

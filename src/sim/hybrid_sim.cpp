@@ -50,6 +50,8 @@ Report simulate_hybrid(const stf::FlowImage& image,
     total.injected_stalls += rep.injected_stalls;
     total.retried_tasks += rep.retried_tasks;
     total.failed_tasks += rep.failed_tasks;
+    total.evictions += rep.evictions;
+    total.tasks_replayed += rep.tasks_replayed;
     for (std::size_t w = 0; w < rep.stats.workers.size(); ++w) {
       auto& dst = total.stats.workers[w < p ? w : p];
       const auto& src = rep.stats.workers[w];

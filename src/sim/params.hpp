@@ -74,6 +74,15 @@ struct DecentralizedParams {
   support::FaultPlan faults;
   support::RetryPolicy retry;
 
+  // Worker-loss recovery cost model (docs/robustness.md "worker loss"): a
+  // crash fault in the plan wastes the crashed attempt, burns the watchdog
+  // detection window on EVERY worker (the run aborts globally before the
+  // supervisor evicts and resumes), and replays each already-completed
+  // task as a protocol no-op on the resumed attempt. Calibrated to the
+  // real engines' defaults: 100 us watchdog, single-digit-ns replay ops.
+  std::uint64_t crash_detect_ticks = 100'000;
+  std::uint64_t replay_per_task = 5;
+
   obs::Hub* obs = nullptr;  ///< telemetry hub (docs/observability.md); not
                             ///< owned. Timestamps are VIRTUAL ticks — the
                             ///< hub's clock unit is switched to kTicks.
@@ -106,6 +115,12 @@ struct CentralizedParams {
   // Deterministic fault model — same semantics as DecentralizedParams.
   support::FaultPlan faults;
   support::RetryPolicy retry;
+
+  // Worker-loss recovery cost model — same semantics as
+  // DecentralizedParams (detection is the watchdog window; replay is the
+  // master re-discovering completed tasks on resume).
+  std::uint64_t crash_detect_ticks = 100'000;
+  std::uint64_t replay_per_task = 5;
 
   obs::Hub* obs = nullptr;  ///< telemetry hub; worker slots 0..p-1, master
                             ///< slot p, virtual-tick timestamps (kTicks)

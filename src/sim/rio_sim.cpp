@@ -95,6 +95,14 @@ Report simulate_decentralized(const stf::ImageRange& range,
           static_cast<double>(cost) / params.worker_speed[w]);
     }
     cost += faults.extra_ticks(range.task_id(t), cost, rep);
+    // A crash fault aborts the run globally: the owner pays the wasted
+    // attempt + detection + frontier replay inside its finish time, every
+    // other worker stalls for the same window (added to the shared prefix
+    // below, excluded from the owner's own_skip so it is not charged
+    // twice).
+    const std::uint64_t recovery = faults.crash_recovery_ticks(
+        range.task_id(t), cost, t, params.crash_detect_ticks,
+        params.replay_per_task, rep);
 
     const auto arrival = static_cast<std::uint64_t>(
         static_cast<std::int64_t>(prefix) + delta[w]);
@@ -108,11 +116,11 @@ Report simulate_decentralized(const stf::ImageRange& range,
       dep_ready = std::max(dep_ready, ready_at);
     }
     const std::uint64_t start = std::max(after_overhead, dep_ready);
-    const std::uint64_t fin = start + cost;
+    const std::uint64_t fin = start + cost + recovery;
     finish[t] = fin;
 
     ws[w].buckets.task_ns += cost;
-    ws[w].buckets.runtime_ns += own_cost;
+    ws[w].buckets.runtime_ns += own_cost + recovery;
     if (start > after_overhead) {
       ws[w].buckets.idle_ns += start - after_overhead;
       ++ws[w].waits;
@@ -128,11 +136,14 @@ Report simulate_decentralized(const stf::ImageRange& range,
         ob.span(obs::Phase::kAcquireWait, id, after_overhead, start);
         ob.count(obs::Counter::kProtocolWaits);
       }
-      ob.span(obs::Phase::kBody, id, start, fin);
+      ob.span(obs::Phase::kBody, id, start, start + cost);
+      if (recovery > 0)
+        ob.span(obs::Phase::kMgmt, id, start + cost, fin);
       ob.count(obs::Counter::kTasksExecuted);
     }
 
-    prefix += skip_cost;  // S(t+1)
+    prefix += skip_cost + recovery;  // S(t+1); recovery stalls everyone
+    own_skip[w] += recovery;         // ...but the owner already paid in fin
     delta[w] = static_cast<std::int64_t>(fin) -
                static_cast<std::int64_t>(prefix);
   }
@@ -180,6 +191,11 @@ Report simulate_decentralized(const stf::ImageRange& range,
       hub->global_counters().add(obs::Counter::kFaultsInjected, injected);
     if (rep.retried_tasks > 0)
       hub->global_counters().add(obs::Counter::kRetries, rep.retried_tasks);
+    if (rep.evictions > 0)
+      hub->global_counters().add(obs::Counter::kEvictions, rep.evictions);
+    if (rep.tasks_replayed > 0)
+      hub->global_counters().add(obs::Counter::kTasksReplayed,
+                                 rep.tasks_replayed);
   }
 
   rep.makespan = makespan;

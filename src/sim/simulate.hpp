@@ -36,6 +36,12 @@ struct Report {
   std::uint64_t injected_stalls = 0;  ///< tasks that hit a stall window
   std::uint64_t retried_tasks = 0;    ///< tasks needing >= 1 re-execution
   std::uint64_t failed_tasks = 0;     ///< tasks that exhausted the budget
+
+  // Worker-loss recovery counters (crash faults in the plan): evictions
+  // counts modelled worker deaths; tasks_replayed counts the completed
+  // tasks the resumed attempt walked again as protocol no-ops.
+  std::uint64_t evictions = 0;
+  std::uint64_t tasks_replayed = 0;
 };
 
 /// Simulates RIO's decentralized in-order model (Section 3): every virtual

@@ -7,18 +7,28 @@
 //   * StallError — the progress watchdog detected a no-progress window and
 //     aborted the run. Carries the per-worker diagnostic captured at the
 //     moment of the stall.
+//   * WorkerLost — one or more workers died permanently (injected crash
+//     fault or wedged-beyond-recovery). Carries a DeathRecord per victim,
+//     including the dirty write-span snapshot of the task it died inside,
+//     so a supervisor can restore consistency and resume from the
+//     completion frontier (stf/frontier.hpp).
 //
 // When retries are DISABLED the engines keep their historical contract and
 // rethrow the original body exception unwrapped — existing error handling
 // (and tests) see exactly what they always saw.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "stf/data_registry.hpp"
 #include "stf/types.hpp"
 
 namespace rio::stf {
@@ -87,6 +97,88 @@ class StallError : public std::runtime_error {
   }
 
  private:
+  std::string diagnostic_;
+};
+
+/// What a dying worker leaves behind: its id, the task it died inside, and
+/// the pre-body snapshot of that task's write spans. The body already ran
+/// when the crash fired (death is decided after the body, mirroring the
+/// transient-throw injection point), so the registry holds the HALF-result
+/// of a task that never published — restoring `dirty` puts the data back to
+/// the pre-task bytes before a replay re-executes it.
+struct DeathRecord {
+  WorkerId worker = kInvalidWorker;
+  TaskId task = kInvalidTask;
+  DataSnapshot dirty;  ///< write spans as they were before the fatal body
+};
+
+/// Shared crash blotter of one run: workers record their own death here on
+/// the way out; the engine's teardown (and the watchdog's tripwire) read
+/// it. Mutex-guarded — a death is a once-per-worker cold event.
+class DeathBoard {
+ public:
+  void record(DeathRecord r) {
+    std::lock_guard lock(mu_);
+    records_.push_back(std::move(r));
+    any_.store(true, std::memory_order_release);
+  }
+
+  /// Lock-free probe for the watchdog tripwire and hot-path cancel checks.
+  [[nodiscard]] bool any_death() const noexcept {
+    return any_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::vector<DeathRecord> take() {
+    std::lock_guard lock(mu_);
+    return std::move(records_);
+  }
+
+  void clear() noexcept {
+    std::lock_guard lock(mu_);
+    records_.clear();
+    any_.store(false, std::memory_order_release);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<DeathRecord> records_;
+  std::atomic<bool> any_{false};
+};
+
+namespace detail {
+inline std::string describe_worker_loss(
+    const std::vector<DeathRecord>& deaths) {
+  std::string s = "lost " + std::to_string(deaths.size()) + " worker(s):";
+  for (const auto& d : deaths)
+    s += " worker " + std::to_string(d.worker) + " died in task " +
+         std::to_string(d.task) + ";";
+  return s;
+}
+}  // namespace detail
+
+/// Raised by a run that lost one or more workers permanently. A supervisor
+/// (engine/supervisor.hpp) catches this, restores each record's dirty
+/// spans, evicts the victims and resumes from the completion frontier;
+/// without a supervisor it is a terminal, fully-described failure.
+class WorkerLost : public std::runtime_error {
+ public:
+  WorkerLost(std::vector<DeathRecord> deaths, std::string diagnostic)
+      : std::runtime_error(detail::describe_worker_loss(deaths) +
+                           (diagnostic.empty() ? "" : "\n" + diagnostic)),
+        deaths_(std::make_shared<std::vector<DeathRecord>>(std::move(deaths))),
+        diagnostic_(std::move(diagnostic)) {}
+
+  /// The victims, with their dirty write-span snapshots. Shared ownership:
+  /// exception copies (rethrow paths) must not slice the snapshots.
+  [[nodiscard]] const std::vector<DeathRecord>& deaths() const noexcept {
+    return *deaths_;
+  }
+  [[nodiscard]] const std::string& diagnostic() const noexcept {
+    return diagnostic_;
+  }
+
+ private:
+  std::shared_ptr<std::vector<DeathRecord>> deaths_;
   std::string diagnostic_;
 };
 

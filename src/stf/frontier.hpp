@@ -1,0 +1,124 @@
+// Completion frontier — the run checkpoint (docs/robustness.md "worker
+// loss and recovery").
+//
+// A CompletionBoard is a per-task done bitmap shared by all workers of a
+// run: a worker sets its task's bit AFTER the body succeeded and BEFORE
+// publishing the protocol terminate — a set bit therefore guarantees the
+// task's data effects are present in the registry. The bitmap is exact
+// (one relaxed fetch_or per completed task, off every wait path); only the
+// aggregate completed COUNT is sampled, each worker flushing a private
+// pending counter every `sample_every` completions so the fault-free path
+// never contends on a shared counter.
+//
+// A Frontier is the captured value: what a supervisor resumes from after
+// evicting a dead worker. Tasks with their bit set are replayed as
+// protocol no-ops (deps pre-marked, body skipped); everything else
+// re-executes. Exactness of the bitmap matters — fold/reduction bodies
+// are not idempotent, so "done" may never over-approximate.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rio::stf {
+
+/// Captured completion frontier: a plain value, safe to copy and to read
+/// while a new attempt runs against a fresh CompletionBoard.
+struct Frontier {
+  std::vector<std::uint64_t> bits;  ///< done bitmap, task-id order
+  std::uint64_t base = 0;           ///< first task id covered (image base)
+  std::uint64_t num_tasks = 0;      ///< tasks covered
+  std::uint64_t completed = 0;      ///< exact popcount of `bits`
+
+  /// True when `task` (a global task id) completed before the capture.
+  [[nodiscard]] bool done(std::uint64_t task) const noexcept {
+    if (task < base || task - base >= num_tasks) return false;
+    const std::uint64_t i = task - base;
+    return (bits[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  [[nodiscard]] std::uint64_t remaining() const noexcept {
+    return num_tasks - completed;
+  }
+  [[nodiscard]] bool empty() const noexcept { return completed == 0; }
+};
+
+/// The live checkpoint a run writes into. Sized once by the supervisor (or
+/// any caller that wants resumability), then shared by all workers.
+class CompletionBoard {
+ public:
+  CompletionBoard() = default;
+
+  /// (Re)sizes for `num_tasks` tasks starting at id `base`, keeping any
+  /// bits already recorded for the same span — a resumed attempt keeps
+  /// accumulating into the same board.
+  void reset(std::uint64_t base, std::uint64_t num_tasks,
+             std::uint32_t sample_every = kDefaultSampleEvery) {
+    const std::size_t words = (num_tasks + 63) / 64;
+    if (words != bits_.size() || base != base_)
+      bits_ = std::vector<std::atomic<std::uint64_t>>(words);
+    base_ = base;
+    num_tasks_ = num_tasks;
+    sample_every_ = sample_every > 0 ? sample_every : 1;
+  }
+
+  /// Forgets all recorded completions (fresh run of the same image).
+  void clear() noexcept {
+    for (auto& w : bits_) w.store(0, std::memory_order_relaxed);
+    sampled_completed_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Records `task` (global id) as done. Call after the body succeeded,
+  /// before the protocol terminate — and never for replayed tasks.
+  void mark(std::uint64_t task) noexcept {
+    if (task < base_ || task - base_ >= num_tasks_) return;
+    const std::uint64_t i = task - base_;
+    bits_[i >> 6].fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
+  }
+
+  /// Per-worker sampled progress: cheap local counter, one shared RMW per
+  /// `sample_every` completions. Purely informational (progress display,
+  /// checkpoint cadence) — capture() popcounts the exact bitmap.
+  void note_completion(std::uint32_t& pending) noexcept {
+    if (++pending >= sample_every_) {
+      sampled_completed_.fetch_add(pending, std::memory_order_relaxed);
+      pending = 0;
+    }
+  }
+
+  /// Snapshot of the current frontier with an exact completed count.
+  [[nodiscard]] Frontier capture() const {
+    Frontier f;
+    f.base = base_;
+    f.num_tasks = num_tasks_;
+    f.bits.reserve(bits_.size());
+    for (const auto& w : bits_) {
+      const std::uint64_t v = w.load(std::memory_order_relaxed);
+      f.bits.push_back(v);
+      f.completed += static_cast<std::uint64_t>(__builtin_popcountll(v));
+    }
+    return f;
+  }
+
+  [[nodiscard]] std::uint64_t sampled_completed() const noexcept {
+    return sampled_completed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t num_tasks() const noexcept { return num_tasks_; }
+  [[nodiscard]] std::uint32_t sample_every() const noexcept {
+    return sample_every_;
+  }
+
+  static constexpr std::uint32_t kDefaultSampleEvery = 64;
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> bits_;
+  std::atomic<std::uint64_t> sampled_completed_{0};
+  std::uint64_t base_ = 0;
+  std::uint64_t num_tasks_ = 0;
+  std::uint32_t sample_every_ = kDefaultSampleEvery;
+};
+
+}  // namespace rio::stf

@@ -50,6 +50,9 @@ struct ResilienceOpts {
 /// Outcome of one resilient body execution.
 struct BodyResult {
   bool ok = true;
+  bool crashed = false;        ///< worker must die: record a DeathRecord
+                               ///< (the caller's snapshot holds the dirty
+                               ///< spans) and exit the worker loop
   std::uint32_t attempts = 1;  ///< executions performed
   std::exception_ptr error;    ///< set when !ok
 };
@@ -74,8 +77,13 @@ inline BodyResult execute_body(const Task& task, const DataRegistry& registry,
   }
 
   const std::uint32_t max_attempts =
-      opts.retry.enabled() ? opts.retry.max_attempts : 1;
-  if (opts.retry.enabled()) {
+      opts.retry.enabled() ? opts.retry.attempts_for(task.id) : 1;
+  const bool crash_possible =
+      opts.fault != nullptr && opts.fault->plan().crash_armed();
+  if (opts.retry.enabled() || crash_possible) {
+    // Crash-armed runs snapshot even without retries: a worker death after
+    // the body leaves the write set dirty, and the supervisor restores this
+    // snapshot (carried out via the DeathRecord) before replaying the task.
     snapshot.clear();
     for (const Access& a : task.accesses)
       if (is_write(a.mode)) snapshot.add(registry, a.data);
@@ -96,6 +104,18 @@ inline BodyResult execute_body(const Task& task, const DataRegistry& registry,
                             support::monotonic_ns());
         }
         throw support::InjectedFault(task.id, attempt);
+      }
+      if (crash_possible && opts.fault->should_crash(task.id)) {
+        // Permanent worker death: decided AFTER the body (the data really
+        // is dirty) and instead of success — the task never publishes its
+        // terminate, so dependents block until the watchdog tripwire fires.
+        if (opts.obs != nullptr) {
+          opts.obs->count(obs::Counter::kFaultsInjected);
+          opts.obs->instant(obs::Phase::kFaultInjected, task.id,
+                            support::monotonic_ns());
+        }
+        result.crashed = true;
+        return result;
       }
       return result;  // success
     } catch (...) {

@@ -5,6 +5,7 @@
 #include "stf/data_registry.hpp"   // IWYU pragma: export
 #include "stf/dependency.hpp"      // IWYU pragma: export
 #include "stf/failure.hpp"         // IWYU pragma: export
+#include "stf/frontier.hpp"        // IWYU pragma: export
 #include "stf/resilience.hpp"      // IWYU pragma: export
 #include "stf/sequential.hpp"      // IWYU pragma: export
 #include "stf/task.hpp"            // IWYU pragma: export

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/clock.hpp"
@@ -31,8 +32,25 @@ struct RetryPolicy {
   std::uint32_t max_attempts = 1;
   std::uint64_t backoff_ns = 0;  ///< pause between attempts (0 = immediate)
 
-  [[nodiscard]] constexpr bool enabled() const noexcept {
-    return max_attempts > 1;
+  /// Per-task attempt overrides: a task listed here gets its own budget
+  /// instead of max_attempts (a flaky-but-cheap task may retry 5 times
+  /// while an expensive one fails fast). Small and linear-scanned: retry
+  /// paths are already off the fast path.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> task_attempts;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    if (max_attempts > 1) return true;
+    for (const auto& [task, limit] : task_attempts)
+      if (limit > 1) return true;
+    return false;
+  }
+
+  /// Attempt budget for `task` (>= 1): the per-task override when listed,
+  /// max_attempts otherwise.
+  [[nodiscard]] std::uint32_t attempts_for(std::uint64_t task) const noexcept {
+    for (const auto& [t, limit] : task_attempts)
+      if (t == task) return limit > 0 ? limit : 1;
+    return max_attempts > 0 ? max_attempts : 1;
   }
 };
 
@@ -54,11 +72,27 @@ struct FaultPlan {
   std::uint32_t max_stalls = 0;   ///< N-shot budget (0 = unlimited)
   std::vector<std::uint64_t> stall_tasks;  ///< always-stall task ids
 
+  // Permanent worker death (docs/robustness.md "worker loss"): after the
+  // task's body runs, the executing worker exits its loop and never
+  // returns — distinct from a bounded stall window. Recovery is the
+  // supervisor's job (engine/supervisor.hpp); a crash with no supervisor
+  // escalates as stf::WorkerLost.
+  double crash_rate = 0.0;        ///< P(crash) per task
+  std::uint32_t max_crashes = 0;  ///< N-shot budget (0 = unlimited)
+  std::vector<std::uint64_t> crash_tasks;  ///< always-crash task ids
+
   /// True when the plan can inject anything at all — engines skip the
   /// resilience path entirely for empty plans.
   [[nodiscard]] bool any() const noexcept {
-    return throw_rate > 0.0 || stall_rate > 0.0 || !throw_tasks.empty() ||
-           !stall_tasks.empty();
+    return throw_rate > 0.0 || stall_rate > 0.0 || crash_rate > 0.0 ||
+           !throw_tasks.empty() || !stall_tasks.empty() ||
+           !crash_tasks.empty();
+  }
+
+  /// True when the plan can kill a worker — engines arm the death board
+  /// and a default watchdog only for these plans.
+  [[nodiscard]] bool crash_armed() const noexcept {
+    return crash_rate > 0.0 || !crash_tasks.empty();
   }
 };
 
@@ -116,11 +150,31 @@ class FaultInjector {
     return plan_.stall_ns;
   }
 
+  /// Should the worker that just ran `task` die permanently? Decisions are
+  /// attempt-independent (a crash ends the worker, not the attempt) and the
+  /// budget is shared across recovery attempts: a supervisor that resumes
+  /// the run reuses this injector, so a replayed task cannot crash the
+  /// replacement assignment forever once the budget is spent.
+  [[nodiscard]] bool should_crash(std::uint64_t task) noexcept {
+    bool hit = false;
+    for (std::uint64_t t : plan_.crash_tasks) hit |= (t == task);
+    if (!hit && plan_.crash_rate > 0.0)
+      hit = hash_uniform(plan_.seed, task, 0, 0x6372617368ULL) <
+            plan_.crash_rate;
+    if (!hit) return false;
+    if (!take_shot(crashes_used_, plan_.max_crashes)) return false;
+    injected_crashes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
   [[nodiscard]] std::uint64_t injected_throws() const noexcept {
     return injected_throws_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t injected_stalls() const noexcept {
     return injected_stalls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t injected_crashes() const noexcept {
+    return injected_crashes_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
@@ -149,8 +203,10 @@ class FaultInjector {
   FaultPlan plan_;
   std::atomic<std::uint32_t> throws_used_{0};
   std::atomic<std::uint32_t> stalls_used_{0};
+  std::atomic<std::uint32_t> crashes_used_{0};
   std::atomic<std::uint64_t> injected_throws_{0};
   std::atomic<std::uint64_t> injected_stalls_{0};
+  std::atomic<std::uint64_t> injected_crashes_{0};
 };
 
 /// Busy-waits for `ns` nanoseconds, giving up early when `*abort` becomes

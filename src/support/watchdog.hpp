@@ -71,13 +71,19 @@ struct alignas(64) WorkerProbe {
 /// watchdog captures `diagnose()` then runs `on_fire()`.
 class Watchdog {
  public:
+  /// `tripwire` (optional) is polled alongside progress: when it returns
+  /// true the watchdog fires IMMEDIATELY without waiting for a full
+  /// no-progress window — how a recorded worker death aborts a run whose
+  /// survivors may still be making progress on independent tasks.
   Watchdog(std::uint64_t window_ns, std::function<std::uint64_t()> progress,
            std::function<std::string()> diagnose,
-           std::function<void()> on_fire)
+           std::function<void()> on_fire,
+           std::function<bool()> tripwire = nullptr)
       : window_ns_(window_ns),
         progress_(std::move(progress)),
         diagnose_(std::move(diagnose)),
         on_fire_(std::move(on_fire)),
+        tripwire_(std::move(tripwire)),
         thread_([this] { monitor(); }) {}
 
   Watchdog(const Watchdog&) = delete;
@@ -114,14 +120,17 @@ class Watchdog {
     std::unique_lock lock(mu_);
     for (;;) {
       if (cv_.wait_for(lock, poll, [this] { return done_; })) return;
+      const bool tripped = tripwire_ && tripwire_();
       const std::uint64_t now_progress = progress_();
       const std::uint64_t now = monotonic_ns();
-      if (now_progress != last) {
-        last = now_progress;
-        last_change = now;
-        continue;
+      if (!tripped) {
+        if (now_progress != last) {
+          last = now_progress;
+          last_change = now;
+          continue;
+        }
+        if (now - last_change < window_ns_) continue;
       }
-      if (now - last_change < window_ns_) continue;
       // Frozen for a full window. Capture the diagnostic FIRST — the abort
       // below wakes the waiters and destroys the evidence.
       diagnostic_ = diagnose_ ? diagnose_() : std::string();
@@ -135,6 +144,7 @@ class Watchdog {
   std::function<std::uint64_t()> progress_;
   std::function<std::string()> diagnose_;
   std::function<void()> on_fire_;
+  std::function<bool()> tripwire_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;

@@ -498,9 +498,32 @@ TEST(CliJson, ChaosReportIsVersionedAndConsistent) {
                           &text);
   EXPECT_EQ(rc, 0) << text;
   const std::string doc = slurp(json);
-  EXPECT_NE(doc.find("\"rio.chaos.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"rio.chaos.v2\""), std::string::npos);
+  EXPECT_NE(doc.find("\"kind\": \"transient\""), std::string::npos);
+  EXPECT_NE(doc.find("\"evictions\""), std::string::npos);
   EXPECT_NE(doc.find("\"summary\""), std::string::npos);
   EXPECT_NE(doc.find("\"failed\": false"), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST(CliJson, CrashChaosRecoversAndReportsEvictions) {
+  const std::string json = "/tmp/rioflow_test_chaos_crash.json";
+  std::remove(json.c_str());
+  std::string text;
+  const int rc = run_args(
+      {"chaos", "--quick", "--workload", "chain", "--tasks", "48",
+       "--task-size", "20", "--workers", "3", "--faults", "crash",
+       "--fault-rate", "0.2", "--json", json.c_str()},
+      &text);
+  EXPECT_EQ(rc, 0) << text;
+  const std::string doc = slurp(json);
+  EXPECT_NE(doc.find("\"rio.chaos.v2\""), std::string::npos);
+  EXPECT_NE(doc.find("\"kind\": \"crash\""), std::string::npos);
+  EXPECT_NE(doc.find("\"failed\": false"), std::string::npos);
+  // At this rate every seed kills at least one worker on the 48-task
+  // chain, so the sweep must report recoveries, not just survivals.
+  EXPECT_NE(text.find("worker-lost=0"), std::string::npos) << text;
+  EXPECT_EQ(text.find("evictions=0 "), std::string::npos) << text;
   std::remove(json.c_str());
 }
 

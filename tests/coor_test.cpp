@@ -85,6 +85,38 @@ TEST(ReadyRing, CapacityRoundsUpToPowerOfTwo) {
     EXPECT_EQ(ring.try_pop().value(), i);
 }
 
+TEST(ReadyRing, OverflowFailsWithStructuredError) {
+  // Sizing-contract violation (more pushes than capacity, nothing popped):
+  // the wrap must surface as RingOverflow carrying the sizing facts, not
+  // silent value loss or a livelocked chase.
+  auto ring = make_ring(4);
+  for (std::uint64_t i = 0; i < 4; ++i)
+    ring.push(i, support::WaitPolicy::kSpin);
+  try {
+    ring.push(99, support::WaitPolicy::kSpin);
+    FAIL() << "expected RingOverflow";
+  } catch (const coor::RingOverflow& e) {
+    EXPECT_EQ(e.capacity(), 4u);
+    EXPECT_EQ(e.high_watermark(), 4u);
+    EXPECT_NE(std::string(e.what()).find("capacity 4"), std::string::npos);
+  }
+  // The ring's contents survive the refused push.
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_EQ(ring.try_pop().value(), i);
+}
+
+TEST(ReadyRing, HighWatermarkTracksPeakOccupancy) {
+  auto ring = make_ring(8);
+  ring.push(0, support::WaitPolicy::kSpin);
+  ring.push(1, support::WaitPolicy::kSpin);
+  ring.push(2, support::WaitPolicy::kSpin);
+  EXPECT_EQ(ring.high_watermark(), 3u);
+  (void)ring.try_pop();
+  (void)ring.try_pop();
+  ring.push(3, support::WaitPolicy::kSpin);
+  EXPECT_EQ(ring.high_watermark(), 3u);  // peak, not current (current = 2)
+}
+
 TEST(ReadyRing, CloseDrainsThenEnds) {
   auto ring = make_ring(4);
   ring.push(5, support::WaitPolicy::kBlock);

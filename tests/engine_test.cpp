@@ -101,14 +101,16 @@ TEST(EngineRegistry, FindAndStructuredUnknownNameError) {
 TEST(EngineRegistry, CapabilityListIsStableAndComplete) {
   const engine::Capabilities caps{.executes_bodies = true, .in_order = true};
   const auto list = engine::capability_list(caps);
-  EXPECT_EQ(list.size(), 16u);  // one entry per Capabilities flag
-  bool saw_exec = false, saw_virtual = false;
+  EXPECT_EQ(list.size(), 17u);  // one entry per Capabilities flag
+  bool saw_exec = false, saw_virtual = false, saw_recovery = false;
   for (const auto& [name, value] : list) {
     if (name == "executes_bodies") saw_exec = value;
     if (name == "virtual_time") saw_virtual = !value;
+    if (name == "supports_recovery") saw_recovery = !value;
   }
   EXPECT_TRUE(saw_exec);
   EXPECT_TRUE(saw_virtual);
+  EXPECT_TRUE(saw_recovery);
 }
 
 // ---------------------------------------------------------- engine matrix --

@@ -11,9 +11,12 @@
 
 #include "coor/coor.hpp"
 #include "engine/registry.hpp"
+#include "engine/supervisor.hpp"
 #include "hybrid/hybrid.hpp"
+#include "obs/obs.hpp"
 #include "rio/rio.hpp"
 #include "support/fault.hpp"
+#include "stf/frontier.hpp"
 #include "stf/stf.hpp"
 
 namespace {
@@ -321,6 +324,207 @@ TEST(Resilience, ThrowViaFlowImageRunCancels) {
   rt::Runtime runtime(rt::Config{.num_workers = 2});
   EXPECT_THROW(runtime.run(image, rt::mapping::round_robin(2)), BoomError);
   EXPECT_EQ(executed.load(), 9);
+}
+
+// ---- Per-task retry budgets (support::RetryPolicy::task_attempts) --------
+
+TEST(Resilience, PerTaskRetryBudgetOverridesGlobal) {
+  // Task 5 throws on attempts 1-3. The global budget (2) would fail it,
+  // but its per-task override (5 attempts) lets attempt 4 succeed.
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(12, d);
+  support::FaultPlan plan;
+  plan.throw_tasks = {5};
+  plan.throw_attempts = 3;
+  support::FaultInjector injector(plan);
+  rt::Runtime runtime(
+      rt::Config{.num_workers = 2,
+                 .retry = {.max_attempts = 2, .task_attempts = {{5, 5}}},
+                 .fault = &injector});
+  runtime.run(flow, rt::mapping::round_robin(2));
+  EXPECT_EQ(*flow.registry().typed<int>(d), 12);
+  EXPECT_EQ(injector.injected_throws(), 3u);
+}
+
+TEST(Resilience, PerTaskRetryBudgetCanAlsoShrink) {
+  // The override works downward too: a fail-fast task (budget 1) under a
+  // generous global budget must escalate with attempts == 1.
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(12, d);
+  support::FaultPlan plan;
+  plan.throw_tasks = {5};
+  plan.throw_attempts = 99;
+  support::FaultInjector injector(plan);
+  rt::Runtime runtime(
+      rt::Config{.num_workers = 2,
+                 .retry = {.max_attempts = 4, .task_attempts = {{5, 1}}},
+                 .fault = &injector});
+  try {
+    runtime.run(flow, rt::mapping::round_robin(2));
+    FAIL() << "expected TaskFailure";
+  } catch (const stf::TaskFailure& f) {
+    EXPECT_EQ(f.report().task, 5u);
+    EXPECT_EQ(f.report().attempts, 1u);
+  }
+}
+
+// ---- Worker loss (docs/robustness.md "worker loss and recovery") ---------
+
+TEST(Recovery, CompletionBoardTracksExactFrontier) {
+  stf::CompletionBoard board;
+  board.reset(10, 100, 4);  // base offset 10, sample every 4 completions
+  std::uint32_t pending = 0;
+  for (stf::TaskId t = 10; t < 35; ++t) {
+    board.mark(t);
+    board.note_completion(pending);
+  }
+  const stf::Frontier f = board.capture();
+  EXPECT_EQ(f.completed, 25u);  // capture is exact regardless of sampling
+  EXPECT_EQ(f.remaining(), 75u);
+  for (stf::TaskId t = 10; t < 35; ++t) EXPECT_TRUE(f.done(t));
+  EXPECT_FALSE(f.done(35));
+  EXPECT_FALSE(f.done(109));
+  // The sampled counter lags by at most sample_every - 1.
+  EXPECT_LE(board.sampled_completed(), 25u);
+  EXPECT_GE(board.sampled_completed() + 3, 25u);
+}
+
+TEST(Recovery, CrashWithoutSupervisorEscalatesWorkerLost) {
+  // A crash-armed plan with nobody supervising: the run must abort with
+  // stf::WorkerLost (not hang, not succeed), carrying the death record.
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(20, d);
+  support::FaultPlan plan;
+  plan.crash_tasks = {8};
+  plan.max_crashes = 1;
+  support::FaultInjector injector(plan);
+  rt::Runtime runtime(rt::Config{.num_workers = 2, .fault = &injector});
+  try {
+    runtime.run(flow, rt::mapping::round_robin(2));
+    FAIL() << "expected WorkerLost";
+  } catch (const stf::WorkerLost& loss) {
+    ASSERT_EQ(loss.deaths().size(), 1u);
+    EXPECT_EQ(loss.deaths()[0].task, 8u);
+    EXPECT_EQ(loss.deaths()[0].worker, 8u % 2);
+  }
+  EXPECT_EQ(injector.injected_crashes(), 1u);
+}
+
+TEST(Recovery, SupervisedRunRecoversOnEveryRecoveryBackend) {
+  // Registry matrix: every executes_bodies backend with supports_recovery
+  // (rio, rio-pruned, coor, hybrid) survives a worker death mid-run via
+  // evict-and-remap and still produces the exact sequential result. The
+  // crash fires AFTER the body ran, so a correct final value proves the
+  // dirty-span restore + frontier replay really happened.
+  for (const engine::Backend* backend : engine::Registry::instance().all()) {
+    const engine::Capabilities& caps = backend->caps();
+    if (!caps.executes_bodies || !caps.supports_recovery) continue;
+    SCOPED_TRACE(std::string(backend->name()));
+
+    stf::DataHandle<int> d;
+    auto flow = increment_chain(40, d);
+    support::FaultPlan plan;
+    plan.crash_tasks = {9};
+    plan.max_crashes = 1;
+    support::FaultInjector injector(plan);
+
+    engine::Launch launch;
+    launch.workers = 3;
+    launch.fault = &injector;
+    if (caps.needs_mapping) launch.mapping = rt::mapping::round_robin(3);
+    const engine::Outcome out = engine::run_supervised(
+        *backend, stf::FlowImage::compile(flow), launch);
+    EXPECT_EQ(*flow.registry().typed<int>(d), 40);
+    EXPECT_EQ(out.evictions, 1u);
+    ASSERT_EQ(out.evicted_workers.size(), 1u);
+    EXPECT_EQ(injector.injected_crashes(), 1u);
+    EXPECT_GT(out.recovery_wall_ns, 0u);
+  }
+}
+
+TEST(Recovery, SupervisorRethrowsWhenWorkersExhausted) {
+  // Unlimited crash budget on one stubborn task: the supervisor evicts
+  // down to a single worker, then the next death must escalate.
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(20, d);
+  support::FaultPlan plan;
+  plan.crash_tasks = {6};  // max_crashes = 0: crashes forever
+  support::FaultInjector injector(plan);
+
+  const engine::Backend* rio = engine::Registry::instance().find("rio");
+  ASSERT_NE(rio, nullptr);
+  engine::Launch launch;
+  launch.workers = 2;
+  launch.fault = &injector;
+  launch.mapping = rt::mapping::round_robin(2);
+  EXPECT_THROW((void)engine::run_supervised(
+                   *rio, stf::FlowImage::compile(flow), launch),
+               stf::WorkerLost);
+  EXPECT_EQ(injector.injected_crashes(), 2u);  // one per pool size 2, 1
+}
+
+TEST(Recovery, SupervisorHonoursEvictionBudget) {
+  stf::DataHandle<int> d;
+  auto flow = increment_chain(20, d);
+  support::FaultPlan plan;
+  plan.crash_tasks = {3, 11};
+  plan.max_crashes = 2;
+  support::FaultInjector injector(plan);
+
+  const engine::Backend* rio = engine::Registry::instance().find("rio");
+  ASSERT_NE(rio, nullptr);
+  engine::Launch launch;
+  launch.workers = 4;
+  launch.fault = &injector;
+  launch.mapping = rt::mapping::round_robin(4);
+  engine::SupervisorOptions opts;
+  opts.max_evictions = 1;  // the second death exceeds the budget
+  EXPECT_THROW((void)engine::run_supervised(
+                   *rio, stf::FlowImage::compile(flow), launch, opts),
+               stf::WorkerLost);
+}
+
+TEST(Recovery, ResumeSkipsFrontierTasksAndReportsReplay) {
+  // Direct resume (no supervisor): a frontier claiming tasks 0-9 done
+  // must keep those bodies from running again while the protocol still
+  // walks them, and the replay count must surface via obs.
+  stf::TaskFlow flow;
+  auto d = flow.create_data<int>("d");
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 20; ++i)
+    flow.add("t" + std::to_string(i),
+             [&executed, d](stf::TaskContext& ctx) {
+               ctx.scalar(d) += 1;
+               executed.fetch_add(1);
+             },
+             {stf::readwrite(d)});
+
+  stf::CompletionBoard board;
+  board.reset(0, 20);
+  for (stf::TaskId t = 0; t < 10; ++t) board.mark(t);
+  const stf::Frontier frontier = board.capture();
+
+  obs::Hub hub;
+  rt::Runtime runtime(rt::Config{.num_workers = 2,
+                                 .resume = &frontier,
+                                 .obs = &hub});
+  runtime.run(flow, rt::mapping::round_robin(2));
+  EXPECT_EQ(executed.load(), 10);  // only the un-done half ran
+  EXPECT_EQ(*flow.registry().typed<int>(d), 10);
+  EXPECT_EQ(hub.counter_snapshot().total(obs::Counter::kTasksReplayed), 10u);
+}
+
+TEST(Recovery, EvictedMappingCoversAllWorkersInRange) {
+  // mapping::evict: survivors keep a contiguous id space and every task
+  // lands on a live worker.
+  const rt::Mapping m = rt::mapping::round_robin(4);
+  const rt::Mapping e = rt::mapping::evict(m, 1, 4);
+  for (stf::TaskId t = 0; t < 64; ++t) {
+    const stf::WorkerId w = e(t);
+    EXPECT_LT(w, 3u);
+    const stf::WorkerId old = m(t);
+    if (old != 1) EXPECT_EQ(w, old > 1 ? old - 1 : old);
+  }
 }
 
 TEST(Resilience, PrunedCachedPlanSurvivesFailure) {

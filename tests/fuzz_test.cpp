@@ -15,6 +15,7 @@
 
 #include "coor/coor.hpp"
 #include "engine/registry.hpp"
+#include "engine/supervisor.hpp"
 #include "hybrid/hybrid.hpp"
 #include "rio/rio.hpp"
 #include "support/rng.hpp"
@@ -309,5 +310,74 @@ TEST_P(FaultFuzz, RetriedRunsMatchSequential) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// Crash fuzz: the equivalence property must survive PERMANENT worker loss.
+// Two crash sites per run kill two workers mid-flow; the supervisor evicts
+// each dead worker, remaps its tasks onto the survivors and resumes from
+// the checkpointed frontier — and the final bytes must still match the
+// sequential oracle exactly. Crash faults fire AFTER the body mutated its
+// data, so a byte-identical outcome proves the dirty-span restore, the
+// frontier replay and the remap end to end. The random partial segment
+// length spreads the crash sites over static and dynamic hybrid phases
+// across seeds, so mid-phase death inside BOTH engine kinds is covered.
+class CrashFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrashFuzz, SupervisedRecoveryMatchesSequential) {
+  FuzzSpec spec;
+  spec.seed = GetParam() * 173 + 29;
+  support::Xoshiro256 meta(spec.seed * 31 + 7);
+  spec.num_tasks = 80 + static_cast<std::uint32_t>(meta.bounded(120));
+  spec.num_data = 4 + static_cast<std::uint32_t>(meta.bounded(16));
+  spec.workers = 3 + static_cast<std::uint32_t>(meta.bounded(2));
+
+  auto oracle = make_fuzz_flow(spec);
+  stf::SequentialExecutor{}.run(oracle);
+
+  std::vector<stf::WorkerId> owners(spec.num_tasks);
+  for (auto& o : owners)
+    o = static_cast<stf::WorkerId>(meta.bounded(spec.workers));
+  const auto mapping = rt::mapping::table(owners);
+
+  support::FaultPlan plan;
+  plan.seed = spec.seed;
+  const std::uint64_t early = 1 + meta.bounded(spec.num_tasks / 2);
+  const std::uint64_t late =
+      spec.num_tasks / 2 + meta.bounded(spec.num_tasks / 2);
+  plan.crash_tasks = {early, late};
+  plan.max_crashes = 2;
+
+  for (const engine::Backend* backend : engine::Registry::instance().all()) {
+    const engine::Capabilities& caps = backend->caps();
+    if (!caps.executes_bodies || !caps.supports_recovery) continue;
+    const std::string label(backend->name());
+    SCOPED_TRACE(label);
+
+    auto flow = make_fuzz_flow(spec);
+    support::FaultInjector injector(plan);
+    engine::Launch launch;
+    launch.workers = spec.workers;
+    launch.fault = &injector;
+    if (caps.needs_mapping) launch.mapping = mapping;
+    if (caps.partial_mapping) {
+      const std::uint64_t segment = 1 + meta.bounded(40);
+      launch.partial = [&owners, segment](
+                           stf::TaskId t) -> std::optional<stf::WorkerId> {
+        if ((t / segment) % 2 == 0) return owners[t];
+        return std::nullopt;
+      };
+    }
+
+    const engine::Outcome out = engine::run_supervised(
+        *backend, stf::FlowImage::compile(flow), launch);
+    EXPECT_EQ(injector.injected_crashes(), 2u)
+        << label << ": the crash plan never fully fired";
+    EXPECT_EQ(out.evictions, 2u);
+    EXPECT_EQ(out.evicted_workers.size(), 2u);
+    expect_same_data(flow, oracle, (label + "+crash").c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashFuzz,
+                         ::testing::Range<std::uint64_t>(1, 11));
 
 }  // namespace

@@ -375,6 +375,63 @@ TEST(ImplModel, DroppedNotifyHarmlessUnderSpin) {
   EXPECT_TRUE(r.ok()) << "[" << r.violation_kind << "] " << r.violation;
 }
 
+TEST(ImplModel, RecoveryVerifiesOnEveryEngine) {
+  // Two-phase recovery model: the worker executing crash_task dies right
+  // after its body (terminate never published), then the resumed evicted
+  // configuration is explored exhaustively. Both phases must hold every
+  // property on every engine.
+  const auto flow = fork_join_flow();
+  const auto mapping = rt::mapping::round_robin(2);
+  for (auto engine : {mc::impl::EngineKind::kRio,
+                      mc::impl::EngineKind::kRioPruned,
+                      mc::impl::EngineKind::kCoor}) {
+    auto opts = impl_opts(engine, support::WaitPolicy::kSpin);
+    opts.recover = true;
+    opts.crash_task = 1;  // one of the forked readers
+    const auto r = mc::impl::verify(flow, mapping, opts);
+    EXPECT_TRUE(r.ok()) << mc::impl::to_string(engine) << ": ["
+                        << r.violation_kind << "] " << r.violation;
+    EXPECT_GE(r.explored, 2u);  // at least one run per phase
+    // Reachable frontiers when reader 1 crashes: {} , {0}, {0,2} — task 3
+    // can never terminate before the crash point.
+    EXPECT_EQ(r.frontiers, 3u) << mc::impl::to_string(engine);
+    EXPECT_FALSE(r.truncated);
+  }
+}
+
+TEST(ImplModel, RecoveryFrontiersFollowTheChainPrefixes) {
+  // A chain serializes termination, so crashing task k admits exactly the
+  // k prefixes {}, {0}, ..., {0..k-1} as capturable frontiers.
+  const auto flow = chain_flow(5);
+  const auto mapping = rt::mapping::round_robin(2);
+  auto opts = impl_opts(mc::impl::EngineKind::kRio,
+                        support::WaitPolicy::kSpin);
+  opts.recover = true;
+  opts.crash_task = 3;
+  const auto r = mc::impl::verify(flow, mapping, opts);
+  EXPECT_TRUE(r.ok()) << "[" << r.violation_kind << "] " << r.violation;
+  EXPECT_EQ(r.frontiers, 4u);
+}
+
+TEST(ImplModel, RecoveryUnderBlockPolicyKeepsWakeupsSound) {
+  // The crashed worker rings no further doorbells; phase 1 must classify
+  // the survivors' parks as expected loss quiescence (no store happened),
+  // while a genuinely dropped notify would still be flagged.
+  const auto flow = chain_flow(4);
+  const auto mapping = rt::mapping::round_robin(2);
+  for (auto engine : {mc::impl::EngineKind::kRio,
+                      mc::impl::EngineKind::kRioPruned,
+                      mc::impl::EngineKind::kCoor}) {
+    auto opts = impl_opts(engine, support::WaitPolicy::kBlock);
+    opts.recover = true;
+    opts.crash_task = 2;
+    const auto r = mc::impl::verify(flow, mapping, opts);
+    EXPECT_TRUE(r.ok()) << mc::impl::to_string(engine) << ": ["
+                        << r.violation_kind << "] " << r.violation;
+    EXPECT_TRUE(r.lost_wakeup_free);
+  }
+}
+
 TEST(ImplModel, CleanWitnessReplayCompletes) {
   const auto flow = fork_join_flow();
   const auto mapping = rt::mapping::round_robin(2);

@@ -8,7 +8,9 @@
 #   6. `rioflow check` on every sync-capable engine (rio, rio-pruned, coor)
 #      plus the injected-race fixture;
 #   7. `rioflow chaos --quick` — the fault sweep must survive with zero
-#      oracle mismatches (docs/robustness.md);
+#      oracle mismatches, and a `--faults crash` sweep must recover every
+#      permanent worker death by evict-and-remap with the oracle still
+#      matching (docs/robustness.md, "Worker loss and recovery");
 #   8. rioflow JSON reports — `profile --quick --json --trace` on two
 #      workloads x two engines, plus `chaos --json` and `lint --json`;
 #      every emitted document must parse (docs/observability.md);
@@ -16,23 +18,27 @@
 #      rio.engines.v1 report, every backend it lists must smoke-run
 #      (`rioflow run`), and every supports_obs backend must also
 #      `rioflow profile` (docs/engines.md);
-#  10. bench JSON reporters — micro_unroll, micro_protocol and fig7_workers
-#      emit BENCH_*.json, all must parse; BENCH_unroll.json and
-#      BENCH_protocol.json are kept at the repo root (committed reference
-#      numbers, see docs/perf.md);
+#  10. bench JSON reporters — micro_unroll, micro_protocol, micro_recovery
+#      and fig7_workers emit BENCH_*.json, all must parse;
+#      BENCH_unroll.json, BENCH_protocol.json and BENCH_recovery.json are
+#      kept at the repo root (committed reference numbers, see
+#      docs/perf.md);
 #  11. `rioflow verify --quick` — the implementation-level model checker
 #      must exhaust its reduced interleaving space with zero violations and
 #      emit a parsing rio.verify.v1 report (docs/analysis.md). Every sync
 #      engine is checked under the default policy AND --policy block (the
-#      doorbell/parking rewrite), and coor additionally with --queue ring
-#      (the wait-free MPMC ready ring);
+#      doorbell/parking rewrite), coor additionally with --queue ring
+#      (the wait-free MPMC ready ring), and every engine again with
+#      --recover (crash + evicted-resume two-phase exploration);
 #  12. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
 #      failure suite + model checker + rioflow with RIO_SANITIZE=thread and
-#      reruns the resilience tests, the modelcheck suite, the quick chaos
-#      sweep and the new wait/notify configurations (block-policy doorbells,
-#      coor --queue ring) under TSan — the retry / watchdog / abort
-#      machinery, the controlled scheduler and the new lock-free primitives
-#      are exactly the kind of code TSan earns its keep on.
+#      reruns the resilience tests (incl. the recovery + crash-fuzz
+#      suites), the modelcheck suite, the quick chaos sweeps (transient
+#      AND crash kinds) and the new wait/notify configurations
+#      (block-policy doorbells, coor --queue ring) under TSan — the retry
+#      / watchdog / abort / eviction machinery, the controlled scheduler
+#      and the new lock-free primitives are exactly the kind of code TSan
+#      earns its keep on.
 #
 # Usage: tools/run_checks.sh [build-dir]   (default: build)
 set -u
@@ -105,6 +111,11 @@ if ! "$RIOFLOW" chaos --quick --workers 2 >/dev/null; then
   fail "chaos --quick (stall, oracle mismatch or unexpected error)"
 fi
 
+step "rioflow chaos: crash faults must recover by evict-and-remap"
+if ! "$RIOFLOW" chaos --quick --workers 3 --faults crash >/dev/null; then
+  fail "chaos --faults crash (worker lost, oracle mismatch or error)"
+fi
+
 json_ok() {  # validate without depending on a system json tool chain
   if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$1" >/dev/null
@@ -133,7 +144,7 @@ done
 if "$RIOFLOW" chaos --quick --workers 2 --json "$OBSDIR/chaos.json" \
      >/dev/null; then
   json_ok "$OBSDIR/chaos.json" || fail "chaos.json does not parse"
-  grep -q '"rio.chaos.v1"' "$OBSDIR/chaos.json" ||
+  grep -q '"rio.chaos.v2"' "$OBSDIR/chaos.json" ||
     fail "chaos.json: missing schema tag"
 else
   fail "chaos --quick --json"
@@ -196,6 +207,13 @@ if (cd "$ROOT" && "$BUILD/bench/micro_protocol" --quick --json >/dev/null); then
 else
   fail "micro_protocol --quick --json"
 fi
+if (cd "$ROOT" && "$BUILD/bench/micro_recovery" --quick --json >/dev/null); then
+  if ! json_ok "$ROOT/BENCH_recovery.json"; then
+    fail "BENCH_recovery.json does not parse"
+  fi
+else
+  fail "micro_recovery --quick --json"
+fi
 if (cd "$ROOT" && "$BUILD/bench/fig7_workers" --quick --json >/dev/null); then
   if ! json_ok "$ROOT/BENCH_fig7_workers.json"; then
     fail "BENCH_fig7_workers.json does not parse"
@@ -217,6 +235,12 @@ for e in rio rio-pruned coor; do
   if ! "$RIOFLOW" verify --engine "$e" --workload chain --quick \
        --policy block >/dev/null; then
     fail "verify --engine $e --policy block --quick"
+  fi
+  # The eviction protocol: explore the crash, then the resumed workers-1
+  # configuration under the evicted mapping.
+  if ! "$RIOFLOW" verify --engine "$e" --workload chain --quick \
+       --recover >/dev/null; then
+    fail "verify --engine $e --recover --quick"
   fi
 done
 for p in yield block; do
@@ -249,6 +273,10 @@ else
       fail "modelcheck_test under TSan"
     "$TSAN_BUILD/rioflow" chaos --quick --workers 2 >/dev/null ||
       fail "chaos --quick under TSan"
+    # Worker-death recovery: the DeathBoard, dirty-span restore and
+    # evict-and-resume paths race with the survivors by design.
+    "$TSAN_BUILD/rioflow" chaos --quick --workers 3 --faults crash \
+      >/dev/null || fail "chaos --faults crash under TSan"
     # New wait/notify configurations: doorbell-batched block wakeups on the
     # rio engines, the wait-free MPMC ring (spin + parked consumers) on coor.
     for e in rio rio-pruned; do
