@@ -13,10 +13,14 @@
 //                  so no clock reads are added;
 //   * recorder   — Hub with per-worker event rings: every task body becomes
 //                  a timed span pushed into a fixed ring (two clock reads
-//                  plus one 32-byte store per phase).
+//                  plus one 40-byte store per phase);
+//   * sampled    — recorder at --sample 8: the ring keeps every 8th span,
+//                  shaving the store (the clock reads remain), so this
+//                  tier bounds what sampling can and cannot buy.
 //
 // Expected shape: counters within noise of off; recorder adds a bounded
-// constant per task (clock reads dominate), comparable to collect_stats.
+// constant per task (clock reads dominate), comparable to collect_stats;
+// sampled sits between counters and recorder.
 #include <algorithm>
 #include <cstdint>
 #include <string>
@@ -111,6 +115,12 @@ int main(int argc, char** argv) {
     obs::Hub rhub(with_ring);
     const double recorder_ms = run_mode(&rhub);
 
+    obs::HubOptions sampled;
+    sampled.recorder = true;
+    sampled.sample = 8;
+    obs::Hub shub(sampled);
+    const double sampled_ms = run_mode(&shub);
+
     const auto add = [&](const char* mode, double ms) {
       table.row()
           .integer(w)
@@ -122,13 +132,15 @@ int main(int argc, char** argv) {
     add("off", off_ms);
     add("counters", counters_ms);
     add("counters+ring", recorder_ms);
+    add("ring 1-in-8", sampled_ms);
   }
   bench::emit(table, opt, json, "obs_overhead");
 
   std::cout << "Expected shape: counters within noise of off (padded "
                "per-worker increments, no clock reads); counters+ring adds "
                "a bounded constant per task from the two clock reads and "
-               "one ring store per phase.\n";
+               "one ring store per phase; ring 1-in-8 keeps the clock reads "
+               "but skips 7 of 8 stores.\n";
   bench::finish(json);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cstddef>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -18,12 +19,14 @@
 #include "engine/supervisor.hpp"
 #include "metrics/efficiency.hpp"
 #include "modelcheck/impl.hpp"
+#include "obs/causal.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "rio/rio.hpp"
 #include "support/clock.hpp"
 #include "support/format.hpp"
 #include "support/json.hpp"
+#include "support/json_read.hpp"
 #include "stf/stf.hpp"
 #include "workloads/workloads.hpp"
 
@@ -693,11 +696,107 @@ int run_chaos(const Options& o, std::ostream& out, std::ostream& err) {
   return bad ? 3 : 0;
 }
 
+/// Human-readable causal report shared by `rioflow blame` and
+/// `rioflow profile --blame`: critical path, blame tables, top stall
+/// edges. Long paths elide their middle — --json has the full path.
+void print_blame(const obs::causal::Analysis& an, const obs::Hub& hub,
+                 std::size_t top_k, bool csv, std::ostream& out) {
+  const bool ticks = hub.clock_unit() == obs::ClockUnit::kTicks;
+  auto fmt = [ticks](std::uint64_t v) {
+    return ticks ? std::to_string(v)
+                 : support::format_duration_ns(static_cast<double>(v));
+  };
+  out << "critical path: " << fmt(an.crit_path) << " of " << fmt(an.makespan)
+      << " makespan (" << an.path.size() << " nodes, body "
+      << fmt(an.crit_body) << ", wait " << fmt(an.crit_wait) << ")"
+      << (an.complete ? "" : "  [recorder dropped events: partial DAG]")
+      << "\n";
+  out << "wait attribution: " << fmt(an.wait_attributed) << " of "
+      << fmt(an.wait_total) << " across " << an.edges.size() << " edges\n";
+
+  if (!an.path.empty()) {
+    support::Table pt({"path task", "worker", "body", "wait_in", "via data"});
+    const std::size_t np = an.path.size();
+    // Long chains would swamp the terminal: keep both ends, elide the rest.
+    const std::size_t head = np <= 16 ? np : 8;
+    const std::size_t tail = np <= 16 ? 0 : 8;
+    const auto emit = [&](const obs::causal::PathNode& n) {
+      auto row = pt.row();
+      row.integer(static_cast<long long>(n.task));
+      row.integer(static_cast<long long>(n.worker));
+      row.str(fmt(n.body));
+      row.str(n.wait_in == 0 ? "-" : fmt(n.wait_in));
+      row.str(n.via_data == obs::kNoCauseData ? "-"
+                                              : std::to_string(n.via_data));
+    };
+    for (std::size_t i = 0; i < head; ++i) emit(an.path[i]);
+    if (tail != 0) {
+      auto row = pt.row();
+      row.str("... " + std::to_string(np - head - tail) + " nodes ...");
+      for (int c = 0; c < 4; ++c) row.str("");
+      for (std::size_t i = np - tail; i < np; ++i) emit(an.path[i]);
+    }
+    if (csv)
+      pt.print_csv(out);
+    else
+      pt.print(out);
+  }
+
+  if (!an.task_blame.empty()) {
+    support::Table tb({"blamed task", "stall caused", "edges"});
+    for (std::size_t i = 0; i < std::min(top_k, an.task_blame.size()); ++i) {
+      const obs::causal::TaskBlame& b = an.task_blame[i];
+      auto row = tb.row();
+      row.integer(static_cast<long long>(b.task));
+      row.str(fmt(b.blame));
+      row.integer(static_cast<long long>(b.edges));
+    }
+    if (csv)
+      tb.print_csv(out);
+    else
+      tb.print(out);
+  }
+  if (!an.handle_blame.empty()) {
+    support::Table hb({"blamed data", "stall caused", "edges"});
+    for (std::size_t i = 0; i < std::min(top_k, an.handle_blame.size());
+         ++i) {
+      const obs::causal::HandleBlame& b = an.handle_blame[i];
+      auto row = hb.row();
+      row.integer(static_cast<long long>(b.data));
+      row.str(fmt(b.blame));
+      row.integer(static_cast<long long>(b.edges));
+    }
+    if (csv)
+      hb.print_csv(out);
+    else
+      hb.print(out);
+  }
+  if (!an.edges.empty()) {
+    support::Table et(
+        {"stall edge", "producer", "data", "worker", "wait", "on path"});
+    for (std::size_t i = 0; i < std::min(top_k, an.edges.size()); ++i) {
+      const obs::causal::WaitEdge& e = an.edges[i];
+      auto row = et.row();
+      row.str(e.consumer == obs::kNoTask ? "-" : std::to_string(e.consumer));
+      row.str(e.producer == obs::kNoTask ? "-" : std::to_string(e.producer));
+      row.str(e.data == obs::kNoCauseData ? "-" : std::to_string(e.data));
+      row.integer(static_cast<long long>(e.worker));
+      row.str(fmt(e.wait));
+      row.str(e.on_path ? "yes" : "");
+    }
+    if (csv)
+      et.print_csv(out);
+    else
+      et.print(out);
+  }
+}
+
 /// `rioflow profile`: execute once with the rio::obs telemetry hub attached
 /// (docs/observability.md) and report per-worker phase totals, counter
 /// totals and the e_p*e_r decomposition. --trace exports the flight
 /// recorder as a Perfetto-loadable Chrome trace; --json writes the
-/// versioned rio.obs.v1 metrics document.
+/// versioned rio.obs.v1 metrics document; --blame appends the causal
+/// analyzer's critical-path and blame report.
 int run_profile(const Options& o, std::ostream& out, std::ostream& err) {
   std::string error;
   Options po = o;
@@ -724,16 +823,21 @@ int run_profile(const Options& o, std::ostream& out, std::ostream& err) {
   }
 
   // The recorder (per-worker event rings) is only paid for when a trace
-  // will be exported; counters and phase totals are always on here.
+  // will be exported or the causal analyzer needs the spans; counters and
+  // phase totals are always on here. --sample thins the ring 1-in-N.
   obs::HubOptions ho;
-  ho.recorder = !o.trace_path.empty();
+  ho.recorder = !o.trace_path.empty() || o.blame;
+  ho.sample = o.sample;
   obs::Hub hub(ho);
 
   const std::uint32_t workers = po.workers;
   launch.obs = &hub;
   support::RunStats stats;
+  const stf::FlowImage image = stf::FlowImage::compile(wl.flow);
   try {
-    stats = backend->run(stf::FlowImage::compile(wl.flow), launch).stats;
+    stats = (o.recover ? engine::run_supervised(*backend, image, launch)
+                       : backend->run(image, launch))
+                .stats;
   } catch (const engine::UnsupportedLaunch& e) {
     err << "rioflow: " << e.what() << "\n";
     return 2;
@@ -780,7 +884,10 @@ int run_profile(const Options& o, std::ostream& out, std::ostream& err) {
       << ", e_p*e_r = " << e.e_p * e.e_r << "\n";
   if (hub.recorder_enabled())
     out << "recorder: " << hub.recorded() << " events retained, "
-        << hub.dropped() << " dropped\n";
+        << hub.dropped() << " dropped (sample 1-in-" << hub.sample_stride()
+        << ")\n";
+  if (o.blame)
+    print_blame(obs::causal::analyze(hub), hub, o.top_edges, o.csv, out);
 
   if (!o.trace_path.empty()) {
     std::ofstream f(o.trace_path);
@@ -806,6 +913,283 @@ int run_profile(const Options& o, std::ostream& out, std::ostream& err) {
     out << "wrote " << o.json_path << "\n";
   }
   return 0;
+}
+
+/// `rioflow blame`: execute once with the flight recorder forced on, then
+/// run the obs::causal analyzer — executed-DAG critical path, per-task and
+/// per-handle blame, top stall edges (docs/observability.md). Any
+/// supports_obs backend works; the virtual-time simulators give an exact
+/// critical path. --recover supervises the run (evict-and-remap on worker
+/// loss); --trace writes the Perfetto trace whose dep flow arrows mirror
+/// the wait edges; --json writes the versioned rio.blame.v1 document.
+int run_blame(const Options& o, std::ostream& out, std::ostream& err) {
+  std::string error;
+  Options po = o;
+  if (o.quick) {
+    po.tasks = std::min<std::uint64_t>(po.tasks, 256);
+    po.tiles = std::min<std::uint32_t>(po.tiles, 4);
+    po.task_size = std::min<std::uint64_t>(po.task_size, 200);
+  }
+  const engine::Backend* backend =
+      engine::Registry::instance().find_or_error(po.engine, error);
+  if (backend == nullptr) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  workloads::Workload wl;
+  if (!build_workload(po, body_for(*backend), wl, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+  engine::Launch launch;
+  if (!make_launch(po, wl, launch, error)) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+
+  obs::HubOptions ho;
+  ho.recorder = true;  // the analyzer IS the consumer: always record
+  ho.sample = o.sample;
+  obs::Hub hub(ho);
+  launch.obs = &hub;
+
+  support::RunStats stats;
+  const stf::FlowImage image = stf::FlowImage::compile(wl.flow);
+  try {
+    stats = (o.recover ? engine::run_supervised(*backend, image, launch)
+                       : backend->run(image, launch))
+                .stats;
+  } catch (const engine::UnsupportedLaunch& e) {
+    err << "rioflow: " << e.what() << "\n";
+    return 2;
+  }
+
+  out << "-- blame: " << wl.name << " on " << po.engine << " (" << po.workers
+      << " workers, clock=" << obs::to_string(hub.clock_unit())
+      << ", sample 1-in-" << hub.sample_stride() << ") --\n";
+  const obs::causal::Analysis an = obs::causal::analyze(hub);
+  print_blame(an, hub, o.top_edges, o.csv, out);
+
+  if (!o.trace_path.empty()) {
+    std::ofstream f(o.trace_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.trace_path << "\n";
+      return 2;
+    }
+    obs::write_perfetto_trace(hub, f);
+    out << "wrote " << o.trace_path << "\n";
+  }
+  if (!o.json_path.empty()) {
+    std::ofstream f(o.json_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.json_path << "\n";
+      return 2;
+    }
+    const auto e = metrics::decompose_synthetic(stats.cumulative());
+    obs::ObsJsonMeta meta;
+    meta.engine = po.engine;
+    meta.workload = wl.name;
+    meta.e_p = e.e_p;
+    meta.e_r = e.e_r;
+    obs::causal::write_blame_json(an, hub, meta, o.top_edges, f);
+    out << "wrote " << o.json_path << "\n";
+  }
+  return 0;
+}
+
+/// Relative drift in percent; a fresh counter appearing from zero counts
+/// as 100% so it can never hide below any threshold.
+double pct_delta(double oldv, double newv) {
+  if (oldv != 0.0) return (newv - oldv) / oldv * 100.0;
+  return newv != 0.0 ? 100.0 : 0.0;
+}
+
+/// `rioflow obs-diff old.obs.json new.obs.json`: compare two rio.obs.v1
+/// reports — wall time, per-phase totals, counters and the e_p*e_r
+/// product. Exit 3 when the new run regressed beyond --threshold: wall
+/// grew, a non-body (overhead/stall) phase grew, or the efficiency
+/// product dropped. Counters are reported but never gate: their drift is
+/// diagnosis, not verdict. --json writes the rio.obsdiff.v1 document.
+int run_obs_diff(const Options& o, std::ostream& out, std::ostream& err) {
+  if (o.inputs.size() != 2) {
+    err << "rioflow: obs-diff needs exactly two rio.obs.v1 files "
+           "(old new)\n";
+    return 1;
+  }
+  support::JsonValue docs[2];
+  for (int i = 0; i < 2; ++i) {
+    std::ifstream f(o.inputs[i]);
+    if (!f) {
+      err << "rioflow: cannot read " << o.inputs[i] << "\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::string perr;
+    if (!support::json_parse(ss.str(), docs[i], perr)) {
+      err << "rioflow: " << o.inputs[i] << ": " << perr << "\n";
+      return 1;
+    }
+    const support::JsonValue* schema = docs[i].find("schema");
+    if (schema == nullptr || schema->str_or("") != "rio.obs.v1") {
+      err << "rioflow: " << o.inputs[i]
+          << " is not a rio.obs.v1 document\n";
+      return 1;
+    }
+  }
+  // Nested numeric lookup; absent members read as 0 (older reports).
+  const auto section = [](const support::JsonValue& doc,
+                          const char* a,
+                          const char* b) -> const support::JsonValue* {
+    const support::JsonValue* s = doc.find(a);
+    return s == nullptr ? nullptr : s->find(b);
+  };
+  const auto num_in = [](const support::JsonValue* obj,
+                         const char* key) -> double {
+    if (obj == nullptr) return 0.0;
+    const support::JsonValue* v = obj->find(key);
+    return v == nullptr ? 0.0 : v->num_or(0.0);
+  };
+
+  struct Row {
+    std::string name;
+    double oldv = 0.0;
+    double newv = 0.0;
+    bool regressed = false;
+  };
+  std::vector<Row> phases;
+  std::vector<Row> counters;
+  const auto collect = [&](const char* key, std::vector<Row>& rows) {
+    const support::JsonValue* po = section(docs[0], "totals", key);
+    const support::JsonValue* pn = section(docs[1], "totals", key);
+    if (po != nullptr)
+      for (const auto& [name, v] : po->members)
+        rows.push_back({name, v.num_or(0.0), num_in(pn, name.c_str()), false});
+    if (pn != nullptr)
+      for (const auto& [name, v] : pn->members) {
+        bool seen = false;
+        for (const Row& r : rows) seen = seen || r.name == name;
+        if (!seen) rows.push_back({name, 0.0, v.num_or(0.0), false});
+      }
+  };
+  collect("phases", phases);
+  collect("counters", counters);
+
+  const double wall_old = num_in(&docs[0], "wall_ns");
+  const double wall_new = num_in(&docs[1], "wall_ns");
+  const double prod_old =
+      num_in(docs[0].find("decompose"), "product");
+  const double prod_new =
+      num_in(docs[1].find("decompose"), "product");
+
+  // The regression gate: more wall time, more overhead/stall time, or a
+  // worse efficiency product — each beyond the threshold, and only when
+  // the old side actually measured something (a 0 -> x phase on a run
+  // that previously recorded nothing is growth from noise, not signal).
+  std::vector<std::string> regressions;
+  if (wall_old > 0.0 && pct_delta(wall_old, wall_new) > o.threshold)
+    regressions.push_back("wall_ns");
+  for (Row& r : phases) {
+    if (r.name == "body") continue;  // more body = more real work, not stall
+    if (r.oldv > 0.0 && pct_delta(r.oldv, r.newv) > o.threshold) {
+      r.regressed = true;
+      regressions.push_back("phase " + r.name);
+    }
+  }
+  if (prod_old > 0.0 && pct_delta(prod_old, prod_new) < -o.threshold)
+    regressions.push_back("e_p*e_r product");
+
+  out << "-- obs-diff: " << o.inputs[0] << " -> " << o.inputs[1]
+      << " (threshold " << o.threshold << "%) --\n";
+  const auto fmt_pct = [](double d) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%+.2f%%", d);
+    return std::string(buf);
+  };
+  const auto fmt_num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+  support::Table table({"metric", "old", "new", "drift", "gate"});
+  const auto metric_row = [&](const std::string& name, double ov, double nv,
+                              bool gated, bool bad) {
+    auto row = table.row();
+    row.str(name);
+    row.str(fmt_num(ov));
+    row.str(fmt_num(nv));
+    row.str(fmt_pct(pct_delta(ov, nv)));
+    row.str(bad ? "REGRESSED" : (gated ? "ok" : "info"));
+  };
+  metric_row("wall_ns", wall_old, wall_new, true,
+             wall_old > 0.0 && pct_delta(wall_old, wall_new) > o.threshold);
+  metric_row("e_p*e_r", prod_old, prod_new, true,
+             prod_old > 0.0 &&
+                 pct_delta(prod_old, prod_new) < -o.threshold);
+  for (const Row& r : phases)
+    metric_row("phase " + r.name, r.oldv, r.newv, r.name != "body",
+               r.regressed);
+  for (const Row& r : counters)
+    if (r.oldv != 0.0 || r.newv != 0.0)
+      metric_row(r.name, r.oldv, r.newv, false, false);
+  if (o.csv)
+    table.print_csv(out);
+  else
+    table.print(out);
+
+  if (regressions.empty()) {
+    out << "no regressions beyond " << o.threshold << "%\n";
+  } else {
+    out << "regressions (" << regressions.size() << "):";
+    for (const std::string& r : regressions) out << ' ' << r;
+    out << "\n";
+  }
+
+  if (!o.json_path.empty()) {
+    std::ofstream f(o.json_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.json_path << "\n";
+      return 2;
+    }
+    using support::json_double;
+    using support::json_quote;
+    const auto metric_json = [&](const char* name, double ov, double nv) {
+      f << "  " << json_quote(name) << ": {\"old\": " << json_double(ov)
+        << ", \"new\": " << json_double(nv)
+        << ", \"drift_pct\": " << json_double(pct_delta(ov, nv)) << "},\n";
+    };
+    f << "{\n  \"schema\": \"rio.obsdiff.v1\",\n"
+      << "  \"old\": " << json_quote(o.inputs[0]) << ",\n"
+      << "  \"new\": " << json_quote(o.inputs[1]) << ",\n"
+      << "  \"threshold_pct\": " << json_double(o.threshold) << ",\n";
+    metric_json("wall_ns", wall_old, wall_new);
+    metric_json("product", prod_old, prod_new);
+    const auto rows_json = [&](const char* key,
+                               const std::vector<Row>& rows, bool gate) {
+      f << "  " << json_quote(key) << ": [";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        f << (i == 0 ? "\n" : ",\n") << "    {\"name\": "
+          << json_quote(r.name) << ", \"old\": " << json_double(r.oldv)
+          << ", \"new\": " << json_double(r.newv) << ", \"drift_pct\": "
+          << json_double(pct_delta(r.oldv, r.newv));
+        if (gate)
+          f << ", \"regressed\": " << (r.regressed ? "true" : "false");
+        f << "}";
+      }
+      f << (rows.empty() ? "]" : "\n  ]");
+    };
+    rows_json("phases", phases, true);
+    f << ",\n";
+    rows_json("counters", counters, false);
+    f << ",\n  \"regressions\": [";
+    for (std::size_t i = 0; i < regressions.size(); ++i)
+      f << (i == 0 ? "" : ", ") << json_quote(regressions[i]);
+    f << "],\n  \"regressed\": "
+      << (regressions.empty() ? "false" : "true") << "\n}\n";
+    out << "wrote " << o.json_path << "\n";
+  }
+  return regressions.empty() ? 0 : 3;
 }
 
 /// `rioflow engines`: list the registered backends with their capability
@@ -1068,7 +1452,20 @@ usage: rioflow [command] [options]
                   report per-worker phase totals, counters and the e_p*e_r
                   decomposition (any supports_obs engine; --trace writes a
                   Perfetto trace, --json the rio.obs.v1 document, --quick
-                  shrinks)
+                  shrinks, --blame appends the causal report)
+    blame         execute once with the flight recorder on and run the
+                  causal analyzer: every acquire_wait span carries what it
+                  waited on, so the rings stitch into the *executed* DAG —
+                  prints the weighted critical path, per-task / per-handle
+                  blame and the top stall edges (--top K; --json writes the
+                  rio.blame.v1 document; --trace a Perfetto trace whose dep
+                  flow arrows mirror the wait edges; --sample N thins the
+                  recorder; simulators give an exact critical path)
+    obs-diff      compare two rio.obs.v1 reports (obs-diff old.json
+                  new.json): per-phase / per-counter drift and the e_p*e_r
+                  product; exit 3 when an overhead phase or wall time grew
+                  (or the product dropped) beyond --threshold pct (--json
+                  writes the rio.obsdiff.v1 document)
     engines       list registered backends with their capability flags
                   (--json writes the rio.engines.v1 document)
     verify        model-check the REAL protocol code of rio|rio-pruned|coor
@@ -1121,12 +1518,17 @@ usage: rioflow [command] [options]
                   resumed evicted configuration
   --max-preemptions N  verify: bound scheduler preemptions     [unbounded]
   --naive         verify: disable DPOR (full naive enumeration)
-  --quick         chaos/profile/verify: shrunk run for CI gates
+  --blame         profile: also run the causal analyzer
+  --sample N      profile/blame: record every Nth span          [1]
+  --top K         blame: stall edges printed / kept in --json   [10]
+  --threshold P   obs-diff: regression threshold in percent     [5]
+  --quick         chaos/profile/blame/verify: shrunk run for CI gates
   --summary       print flow structure summary
   --decompose     print e_p/e_r efficiency decomposition
   --dot FILE      write the dependency DAG as Graphviz DOT
   --trace FILE    write a Chrome trace (real engines; profile: obs trace)
-  --json FILE     machine-readable report (profile: rio.obs.v1, chaos:
+  --json FILE     machine-readable report (profile: rio.obs.v1, blame:
+                  rio.blame.v1, obs-diff: rio.obsdiff.v1, chaos:
                   rio.chaos.v2, lint: rio.lint.v1, check: rio.check.v1)
   --csv           machine-readable outputs
   --help
@@ -1139,9 +1541,10 @@ bool parse(int argc, const char* const* argv, Options& o,
   if (argc > 1 && argv[1][0] != '-') {
     const std::string cmd = argv[1];
     if (cmd != "lint" && cmd != "check" && cmd != "chaos" &&
-        cmd != "profile" && cmd != "engines" && cmd != "verify") {
+        cmd != "profile" && cmd != "blame" && cmd != "obs-diff" &&
+        cmd != "engines" && cmd != "verify") {
       error = "unknown command '" + cmd +
-              "' (lint|check|chaos|profile|engines|verify)";
+              "' (lint|check|chaos|profile|blame|obs-diff|engines|verify)";
       return false;
     }
     o.command = cmd;
@@ -1167,6 +1570,34 @@ bool parse(int argc, const char* const* argv, Options& o,
       o.csv = true;
     } else if (arg == "--quick") {
       o.quick = true;
+    } else if (arg == "--blame") {
+      o.blame = true;
+    } else if (arg == "--sample") {
+      const char* v = need_value("--sample");
+      if (!v) return false;
+      if (!to_u64(std::string(v), o.sample) || o.sample == 0) {
+        error = std::string("--sample needs an integer >= 1, got '") + v +
+                "'";
+        return false;
+      }
+    } else if (arg == "--top") {
+      const char* v = need_value("--top");
+      if (!v) return false;
+      std::uint32_t n = 0;
+      if (!to_u32(std::string(v), n)) {
+        error = std::string("bad numeric value for --top: '") + v + "'";
+        return false;
+      }
+      o.top_edges = n;
+    } else if (arg == "--threshold") {
+      const char* v = need_value("--threshold");
+      if (!v) return false;
+      char* end = nullptr;
+      o.threshold = std::strtod(v, &end);
+      if (end == v || *end != '\0' || o.threshold < 0.0) {
+        error = std::string("bad value for --threshold: '") + v + "'";
+        return false;
+      }
     } else if (arg == "--recover") {
       o.recover = true;
     } else if (arg == "--naive") {
@@ -1276,6 +1707,13 @@ bool parse(int argc, const char* const* argv, Options& o,
         error = "bad numeric value for " + arg + ": '" + value + "'";
         return false;
       }
+    } else if (!arg.empty() && arg[0] != '-') {
+      if (o.command != "obs-diff") {
+        error = "unexpected operand '" + arg +
+                "' (only obs-diff takes positional files)";
+        return false;
+      }
+      o.inputs.push_back(arg);
     } else {
       error = "unknown option '" + arg + "'";
       return false;
@@ -1301,6 +1739,8 @@ int run(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.command == "check") return run_check(o, out, err);
   if (o.command == "chaos") return run_chaos(o, out, err);
   if (o.command == "profile") return run_profile(o, out, err);
+  if (o.command == "blame") return run_blame(o, out, err);
+  if (o.command == "obs-diff") return run_obs_diff(o, out, err);
   if (o.command == "engines") return run_engines(o, out, err);
   if (o.command == "verify") return run_verify(o, out, err);
   std::string error;

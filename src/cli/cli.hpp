@@ -8,9 +8,11 @@
 // drive it; tools/rioflow.cpp is a thin main().
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace rio::cli {
 
@@ -21,12 +23,19 @@ struct Options {
   // "chaos" sweeps a fault plan over engines and verifies every surviving
   // run against the sequential oracle; "profile" executes with the
   // rio::obs telemetry hub attached and reports per-worker phase totals,
-  // counters and the e_p*e_r decomposition; "engines" lists the registered
-  // backends with their capability flags (engine::Registry); "verify"
-  // model-checks the engine's real synchronization code on a small flow
-  // (mc::impl: DPOR over every interleaving of the protocol's shared-word
-  // operations).
+  // counters and the e_p*e_r decomposition; "blame" executes with the
+  // flight recorder on and runs the obs::causal analyzer (executed-DAG
+  // critical path, per-task/per-handle blame, top stall edges);
+  // "obs-diff" compares two rio.obs.v1 reports; "engines" lists the
+  // registered backends with their capability flags (engine::Registry);
+  // "verify" model-checks the engine's real synchronization code on a
+  // small flow (mc::impl: DPOR over every interleaving of the protocol's
+  // shared-word operations).
   std::string command;
+
+  // Positional (non-flag) operands after the command — only obs-diff
+  // takes any (the two report files to compare).
+  std::vector<std::string> inputs;
 
   // Workload selection.
   std::string workload = "independent";  ///< independent | random | chain |
@@ -75,6 +84,12 @@ struct Options {
   // a permanent worker loss is survived by evict-and-remap + resume from
   // the checkpointed completion frontier instead of aborting the run.
   bool recover = false;
+
+  // Causal profiling (profile / blame) and obs-diff.
+  bool blame = false;           ///< profile: also run the causal analyzer
+  std::uint64_t sample = 1;     ///< record every Nth span (1 = all)
+  std::size_t top_edges = 10;   ///< blame: stall edges shown / in JSON
+  double threshold = 5.0;       ///< obs-diff: regression threshold (percent)
 
   // Outputs.
   bool summary = false;       ///< print flow structure summary

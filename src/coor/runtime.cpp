@@ -37,6 +37,11 @@ struct TaskNode {
   std::mutex mu;
   std::vector<std::size_t> successors;  // local indices
   bool finished = false;
+  // Wait-cause provenance: the task whose complete() made this one ready
+  // (kNoTask when the master dispatched it). Written by the dispatching
+  // thread before the queue push, read after the pop — the queue's own
+  // synchronization orders the plain accesses.
+  std::uint64_t dispatcher = obs::kNoTask;
 };
 
 }  // namespace detail
@@ -108,6 +113,7 @@ struct Engine {
       nodes[i].remaining.store(1, std::memory_order_relaxed);
       nodes[i].finished = false;
       nodes[i].successors.clear();
+      nodes[i].dispatcher = obs::kNoTask;
     }
     const std::size_t nd = r.num_data();
     if (reduction_locks.size() < nd) {
@@ -203,6 +209,7 @@ struct Engine {
     DispatchTally tally;
     for (std::size_t s : succs) {
       if (dep_release(nodes[s].remaining)) {
+        nodes[s].dispatcher = static_cast<std::uint64_t>(range.task(li).id);
         if (dispatch(s)) ++tally.woke;
         ++tally.dispatched;
       }
@@ -335,10 +342,15 @@ support::RunStats Runtime::run(const stf::ImageRange& range) {
         if (timed) {
           // Every pop — including the final empty one — is wait time; a
           // successful steal is attributed to the kSteal phase instead.
+          // A popped task's queue-wait cause is its dispatcher: the
+          // predecessor whose complete() made it ready (kNoTask when the
+          // master dispatched it or the queue closed empty).
           const std::uint64_t id =
               li ? static_cast<std::uint64_t>(range.task(*li).id) : obs::kNoTask;
+          const std::uint64_t cause =
+              li ? obs::make_cause(eng.nodes[*li].dispatcher) : obs::kNoCause;
           ob.span(stole ? obs::Phase::kSteal : obs::Phase::kAcquireWait, id,
-                  idle0, support::monotonic_ns());
+                  idle0, support::monotonic_ns(), cause);
         }
         if (cfg_.collect_stats) ++st.waits;
         if (!li) break;

@@ -1,0 +1,288 @@
+#include "obs/causal.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace rio::obs::causal {
+namespace {
+
+/// Where a task's span group lives: its lane and an index into it.
+/// `prio` prefers body spans over release/mgmt over waits, so sampled or
+/// partially-dropped rings still anchor the task at its best span.
+struct TaskPos {
+  std::uint32_t worker = 0;
+  std::size_t idx = 0;
+  int prio = -1;
+};
+
+int phase_prio(Phase p) {
+  switch (p) {
+    case Phase::kBody: return 2;
+    case Phase::kRelease:
+    case Phase::kMgmt:
+    case Phase::kRetryRollback: return 1;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+Analysis analyze(const Hub& hub) {
+  Analysis an;
+  an.complete = hub.dropped() == 0;
+  const std::vector<Event> events = hub.drain_events();
+
+  // Per-worker lanes of span events, begin-ordered (drain_events sorts
+  // globally by begin; the per-lane subsequence stays sorted).
+  std::vector<std::vector<Event>> lanes;
+  std::uint64_t min_begin = ~0ull;
+  std::uint64_t max_end = 0;
+  for (const Event& ev : events) {
+    if (!is_span(ev.phase)) continue;
+    if (ev.worker >= lanes.size()) lanes.resize(ev.worker + 1);
+    lanes[ev.worker].push_back(ev);
+    min_begin = std::min(min_begin, ev.begin);
+    max_end = std::max(max_end, ev.end);
+  }
+  if (max_end == 0 && min_begin == ~0ull) return an;  // no spans at all
+  an.makespan = max_end - min_begin;
+
+  // Task anchors (latest attempt wins: a re-executed task under retry or
+  // recovery appears several times; later events overwrite earlier ones
+  // of equal-or-lower priority, so the walk uses the final attempt).
+  std::unordered_map<std::uint64_t, TaskPos> where;
+  for (std::uint32_t w = 0; w < lanes.size(); ++w)
+    for (std::size_t i = 0; i < lanes[w].size(); ++i) {
+      const Event& ev = lanes[w][i];
+      if (ev.task == kNoTask) continue;
+      TaskPos& pos = where[ev.task];
+      const int prio = phase_prio(ev.phase);
+      if (prio >= pos.prio) pos = TaskPos{w, i, prio};
+    }
+
+  // Wait edges (every acquire_wait span, attributed or not).
+  for (const Event& ev : events) {
+    if (ev.phase != Phase::kAcquireWait || !is_span(ev.phase)) continue;
+    WaitEdge e;
+    e.consumer = ev.task;
+    e.producer = cause_producer(ev.cause);
+    e.data = cause_data(ev.cause);
+    e.worker = ev.worker;
+    e.begin = ev.begin;
+    e.end = ev.end;
+    e.wait = ev.end - ev.begin;
+    an.wait_total += e.wait;
+    if (ev.cause != kNoCause) an.wait_attributed += e.wait;
+    an.edges.push_back(e);
+  }
+
+  // Expands the contiguous same-task span run around lane index i.
+  const auto group = [&](std::uint32_t w, std::size_t i) {
+    const std::vector<Event>& lane = lanes[w];
+    const std::uint64_t task = lane[i].task;
+    std::size_t lo = i;
+    std::size_t hi = i;
+    while (lo > 0 && lane[lo - 1].task == task) --lo;
+    while (hi + 1 < lane.size() && lane[hi + 1].task == task) ++hi;
+    return std::pair<std::size_t, std::size_t>{lo, hi};
+  };
+
+  // Walk the binding-constraint chain back from the last-finishing task.
+  // Termination: the visited set breaks any cycle a corrupted or evicted
+  // ring could otherwise induce, and every link goes to a distinct task.
+  std::uint64_t cur = kNoTask;
+  {
+    std::uint64_t best_end = 0;
+    for (const Event& ev : events) {
+      if (!is_span(ev.phase) || ev.task == kNoTask) continue;
+      if (ev.end >= best_end) {
+        best_end = ev.end;
+        cur = ev.task;
+      }
+    }
+  }
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<PathNode> rev;
+  while (cur != kNoTask && visited.insert(cur).second) {
+    const auto it = where.find(cur);
+    if (it == where.end()) break;
+    const std::uint32_t w = it->second.worker;
+    const auto [lo, hi] = group(w, it->second.idx);
+    const std::vector<Event>& lane = lanes[w];
+
+    PathNode node;
+    node.task = cur;
+    node.worker = w;
+    node.begin = lane[lo].begin;
+    node.end = lane[hi].end;
+    std::uint64_t next = kNoTask;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      const Event& ev = lane[i];
+      if (ev.phase == Phase::kBody) node.body += ev.end - ev.begin;
+      if (ev.phase == Phase::kAcquireWait) {
+        const std::uint64_t producer = cause_producer(ev.cause);
+        if (producer != kNoTask && producer != cur &&
+            where.count(producer) != 0) {
+          // Follow the wait edge: this is the binding constraint.
+          next = producer;
+          node.wait_in = ev.end - ev.begin;
+          node.via_data = cause_data(ev.cause);
+          for (WaitEdge& e : an.edges)
+            if (e.consumer == cur && e.begin == ev.begin &&
+                e.worker == ev.worker) {
+              e.on_path = true;
+              break;
+            }
+        }
+      }
+    }
+    if (next == kNoTask) {
+      // Worker-busy link: the previous task on the same lane.
+      for (std::size_t i = lo; i-- > 0;)
+        if (lane[i].task != kNoTask && lane[i].task != cur) {
+          next = lane[i].task;
+          break;
+        }
+    }
+    rev.push_back(node);
+    cur = next;
+  }
+  std::reverse(rev.begin(), rev.end());
+  an.path = std::move(rev);
+  if (!an.path.empty()) {
+    an.crit_path = an.path.back().end - an.path.front().begin;
+    for (const PathNode& n : an.path) {
+      an.crit_body += n.body;
+      an.crit_wait += n.wait_in;
+    }
+  }
+
+  // Blame tables: aggregate the wait edges per producer and per handle.
+  {
+    std::unordered_map<std::uint64_t, TaskBlame> by_task;
+    std::unordered_map<std::uint32_t, HandleBlame> by_data;
+    for (const WaitEdge& e : an.edges) {
+      if (e.producer != kNoTask) {
+        TaskBlame& b = by_task[e.producer];
+        b.task = e.producer;
+        b.blame += e.wait;
+        ++b.edges;
+      }
+      if (e.data != kNoCauseData) {
+        HandleBlame& b = by_data[e.data];
+        b.data = e.data;
+        b.blame += e.wait;
+        ++b.edges;
+      }
+    }
+    an.task_blame.reserve(by_task.size());
+    for (const auto& [t, b] : by_task) an.task_blame.push_back(b);
+    an.handle_blame.reserve(by_data.size());
+    for (const auto& [d, b] : by_data) an.handle_blame.push_back(b);
+  }
+  const auto by_blame_desc = [](const auto& a, const auto& b) {
+    return a.blame != b.blame ? a.blame > b.blame : a.edges > b.edges;
+  };
+  std::sort(an.task_blame.begin(), an.task_blame.end(),
+            [&](const TaskBlame& a, const TaskBlame& b) {
+              return by_blame_desc(a, b) ||
+                     (a.blame == b.blame && a.edges == b.edges &&
+                      a.task < b.task);
+            });
+  std::sort(an.handle_blame.begin(), an.handle_blame.end(),
+            [&](const HandleBlame& a, const HandleBlame& b) {
+              return by_blame_desc(a, b) ||
+                     (a.blame == b.blame && a.edges == b.edges &&
+                      a.data < b.data);
+            });
+  std::sort(an.edges.begin(), an.edges.end(),
+            [](const WaitEdge& a, const WaitEdge& b) {
+              if (a.wait != b.wait) return a.wait > b.wait;
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.worker < b.worker;
+            });
+  return an;
+}
+
+void write_blame_json(const Analysis& a, const Hub& hub,
+                      const ObsJsonMeta& meta, std::size_t top_k,
+                      std::ostream& os) {
+  using support::json_quote;
+  os << "{\n"
+     << "  \"schema\": \"rio.blame.v1\",\n"
+     << "  \"engine\": " << json_quote(meta.engine) << ",\n"
+     << "  \"workload\": " << json_quote(meta.workload) << ",\n"
+     << "  \"clock\": " << json_quote(to_string(hub.clock_unit())) << ",\n"
+     << "  \"workers\": " << hub.num_workers() << ",\n"
+     << "  \"makespan\": " << a.makespan << ",\n"
+     << "  \"critical_path\": {\"length\": " << a.crit_path
+     << ", \"body\": " << a.crit_body << ", \"wait\": " << a.crit_wait
+     << ", \"nodes\": " << a.path.size() << ",\n    \"path\": [";
+  for (std::size_t i = 0; i < a.path.size(); ++i) {
+    const PathNode& n = a.path[i];
+    os << (i ? ",\n      " : "\n      ") << "{\"task\": " << n.task
+       << ", \"worker\": " << n.worker << ", \"begin\": " << n.begin
+       << ", \"end\": " << n.end << ", \"body\": " << n.body
+       << ", \"wait_in\": " << n.wait_in;
+    if (n.via_data != kNoCauseData) os << ", \"data\": " << n.via_data;
+    os << "}";
+  }
+  os << (a.path.empty() ? "]" : "\n    ]") << "},\n"
+     << "  \"wait\": {\"total\": " << a.wait_total
+     << ", \"attributed\": " << a.wait_attributed
+     << ", \"edges\": " << a.edges.size() << "},\n"
+     << "  \"task_blame\": [";
+  for (std::size_t i = 0; i < a.task_blame.size(); ++i) {
+    const TaskBlame& b = a.task_blame[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"task\": " << b.task
+       << ", \"blame\": " << b.blame << ", \"edges\": " << b.edges << "}";
+  }
+  os << (a.task_blame.empty() ? "]" : "\n  ]") << ",\n"
+     << "  \"handle_blame\": [";
+  for (std::size_t i = 0; i < a.handle_blame.size(); ++i) {
+    const HandleBlame& b = a.handle_blame[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"data\": " << b.data
+       << ", \"blame\": " << b.blame << ", \"edges\": " << b.edges << "}";
+  }
+  os << (a.handle_blame.empty() ? "]" : "\n  ]") << ",\n"
+     << "  \"top_edges\": [";
+  const std::size_t ne = std::min(top_k, a.edges.size());
+  for (std::size_t i = 0; i < ne; ++i) {
+    const WaitEdge& e = a.edges[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"consumer\": ";
+    if (e.consumer == kNoTask)
+      os << "null";
+    else
+      os << e.consumer;
+    os << ", \"producer\": ";
+    if (e.producer == kNoTask)
+      os << "null";
+    else
+      os << e.producer;
+    os << ", \"data\": ";
+    if (e.data == kNoCauseData)
+      os << "null";
+    else
+      os << e.data;
+    os << ", \"worker\": " << e.worker << ", \"wait\": " << e.wait
+       << ", \"on_path\": " << (e.on_path ? "true" : "false") << "}";
+  }
+  os << (ne == 0 ? "]" : "\n  ]") << ",\n"
+     << "  \"recorder\": {\"enabled\": "
+     << (hub.recorder_enabled() ? "true" : "false")
+     << ", \"capacity\": " << hub.ring_capacity()
+     << ", \"sample\": " << hub.sample_stride()
+     << ", \"pushed\": " << hub.pushed()
+     << ", \"recorded\": " << hub.recorded()
+     << ", \"dropped\": " << hub.dropped()
+     << ", \"complete\": " << (a.complete ? "true" : "false") << "}\n"
+     << "}\n";
+}
+
+}  // namespace rio::obs::causal

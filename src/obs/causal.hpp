@@ -1,0 +1,101 @@
+// obs::causal — post-run causal attribution over the flight recorder
+// (docs/observability.md, "Causal profiling").
+//
+// The recorder's per-worker rings already hold a begin/end-stamped span
+// for every phase of every task, and (this layer's schema extension)
+// every acquire_wait span carries a wait-cause word saying *what* it
+// waited on. analyze() stitches those rings into the *executed* DAG —
+// body/release spans are the nodes, attributed wait spans the
+// cross-worker arcs — and walks the chain of binding constraints back
+// from the last-finishing task: at each node the delay is explained
+// either by a recorded wait edge (jump to the producer) or by the
+// worker being busy (jump to the previous task on the same lane). The
+// walked interval is the weighted critical path; by construction
+// crit_path <= makespan, with equality on the virtual-time simulators
+// whenever the schedule is dependency-bound (workers never bind), which
+// gives the tests a closed-form identity.
+//
+// Blame tables aggregate the same wait edges per producer task and per
+// data object: the wall-ns (or virtual-tick) contribution of each to
+// everyone else's stalls. On rio/rio-pruned every stalled acquire has a
+// data cause, so the per-handle totals reconcile EXACTLY (EXPECT_EQ in
+// tests, same discipline as the PR 4 reconciliation suite) with the
+// recorder's acquire_wait phase total when nothing was dropped.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+
+namespace rio::obs::causal {
+
+/// One attributed (or unattributed) acquire_wait span, as a DAG arc.
+struct WaitEdge {
+  std::uint64_t consumer = kNoTask;  ///< the task that waited
+  std::uint64_t producer = kNoTask;  ///< the task it waited on (kNoTask =
+                                     ///< unattributed: master/closed queue)
+  std::uint32_t data = kNoCauseData;  ///< data object, when the protocol
+                                      ///< knows it (rio/rio-pruned)
+  std::uint32_t worker = 0;           ///< lane the wait happened on
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t wait = 0;      ///< end - begin
+  bool on_path = false;        ///< this edge binds the critical path
+};
+
+/// One node of the walked critical path, in execution order. The node
+/// interval covers the task's contiguous span group on its lane (mgmt +
+/// wait + body + release); `wait_in` is the wait explained by the edge
+/// from the previous path node (0 for worker-busy links).
+struct PathNode {
+  std::uint64_t task = kNoTask;
+  std::uint32_t worker = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t body = 0;
+  std::uint64_t wait_in = 0;
+  std::uint32_t via_data = kNoCauseData;
+};
+
+struct TaskBlame {
+  std::uint64_t task = kNoTask;  ///< producer
+  std::uint64_t blame = 0;       ///< wait it caused on other tasks
+  std::uint64_t edges = 0;
+};
+
+struct HandleBlame {
+  std::uint32_t data = kNoCauseData;
+  std::uint64_t blame = 0;
+  std::uint64_t edges = 0;
+};
+
+struct Analysis {
+  std::uint64_t makespan = 0;   ///< max span end - min span begin
+  std::uint64_t crit_path = 0;  ///< walked interval; <= makespan always
+  std::uint64_t crit_body = 0;  ///< body time on the path
+  std::uint64_t crit_wait = 0;  ///< wait time on the path's edges
+  std::uint64_t wait_total = 0;       ///< every recorded acquire_wait span
+  std::uint64_t wait_attributed = 0;  ///< of those, spans with a cause
+  std::vector<PathNode> path;         ///< execution order
+  std::vector<WaitEdge> edges;        ///< sorted by wait, descending
+  std::vector<TaskBlame> task_blame;      ///< sorted by blame, descending
+  std::vector<HandleBlame> handle_blame;  ///< sorted by blame, descending
+  bool complete = true;  ///< no ring drops: the DAG saw every span
+};
+
+/// Stitches the hub's drained events into the executed DAG and computes
+/// the critical path and blame tables. Tolerant of partial rings (drops,
+/// sampling, evicted workers): unexplainable links simply end the walk,
+/// they never cycle — re-executed tasks keep their latest attempt.
+[[nodiscard]] Analysis analyze(const Hub& hub);
+
+/// Versioned machine-readable report, schema "rio.blame.v1". `top_k`
+/// caps the stall-edge list (the path and blame tables are complete).
+void write_blame_json(const Analysis& a, const Hub& hub,
+                      const ObsJsonMeta& meta, std::size_t top_k,
+                      std::ostream& os);
+
+}  // namespace rio::obs::causal

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -106,8 +107,59 @@ void write_perfetto_trace(const Hub& hub, std::ostream& os) {
       os << ", \"ph\": \"X\", \"ts\": " << ts_str(ev.begin, base, scale)
          << ", \"dur\": " << ts_str(ev.end, ev.begin, scale);
     }
-    if (ev.task != kNoTask) os << ", \"args\": {\"task\": " << ev.task << "}";
+    if (ev.task != kNoTask) {
+      os << ", \"args\": {\"task\": " << ev.task;
+      if (ev.phase == Phase::kAcquireWait && ev.cause != kNoCause) {
+        if (cause_data(ev.cause) != kNoCauseData)
+          os << ", \"data\": " << cause_data(ev.cause);
+        if (cause_producer(ev.cause) != kNoTask)
+          os << ", \"producer\": " << cause_producer(ev.cause);
+      }
+      os << "}";
+    }
     os << "}";
+  }
+
+  // Flow events: producer release -> consumer acquire_wait, one "s"/"f"
+  // pair per attributed wait span, anchored mid-slice so Perfetto binds
+  // them to the enclosing slices on both tracks.
+  {
+    struct Anchor {
+      std::uint32_t worker = 0;
+      std::uint64_t mid = 0;
+      bool release = false;
+      bool set = false;
+    };
+    std::map<std::uint64_t, Anchor> anchors;  // task -> producer-side slice
+    for (const Event& ev : events) {
+      if (ev.task == kNoTask || ev.begin == ev.end) continue;
+      if (ev.phase != Phase::kRelease && ev.phase != Phase::kBody) continue;
+      Anchor& a = anchors[ev.task];
+      // Prefer the release slice (the publication); keep the latest so a
+      // retried/replayed task anchors at its final attempt.
+      if (a.set && a.release && ev.phase != Phase::kRelease) continue;
+      a.worker = ev.worker;
+      a.mid = ev.begin + (ev.end - ev.begin) / 2;
+      a.release = ev.phase == Phase::kRelease;
+      a.set = true;
+    }
+    std::uint64_t flow_id = 0;
+    for (const Event& ev : events) {
+      if (ev.phase != Phase::kAcquireWait || ev.begin == ev.end) continue;
+      const std::uint64_t producer = cause_producer(ev.cause);
+      if (producer == kNoTask) continue;
+      const auto it = anchors.find(producer);
+      if (it == anchors.end()) continue;
+      os << ",\n  {\"name\": \"dep\", \"cat\": \"obs\", \"ph\": \"s\", "
+         << "\"id\": " << flow_id << ", \"pid\": 0, \"tid\": "
+         << it->second.worker << ", \"ts\": "
+         << ts_str(it->second.mid, base, scale) << "}";
+      os << ",\n  {\"name\": \"dep\", \"cat\": \"obs\", \"ph\": \"f\", "
+         << "\"bp\": \"e\", \"id\": " << flow_id << ", \"pid\": 0, \"tid\": "
+         << ev.worker << ", \"ts\": "
+         << ts_str(ev.begin + (ev.end - ev.begin) / 2, base, scale) << "}";
+      ++flow_id;
+    }
   }
 
   write_counter_track(
@@ -171,6 +223,8 @@ void write_obs_json(const Hub& hub, const support::RunStats& stats,
      << "  \"recorder\": {\"enabled\": "
      << (hub.recorder_enabled() ? "true" : "false")
      << ", \"capacity\": " << hub.ring_capacity()
+     << ", \"sample\": " << hub.sample_stride()
+     << ", \"pushed\": " << hub.pushed()
      << ", \"recorded\": " << hub.recorded()
      << ", \"dropped\": " << hub.dropped() << "}\n"
      << "}\n";

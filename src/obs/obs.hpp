@@ -39,13 +39,14 @@ enum class ClockUnit : std::uint8_t { kNanoseconds, kTicks };
 struct HubOptions {
   bool recorder = false;  ///< flight recorder on (opt-in; counters are free)
   std::size_t ring_capacity = std::size_t{1} << 16;  ///< events per worker ring
+  std::uint64_t sample = 1;  ///< record every sample-th span (1 = all)
 };
 
 class Hub {
  public:
   explicit Hub(const HubOptions& opts = {}) : opts_(opts) {
     if (opts_.recorder)
-      recorder_ = std::make_unique<Recorder>(opts_.ring_capacity);
+      recorder_ = std::make_unique<Recorder>(opts_.ring_capacity, opts_.sample);
   }
 
   /// Grows (never shrinks, never resets) to at least `n` worker slots.
@@ -85,6 +86,12 @@ class Hub {
   }
   [[nodiscard]] std::uint64_t dropped() const noexcept {
     return recorder_ ? recorder_->dropped() : 0;
+  }
+  [[nodiscard]] std::uint64_t pushed() const noexcept {
+    return recorder_ ? recorder_->pushed() : 0;
+  }
+  [[nodiscard]] std::uint64_t sample_stride() const noexcept {
+    return recorder_ ? recorder_->stride() : 0;
   }
 
   /// Accumulates (+=) one worker's span-phase totals. Workers reach this
@@ -173,9 +180,14 @@ struct WorkerObs {
 
   [[nodiscard]] bool recording() const noexcept { return ring != nullptr; }
 
-  void span(Phase p, std::uint64_t task, std::uint64_t b, std::uint64_t e) {
+  /// `cause` is the wait-cause word (phase.hpp) carried by kAcquireWait
+  /// spans; the default keeps every existing call site unattributed. The
+  /// word only materializes in the ring push, so the recorder-off path
+  /// costs nothing extra.
+  void span(Phase p, std::uint64_t task, std::uint64_t b, std::uint64_t e,
+            std::uint64_t cause = kNoCause) {
     phase_ns[static_cast<std::size_t>(p)] += e - b;
-    if (ring != nullptr) ring->push(Event{b, e, task, worker, p});
+    if (ring != nullptr) ring->push(Event{b, e, task, worker, p, cause});
   }
 
   void instant(Phase p, std::uint64_t task, std::uint64_t ts) {

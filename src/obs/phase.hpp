@@ -51,15 +51,56 @@ inline constexpr std::size_t kNumPhases = 8;
 /// Sentinel for events not attributed to any task.
 inline constexpr std::uint64_t kNoTask = ~0ull;
 
+// --- Wait-cause word ------------------------------------------------------
+//
+// An acquire_wait span can carry *what it waited on*, packed into one
+// extra ring word: the data-object index in the high 32 bits and the
+// producer task id in the low 32 bits. rio/rio-pruned read both from the
+// expected/observed protocol counters they already track (the same pair
+// stall_diag.hpp prints); coor records the dispatching predecessor of the
+// popped task; the simulators record the argmax predecessor, which makes
+// their causes exact. ~0 in either half means "unknown" — a cause of
+// kNoCause (both halves unknown) is an unattributed wait.
+
+/// "No data object" half-word (also the whole-word sentinel's halves).
+inline constexpr std::uint32_t kNoCauseData = 0xFFFFFFFFu;
+/// Fully-unattributed wait cause.
+inline constexpr std::uint64_t kNoCause = ~0ull;
+
+/// Packs (producer task, data object) into one cause word. Producer ids
+/// that do not fit 32 bits (including stf::kInvalidTask) map to "unknown".
+[[nodiscard]] constexpr std::uint64_t make_cause(
+    std::uint64_t producer_task, std::uint32_t data = kNoCauseData) noexcept {
+  const std::uint64_t prod = producer_task >= kNoCauseData
+                                 ? std::uint64_t{kNoCauseData}
+                                 : producer_task;
+  return (std::uint64_t{data} << 32) | prod;
+}
+
+/// Data-object half of a cause word (kNoCauseData when unknown).
+[[nodiscard]] constexpr std::uint32_t cause_data(std::uint64_t cause) noexcept {
+  return static_cast<std::uint32_t>(cause >> 32);
+}
+
+/// Producer half of a cause word (kNoTask when unknown).
+[[nodiscard]] constexpr std::uint64_t cause_producer(std::uint64_t cause) noexcept {
+  const std::uint64_t p = cause & 0xFFFFFFFFull;
+  return p == kNoCauseData ? kNoTask : p;
+}
+
 /// One recorded event. begin == end marks an instant. Timestamps are
 /// nanoseconds on the real engines and virtual ticks in the simulators;
-/// the hub's clock unit says which.
+/// the hub's clock unit says which. `cause` is declared last so the
+/// positional braced initializers all over the engines and tests stay
+/// valid; it defaults to kNoCause and is only meaningful on kAcquireWait
+/// spans.
 struct Event {
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
   std::uint64_t task = kNoTask;
   std::uint32_t worker = 0;
   Phase phase = Phase::kBody;
+  std::uint64_t cause = kNoCause;
 };
 
 }  // namespace rio::obs

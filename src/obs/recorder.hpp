@@ -19,52 +19,72 @@ namespace rio::obs {
 
 class EventRing {
  public:
-  explicit EventRing(std::size_t capacity) {
+  explicit EventRing(std::size_t capacity, std::uint64_t stride = 1) {
     std::size_t cap = 1;
     while (cap < capacity) cap <<= 1;
     buf_.resize(cap);
     mask_ = cap - 1;
+    stride_ = stride == 0 ? 1 : stride;
   }
 
-  /// Hot path: one store, one increment. Overwrites the oldest event once
-  /// full — recorded()/dropped() keep the books straight.
+  /// Hot path: one store, one increment (plus a predicted not-taken
+  /// branch when sampling). Overwrites the oldest event once full;
+  /// `stride > 1` keeps every stride-th push and drops the rest —
+  /// recorded()/dropped()/pushed() keep the books straight either way.
   void push(const Event& ev) noexcept {
+    ++pushed_;
+    if (skip_ != 0) {
+      --skip_;
+      return;
+    }
+    skip_ = stride_ - 1;
     buf_[head_ & mask_] = ev;
     ++head_;
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
-  [[nodiscard]] std::uint64_t pushed() const noexcept { return head_; }
+  [[nodiscard]] std::uint64_t stride() const noexcept { return stride_; }
+  [[nodiscard]] std::uint64_t pushed() const noexcept { return pushed_; }
   [[nodiscard]] std::uint64_t recorded() const noexcept {
     return head_ < buf_.size() ? head_ : buf_.size();
   }
+  /// Pushes not retained: sampled out by the stride plus stored events
+  /// overwritten by ring wrap. Always pushed() == recorded() + dropped().
   [[nodiscard]] std::uint64_t dropped() const noexcept {
-    return head_ > buf_.size() ? head_ - buf_.size() : 0;
+    return pushed_ - recorded();
   }
 
   /// Appends the retained events to `out`, oldest first.
   void drain(std::vector<Event>& out) const {
-    for (std::uint64_t i = dropped(); i < head_; ++i)
+    for (std::uint64_t i = head_ - recorded(); i < head_; ++i)
       out.push_back(buf_[i & mask_]);
   }
 
-  void clear() noexcept { head_ = 0; }
+  void clear() noexcept {
+    head_ = 0;
+    pushed_ = 0;
+    skip_ = 0;
+  }
 
  private:
   std::vector<Event> buf_;
   std::uint64_t head_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t stride_ = 1;
+  std::uint64_t skip_ = 0;
   std::size_t mask_ = 0;
 };
 
 class Recorder {
  public:
-  explicit Recorder(std::size_t ring_capacity) : capacity_(ring_capacity) {}
+  explicit Recorder(std::size_t ring_capacity, std::uint64_t stride = 1)
+      : capacity_(ring_capacity), stride_(stride == 0 ? 1 : stride) {}
 
   /// Grows to at least `n` rings; existing rings keep their contents and
   /// their addresses (workers hold raw pointers across hybrid phases).
   void ensure(std::size_t n) {
     while (rings_.size() < n)
-      rings_.push_back(std::make_unique<EventRing>(capacity_));
+      rings_.push_back(std::make_unique<EventRing>(capacity_, stride_));
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return rings_.size(); }
@@ -75,7 +95,13 @@ class Recorder {
     return w < rings_.size() ? rings_[w].get() : nullptr;
   }
   [[nodiscard]] std::size_t ring_capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t stride() const noexcept { return stride_; }
 
+  [[nodiscard]] std::uint64_t pushed() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : rings_) n += r->pushed();
+    return n;
+  }
   [[nodiscard]] std::uint64_t recorded() const noexcept {
     std::uint64_t n = 0;
     for (const auto& r : rings_) n += r->recorded();
@@ -93,6 +119,7 @@ class Recorder {
 
  private:
   std::size_t capacity_;
+  std::uint64_t stride_;
   std::vector<std::unique_ptr<EventRing>> rings_;
 };
 

@@ -120,6 +120,7 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
       // Wait on the precomputed expectations — no local replica needed.
       bool stalled = false;
       std::uint64_t wait_begin = 0;
+      std::uint64_t wait_cause = obs::kNoCause;
       if (timed) wait_begin = support::monotonic_ns();
       for (const PrunedAccess& pa : pt.accesses) {
         const SharedDataState& s = shared[pa.data];
@@ -135,15 +136,20 @@ support::RunStats run_pruned(const Config& cfg, support::ThreadPool* pool,
         // Same protocol wait as the full runtime (acquire_for through the
         // proto:: seam), with precomputed expectations in place of the
         // local replica.
-        stalled |= acquire_for(s, pa.expected_writer, pa.expected_reads,
-                               is_write(pa.mode), policy, abort_flag,
-                               &ob.spin_iters, bell);
+        const bool waited =
+            acquire_for(s, pa.expected_writer, pa.expected_reads,
+                        is_write(pa.mode), policy, abort_flag,
+                        &ob.spin_iters, bell);
+        // Wait-cause: the last stalling access's (data, expected writer)
+        // pair — the plan carries the expectations precomputed.
+        if (waited) wait_cause = obs::make_cause(pa.expected_writer, pa.data);
+        stalled |= waited;
       }
       if (probe != nullptr) probe->set_state(support::ProbeState::kExecuting);
       if (stalled) {
         if (timed)
           ob.span(obs::Phase::kAcquireWait, pt.id, wait_begin,
-                  support::monotonic_ns());
+                  support::monotonic_ns(), wait_cause);
         ob.count(obs::Counter::kProtocolWaits);
         if (cfg.collect_stats) ++st.waits;
       }

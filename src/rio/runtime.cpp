@@ -93,33 +93,40 @@ void record_failure(WorkerCtx& ctx, std::exception_ptr error) {
 void execute_owned(const stf::Task& task, WorkerCtx& ctx) {
   bool stalled = false;
   std::uint64_t wait_begin = 0;
+  std::uint64_t wait_cause = obs::kNoCause;
   if (ctx.timed) wait_begin = support::monotonic_ns();
   std::atomic<std::uint64_t>* bell =
       ctx.use_bells ? &ctx.bells[ctx.self].value : nullptr;
   for (const stf::Access& a : task.accesses) {
+    // The expected producer, read before get_* observes the counters —
+    // the same pair the watchdog probe and stall_diag print.
+    const stf::TaskId expected = ctx.local[a.data].last_registered_write;
     if (ctx.probe != nullptr) {
       // Publish what we are about to wait for, so a watchdog firing
       // mid-wait can report expected vs observed counters.
       ctx.probe->task.store(task.id, std::memory_order_relaxed);
       ctx.probe->data.store(a.data, std::memory_order_relaxed);
-      ctx.probe->expected_writer.store(ctx.local[a.data].last_registered_write,
-                                       std::memory_order_relaxed);
+      ctx.probe->expected_writer.store(expected, std::memory_order_relaxed);
       ctx.probe->expected_reads.store(ctx.local[a.data].nb_reads_since_write,
                                       std::memory_order_relaxed);
       ctx.probe->set_state(support::ProbeState::kWaiting);
     }
-    if (is_write(a.mode))
-      stalled |= get_write(ctx.shared[a.data], ctx.local[a.data], ctx.policy,
-                           ctx.res.abort, &ctx.obs.spin_iters, bell);
-    else
-      stalled |= get_read(ctx.shared[a.data], ctx.local[a.data], ctx.policy,
-                          ctx.res.abort, &ctx.obs.spin_iters, bell);
+    const bool waited =
+        is_write(a.mode)
+            ? get_write(ctx.shared[a.data], ctx.local[a.data], ctx.policy,
+                        ctx.res.abort, &ctx.obs.spin_iters, bell)
+            : get_read(ctx.shared[a.data], ctx.local[a.data], ctx.policy,
+                       ctx.res.abort, &ctx.obs.spin_iters, bell);
+    // The last access that stalled is the one whose producer ended the
+    // wait span — that (data, producer) pair is the span's cause.
+    if (waited) wait_cause = obs::make_cause(expected, a.data);
+    stalled |= waited;
   }
   if (ctx.probe != nullptr) ctx.probe->set_state(support::ProbeState::kExecuting);
   if (stalled) {
     if (ctx.timed)
       ctx.obs.span(obs::Phase::kAcquireWait, task.id, wait_begin,
-                   support::monotonic_ns());
+                   support::monotonic_ns(), wait_cause);
     ctx.obs.count(obs::Counter::kProtocolWaits);
     if (ctx.collect_stats) ++ctx.stats.waits;
   }

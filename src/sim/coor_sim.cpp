@@ -66,6 +66,9 @@ Report simulate_centralized(const stf::ImageRange& range,
   // so a plain min-heap pops in global time order.
   std::vector<std::size_t> remaining(n);
   std::vector<std::uint64_t> dep_finish(n, 0);
+  // Wait-cause: the predecessor whose finish defines dep_finish[t] —
+  // exact in virtual time. kInvalidTask means master-discovery-bound.
+  std::vector<stf::TaskId> blocker(n, stf::kInvalidTask);
   using QItem = std::pair<std::uint64_t, stf::TaskId>;  // (ready_time, task)
   std::priority_queue<QItem, std::vector<QItem>, std::greater<>> ready;
   for (stf::TaskId t = 0; t < n; ++t) {
@@ -134,7 +137,14 @@ Report simulate_centralized(const stf::ImageRange& range,
       obs::WorkerObs& ob = obses[w];
       const auto id = static_cast<std::uint64_t>(range.task_id(t));
       if (ready_time > wfree) {
-        ob.span(obs::Phase::kAcquireWait, id, wfree, ready_time);
+        // Dep-bound ready: blame the predecessor whose finish defined it;
+        // discovery-bound ready is the master's serialization (no cause).
+        const std::uint64_t cause =
+            dep_finish[t] >= discovery[t] && blocker[t] != stf::kInvalidTask
+                ? obs::make_cause(
+                      static_cast<std::uint64_t>(range.task_id(blocker[t])))
+                : obs::kNoCause;
+        ob.span(obs::Phase::kAcquireWait, id, wfree, ready_time, cause);
         ob.count(obs::Counter::kProtocolWaits);
       }
       ob.span(obs::Phase::kMgmt, id, start - params.worker_pop, start);
@@ -146,8 +156,11 @@ Report simulate_centralized(const stf::ImageRange& range,
     }
 
     for (stf::TaskId s : graph.successors(t)) {
-      dep_finish[s] =
-          std::max(dep_finish[s], fin + params.cross_worker_latency);
+      const std::uint64_t reach = fin + params.cross_worker_latency;
+      if (reach > dep_finish[s]) {
+        dep_finish[s] = reach;
+        blocker[s] = t;
+      }
       if (--remaining[s] == 0)
         ready.emplace(std::max(discovery[s], dep_finish[s]), s);
     }

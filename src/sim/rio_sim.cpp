@@ -108,12 +108,16 @@ Report simulate_decentralized(const stf::ImageRange& range,
         static_cast<std::int64_t>(prefix) + delta[w]);
     const std::uint64_t after_overhead = arrival + own_cost;
     std::uint64_t dep_ready = 0;
+    stf::TaskId blocker = stf::kInvalidTask;  // argmax predecessor = exact cause
     for (stf::TaskId pr : graph.predecessors(t)) {
       std::uint64_t ready_at = finish[pr];
       if (params.cross_worker_latency > 0 &&
           mapping(range.task_id(pr)) != w)
         ready_at += params.cross_worker_latency;
-      dep_ready = std::max(dep_ready, ready_at);
+      if (ready_at > dep_ready) {
+        dep_ready = ready_at;
+        blocker = pr;
+      }
     }
     const std::uint64_t start = std::max(after_overhead, dep_ready);
     const std::uint64_t fin = start + cost + recovery;
@@ -133,7 +137,13 @@ Report simulate_decentralized(const stf::ImageRange& range,
       const auto id = static_cast<std::uint64_t>(range.task_id(t));
       ob.span(obs::Phase::kMgmt, id, arrival, after_overhead);
       if (start > after_overhead) {
-        ob.span(obs::Phase::kAcquireWait, id, after_overhead, start);
+        // Dep-bound start: the argmax predecessor is the exact cause.
+        const std::uint64_t cause =
+            blocker == stf::kInvalidTask
+                ? obs::kNoCause
+                : obs::make_cause(
+                      static_cast<std::uint64_t>(range.task_id(blocker)));
+        ob.span(obs::Phase::kAcquireWait, id, after_overhead, start, cause);
         ob.count(obs::Counter::kProtocolWaits);
       }
       ob.span(obs::Phase::kBody, id, start, start + cost);

@@ -1,0 +1,243 @@
+// Minimal recursive-descent JSON reader — just enough to load the tree's
+// own versioned reports (rio.obs.v1 etc.) back in, with no external
+// dependency. Numbers are held as doubles: every count in those reports
+// is well below 2^53, and the consumers (rioflow obs-diff) compute
+// relative drifts anyway. Writers live in json.hpp; keeping the reader
+// separate means exporters do not pay for the parse code.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rio::support {
+
+class JsonValue {
+ public:
+  enum class Kind : unsigned char { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< objects
+  std::vector<JsonValue> items;                            ///< arrays
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  [[nodiscard]] double num_or(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  [[nodiscard]] std::string_view str_or(std::string_view fallback) const {
+    return kind == Kind::kString ? std::string_view(str) : fallback;
+  }
+};
+
+namespace detail {
+
+struct JsonParser {
+  const char* begin;
+  const char* p;
+  const char* end;
+  std::string* error;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+
+  bool fail(const char* msg) {
+    if (error->empty()) {
+      *error = msg;
+      *error += " at offset ";
+      *error += std::to_string(static_cast<std::size_t>(p - begin));
+    }
+    return false;
+  }
+
+  bool literal(const char* lit) {
+    const char* q = lit;
+    const char* save = p;
+    while (*q != '\0') {
+      if (p >= end || *p != *q) {
+        p = save;
+        return false;
+      }
+      ++p;
+      ++q;
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    out.clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p >= end) return fail("truncated escape");
+      const char e = *p++;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (end - p < 4) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a') + 10;
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A') + 10;
+            else
+              return fail("bad \\u escape");
+          }
+          // Our own writers only emit \u00xx control escapes; anything
+          // wider degrades to '?' rather than growing a UTF-8 encoder.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    if (*p == '{') {
+      ++p;
+      out.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (p >= end || *p != ':') return fail("expected ':'");
+        ++p;
+        JsonValue v;
+        if (!parse_value(v, depth + 1)) return false;
+        out.members.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (*p == '[') {
+      ++p;
+      out.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      for (;;) {
+        JsonValue v;
+        if (!parse_value(v, depth + 1)) return false;
+        out.items.push_back(std::move(v));
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (*p == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (literal("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    // Number: delegate to strtod over a bounded copy.
+    const char* start = p;
+    while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) != 0 ||
+                       *p == '-' || *p == '+' || *p == '.' || *p == 'e' ||
+                       *p == 'E'))
+      ++p;
+    if (p == start) return fail("unexpected character");
+    const std::string num(start, p);
+    char* parsed_end = nullptr;
+    out.number = std::strtod(num.c_str(), &parsed_end);
+    if (parsed_end == num.c_str() || *parsed_end != '\0')
+      return fail("malformed number");
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+};
+
+}  // namespace detail
+
+/// Parses `text` into `out`. Returns false and fills `error` on the first
+/// syntax problem; trailing non-whitespace after the document is an error.
+inline bool json_parse(std::string_view text, JsonValue& out,
+                       std::string& error) {
+  error.clear();
+  detail::JsonParser parser{text.data(), text.data(),
+                            text.data() + text.size(), &error};
+  if (!parser.parse_value(out, 0)) {
+    if (error.empty()) error = "parse error";
+    return false;
+  }
+  parser.skip_ws();
+  if (parser.p != parser.end) {
+    error = "trailing characters after JSON document";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rio::support

@@ -14,23 +14,28 @@
 #   8. rioflow JSON reports — `profile --quick --json --trace` on two
 #      workloads x two engines, plus `chaos --json` and `lint --json`;
 #      every emitted document must parse (docs/observability.md);
-#   9. engine registry sweep — `rioflow engines --json` must emit a parsing
+#   9. `rioflow blame --quick --json` on rio, coor and sim-rio — the causal
+#      profiler must emit a parsing rio.blame.v1 report on a real engine,
+#      the decentralized coordinator and the exact simulator; then
+#      `rioflow obs-diff` of an obs.json report against itself must report
+#      zero drift (exit 0) and emit a parsing rio.obsdiff.v1 report;
+#  10. engine registry sweep — `rioflow engines --json` must emit a parsing
 #      rio.engines.v1 report, every backend it lists must smoke-run
 #      (`rioflow run`), and every supports_obs backend must also
 #      `rioflow profile` (docs/engines.md);
-#  10. bench JSON reporters — micro_unroll, micro_protocol, micro_recovery
-#      and fig7_workers emit BENCH_*.json, all must parse;
-#      BENCH_unroll.json, BENCH_protocol.json and BENCH_recovery.json are
-#      kept at the repo root (committed reference numbers, see
-#      docs/perf.md);
-#  11. `rioflow verify --quick` — the implementation-level model checker
+#  11. bench JSON reporters — micro_unroll, micro_protocol, micro_recovery,
+#      micro_obs and fig7_workers emit BENCH_*.json, all must parse;
+#      BENCH_unroll.json, BENCH_protocol.json, BENCH_recovery.json and
+#      BENCH_obs_overhead.json are kept at the repo root (committed
+#      reference numbers, see docs/perf.md);
+#  12. `rioflow verify --quick` — the implementation-level model checker
 #      must exhaust its reduced interleaving space with zero violations and
 #      emit a parsing rio.verify.v1 report (docs/analysis.md). Every sync
 #      engine is checked under the default policy AND --policy block (the
 #      doorbell/parking rewrite), coor additionally with --queue ring
 #      (the wait-free MPMC ready ring), and every engine again with
 #      --recover (crash + evicted-resume two-phase exploration);
-#  12. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
+#  13. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
 #      failure suite + model checker + rioflow with RIO_SANITIZE=thread and
 #      reruns the resilience tests (incl. the recovery + crash-fuzz
 #      suites), the modelcheck suite, the quick chaos sweeps (transient
@@ -159,6 +164,31 @@ else
   fail "lint.json does not parse"
 fi
 
+step "rioflow blame: causal analyzer on real engines + exact simulator"
+for e in rio coor sim-rio; do
+  BLAME="$OBSDIR/blame-$e.json"
+  if "$RIOFLOW" blame --quick --workload cholesky --tiles 4 --engine "$e" \
+       --workers 2 --json "$BLAME" >/dev/null; then
+    json_ok "$BLAME" || fail "blame $e: blame.json does not parse"
+    grep -q '"rio.blame.v1"' "$BLAME" || fail "blame $e: missing schema tag"
+  else
+    fail "blame --quick --engine $e"
+  fi
+done
+
+step "rioflow obs-diff: a report diffed against itself is zero drift"
+SELF="$OBSDIR/cholesky-rio.obs.json"  # written by the profile step above
+DIFFJSON="$OBSDIR/obsdiff.json"
+if "$RIOFLOW" obs-diff "$SELF" "$SELF" --json "$DIFFJSON" >/dev/null; then
+  json_ok "$DIFFJSON" || fail "obsdiff.json does not parse"
+  grep -q '"rio.obsdiff.v1"' "$DIFFJSON" ||
+    fail "obsdiff.json: missing schema tag"
+  grep -q '"regressed": false' "$DIFFJSON" ||
+    fail "obs-diff self-check: expected zero drift"
+else
+  fail "obs-diff self-check (expected exit 0)"
+fi
+
 step "rioflow engines: registry-driven smoke of every backend"
 ENGJSON="$OBSDIR/engines.json"
 if "$RIOFLOW" engines --json "$ENGJSON" >/dev/null; then
@@ -213,6 +243,13 @@ if (cd "$ROOT" && "$BUILD/bench/micro_recovery" --quick --json >/dev/null); then
   fi
 else
   fail "micro_recovery --quick --json"
+fi
+if (cd "$ROOT" && "$BUILD/bench/micro_obs" --quick --json >/dev/null); then
+  if ! json_ok "$ROOT/BENCH_obs_overhead.json"; then
+    fail "BENCH_obs_overhead.json does not parse"
+  fi
+else
+  fail "micro_obs --quick --json"
 fi
 if (cd "$ROOT" && "$BUILD/bench/fig7_workers" --quick --json >/dev/null); then
   if ! json_ok "$ROOT/BENCH_fig7_workers.json"; then
