@@ -49,6 +49,18 @@ stf::TaskFlow bad_redundant_edge() {
   return flow;
 }
 
+stf::TaskFlow bad_tiny_tasks() {
+  // 16 tasks: exactly LintOptions::fusion_min_tasks, so the fixture sits on
+  // the smallest flow RF501 is willing to warn about.
+  stf::TaskFlow flow;
+  auto x = flow.create_data<double>("x", 8);
+  flow.add_virtual(5, {write(x)}, "tiny-head");
+  for (int i = 0; i < 14; ++i)
+    flow.add_virtual(5, {readwrite(x)}, "tiny-link");
+  flow.add_virtual(5, {read(x)}, "tiny-tail");
+  return flow;
+}
+
 namespace {
 
 /// Two-phase body shared by the phase fixtures: producer tasks in a static

@@ -28,6 +28,10 @@ namespace rio::analysis::fixtures {
 /// RF004: a dependency edge is transitively implied by a two-hop path.
 [[nodiscard]] stf::TaskFlow bad_redundant_edge();
 
+/// RF501: a chain of tasks whose median cost sits far below the fusion
+/// threshold — the flow `optimize --passes fuse` exists for.
+[[nodiscard]] stf::TaskFlow bad_tiny_tasks();
+
 /// RC301 material: two unordered writes whose recorded intervals do not
 /// overlap. `trace` passes Trace::validate (the interval test); `sync`
 /// makes check_happens_before report the race.

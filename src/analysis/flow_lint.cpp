@@ -1,5 +1,6 @@
 #include "analysis/flow_lint.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -345,10 +346,33 @@ void lint_phases(const stf::TaskFlow& flow, const stf::DependencyGraph& graph,
 
 }  // namespace
 
+/// RF501: the paper's Fig. 2-4 cliff — flows of tiny tasks pay more runtime
+/// overhead than work. Median (not mean) so a few expensive tasks cannot
+/// mask a fine-grained bulk.
+void lint_granularity(const stf::TaskFlow& flow, const LintOptions& opts,
+                      Report& report) {
+  if (flow.num_tasks() < opts.fusion_min_tasks || opts.fusion_threshold == 0)
+    return;
+  std::vector<std::uint64_t> costs;
+  costs.reserve(flow.num_tasks());
+  for (const stf::Task& t : flow.tasks()) costs.push_back(t.cost);
+  const std::size_t mid = costs.size() / 2;
+  std::nth_element(costs.begin(), costs.begin() + mid, costs.end());
+  const std::uint64_t median = costs[mid];
+  if (median == 0 || median >= opts.fusion_threshold) return;
+  report.add("RF501", Severity::kWarning,
+             "median task cost " + std::to_string(median) +
+                 " is below the fusion threshold " +
+                 std::to_string(opts.fusion_threshold) +
+                 "; this flow would benefit from `optimize --passes fuse`",
+             stf::kInvalidTask, stf::kInvalidData, flow.num_tasks());
+}
+
 Report lint_flow(const stf::TaskFlow& flow, const stf::DependencyGraph& graph,
                  const LintOptions& opts) {
   Report report;
   lint_accesses(flow, opts, report);
+  lint_granularity(flow, opts, report);
   lint_redundant_edges(flow, graph, opts, report);
   if (opts.mapping != nullptr && opts.mapping->valid() && opts.num_workers > 0)
     lint_mapping(flow, graph, opts, report);

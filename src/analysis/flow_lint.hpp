@@ -24,6 +24,9 @@
 //   RH403  cross-phase deps       info     dependency edges crossing a phase
 //                                          boundary (each is serialized by
 //                                          the barrier, not by the protocol)
+//   RF501  tiny-task granularity  warning  median task cost below the fusion
+//                                          threshold — the flow would benefit
+//                                          from `optimize --passes fuse`
 #pragma once
 
 #include <cstdint>
@@ -69,6 +72,17 @@ struct LintOptions {
   /// Optional hybrid phase partition to diagnose (RH4xx). Phases must be
   /// in flow order; RH401 additionally needs num_workers > 0.
   const std::vector<LintPhase>* phases = nullptr;
+
+  /// RF501 threshold: warn when the flow's median task cost is positive but
+  /// strictly below this (matches flowpass::PassOptions::fuse_threshold).
+  /// Flows with an all-zero cost model skip the check — fusion advice means
+  /// nothing without costs.
+  std::uint64_t fusion_threshold = 1000;
+
+  /// RF501 only fires on flows with at least this many tasks: per-task
+  /// overhead is a problem of scale, and warning on a 4-task fixture would
+  /// be noise (the analyzer fixtures all use cost-1 virtual tasks).
+  std::size_t fusion_min_tasks = 16;
 };
 
 /// Lints `flow` against `graph` (which must have been built from the same

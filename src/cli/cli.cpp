@@ -17,6 +17,7 @@
 #include "coor/coor.hpp"
 #include "engine/registry.hpp"
 #include "engine/supervisor.hpp"
+#include "flowpass/pass.hpp"
 #include "metrics/efficiency.hpp"
 #include "modelcheck/impl.hpp"
 #include "obs/causal.hpp"
@@ -150,10 +151,12 @@ bool build_workload(const Options& o, workloads::BodyKind body,
       out.flow = analysis::fixtures::bad_empty_phase().flow;
     } else if (name == "cross-phase-dep") {
       out.flow = analysis::fixtures::cross_phase_dep().flow;
+    } else if (name == "tiny-tasks") {
+      out.flow = analysis::fixtures::bad_tiny_tasks();
     } else {
       error = "unknown lint fixture '" + name +
               "' (uninit-read|dead-write|unused-handle|redundant-edge|race|"
-              "phase-mapping|empty-phase|cross-phase-dep)";
+              "phase-mapping|empty-phase|cross-phase-dep|tiny-tasks)";
       return false;
     }
     out.name = o.workload;
@@ -263,6 +266,7 @@ int run_lint(const Options& o, std::ostream& out, std::ostream& err) {
   lo.mapping = &mapping;
   lo.num_workers = o.workers;
   lo.counter_bits = o.counter_bits;
+  lo.fusion_threshold = o.fuse_threshold;
   // The phase fixtures carry their hybrid partition with them; regular
   // workloads have no phase structure to lint (RH4xx needs a partition).
   std::vector<analysis::LintPhase> phases;
@@ -1200,7 +1204,7 @@ int run_engines(const Options& o, std::ostream& out, std::ostream& err) {
       engine::Registry::instance().all();
 
   out << "-- engines (" << backends.size() << " registered) --\n";
-  support::Table table({"engine", "capabilities", "description"});
+  support::Table table({"engine", "aliases", "capabilities", "description"});
   for (const engine::Backend* b : backends) {
     std::string caps;
     for (const auto& [flag, on] : engine::capability_list(b->caps())) {
@@ -1208,8 +1212,15 @@ int run_engines(const Options& o, std::ostream& out, std::ostream& err) {
       if (!caps.empty()) caps += ' ';
       caps += flag;
     }
+    std::string aliases;
+    for (const std::string& a :
+         engine::Registry::instance().aliases_for(b->name())) {
+      if (!aliases.empty()) aliases += ' ';
+      aliases += a;
+    }
     table.row()
         .str(std::string(b->name()))
+        .str(aliases)
         .str(caps)
         .str(std::string(b->description()));
   }
@@ -1228,7 +1239,14 @@ int run_engines(const Options& o, std::ostream& out, std::ostream& err) {
     for (std::size_t i = 0; i < backends.size(); ++i) {
       const engine::Backend* b = backends[i];
       f << (i == 0 ? "\n" : ",\n") << "    {\"name\": "
-        << support::json_quote(std::string(b->name())) << ", \"description\": "
+        << support::json_quote(std::string(b->name())) << ", \"aliases\": [";
+      bool first_alias = true;
+      for (const std::string& a :
+           engine::Registry::instance().aliases_for(b->name())) {
+        f << (first_alias ? "" : ", ") << support::json_quote(a);
+        first_alias = false;
+      }
+      f << "], \"description\": "
         << support::json_quote(std::string(b->description()))
         << ", \"capabilities\": {";
       bool first = true;
@@ -1427,6 +1445,257 @@ int run_verify(const Options& o, std::ostream& out, std::ostream& err) {
   return r.ok() ? 0 : 3;
 }
 
+/// optimize: run the flowpass pipeline over the compiled image, verify the
+/// rewrite byte-for-byte against the sequential oracle, and compare
+/// optimized vs unoptimized execution on the selected backend.
+///
+/// Fold bodies mix data bytes non-idempotently, so every measured run needs
+/// a fresh flow (data restarts at zero) — the repeat loops rebuild workload
+/// + pipeline per repetition and only time the engine run itself.
+int run_optimize(const Options& o, std::ostream& out, std::ostream& err) {
+  std::string error;
+  const engine::Backend* backend =
+      engine::Registry::instance().find_or_error(o.engine, error);
+  if (backend == nullptr) {
+    err << "rioflow: " << error << "\n";
+    return 1;
+  }
+
+  const std::vector<std::string> pass_names =
+      o.passes.empty() ? flowpass::Registry::instance().names()
+                       : split_csv(o.passes);
+  if (pass_names.empty()) {
+    err << "rioflow: --passes is empty (choices: "
+        << flowpass::Registry::instance().names_csv() << ")\n";
+    return 1;
+  }
+
+  flowpass::PassOptions popts;
+  popts.workers = o.workers;
+  popts.fuse_threshold = o.fuse_threshold;
+  popts.tune = o.tune;
+
+  const bool bodies = backend->caps().executes_bodies;
+  const workloads::BodyKind body =
+      bodies ? workloads::BodyKind::kFold : workloads::BodyKind::kNone;
+  const int repeats = std::max(1, o.repeat);
+
+  // Sequential oracle over the SOURCE flow: any semantics-preserving
+  // rewrite must reproduce exactly these bytes on a real backend.
+  std::vector<std::vector<std::byte>> oracle;
+  if (bodies) {
+    workloads::Workload wl;
+    if (!build_workload(o, workloads::BodyKind::kFold, wl, error)) {
+      err << "rioflow: " << error << "\n";
+      return 1;
+    }
+    stf::SequentialExecutor{}.run(wl.flow);
+    oracle = data_image(wl.flow.registry());
+  }
+
+  std::vector<flowpass::PassReport> reports;
+  std::string workload_name;
+  double pipeline_s = 0.0;
+  std::size_t source_tasks = 0, optimized_tasks = 0;
+  bool opt_match = true, unopt_match = true;
+  bool virtual_time = false;
+  std::uint64_t opt_makespan = 0, unopt_makespan = 0;  // wall ns or ticks
+
+  // ---- optimized executions ----------------------------------------------
+  {
+    double best_s = 1e300;
+    for (int rep = 0; rep < repeats; ++rep) {
+      workloads::Workload wl;
+      if (!build_workload(o, body, wl, error)) {
+        err << "rioflow: " << error << "\n";
+        return 1;
+      }
+      engine::Launch launch;
+      if (!make_launch(o, wl, launch, error)) {
+        err << "rioflow: " << error << "\n";
+        return 1;
+      }
+      const stf::FlowImage source = stf::FlowImage::compile(wl.flow);
+      support::Stopwatch psw;
+      flowpass::PipelineResult pipe =
+          flowpass::run_pipeline(source, pass_names, popts);
+      if (!pipe.ok()) {
+        err << "rioflow: " << pipe.error << "\n";
+        return 1;
+      }
+      if (rep == 0) {
+        pipeline_s = psw.elapsed_s();
+        reports = pipe.passes;
+        workload_name = wl.name;
+        source_tasks = source.size();
+        optimized_tasks = pipe.image.size();
+      }
+      // A placement pass's product beats the CLI default: this is how
+      // `--tune`'s winner reaches the real engine. Non-mapping backends
+      // ignore Launch::mapping, so overriding it is always safe.
+      if (pipe.mapping.valid()) launch.mapping = pipe.mapping;
+      engine::Outcome outcome;
+      support::Stopwatch sw;
+      try {
+        outcome = backend->run(pipe.image, launch);
+      } catch (const engine::UnsupportedLaunch& e) {
+        err << "rioflow: " << e.what() << "\n";
+        return 2;
+      }
+      best_s = std::min(best_s, sw.elapsed_s());
+      virtual_time = outcome.virtual_time;
+      if (outcome.virtual_time) opt_makespan = outcome.makespan;
+      if (bodies && data_image(wl.flow.registry()) != oracle)
+        opt_match = false;
+    }
+    if (!virtual_time)
+      opt_makespan = static_cast<std::uint64_t>(best_s * 1e9);
+  }
+
+  // ---- unoptimized baseline, same backend + knobs ------------------------
+  {
+    double best_s = 1e300;
+    for (int rep = 0; rep < repeats; ++rep) {
+      workloads::Workload wl;
+      if (!build_workload(o, body, wl, error)) {
+        err << "rioflow: " << error << "\n";
+        return 1;
+      }
+      engine::Launch launch;
+      if (!make_launch(o, wl, launch, error)) {
+        err << "rioflow: " << error << "\n";
+        return 1;
+      }
+      const stf::FlowImage image = stf::FlowImage::compile(wl.flow);
+      engine::Outcome outcome;
+      support::Stopwatch sw;
+      try {
+        outcome = backend->run(image, launch);
+      } catch (const engine::UnsupportedLaunch& e) {
+        err << "rioflow: " << e.what() << "\n";
+        return 2;
+      }
+      best_s = std::min(best_s, sw.elapsed_s());
+      if (outcome.virtual_time) unopt_makespan = outcome.makespan;
+      if (bodies && data_image(wl.flow.registry()) != oracle)
+        unopt_match = false;
+    }
+    if (!virtual_time)
+      unopt_makespan = static_cast<std::uint64_t>(best_s * 1e9);
+  }
+
+  // ---- report -------------------------------------------------------------
+  out << "-- optimize: " << workload_name << " on " << backend->name() << " ("
+      << o.workers << " workers, passes ";
+  for (std::size_t i = 0; i < pass_names.size(); ++i)
+    out << (i == 0 ? "" : ",") << pass_names[i];
+  out << (o.tune ? ", tuned" : "") << ") --\n";
+
+  if (o.report) {
+    const auto arrow = [](std::uint64_t a, std::uint64_t b) {
+      return std::to_string(a) + " -> " + std::to_string(b);
+    };
+    support::Table table(
+        {"pass", "tasks", "edges", "critical path", "balance", "detail"});
+    for (const flowpass::PassReport& r : reports) {
+      char bal[64];
+      std::snprintf(bal, sizeof bal, "%.2f -> %.2f", r.balance_before,
+                    r.balance_after);
+      table.row()
+          .str(r.pass)
+          .str(arrow(r.tasks_before, r.tasks_after))
+          .str(arrow(r.edges_before, r.edges_after))
+          .str(arrow(r.critical_path_before, r.critical_path_after))
+          .str(bal)
+          .str(r.detail);
+    }
+    if (o.csv)
+      table.print_csv(out);
+    else
+      table.print(out);
+    for (const flowpass::PassReport& r : reports)
+      for (const flowpass::TuneStep& t : r.tuning)
+        out << "tune[" << r.pass << "]: " << t.candidate << " -> " << t.score
+            << (t.chosen ? "  (chosen)" : "") << "\n";
+  }
+
+  if (bodies)
+    out << "verification: optimized " << (opt_match ? "ok" : "ORACLE MISMATCH")
+        << ", unoptimized " << (unopt_match ? "ok" : "ORACLE MISMATCH")
+        << " (vs sequential oracle, " << oracle.size() << " data objects)\n";
+  else
+    out << "verification: skipped (" << backend->name()
+        << " is a virtual-time engine; bodies never execute)\n";
+
+  const auto fmt_span = [&](std::uint64_t v) {
+    return virtual_time
+               ? std::to_string(v) + " ticks (virtual)"
+               : support::format_duration_ns(static_cast<double>(v));
+  };
+  out << "tasks: " << source_tasks << " -> " << optimized_tasks
+      << "  unoptimized: " << fmt_span(unopt_makespan)
+      << "  optimized: " << fmt_span(opt_makespan);
+  if (opt_makespan > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fx",
+                  static_cast<double>(unopt_makespan) /
+                      static_cast<double>(opt_makespan));
+    out << "  speedup: " << buf;
+  }
+  out << "\n";
+
+  if (!o.json_path.empty()) {
+    std::ofstream f(o.json_path);
+    if (!f) {
+      err << "rioflow: cannot write " << o.json_path << "\n";
+      return 2;
+    }
+    f << "{\n  \"schema\": \"rio.optimize.v1\",\n"
+      << "  \"workload\": " << support::json_quote(workload_name) << ",\n"
+      << "  \"engine\": " << support::json_quote(backend->name()) << ",\n"
+      << "  \"workers\": " << o.workers << ",\n"
+      << "  \"tune\": " << (o.tune ? "true" : "false") << ",\n"
+      << "  \"fuse_threshold\": " << o.fuse_threshold << ",\n"
+      << "  \"passes\": [";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const flowpass::PassReport& r = reports[i];
+      f << (i == 0 ? "" : ",") << "\n    {\"name\": "
+        << support::json_quote(r.pass)
+        << ", \"tasks_before\": " << r.tasks_before
+        << ", \"tasks_after\": " << r.tasks_after
+        << ", \"edges_before\": " << r.edges_before
+        << ", \"edges_after\": " << r.edges_after
+        << ", \"critical_path_before\": " << r.critical_path_before
+        << ", \"critical_path_after\": " << r.critical_path_after
+        << ", \"balance_before\": " << support::json_double(r.balance_before)
+        << ", \"balance_after\": " << support::json_double(r.balance_after)
+        << ", \"detail\": " << support::json_quote(r.detail)
+        << ", \"tuning\": [";
+      for (std::size_t t = 0; t < r.tuning.size(); ++t)
+        f << (t == 0 ? "" : ", ") << "{\"candidate\": "
+          << support::json_quote(r.tuning[t].candidate)
+          << ", \"score\": " << r.tuning[t].score << ", \"chosen\": "
+          << (r.tuning[t].chosen ? "true" : "false") << "}";
+      f << "]}";
+    }
+    f << "\n  ],\n"
+      << "  \"tasks_before\": " << source_tasks << ",\n"
+      << "  \"tasks_after\": " << optimized_tasks << ",\n"
+      << "  \"verification\": {\"checked\": " << (bodies ? "true" : "false")
+      << ", \"optimized_matches_oracle\": "
+      << (bodies ? (opt_match ? "true" : "false") : "null")
+      << ", \"unoptimized_matches_oracle\": "
+      << (bodies ? (unopt_match ? "true" : "false") : "null") << "},\n"
+      << "  \"virtual_time\": " << (virtual_time ? "true" : "false") << ",\n"
+      << "  \"unoptimized_makespan\": " << unopt_makespan << ",\n"
+      << "  \"optimized_makespan\": " << opt_makespan << ",\n"
+      << "  \"pipeline_seconds\": " << support::json_double(pipeline_s)
+      << "\n}\n";
+    out << "wrote " << o.json_path << "\n";
+  }
+  return (opt_match && unopt_match) ? 0 : 3;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -1474,6 +1743,13 @@ usage: rioflow [command] [options]
                   in-order windows, deadlock and lost-wakeup freedom
                   (--json writes the rio.verify.v1 document; violations
                   come with a replayable schedule witness)
+    optimize      run the flowpass pipeline (fuse | reorder | partition |
+                  map; docs/passes.md) over the compiled image, byte-verify
+                  the rewrite against the sequential oracle, then execute
+                  optimized vs unoptimized on --engine and compare
+                  (--passes selects, --tune scores mappings by simulated
+                  makespan, --report prints per-pass metrics, --json writes
+                  the rio.optimize.v1 document)
 
   --workload W    independent | random | chain | gemm | lu | cholesky |
                   stencil |
@@ -1481,9 +1757,11 @@ usage: rioflow [command] [options]
                              fft|tree|all_to_all|spread> |
                   lintfix:<uninit-read|dead-write|unused-handle|
                            redundant-edge|race|phase-mapping|
-                           empty-phase|cross-phase-dep>         [independent]
+                           empty-phase|cross-phase-dep|tiny-tasks>
+                                                                [independent]
   --engine E      )" +
-         engines + R"(  [rio]
+         engines + R"(
+                  (aliases: pruned, sim; default from RIOFLOW_ENGINE)  [rio]
   --workers N     worker threads / virtual cores                [2])" +
          R"(
   --tasks N       synthetic workloads: task count               [4096]
@@ -1518,6 +1796,10 @@ usage: rioflow [command] [options]
                   resumed evicted configuration
   --max-preemptions N  verify: bound scheduler preemptions     [unbounded]
   --naive         verify: disable DPOR (full naive enumeration)
+  --passes CSV    optimize: passes to apply, in order           [all]
+  --tune          optimize: score map candidates by sim-rio makespan
+  --report        optimize: print the per-pass report table
+  --fuse-threshold N  fuse/lint RF501: tiny-task cost cutoff    [1000]
   --blame         profile: also run the causal analyzer
   --sample N      profile/blame: record every Nth span          [1]
   --top K         blame: stall edges printed / kept in --json   [10]
@@ -1529,7 +1811,8 @@ usage: rioflow [command] [options]
   --trace FILE    write a Chrome trace (real engines; profile: obs trace)
   --json FILE     machine-readable report (profile: rio.obs.v1, blame:
                   rio.blame.v1, obs-diff: rio.obsdiff.v1, chaos:
-                  rio.chaos.v2, lint: rio.lint.v1, check: rio.check.v1)
+                  rio.chaos.v2, lint: rio.lint.v1, check: rio.check.v1,
+                  optimize: rio.optimize.v1)
   --csv           machine-readable outputs
   --help
 )";
@@ -1542,9 +1825,10 @@ bool parse(int argc, const char* const* argv, Options& o,
     const std::string cmd = argv[1];
     if (cmd != "lint" && cmd != "check" && cmd != "chaos" &&
         cmd != "profile" && cmd != "blame" && cmd != "obs-diff" &&
-        cmd != "engines" && cmd != "verify") {
+        cmd != "engines" && cmd != "verify" && cmd != "optimize") {
       error = "unknown command '" + cmd +
-              "' (lint|check|chaos|profile|blame|obs-diff|engines|verify)";
+              "' (lint|check|chaos|profile|blame|obs-diff|engines|verify|"
+              "optimize)";
       return false;
     }
     o.command = cmd;
@@ -1642,6 +1926,23 @@ bool parse(int argc, const char* const* argv, Options& o,
       const char* v = need_value("--engine");
       if (!v) return false;
       o.engine = v;
+      o.engine_given = true;
+    } else if (arg == "--passes") {
+      const char* v = need_value("--passes");
+      if (!v) return false;
+      o.passes = v;
+    } else if (arg == "--tune") {
+      o.tune = true;
+    } else if (arg == "--report") {
+      o.report = true;
+    } else if (arg == "--fuse-threshold") {
+      const char* v = need_value("--fuse-threshold");
+      if (!v) return false;
+      if (!to_u64(std::string(v), o.fuse_threshold)) {
+        error = std::string("bad numeric value for --fuse-threshold: '") + v +
+                "'";
+        return false;
+      }
     } else if (arg == "--mapping") {
       const char* v = need_value("--mapping");
       if (!v) return false;
@@ -1727,6 +2028,14 @@ bool parse(int argc, const char* const* argv, Options& o,
     error = "--repeat must be >= 1";
     return false;
   }
+  // Default-engine config: RIOFLOW_ENGINE fills in when --engine was not
+  // given. Resolution (and the unknown-name error with its choices list)
+  // happens later in the registry, like any other engine name or alias.
+  if (!o.engine_given) {
+    if (const char* env = std::getenv("RIOFLOW_ENGINE"); env && *env) {
+      o.engine = env;
+    }
+  }
   return true;
 }
 
@@ -1743,6 +2052,7 @@ int run(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.command == "obs-diff") return run_obs_diff(o, out, err);
   if (o.command == "engines") return run_engines(o, out, err);
   if (o.command == "verify") return run_verify(o, out, err);
+  if (o.command == "optimize") return run_optimize(o, out, err);
   std::string error;
   const engine::Backend* backend =
       engine::Registry::instance().find_or_error(o.engine, error);

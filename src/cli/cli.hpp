@@ -30,7 +30,9 @@ struct Options {
   // registered backends with their capability flags (engine::Registry);
   // "verify" model-checks the engine's real synchronization code on a
   // small flow (mc::impl: DPOR over every interleaving of the protocol's
-  // shared-word operations).
+  // shared-word operations); "optimize" runs the flowpass pipeline over the
+  // compiled image, byte-verifies the rewrite against the sequential
+  // oracle, and compares optimized vs unoptimized execution.
   std::string command;
 
   // Positional (non-flag) operands after the command — only obs-diff
@@ -50,8 +52,10 @@ struct Options {
   std::uint64_t seed = 42;
 
   // Engine selection.
-  std::string engine = "rio";  ///< any engine::Registry name — see
-                               ///< `rioflow engines` (docs/engines.md)
+  std::string engine = "rio";  ///< any engine::Registry name or alias — see
+                               ///< `rioflow engines` (docs/engines.md);
+                               ///< default overridable via RIOFLOW_ENGINE
+  bool engine_given = false;   ///< --engine was passed explicitly
   std::uint32_t workers = 2;
   std::string mapping = "owner";    ///< rr | block | owner
   std::string policy = "yield";     ///< spin | yield | block
@@ -85,6 +89,14 @@ struct Options {
   // the checkpointed completion frontier instead of aborting the run.
   bool recover = false;
 
+  // Optimization pipeline (optimize command; docs/passes.md).
+  std::string passes;                ///< csv of flowpass::Registry names;
+                                     ///< empty = all registered passes
+  bool tune = false;                 ///< score map candidates by simulated
+                                     ///< makespan instead of the static model
+  bool report = false;               ///< print the per-pass report table
+  std::uint64_t fuse_threshold = 1000;  ///< fuse: cost cutoff (also RF501)
+
   // Causal profiling (profile / blame) and obs-diff.
   bool blame = false;           ///< profile: also run the causal analyzer
   std::uint64_t sample = 1;     ///< record every Nth span (1 = all)
@@ -101,7 +113,8 @@ struct Options {
                               ///< (profile), rio.chaos.v2 (chaos),
                               ///< rio.lint.v1 / rio.check.v1 (lint/check),
                               ///< rio.engines.v1 (engines),
-                              ///< rio.verify.v1 (verify)
+                              ///< rio.verify.v1 (verify),
+                              ///< rio.optimize.v1 (optimize)
   bool csv = false;
 
   bool help = false;

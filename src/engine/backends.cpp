@@ -356,6 +356,8 @@ void register_builtins(Registry& reg) {
   reg.add(std::make_unique<SimRioBackend>());
   reg.add(std::make_unique<SimCoorBackend>());
   reg.add(std::make_unique<SimHybridBackend>());
+  reg.add_alias("pruned", "rio-pruned");
+  reg.add_alias("sim", "sim-rio");
 }
 
 }  // namespace detail

@@ -29,11 +29,31 @@ void Registry::add(std::unique_ptr<Backend> backend) {
   backends_.push_back(std::move(backend));
 }
 
+void Registry::add_alias(std::string alias, std::string_view target) {
+  RIO_ASSERT_MSG(!alias.empty(), "alias must be non-empty");
+  RIO_ASSERT_MSG(find(alias) == nullptr, "alias collides with existing name");
+  const Backend* t = find(target);
+  RIO_ASSERT_MSG(t != nullptr, "alias target is not registered");
+  aliases_.emplace_back(std::move(alias), std::string(t->name()));
+}
+
 const Backend* Registry::find(std::string_view name) const noexcept {
   // The ONLY engine-name string matching in the codebase lives here.
   for (const auto& b : backends_)
     if (b->name() == name) return b.get();
+  for (const auto& [alias, target] : aliases_) {
+    if (alias != name) continue;
+    for (const auto& b : backends_)
+      if (b->name() == target) return b.get();
+  }
   return nullptr;
+}
+
+std::vector<std::string> Registry::aliases_for(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const auto& [alias, target] : aliases_)
+    if (target == name) out.push_back(alias);
+  return out;
 }
 
 const Backend* Registry::find_or_error(std::string_view name,

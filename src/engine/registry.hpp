@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -28,8 +29,19 @@ class Registry {
   /// add experimental backends on top of the built-ins.
   void add(std::unique_ptr<Backend> backend);
 
-  /// nullptr when no backend carries `name`.
+  /// Registers `alias` as a second name for the backend called `target`.
+  /// The target must already be registered and the alias must not collide
+  /// with any canonical name or existing alias. Built-ins: `pruned` ->
+  /// rio-pruned, `sim` -> sim-rio.
+  void add_alias(std::string alias, std::string_view target);
+
+  /// nullptr when no backend carries `name` (canonical names first, then
+  /// aliases).
   [[nodiscard]] const Backend* find(std::string_view name) const noexcept;
+
+  /// Aliases pointing at the backend named `name`, in registration order.
+  [[nodiscard]] std::vector<std::string> aliases_for(
+      std::string_view name) const;
 
   /// find() with the structured unknown-name error every consumer prints:
   /// "unknown engine 'x' (choices: seq, rio, ...)". CLI exit code 1.
@@ -47,6 +59,7 @@ class Registry {
 
  private:
   std::vector<std::unique_ptr<Backend>> backends_;
+  std::vector<std::pair<std::string, std::string>> aliases_;  // alias -> target
 };
 
 }  // namespace rio::engine

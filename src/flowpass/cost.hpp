@@ -1,0 +1,37 @@
+// Cost functions the passes score rewrites with. Two static estimators
+// (critical path, load balance) plus the simulator as a virtual-makespan
+// oracle — the same sim-rio model every bench uses, so tuned choices are
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "flowpass/pass.hpp"
+#include "rio/mapping.hpp"
+#include "stf/flow_image.hpp"
+
+namespace rio::flowpass::cost {
+
+/// Length (sum of task costs, >= 1 each) of the longest dependency chain in
+/// the image — the lower bound no mapping can beat.
+[[nodiscard]] std::uint64_t critical_path(const stf::FlowImage& image);
+
+/// max worker load / mean worker load under `mapping` (costs >= 1 each).
+/// 1.0 is perfectly balanced; returns 0.0 for empty flows.
+[[nodiscard]] double balance(const stf::FlowImage& image,
+                             const rt::Mapping& mapping,
+                             std::uint32_t workers);
+
+/// Static schedule estimate: max(critical path, max worker load) — the
+/// classic two-sided lower bound, used to rank mappings without simulating.
+[[nodiscard]] std::uint64_t static_estimate(const stf::FlowImage& image,
+                                            const rt::Mapping& mapping,
+                                            std::uint32_t workers);
+
+/// Virtual makespan of the image under `mapping` on the decentralized
+/// (sim-rio) model with `opts.sim_params` costs and `opts.workers` cores.
+[[nodiscard]] std::uint64_t simulated_makespan(const stf::FlowImage& image,
+                                               const rt::Mapping& mapping,
+                                               const PassOptions& opts);
+
+}  // namespace rio::flowpass::cost

@@ -1,0 +1,156 @@
+// flowpass: compiler-style optimization passes over compiled FlowImages.
+//
+// The paper's Fig. 2-4 decomposition shows fine-grained flows drowning in
+// per-task runtime overhead (e_r). That is a granularity/placement problem,
+// and it is best fixed ABOVE the engines: rewrite the flow once, before any
+// worker runs it. Each pass is a FlowImage -> FlowImage rewrite with a
+// machine-checked semantic-preservation contract:
+//
+//   * the rewritten image talks about the same DataRegistry, the same data
+//     objects and the same total cost (asserted by run_pipeline);
+//   * executing the rewritten image produces byte-identical data to the
+//     sequential oracle on the source flow (enforced by the flowpass test
+//     matrix and the run_checks.sh optimize step for every registered pass
+//     on every executes_bodies backend).
+//
+// Built-in passes (registration order — also the default pipeline):
+//   fuse       collapse chains of tiny tasks into one composite body
+//   reorder    renumber tasks for data locality, preserving STF order
+//   partition  split the flow into per-worker shards + hybrid:: phases
+//   map        static mapping search scored by cost model / simulation
+//
+// Passes that compute placement (partition, map) return their product in
+// PassReport::mapping / phases; the image itself passes through unchanged.
+// Because sim:: executes any FlowImage in virtual time, the map pass can be
+// auto-tuned: score every candidate mapping by simulated makespan and run
+// the winner on a real engine (PassOptions::tune).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hybrid/runtime.hpp"
+#include "rio/mapping.hpp"
+#include "sim/params.hpp"
+#include "stf/flow_image.hpp"
+
+namespace rio::flowpass {
+
+/// Tuning knobs shared by all passes. One struct so the CLI and tests can
+/// thread a single options object through a whole pipeline.
+struct PassOptions {
+  /// Worker count the flow is being optimized FOR (partition shard count,
+  /// mapping search width, simulation cores).
+  std::uint32_t workers = 2;
+
+  /// fuse: tasks with cost strictly below this are fusion candidates. The
+  /// default matches the shipped workloads' default task cost, so fusion is
+  /// a no-op unless the flow is genuinely finer-grained than the baseline.
+  std::uint64_t fuse_threshold = 1000;
+
+  /// fuse: maximum chain members collapsed into one composite.
+  std::size_t fuse_max_group = 8;
+
+  /// map: score candidates by simulated makespan (sim-rio as cost oracle)
+  /// instead of the static critical-path/balance estimate.
+  bool tune = false;
+
+  /// map --tune: simulator cost parameters (workers is overridden with
+  /// `workers` above).
+  sim::DecentralizedParams sim_params;
+};
+
+/// One scored candidate from the map pass's search (or the static scores
+/// when tuning is off). Feeds the rio.optimize.v1 "tuning" array.
+struct TuneStep {
+  std::string candidate;
+  std::uint64_t score = 0;  ///< simulated makespan ticks, or static estimate
+  bool chosen = false;
+};
+
+/// What one pass did — task/edge deltas, cost-model scores, and any
+/// placement product. `mapping.valid()` / `!phases.empty()` signal that the
+/// pass produced a placement.
+struct PassReport {
+  std::string pass;
+  std::string detail;  ///< one human-readable line for --report
+  std::size_t tasks_before = 0;
+  std::size_t tasks_after = 0;
+  std::size_t edges_before = 0;
+  std::size_t edges_after = 0;
+  std::uint64_t critical_path_before = 0;
+  std::uint64_t critical_path_after = 0;
+  double balance_before = 0.0;  ///< max/mean worker load under the baseline
+  double balance_after = 0.0;
+  std::vector<TuneStep> tuning;
+  rt::Mapping mapping;
+  std::vector<hybrid::Phase> phases;
+};
+
+/// A named FlowImage -> FlowImage rewrite. Implementations must be pure
+/// (same input image + options => same output) and semantics-preserving.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  /// Rewrites `in`. The returned image owns its tasks, borrows `in`'s
+  /// registry and inherits `in`'s serial (fingerprint changes iff content
+  /// does). Must fill `report` with before/after metrics.
+  [[nodiscard]] virtual stf::FlowImage run(const stf::FlowImage& in,
+                                           const PassOptions& opts,
+                                           PassReport& report) const = 0;
+};
+
+/// Process-wide pass directory, mirroring engine::Registry: the pass list
+/// lives in ONE place, and usage strings / error messages / the test matrix
+/// all derive from names(). First access registers the built-ins.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Registers a pass. Name must be non-empty and unique.
+  void add(std::unique_ptr<Pass> pass);
+
+  /// nullptr when no pass carries `name`.
+  [[nodiscard]] const Pass* find(std::string_view name) const noexcept;
+
+  /// find() with the structured unknown-name error:
+  /// "unknown pass 'x' (choices: fuse, reorder, ...)".
+  [[nodiscard]] const Pass* find_or_error(std::string_view name,
+                                          std::string& error) const;
+
+  [[nodiscard]] std::vector<const Pass*> all() const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::string names_csv(std::string_view sep = ", ") const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// A whole pipeline run: the final image plus per-pass reports and the last
+/// placement any pass produced. Move-only (owns the image).
+struct PipelineResult {
+  stf::FlowImage image;
+  std::vector<PassReport> passes;
+  rt::Mapping mapping;               ///< last mapping produced (may be invalid)
+  std::vector<hybrid::Phase> phases; ///< last phase split produced (may be empty)
+  std::string error;                 ///< non-empty => pipeline did not run
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Applies `pass_names` to `src` in order. Unknown names fail the whole
+/// pipeline (error set, image empty). An empty list clones `src`. Asserts
+/// the per-pass preservation contract: same registry, same data-object
+/// count, same total cost, same first id.
+[[nodiscard]] PipelineResult run_pipeline(
+    const stf::FlowImage& src, const std::vector<std::string>& pass_names,
+    const PassOptions& opts);
+
+}  // namespace rio::flowpass

@@ -421,10 +421,11 @@ PrunedPlan::PrunedPlan(const stf::FlowImage& image, const Mapping& mapping,
 std::shared_ptr<const PrunedPlan> PrunedPlanCache::get(
     const stf::FlowImage& image, const Mapping& mapping,
     std::uint32_t num_workers) {
-  const Key key{image.serial(), mapping.identity(), num_workers};
+  const Key key{image.serial(), image.fingerprint(), mapping.identity(),
+                num_workers};
   for (const Entry& e : entries_) {
-    if (e.key.serial == key.serial && e.key.mapping == key.mapping &&
-        e.key.workers == key.workers)
+    if (e.key.serial == key.serial && e.key.fingerprint == key.fingerprint &&
+        e.key.mapping == key.mapping && e.key.workers == key.workers)
       return e.plan;
   }
   auto plan = std::make_shared<const PrunedPlan>(image, mapping, num_workers);

@@ -18,8 +18,9 @@
 //
 // Plans compile fastest from a stf::FlowImage (flat access array, no Task
 // records touched), and PrunedPlanCache memoizes them keyed by
-// (image serial, mapping identity, worker count) so a run loop pays the
-// O(n) compilation exactly once per distinct (flow, mapping) pair.
+// (image serial, image fingerprint, mapping identity, worker count) so a
+// run loop pays the O(n) compilation exactly once per distinct
+// (flow, rewrite, mapping) triple.
 #pragma once
 
 #include <cstdint>
@@ -80,9 +81,12 @@ class PrunedPlan {
 };
 
 /// Memoizes compiled plans keyed by (FlowImage::serial(),
-/// Mapping::identity(), worker count). A repeated run() over the same
-/// image+mapping pays ZERO plan recomputation — the property micro_unroll
-/// measures and the replay tests assert via compiles().
+/// FlowImage::fingerprint(), Mapping::identity(), worker count). A repeated
+/// run() over the same image+mapping pays ZERO plan recomputation — the
+/// property micro_unroll measures and the replay tests assert via
+/// compiles(). The fingerprint matters for flowpass rewrites: an optimized
+/// image inherits its source's serial, and only the content hash keeps it
+/// from reusing the unoptimized plan.
 ///
 /// Not thread-safe: one cache belongs to one driving thread (the engines
 /// themselves are already single-entry).
@@ -100,7 +104,10 @@ class PrunedPlanCache {
 
  private:
   struct Key {
-    std::uint64_t serial = 0;     // FlowImage::serial()
+    std::uint64_t serial = 0;       // FlowImage::serial() (lineage)
+    std::uint64_t fingerprint = 0;  // FlowImage::fingerprint() (content) —
+                                    // rewritten images share the source's
+                                    // serial and must never alias its plan
     const void* mapping = nullptr;  // Mapping::identity()
     std::uint32_t workers = 0;
   };

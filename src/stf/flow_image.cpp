@@ -19,6 +19,25 @@ std::size_t align_up(std::size_t offset, std::size_t align) noexcept {
   return (offset + align - 1) & ~(align - 1);
 }
 
+// FNV-1a, 64-bit. Only used for image fingerprints; collisions merely cost
+// a redundant plan compile downstream, never correctness.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffU;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix_bytes(std::uint64_t& h, const char* p, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= kFnvPrime;
+  }
+}
+
 }  // namespace
 
 FlowImage::FlowImage(const FlowRange& range) {
@@ -69,7 +88,12 @@ FlowImage::FlowImage(const FlowRange& range) {
   auto* acc = reinterpret_cast<Access*>(base + acc_off);
   auto* chars = reinterpret_cast<char*>(base + chars_off);
 
-  // Pass 2: fill.
+  // Pass 2: fill, hashing the content as it streams by. The fingerprint
+  // covers everything an engine's plan can depend on: position, cost,
+  // priority, name and the full access list.
+  std::uint64_t fp = kFnvOffset;
+  fnv_mix(fp, n_);
+  fnv_mix(fp, first_);
   std::uint32_t acc_cursor = 0;
   std::uint32_t char_cursor = 0;
   for (std::size_t i = 0; i < n_; ++i) {
@@ -84,8 +108,16 @@ FlowImage::FlowImage(const FlowRange& range) {
       std::memcpy(chars + char_cursor, t.name.data(), t.name.size());
       char_cursor += static_cast<std::uint32_t>(t.name.size());
     }
+    fnv_mix(fp, t.cost);
+    fnv_mix(fp, static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.priority)));
+    fnv_mix_bytes(fp, t.name.data(), t.name.size());
+    for (const Access& a : t.accesses) {
+      fnv_mix(fp, a.data);
+      fnv_mix(fp, static_cast<std::uint64_t>(a.mode));
+    }
   }
   name_off[n_] = char_cursor;
+  fingerprint_ = fp;
 
   costs_ = costs;
   spans_ = spans;

@@ -22,13 +22,17 @@
 // by identity instead of recomputing per run.
 //
 // Lifetime: the image BORROWS the source flow's Task array and DataRegistry
-// (for bodies and data resolution); the flow must outlive the image.
+// (for bodies and data resolution); the flow must outlive the image. The
+// exception is compile_owned(): a rewritten image (flowpass output) OWNS its
+// Task vector and only borrows the registry, so optimization pipelines can
+// hand images around without keeping every intermediate flow alive.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "support/assert.hpp"
 #include "stf/flow_range.hpp"
@@ -62,6 +66,22 @@ class FlowImage {
     return FlowImage(range);
   }
 
+  /// Compiles an image that OWNS its task vector (the rewriter/flowpass
+  /// path). The registry is still borrowed — every rewrite of a flow talks
+  /// about the same data objects, so the SOURCE flow's registry must outlive
+  /// all derived images. `lineage_serial` carries the source image's serial
+  /// forward: all rewrites of one compilation share a serial and are told
+  /// apart by fingerprint().
+  [[nodiscard]] static FlowImage compile_owned(
+      std::shared_ptr<const std::vector<Task>> tasks,
+      const DataRegistry& registry, std::uint64_t lineage_serial) {
+    RIO_ASSERT(tasks != nullptr);
+    FlowImage img{FlowRange(tasks->data(), tasks->size(), registry)};
+    img.owned_ = std::move(tasks);
+    img.serial_ = lineage_serial;
+    return img;
+  }
+
   // -- whole-image observers ------------------------------------------------
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
@@ -78,8 +98,18 @@ class FlowImage {
     return total_cost_;
   }
 
-  /// Process-unique identity of this compilation (cache key material).
+  /// Identity of this compilation LINEAGE (cache key material). Rewritten
+  /// images inherit the source image's serial, so downstream caches must
+  /// pair it with fingerprint() to tell rewrites apart.
   [[nodiscard]] std::uint64_t serial() const noexcept { return serial_; }
+
+  /// 64-bit content hash of the compiled metadata: task count, first id,
+  /// and per-task (cost, priority, name, access list). Two images with the
+  /// same serial but different fingerprints are different rewrites of the
+  /// same flow; caches key on (serial, fingerprint).
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
 
   // -- hot metadata (dense, arena-backed) -----------------------------------
 
@@ -132,12 +162,15 @@ class FlowImage {
 
   const Task* src_ = nullptr;
   const DataRegistry* registry_ = nullptr;
+  // Set only by compile_owned(): keeps src_ alive for rewritten images.
+  std::shared_ptr<const std::vector<Task>> owned_;
   std::size_t n_ = 0;
   std::size_t num_data_ = 0;
   std::size_t total_acc_ = 0;
   std::uint64_t total_cost_ = 0;
   TaskId first_ = 0;
   std::uint64_t serial_ = 0;
+  std::uint64_t fingerprint_ = 0;
 };
 
 /// A contiguous slice of a FlowImage — the image-world FlowRange. Hybrid

@@ -23,19 +23,24 @@
 #      rio.engines.v1 report, every backend it lists must smoke-run
 #      (`rioflow run`), and every supports_obs backend must also
 #      `rioflow profile` (docs/engines.md);
-#  11. bench JSON reporters — micro_unroll, micro_protocol, micro_recovery,
-#      micro_obs and fig7_workers emit BENCH_*.json, all must parse;
-#      BENCH_unroll.json, BENCH_protocol.json, BENCH_recovery.json and
-#      BENCH_obs_overhead.json are kept at the repo root (committed
-#      reference numbers, see docs/perf.md);
-#  12. `rioflow verify --quick` — the implementation-level model checker
+#  11. `rioflow optimize --passes fuse,map --report --json` on cholesky and
+#      chain — the flowpass pipeline must emit a parsing rio.optimize.v1
+#      report, and the optimized image must stay byte-identical to the
+#      sequential oracle on BOTH rio and coor (optimize exits 3 on any
+#      divergence; docs/passes.md);
+#  12. bench JSON reporters — micro_unroll, micro_protocol, micro_recovery,
+#      micro_obs, micro_fuse and fig7_workers emit BENCH_*.json, all must
+#      parse; BENCH_unroll.json, BENCH_protocol.json, BENCH_recovery.json,
+#      BENCH_obs_overhead.json and BENCH_fuse.json are kept at the repo
+#      root (committed reference numbers, see docs/perf.md);
+#  13. `rioflow verify --quick` — the implementation-level model checker
 #      must exhaust its reduced interleaving space with zero violations and
 #      emit a parsing rio.verify.v1 report (docs/analysis.md). Every sync
 #      engine is checked under the default policy AND --policy block (the
 #      doorbell/parking rewrite), coor additionally with --queue ring
 #      (the wait-free MPMC ready ring), and every engine again with
 #      --recover (crash + evicted-resume two-phase exploration);
-#  13. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
+#  14. ThreadSanitizer pass (skipped with RIO_SKIP_TSAN=1): rebuilds the
 #      failure suite + model checker + rioflow with RIO_SANITIZE=thread and
 #      reruns the resilience tests (incl. the recovery + crash-fuzz
 #      suites), the modelcheck suite, the quick chaos sweeps (transient
@@ -93,7 +98,7 @@ step "rioflow lint: seeded-bad fixtures must be caught"
 for f in "lintfix:uninit-read warning" "lintfix:dead-write warning" \
          "lintfix:unused-handle warning" "lintfix:redundant-edge info" \
          "lintfix:phase-mapping error" "lintfix:empty-phase warning" \
-         "lintfix:cross-phase-dep info"; do
+         "lintfix:cross-phase-dep info" "lintfix:tiny-tasks warning"; do
   set -- $f
   if "$RIOFLOW" lint --workload "$1" --fail-on "$2" >/dev/null; then
     fail "lint $1 (expected findings)"
@@ -221,6 +226,35 @@ else
   fail "engines --json"
 fi
 
+step "rioflow optimize: fuse+map pipeline, byte-verified (rio.optimize.v1)"
+# optimize byte-compares BOTH the optimized and unoptimized runs against the
+# sequential oracle and exits 3 on any divergence, so a zero exit here IS the
+# semantic-preservation proof on a real engine.
+for w in "cholesky --tiles 4" "chain --tasks 64"; do
+  set -- $w
+  WL="$1"; shift
+  for e in rio coor; do
+    OPTJSON="$OBSDIR/optimize-$WL-$e.json"
+    if "$RIOFLOW" optimize --workload "$WL" "$@" --task-size 5 --workers 2 \
+         --engine "$e" --passes fuse,map --report --json "$OPTJSON" \
+         >/dev/null; then
+      json_ok "$OPTJSON" || fail "optimize $WL/$e: json does not parse"
+      grep -q '"rio.optimize.v1"' "$OPTJSON" ||
+        fail "optimize $WL/$e: missing schema tag"
+    else
+      fail "optimize $WL/$e (pipeline error or oracle mismatch)"
+    fi
+  done
+done
+# Tuned mapping search under the exact simulator must also verify + parse.
+TUNEJSON="$OBSDIR/optimize-tuned.json"
+if "$RIOFLOW" optimize --workload cholesky --tiles 4 --task-size 50 \
+     --workers 2 --engine sim-rio --tune --json "$TUNEJSON" >/dev/null; then
+  json_ok "$TUNEJSON" || fail "optimize --tune: json does not parse"
+else
+  fail "optimize --tune --engine sim-rio"
+fi
+
 step "bench json reporters"
 # Run from the repo root: the reporters write BENCH_<id>.json into $PWD.
 if (cd "$ROOT" && "$BUILD/bench/micro_unroll" --quick --json >/dev/null); then
@@ -250,6 +284,13 @@ if (cd "$ROOT" && "$BUILD/bench/micro_obs" --quick --json >/dev/null); then
   fi
 else
   fail "micro_obs --quick --json"
+fi
+if (cd "$ROOT" && "$BUILD/bench/micro_fuse" --quick --json >/dev/null); then
+  if ! json_ok "$ROOT/BENCH_fuse.json"; then
+    fail "BENCH_fuse.json does not parse"
+  fi
+else
+  fail "micro_fuse --quick --json"
 fi
 if (cd "$ROOT" && "$BUILD/bench/fig7_workers" --quick --json >/dev/null); then
   if ! json_ok "$ROOT/BENCH_fig7_workers.json"; then
